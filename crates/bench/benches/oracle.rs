@@ -1,0 +1,58 @@
+//! Fairness-oracle kernels: one full FM1/FM2 evaluation over a ranking
+//! (the `O_n` term in the paper's Theorem 1/3 complexity bounds) and the
+//! O(1) incremental swap update the 2-D sweep exploits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fairrank_bench::{compas_2d, default_compas_oracle, dot_flights, dot_oracle};
+use fairrank_fairness::{FairnessOracle, SweepState};
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_full_eval");
+    for n in [1000usize, 6889, 40_000] {
+        let (ranking, oracle): (Vec<u32>, Box<dyn FairnessOracle>) = if n <= 6889 {
+            let ds = compas_2d(n);
+            let oracle = default_compas_oracle(&ds);
+            (ds.rank(&[0.7, 0.3]), Box::new(oracle))
+        } else {
+            let ds = dot_flights(n);
+            let oracle = dot_oracle(&ds);
+            (ds.rank(&[0.5, 0.3, 0.2]), Box::new(oracle))
+        };
+        group.bench_with_input(BenchmarkId::new("is_satisfactory", n), &n, |b, _| {
+            b.iter(|| black_box(oracle.is_satisfactory(&ranking)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_incremental");
+    let ds = compas_2d(6889);
+    let oracle = default_compas_oracle(&ds);
+    let ranking = ds.rank(&[0.7, 0.3]);
+    let k = oracle.k();
+    let mut state = SweepState::new(ranking.clone(), &[&oracle]);
+    // Swap a pair straddling the top-k boundary back and forth: the
+    // worst case for the incremental update (it must adjust counts).
+    let (a, b) = (ranking[k - 1], ranking[k]);
+    group.bench_function("swap_at_topk_boundary", |bch| {
+        bch.iter(|| {
+            state.swap_items(a, b);
+            black_box(state.is_satisfactory())
+        });
+    });
+    // Swap deep below the boundary: must be near-free.
+    let (c1, c2) = (ranking[k + 100], ranking[k + 101]);
+    group.bench_function("swap_below_topk", |bch| {
+        bch.iter(|| {
+            state.swap_items(c1, c2);
+            black_box(state.is_satisfactory())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_evaluation, bench_incremental_swap);
+criterion_main!(benches);

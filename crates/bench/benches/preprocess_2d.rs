@@ -1,0 +1,30 @@
+//! Figure 17 — 2-D offline preprocessing (2DRAYSWEEP) vs `n`, plus the
+//! incremental-oracle ablation (design choice 2 in DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fairrank::twod::{ray_sweep, ray_sweep_incremental};
+use fairrank_bench::compas_2d;
+use fairrank_fairness::Proportionality;
+
+fn bench_ray_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_raysweep");
+    group.sample_size(10);
+    for n in [100usize, 250, 500, 1000] {
+        let ds = compas_2d(n);
+        let race = ds.type_attribute("race").unwrap().clone();
+        let k = ((n as f64) * 0.3).round() as usize;
+        let oracle = Proportionality::new(&race, k).with_max_share(0, 0.60);
+        group.bench_with_input(BenchmarkId::new("blackbox", n), &n, |b, _| {
+            b.iter(|| black_box(ray_sweep(&ds, &oracle).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| black_box(ray_sweep_incremental(&ds, &[&oracle]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ray_sweep);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figures 22 & 23 — the approximate preprocessing pipeline
+//! (CELLPLANE× → MARKCELL → CELLCOLORING) end to end, vs `n` and vs `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank_bench::{compas_d, compas_d3, default_compas_oracle};
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22_build_vs_n");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for n in [50usize, 100, 200] {
+        let ds = compas_d3(n);
+        let oracle = default_compas_oracle(&ds);
+        let opts = BuildOptions {
+            n_cells: 300,
+            max_hyperplanes: Some(2_000),
+            max_hyperplanes_per_cell: Some(16),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ApproxIndex::build(&ds, &oracle, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig23_build_vs_d");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    for d in [3usize, 4, 5] {
+        let ds = compas_d(60, d);
+        let oracle = default_compas_oracle(&ds);
+        let opts = BuildOptions {
+            n_cells: 300,
+            max_hyperplanes: Some(1_000),
+            max_hyperplanes_per_cell: Some(if d >= 5 { 8 } else { 16 }),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(ApproxIndex::build(&ds, &oracle, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_d);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §6.3 — 2DONLINE query answering vs merely ordering the data.
+//!
+//! The paper reports ≈30 µs per 2DONLINE query against ≈25 ms to rank
+//! 6,889 items; the reproduction target is the orders-of-magnitude gap
+//! and the `O(log n)` independence of the online path from `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fairrank::twod::{online_2d, ray_sweep};
+use fairrank_bench::{compas_2d, query_fan};
+use fairrank_fairness::Proportionality;
+
+fn bench_online_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query2d");
+    for n in [500usize, 2000, 6889] {
+        let ds = compas_2d(n);
+        let race = ds.type_attribute("race").unwrap().clone();
+        let k = ((n as f64) * 0.3).round() as usize;
+        let oracle = Proportionality::new(&race, k).with_max_share(0, 0.60);
+        let sweep = ray_sweep(&ds, &oracle).unwrap();
+        let queries: Vec<[f64; 2]> = query_fan(1, 64)
+            .into_iter()
+            .map(|q| [q[0].cos(), q[0].sin()])
+            .collect();
+
+        let mut qi = 0usize;
+        group.bench_with_input(BenchmarkId::new("online", n), &n, |b, _| {
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(online_2d(&sweep.intervals, &queries[qi]).unwrap())
+            });
+        });
+        let mut qj = 0usize;
+        group.bench_with_input(BenchmarkId::new("ordering_only", n), &n, |b, _| {
+            b.iter(|| {
+                qj = (qj + 1) % queries.len();
+                black_box(ds.rank(&queries[qj]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_2d);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! §6.3 (MD) + Figure 16 — MDONLINE lookups vs ordering the data, and
+//! the full `FairRanker::suggest` path the Figure 16 validation uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank::FairRanker;
+use fairrank_bench::{compas_d, default_compas_oracle, query_fan};
+use fairrank_geometry::polar::to_cartesian;
+
+fn build_options(d: usize) -> BuildOptions {
+    BuildOptions {
+        n_cells: 2_000,
+        max_hyperplanes: Some(3_000),
+        max_hyperplanes_per_cell: Some(if d >= 5 { 16 } else { 48 }),
+        ..Default::default()
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("querymd_lookup");
+    for d in [3usize, 4, 5, 6] {
+        let ds = compas_d(500, d);
+        let oracle = default_compas_oracle(&ds);
+        let index = ApproxIndex::build(&ds, &oracle, &build_options(d)).unwrap();
+        let queries = query_fan(d - 1, 64);
+        let mut qi = 0usize;
+        group.bench_with_input(BenchmarkId::new("mdonline", d), &d, |b, _| {
+            b.iter(|| {
+                qi = (qi + 1) % queries.len();
+                black_box(index.lookup(&queries[qi]))
+            });
+        });
+        let weights: Vec<Vec<f64>> = queries.iter().map(|q| to_cartesian(1.0, q)).collect();
+        let mut qj = 0usize;
+        group.bench_with_input(BenchmarkId::new("ordering_only", d), &d, |b, _| {
+            b.iter(|| {
+                qj = (qj + 1) % weights.len();
+                black_box(ds.rank(&weights[qj]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_suggest(c: &mut Criterion) {
+    // Figure 16's unit of work: one full suggest() round trip, including
+    // the oracle check on the query itself.
+    let mut group = c.benchmark_group("fig16_suggest");
+    let d = 3usize;
+    let ds = compas_d(500, d);
+    let oracle = default_compas_oracle(&ds);
+    let ranker =
+        FairRanker::build_md_approx(&ds, Box::new(oracle), &build_options(d)).unwrap();
+    let weights: Vec<Vec<f64>> = query_fan(d - 1, 64)
+        .iter()
+        .map(|q| to_cartesian(1.0, q))
+        .collect();
+    let mut qi = 0usize;
+    group.bench_function("suggest_round_trip", |b| {
+        b.iter(|| {
+            qi = (qi + 1) % weights.len();
+            black_box(ranker.suggest(&weights[qi]).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_suggest);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §6.4 — sampling for large-scale settings: build the index on a
+//! uniform sample of the DOT-like flights and validate on the full data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use fairrank::approximate::BuildOptions;
+use fairrank::sampling::{build_on_sample, validate_against};
+use fairrank_bench::{dot_flights, dot_oracle};
+use fairrank_fairness::FairnessOracle;
+
+fn bench_sampled_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_dot");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let full = dot_flights(20_000);
+    let opts = BuildOptions {
+        n_cells: 200,
+        max_hyperplanes: Some(2_000),
+        ..Default::default()
+    };
+    for sample in [100usize, 250] {
+        group.bench_with_input(
+            BenchmarkId::new("build_on_sample", sample),
+            &sample,
+            |b, &m| {
+                b.iter(|| {
+                    black_box(
+                        build_on_sample(
+                            &full,
+                            m,
+                            0xD07,
+                            |s| Box::new(dot_oracle(s)) as Box<dyn FairnessOracle>,
+                            &opts,
+                        )
+                        .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    // Validation pass over the full data, per assigned function.
+    let (index, _) = build_on_sample(
+        &full,
+        250,
+        0xD07,
+        |s| Box::new(dot_oracle(s)) as Box<dyn FairnessOracle>,
+        &opts,
+    )
+    .unwrap();
+    let full_oracle = dot_oracle(&full);
+    group.bench_function("validate_against_full", |b| {
+        b.iter(|| black_box(validate_against(&index, &full, &full_oracle)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampled_build);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Shared harness for the benchmark suite and the `experiments` binary.
+//!
+//! Every table and figure of the paper's §6 is regenerated from the
+//! workloads defined here, so the Criterion benches and the textual
+//! experiment series measure exactly the same configurations.
+//!
+//! The paper's defaults (§6.1):
+//!
+//! * **COMPAS** — 6,889 individuals, 7 scoring attributes; default
+//!   fairness model FM1: at most 60% African-American among the
+//!   top-ranked 30%.
+//! * **DOT** — 1,322,024 flights, 3 scoring attributes; FM1 over
+//!   `airline_name` with caps 5% above each major carrier's base share
+//!   in the top 10%.
+
+use std::time::{Duration, Instant};
+
+use fairrank_datasets::synthetic::{compas, dot};
+use fairrank_datasets::Dataset;
+use fairrank_fairness::Proportionality;
+
+pub mod stats;
+
+/// The paper's default COMPAS configuration at a chosen scale.
+#[must_use]
+pub fn compas_full(n: usize) -> Dataset {
+    compas::generate(&compas::CompasConfig {
+        n,
+        ..Default::default()
+    })
+}
+
+/// COMPAS projected to the paper's §6.2 validation attributes
+/// (`start`, `c_days_from_compas`, `juv_other_count`; d = 3).
+#[must_use]
+pub fn compas_d3(n: usize) -> Dataset {
+    compas_full(n)
+        .project(&compas::validation_projection())
+        .expect("projection indices valid")
+}
+
+/// COMPAS projected to the first `d` scoring attributes "in the same
+/// ordering provided in the description of [the] COMPAS dataset" (§6.3).
+///
+/// # Panics
+/// If `d` exceeds the 7 available attributes.
+#[must_use]
+pub fn compas_d(n: usize, d: usize) -> Dataset {
+    let attrs: Vec<usize> = (0..d).collect();
+    compas_full(n).project(&attrs).expect("d ≤ 7")
+}
+
+/// COMPAS projected to 2 attributes for the 2-D experiments.
+#[must_use]
+pub fn compas_2d(n: usize) -> Dataset {
+    compas_d(n, 2)
+}
+
+/// The paper's default fairness model: FM1 on `race`, at most 60%
+/// African-American among the top 30%.
+///
+/// # Panics
+/// If `ds` has no `race` type attribute.
+#[must_use]
+pub fn default_compas_oracle(ds: &Dataset) -> Proportionality {
+    let race = ds.type_attribute("race").expect("COMPAS has race");
+    let k = ((ds.len() as f64) * 0.30).round().max(1.0) as usize;
+    Proportionality::new(race, k).with_max_share(0, 0.60)
+}
+
+/// DOT-like flights at a chosen scale.
+#[must_use]
+pub fn dot_flights(n: usize) -> Dataset {
+    dot::generate(&dot::DotConfig {
+        n,
+        ..Default::default()
+    })
+}
+
+/// The §6.4 DOT oracle: top 10%, each major carrier's share at most 5%
+/// above its base proportion.
+///
+/// # Panics
+/// If `ds` has no `airline_name` type attribute.
+#[must_use]
+pub fn dot_oracle(ds: &Dataset) -> Proportionality {
+    let airline = ds
+        .type_attribute("airline_name")
+        .expect("DOT has airline_name");
+    let props = airline.group_proportions();
+    let majors = dot::major_carrier_groups();
+    Proportionality::new(airline, ds.len() / 10).with_proportional_caps(
+        &props,
+        0.05,
+        Some(&majors),
+    )
+}
+
+/// Deterministic query fan: `count` angle vectors spread over the open
+/// cube `(0, π/2)^dim` by a low-discrepancy (Halton-like) sequence.
+#[must_use]
+pub fn query_fan(dim: usize, count: usize) -> Vec<Vec<f64>> {
+    const PRIMES: [u64; 6] = [2, 3, 5, 7, 11, 13];
+    let mut out = Vec::with_capacity(count);
+    for i in 1..=count {
+        let mut q = Vec::with_capacity(dim);
+        for (k, &p) in PRIMES.iter().take(dim).enumerate() {
+            let mut f = 1.0;
+            let mut r = 0.0;
+            let mut n = (i + 7 * k) as u64;
+            while n > 0 {
+                f /= p as f64;
+                r += f * (n % p) as f64;
+                n /= p;
+            }
+            q.push((0.02 + 0.96 * r) * fairrank_geometry::HALF_PI);
+        }
+        out.push(q);
+    }
+    out
+}
+
+/// Wall-clock one closure call.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Wall-clock the average of `reps` calls (for µs-scale online paths).
+pub fn time_avg<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / reps.max(1) as u32
+}
+
+/// Format a duration compactly for series output.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1} µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{:.2} s", us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_schemas() {
+        let c = compas_d3(50);
+        assert_eq!(c.dim(), 3);
+        assert_eq!(c.len(), 50);
+        assert!(c.type_attribute("race").is_some());
+
+        let c2 = compas_2d(30);
+        assert_eq!(c2.dim(), 2);
+
+        let f = dot_flights(100);
+        assert_eq!(f.dim(), 3);
+        assert!(f.type_attribute("airline_name").is_some());
+    }
+
+    #[test]
+    fn default_oracle_matches_paper_parameters() {
+        use fairrank_fairness::FairnessOracle as _;
+        let ds = compas_d3(100);
+        let oracle = default_compas_oracle(&ds);
+        assert_eq!(oracle.k(), 30); // 30% of 100
+        let ranking = ds.rank(&[1.0, 1.0, 1.0]);
+        let _ = oracle.is_satisfactory(&ranking); // well-formed
+    }
+
+    #[test]
+    fn query_fan_is_deterministic_and_interior() {
+        let a = query_fan(2, 40);
+        let b = query_fan(2, 40);
+        assert_eq!(a, b);
+        for q in &a {
+            for &v in q {
+                assert!(v > 0.0 && v < fairrank_geometry::HALF_PI);
+            }
+        }
+        // Spread: no two identical queries.
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i], a[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn fmt_duration_scales() {
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

@@ -1,0 +1,78 @@
+//! CELLPLANE× (paper Algorithm 7): assign each ordering-exchange
+//! hyperplane to the grid cells it passes through.
+//!
+//! The hierarchical pruning lives in
+//! [`fairrank_geometry::grid::AngleGrid::cells_crossing`]; this module
+//! inverts the relation into the per-cell lists `HC[c]` that MARKCELL
+//! consumes, and reports the distribution the paper plots in Figure 21.
+
+use fairrank_geometry::grid::AngleGrid;
+#[cfg(test)]
+use fairrank_geometry::grid::CellId;
+use fairrank_geometry::hyperplane::Hyperplane;
+
+/// For every cell, the indices (into `hyperplanes`) of the hyperplanes
+/// passing through it.
+#[must_use]
+pub fn hyperplanes_per_cell(grid: &AngleGrid, hyperplanes: &[Hyperplane]) -> Vec<Vec<u32>> {
+    let mut hc: Vec<Vec<u32>> = vec![Vec::new(); grid.cell_count()];
+    for (hi, h) in hyperplanes.iter().enumerate() {
+        for cell in grid.cells_crossing(h) {
+            hc[cell as usize].push(hi as u32);
+        }
+    }
+    hc
+}
+
+/// The `|HC[c]|` distribution sorted ascending — the paper's Figure 21
+/// series.
+#[must_use]
+pub fn crossing_histogram(hc: &[Vec<u32>]) -> Vec<usize> {
+    let mut counts: Vec<usize> = hc.iter().map(Vec::len).collect();
+    counts.sort_unstable();
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_matches_bruteforce() {
+        let grid = AngleGrid::equal_area(3, 300);
+        let hs = vec![
+            Hyperplane::new(vec![1.0, 1.0], 1.0).unwrap(),
+            Hyperplane::new(vec![1.0, -0.5], 0.2).unwrap(),
+        ];
+        let hc = hyperplanes_per_cell(&grid, &hs);
+        for (cell, lists) in hc.iter().enumerate() {
+            let (bl, tr) = grid.cell_bounds(cell as CellId);
+            for (hi, h) in hs.iter().enumerate() {
+                assert_eq!(
+                    lists.contains(&(hi as u32)),
+                    h.crosses_box(bl, tr),
+                    "cell {cell}, hyperplane {hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_sorted_and_sized() {
+        let grid = AngleGrid::equal_area(3, 200);
+        let hs = vec![Hyperplane::new(vec![1.0, 0.3], 0.9).unwrap()];
+        let hc = hyperplanes_per_cell(&grid, &hs);
+        let hist = crossing_histogram(&hc);
+        assert_eq!(hist.len(), grid.cell_count());
+        assert!(hist.windows(2).all(|w| w[0] <= w[1]));
+        let total: usize = hist.iter().sum();
+        assert_eq!(total, grid.cells_crossing(&hs[0]).len());
+    }
+
+    #[test]
+    fn empty_hyperplane_set() {
+        let grid = AngleGrid::equal_area(3, 100);
+        let hc = hyperplanes_per_cell(&grid, &[]);
+        assert!(hc.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,177 @@
+//! CELLCOLORING (paper Algorithm 10): propagate satisfactory functions to
+//! the cells that do not intersect any satisfactory region.
+//!
+//! Multi-source Dijkstra over the cell-adjacency graph: satisfied cells
+//! start at distance 0 with their own function; an unsatisfied cell
+//! adopts the function minimizing the angular distance between that
+//! function and the cell's center, exploring in best-first order so each
+//! cell is finalized with the (approximately) nearest function.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fairrank_geometry::grid::{AngleGrid, CellId};
+use fairrank_geometry::polar::angular_distance;
+
+/// Heap entry ordered by ascending distance (min-heap via reversed Ord).
+struct Entry {
+    dist: f64,
+    cell: CellId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.cell == other.cell
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap; ties broken by cell id for determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.cell.cmp(&self.cell))
+    }
+}
+
+/// Color every unassigned cell with the nearest assigned function.
+///
+/// `assigned[c]` is `Some(f)` for cells MARKCELL satisfied (function index
+/// `f` into `functions`); on return every cell is `Some` — unless no cell
+/// was satisfied at all, in which case nothing changes (the constraint is
+/// globally unsatisfiable) and `0` is returned.
+///
+/// Returns the number of newly colored cells.
+pub fn color_cells(
+    grid: &AngleGrid,
+    assigned: &mut [Option<u32>],
+    functions: &[Vec<f64>],
+) -> usize {
+    debug_assert_eq!(assigned.len(), grid.cell_count());
+    let n = assigned.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut visited = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+
+    for (c, a) in assigned.iter().enumerate() {
+        if a.is_some() {
+            dist[c] = 0.0;
+            heap.push(Entry {
+                dist: 0.0,
+                cell: c as CellId,
+            });
+        }
+    }
+    if heap.is_empty() {
+        return 0;
+    }
+
+    let mut colored = 0usize;
+    while let Some(Entry { dist: d, cell }) = heap.pop() {
+        let c = cell as usize;
+        if visited[c] || d > dist[c] {
+            continue; // lazy deletion
+        }
+        visited[c] = true;
+        let f_idx = assigned[c].expect("popped cells carry a function");
+        let f = &functions[f_idx as usize];
+        for nb in grid.neighbors(cell) {
+            let nbi = nb as usize;
+            if visited[nbi] {
+                continue;
+            }
+            let alt = angular_distance(f, &grid.center(nb));
+            if alt < dist[nbi] {
+                if assigned[nbi].is_none() {
+                    colored += 1;
+                }
+                dist[nbi] = alt;
+                assigned[nbi] = Some(f_idx);
+                heap.push(Entry {
+                    dist: alt,
+                    cell: nb,
+                });
+            }
+        }
+    }
+    colored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_source_floods_everything() {
+        let grid = AngleGrid::equal_area(3, 100);
+        let n = grid.cell_count();
+        let mut assigned: Vec<Option<u32>> = vec![None; n];
+        assigned[0] = Some(0);
+        let functions = vec![grid.center(0)];
+        let colored = color_cells(&grid, &mut assigned, &functions);
+        assert_eq!(colored, n - 1);
+        assert!(assigned.iter().all(|a| a == &Some(0)));
+    }
+
+    #[test]
+    fn no_sources_no_coloring() {
+        let grid = AngleGrid::equal_area(3, 50);
+        let mut assigned: Vec<Option<u32>> = vec![None; grid.cell_count()];
+        assert_eq!(color_cells(&grid, &mut assigned, &[]), 0);
+        assert!(assigned.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cells_adopt_nearer_source() {
+        // Two sources at opposite corners of the angle box: every colored
+        // cell must hold the function closer to its center.
+        let grid = AngleGrid::uniform(3, 144);
+        let n = grid.cell_count();
+        let corner_low = grid.locate(&[0.05, 0.05]);
+        let corner_high = grid.locate(&[1.5, 1.5]);
+        let mut assigned: Vec<Option<u32>> = vec![None; n];
+        assigned[corner_low as usize] = Some(0);
+        assigned[corner_high as usize] = Some(1);
+        let functions = vec![grid.center(corner_low), grid.center(corner_high)];
+        color_cells(&grid, &mut assigned, &functions);
+        let mut suboptimal = 0usize;
+        for c in 0..n as CellId {
+            let center = grid.center(c);
+            let d0 = angular_distance(&functions[0], &center);
+            let d1 = angular_distance(&functions[1], &center);
+            let got = assigned[c as usize].unwrap();
+            let best = if d0 <= d1 { 0 } else { 1 };
+            if got != best && (d0 - d1).abs() > 1e-6 {
+                suboptimal += 1;
+            }
+        }
+        // The greedy flood is not exactly a Voronoi partition, but it must
+        // be near-perfect on a convex grid with two sources.
+        assert!(
+            suboptimal <= n / 50,
+            "{suboptimal}/{n} cells adopted the farther source"
+        );
+    }
+
+    #[test]
+    fn preexisting_assignments_survive() {
+        let grid = AngleGrid::equal_area(3, 60);
+        let n = grid.cell_count();
+        let mut assigned: Vec<Option<u32>> = vec![None; n];
+        assigned[3] = Some(7);
+        assigned[10] = Some(9);
+        let mut functions = vec![vec![0.0, 0.0]; 10];
+        functions[7] = grid.center(3);
+        functions[9] = grid.center(10);
+        color_cells(&grid, &mut assigned, &functions);
+        assert_eq!(assigned[3], Some(7));
+        assert_eq!(assigned[10], Some(9));
+        assert!(assigned.iter().all(Option::is_some));
+    }
+}

@@ -1,0 +1,24 @@
+//! The grid-based approximate index (paper §5): user-controllable
+//! preprocessing that guarantees interactive queries within the Theorem 6
+//! angular-distance bound.
+//!
+//! Pipeline (all offline):
+//!
+//! 1. ordering-exchange hyperplanes (HYPERPOLAR over all pairs);
+//! 2. [`cellplane`] — which hyperplanes pass through which grid cell
+//!    (CELLPLANE×, Algorithm 7);
+//! 3. [`markcell`] — a satisfactory function for every cell that
+//!    intersects a satisfactory region, with early stopping
+//!    (MARKCELL + ATC⁺, Algorithms 8–9);
+//! 4. [`coloring`] — remaining cells inherit the nearest satisfactory
+//!    function (CELLCOLORING, Algorithm 10, Dijkstra).
+//!
+//! Online, [`ApproxIndex::lookup`] is a pure `O(log N)` grid descent
+//! (MDONLINE, Algorithm 11).
+
+pub mod cellplane;
+pub mod coloring;
+pub mod index;
+pub mod markcell;
+
+pub use index::{ApproxIndex, BuildOptions, BuildStats};

@@ -1,0 +1,105 @@
+//! Error type for the public API.
+
+use std::fmt;
+
+/// Errors raised by index construction and query answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FairRankError {
+    /// The dataset's attribute count does not match what the index
+    /// expects (e.g. a 2-D index over a 5-attribute dataset).
+    DimensionMismatch {
+        /// Attribute count the operation expects.
+        expected: usize,
+        /// Attribute count found.
+        found: usize,
+    },
+    /// A query weight vector is unusable: wrong arity, negative, NaN or
+    /// all-zero.
+    InvalidWeights(String),
+    /// The operation requires at least two scoring attributes.
+    TooFewAttributes,
+    /// The dataset is empty.
+    EmptyDataset,
+    /// A persisted index could not be decoded (see
+    /// [`crate::persist::PersistError`] for the structured cause).
+    Persist(String),
+}
+
+impl fmt::Display for FairRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FairRankError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} scoring attributes, found {found}")
+            }
+            FairRankError::InvalidWeights(msg) => write!(f, "invalid weight vector: {msg}"),
+            FairRankError::TooFewAttributes => {
+                write!(f, "ranking needs at least two scoring attributes")
+            }
+            FairRankError::EmptyDataset => write!(f, "dataset is empty"),
+            FairRankError::Persist(msg) => write!(f, "index persistence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FairRankError {}
+
+/// Validate a query weight vector against the expected dimensionality.
+///
+/// # Errors
+/// [`FairRankError::InvalidWeights`] or [`FairRankError::DimensionMismatch`].
+pub fn validate_weights(weights: &[f64], expected_dim: usize) -> Result<(), FairRankError> {
+    if weights.len() != expected_dim {
+        return Err(FairRankError::DimensionMismatch {
+            expected: expected_dim,
+            found: weights.len(),
+        });
+    }
+    if weights.iter().any(|w| !w.is_finite()) {
+        return Err(FairRankError::InvalidWeights("non-finite component".into()));
+    }
+    if weights.iter().any(|&w| w < 0.0) {
+        return Err(FairRankError::InvalidWeights(
+            "negative component (the ranking model requires w ≥ 0)".into(),
+        ));
+    }
+    if weights.iter().all(|&w| w == 0.0) {
+        return Err(FairRankError::InvalidWeights("zero vector".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_validation() {
+        assert!(validate_weights(&[1.0, 0.5], 2).is_ok());
+        assert!(matches!(
+            validate_weights(&[1.0], 2),
+            Err(FairRankError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            validate_weights(&[1.0, f64::NAN], 2),
+            Err(FairRankError::InvalidWeights(_))
+        ));
+        assert!(matches!(
+            validate_weights(&[1.0, -0.1], 2),
+            Err(FairRankError::InvalidWeights(_))
+        ));
+        assert!(matches!(
+            validate_weights(&[0.0, 0.0], 2),
+            Err(FairRankError::InvalidWeights(_))
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = FairRankError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(FairRankError::EmptyDataset.to_string().contains("empty"));
+    }
+}

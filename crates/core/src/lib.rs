@@ -1,0 +1,72 @@
+//! # fairrank
+//!
+//! A query-answering system that helps users design **fair score-based
+//! ranking schemes** — a from-scratch Rust implementation of
+//!
+//! > Abolfazl Asudeh, H. V. Jagadish, Julia Stoyanovich, Gautam Das.
+//! > *Designing Fair Ranking Schemes.* SIGMOD 2019.
+//!
+//! ## The problem
+//!
+//! Items are ranked by a linear scoring function
+//! `f_w(t) = Σ w_j · t[j]`, `w ≥ 0`. A black-box fairness oracle accepts
+//! or rejects the induced ranking. Given a user's proposed weight vector,
+//! the system answers the **closest satisfactory function** query: the
+//! weight vector, minimal in *angular distance* from the query, whose
+//! ranking the oracle accepts.
+//!
+//! ## Offline / online split
+//!
+//! Indexing happens offline; queries answer in interactive time:
+//!
+//! | dims | offline | online | paper |
+//! |---|---|---|---|
+//! | d = 2 | [`twod::ray_sweep`] (2DRAYSWEEP) | [`twod::online_2d`] (2DONLINE), `O(log n)` | §3 |
+//! | d ≥ 3, exact | [`md::sat_regions`] (SATREGIONS + AT⁺) | [`md::closest_satisfactory`] (MDBASELINE) | §4 |
+//! | d ≥ 3, approximate | [`approximate::ApproxIndex::build`] (CELLPLANE× + MARKCELL/ATC⁺ + CELLCOLORING) | [`approximate::ApproxIndex::lookup`] (MDONLINE), `O(log N)` with the Theorem 6 distance guarantee | §5 |
+//!
+//! [`FairRanker`] wraps all three behind one API; [`sampling`] scales
+//! preprocessing to millions of items by indexing a uniform sample
+//! (paper §5.4); [`pruning`] implements the §8 convex/dominance-layer
+//! top-k reduction.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fairrank::{FairRanker, Suggestion};
+//! use fairrank_datasets::synthetic::generic;
+//! use fairrank_fairness::Proportionality;
+//!
+//! // 60 items, two attributes; group 0 concentrates at the top of
+//! // attribute-0 rankings.
+//! let ds = generic::uniform(60, 2, 0.9, 42);
+//! // Fair ⇔ at most half of the top-10 belong to group 0.
+//! let oracle = Proportionality::new(ds.type_attribute("group").unwrap(), 10)
+//!     .with_max_count(0, 5);
+//! let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+//! match ranker.suggest(&[1.0, 0.1]).unwrap() {
+//!     Suggestion::AlreadyFair => println!("keep your weights"),
+//!     Suggestion::Suggested { weights, distance } => {
+//!         println!("try {weights:?} ({distance:.3} rad away)")
+//!     }
+//!     Suggestion::Infeasible => println!("no fair linear ranking exists"),
+//! }
+//! ```
+
+pub mod approximate;
+pub mod error;
+pub mod md;
+pub mod persist;
+pub mod pruning;
+pub mod ranker;
+pub mod sampling;
+pub mod twod;
+
+pub use error::FairRankError;
+pub use ranker::{FairRanker, Suggestion};
+
+// Re-export the companion crates so downstream users need one dependency.
+pub use fairrank_datasets as datasets;
+pub use fairrank_fairness as fairness;
+pub use fairrank_geometry as geometry;
+pub use fairrank_lp as lp;

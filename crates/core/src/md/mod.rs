@@ -1,0 +1,11 @@
+//! The multi-dimensional case (paper §4): ordering-exchange hyperplanes in
+//! angle coordinates, the arrangement of satisfactory regions, and the
+//! exact (baseline) online algorithm.
+
+pub mod baseline;
+pub mod hyperpolar;
+pub mod satregions;
+
+pub use baseline::{closest_satisfactory, closest_satisfactory_validated, ClosestResult};
+pub use hyperpolar::{exchange_hyperplane, exchange_hyperplanes};
+pub use satregions::{sat_regions, SatRegion, SatRegions, SatRegionsOptions};

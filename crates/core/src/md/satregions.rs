@@ -1,0 +1,283 @@
+//! SATREGIONS (paper Algorithm 4) with the arrangement tree (Algorithm 5).
+//!
+//! Constructs the arrangement of ordering-exchange hyperplanes in the angle
+//! coordinate system, probes one strictly-interior function per region, and
+//! keeps the regions whose ranking the fairness oracle accepts. Both the
+//! flat incremental arrangement (the paper's baseline) and the
+//! arrangement-tree index are supported — Figure 18 of the paper measures
+//! exactly this choice.
+
+use fairrank_datasets::Dataset;
+use fairrank_fairness::FairnessOracle;
+use fairrank_geometry::arrangement::Arrangement;
+use fairrank_geometry::arrangement_tree::ArrangementTree;
+use fairrank_geometry::polar::to_cartesian;
+use fairrank_lp::Constraint;
+
+use crate::error::FairRankError;
+use crate::md::hyperpolar::exchange_hyperplanes;
+use crate::pruning;
+
+/// One satisfactory region of the arrangement.
+#[derive(Debug, Clone)]
+pub struct SatRegion {
+    /// Half-space constraints describing the region (box constraints are
+    /// implicit: every angle lies in `[0, π/2]`).
+    pub constraints: Vec<Constraint>,
+    /// A function strictly inside the region whose ranking the oracle
+    /// accepted.
+    pub witness: Vec<f64>,
+}
+
+/// Options for [`sat_regions`].
+#[derive(Debug, Clone)]
+pub struct SatRegionsOptions {
+    /// Use the arrangement tree (Algorithm 5) instead of the flat linear
+    /// region scan. Same output, different construction cost.
+    pub use_tree: bool,
+    /// Cap on the number of hyperplanes inserted (benchmark sweeps insert
+    /// prefixes, as the paper's Figure 18/19 do). `None` = all.
+    pub max_hyperplanes: Option<usize>,
+    /// When the oracle exposes a top-k bound, drop items outside the first
+    /// k dominance layers before computing exchanges (paper §8).
+    pub prune_top_k: bool,
+}
+
+impl Default for SatRegionsOptions {
+    fn default() -> Self {
+        SatRegionsOptions {
+            use_tree: true,
+            max_hyperplanes: None,
+            prune_top_k: false,
+        }
+    }
+}
+
+/// Output of the offline multi-dimensional preprocessing.
+#[derive(Debug, Clone)]
+pub struct SatRegions {
+    /// Number of angle coordinates (`d − 1`).
+    pub dim: usize,
+    /// Satisfactory regions with their witnesses.
+    pub satisfactory: Vec<SatRegion>,
+    /// Total number of regions in the arrangement.
+    pub region_count: usize,
+    /// Number of exchange hyperplanes inserted.
+    pub hyperplane_count: usize,
+    /// Number of oracle invocations.
+    pub oracle_calls: u64,
+    /// Number of items that survived top-k pruning (equals `n` when
+    /// pruning is off).
+    pub items_used: usize,
+}
+
+/// Run the offline phase: build the arrangement and identify satisfactory
+/// regions.
+///
+/// # Errors
+/// [`FairRankError::TooFewAttributes`] for datasets with fewer than two
+/// scoring attributes.
+pub fn sat_regions(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    opts: &SatRegionsOptions,
+) -> Result<SatRegions, FairRankError> {
+    if ds.dim() < 2 {
+        return Err(FairRankError::TooFewAttributes);
+    }
+    let dim = ds.dim() - 1;
+
+    // §8 pruning: exchanges among items that can never reach the top-k are
+    // irrelevant to a top-k-bounded oracle.
+    let (hyperplanes, items_used) = match (opts.prune_top_k, oracle.top_k_bound()) {
+        (true, Some(k)) => {
+            let keep = pruning::top_k_candidate_items(ds, k);
+            let sub = ds.subset(&keep);
+            (exchange_hyperplanes(&sub), keep.len())
+        }
+        _ => (exchange_hyperplanes(ds), ds.len()),
+    };
+    let mut hyperplanes = hyperplanes;
+    if let Some(cap) = opts.max_hyperplanes {
+        hyperplanes.truncate(cap);
+    }
+    let hyperplane_count = hyperplanes.len();
+
+    // Region enumeration: (constraints, witness) pairs.
+    let (witnesses, region_count) = if opts.use_tree {
+        let mut tree = ArrangementTree::new(dim);
+        for h in &hyperplanes {
+            tree.insert(h);
+        }
+        (tree.region_witnesses(), tree.region_count())
+    } else {
+        let mut arr = Arrangement::new(dim);
+        for h in hyperplanes {
+            arr.insert(h);
+        }
+        let mut out = Vec::with_capacity(arr.region_count());
+        for rid in arr.region_ids() {
+            if let Some(w) = arr.interior_point_of(rid) {
+                out.push((arr.constraints_of(rid), w));
+            }
+        }
+        (out, arr.region_count())
+    };
+
+    // Oracle pass: keep satisfactory regions (Algorithm 4 lines 20–26).
+    let mut oracle_calls = 0u64;
+    let mut satisfactory = Vec::new();
+    for (constraints, witness) in witnesses {
+        let w = to_cartesian(1.0, &witness);
+        oracle_calls += 1;
+        if oracle.is_satisfactory(&ds.rank(&w)) {
+            satisfactory.push(SatRegion {
+                constraints,
+                witness,
+            });
+        }
+    }
+
+    Ok(SatRegions {
+        dim,
+        satisfactory,
+        region_count,
+        hyperplane_count,
+        oracle_calls,
+        items_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrank_datasets::synthetic::generic;
+    use fairrank_fairness::{FnOracle, Proportionality};
+
+    fn small_ds() -> Dataset {
+        generic::anticorrelated(12, 3, 0.8, 21)
+    }
+
+    #[test]
+    fn too_few_attributes_rejected() {
+        let ds = Dataset::from_rows(vec!["a".into()], &[vec![1.0]]).unwrap();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        assert!(matches!(
+            sat_regions(&ds, &o, &SatRegionsOptions::default()),
+            Err(FairRankError::TooFewAttributes)
+        ));
+    }
+
+    #[test]
+    fn always_satisfactory_keeps_all_regions() {
+        let ds = small_ds();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r = sat_regions(&ds, &o, &SatRegionsOptions::default()).unwrap();
+        assert_eq!(r.satisfactory.len(), r.region_count);
+        assert_eq!(r.oracle_calls as usize, r.region_count);
+        assert!(r.region_count > 1, "hyperplanes should split the space");
+    }
+
+    #[test]
+    fn never_satisfactory_keeps_none() {
+        let ds = small_ds();
+        let o = FnOracle::new("never", |_: &[u32]| false);
+        let r = sat_regions(&ds, &o, &SatRegionsOptions::default()).unwrap();
+        assert!(r.satisfactory.is_empty());
+    }
+
+    #[test]
+    fn tree_and_flat_agree_on_region_count() {
+        let ds = small_ds();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let tree = sat_regions(
+            &ds,
+            &o,
+            &SatRegionsOptions {
+                use_tree: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let flat = sat_regions(
+            &ds,
+            &o,
+            &SatRegionsOptions {
+                use_tree: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tree.region_count, flat.region_count);
+        assert_eq!(tree.hyperplane_count, flat.hyperplane_count);
+    }
+
+    #[test]
+    fn witnesses_are_genuinely_satisfactory() {
+        let ds = generic::uniform(30, 3, 0.9, 7);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
+        let r = sat_regions(&ds, &oracle, &SatRegionsOptions::default()).unwrap();
+        use fairrank_fairness::FairnessOracle as _;
+        for region in &r.satisfactory {
+            let w = to_cartesian(1.0, &region.witness);
+            assert!(
+                oracle.is_satisfactory(&ds.rank(&w)),
+                "stored witness is not satisfactory"
+            );
+            for c in &region.constraints {
+                assert!(c.satisfied(&region.witness, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn hyperplane_cap_respected() {
+        let ds = small_ds();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r = sat_regions(
+            &ds,
+            &o,
+            &SatRegionsOptions {
+                max_hyperplanes: Some(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.hyperplane_count, 5);
+    }
+
+    #[test]
+    fn pruning_reduces_items_for_topk_oracle() {
+        let ds = generic::uniform(60, 3, 0.5, 13);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 5).with_max_count(0, 3);
+        let pruned = sat_regions(
+            &ds,
+            &oracle,
+            &SatRegionsOptions {
+                prune_top_k: true,
+                max_hyperplanes: Some(200),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            pruned.items_used < 60,
+            "pruning kept all {} items",
+            pruned.items_used
+        );
+    }
+
+    #[test]
+    fn two_attribute_dataset_works_in_1d_angle_space() {
+        let ds = generic::uniform(15, 2, 0.9, 17);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 4).with_max_count(0, 2);
+        let r = sat_regions(&ds, &oracle, &SatRegionsOptions::default()).unwrap();
+        assert_eq!(r.dim, 1);
+        // Regions partition [0, π/2]: count = hyperplanes (distinct cutting
+        // angles) + 1 at most.
+        assert!(r.region_count <= r.hyperplane_count + 1);
+    }
+}

@@ -1,0 +1,423 @@
+//! Binary persistence for offline index artifacts.
+//!
+//! The paper's system splits work into an offline preprocessing phase and
+//! an interactive online phase; in a deployment those phases run in
+//! different processes (or machines), so the index must survive a
+//! round-trip through storage. This module provides a small, versioned,
+//! checksummed binary codec for the two index artifacts:
+//!
+//! * [`ApproxIndex`] — the §5 grid index (MDONLINE's input). The grid
+//!   itself is *not* serialized: construction is deterministic in
+//!   `(d, scheme, n_cells)`, so the codec stores those parameters and
+//!   rebuilds, then cross-checks `γ` and the cell count against the saved
+//!   values to detect algorithm drift between writer and reader versions.
+//! * [`AngularIntervals`] — the 2-D satisfactory-interval index
+//!   (2DONLINE's input).
+//!
+//! Format: magic `FRIX`, format version, artifact tag, payload,
+//! FNV-1a-64 checksum over everything before it. All integers are
+//! little-endian; floats are IEEE-754 bit patterns.
+
+use bytes::{Buf, BufMut};
+
+use fairrank_geometry::grid::{AngleGrid, PartitionScheme};
+use fairrank_geometry::interval::AngularIntervals;
+
+use crate::approximate::{ApproxIndex, BuildStats};
+use crate::error::FairRankError;
+
+const MAGIC: &[u8; 4] = b"FRIX";
+const VERSION: u16 = 1;
+const TAG_APPROX: u8 = 1;
+const TAG_INTERVALS: u8 = 2;
+
+/// Errors arising while decoding a persisted index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The artifact tag does not match the requested type.
+    WrongArtifact {
+        /// Tag found in the stream.
+        found: u8,
+        /// Tag the caller asked for.
+        expected: u8,
+    },
+    /// The payload ended early or contains an invalid value.
+    Truncated,
+    /// Checksum mismatch: the bytes were corrupted.
+    ChecksumMismatch,
+    /// The deterministic grid rebuild disagrees with the saved parameters
+    /// (the writer used a different partitioning algorithm version).
+    GridDrift,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a fairrank index (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported index format version {v}")
+            }
+            PersistError::WrongArtifact { found, expected } => {
+                write!(f, "artifact tag {found} where {expected} was expected")
+            }
+            PersistError::Truncated => write!(f, "index payload truncated or invalid"),
+            PersistError::ChecksumMismatch => write!(f, "index checksum mismatch"),
+            PersistError::GridDrift => {
+                write!(f, "grid rebuild mismatch: writer used a different partitioning")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<PersistError> for FairRankError {
+    fn from(e: PersistError) -> FairRankError {
+        FairRankError::Persist(e.to_string())
+    }
+}
+
+/// FNV-1a 64-bit — small, dependency-free integrity check (not crypto).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn put_f64_vec(out: &mut Vec<u8>, v: &[f64]) {
+    out.put_u32_le(u32::try_from(v.len()).expect("vector fits u32"));
+    for &x in v {
+        out.put_f64_le(x);
+    }
+}
+
+fn get_f64_vec(buf: &mut &[u8]) -> Result<Vec<f64>, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len * 8 {
+        return Err(PersistError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u8(tag);
+    out
+}
+
+fn check_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), PersistError> {
+    if buf.remaining() < 7 {
+        return Err(PersistError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version > VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let tag = buf.get_u8();
+    if tag != expected_tag {
+        return Err(PersistError::WrongArtifact {
+            found: tag,
+            expected: expected_tag,
+        });
+    }
+    Ok(())
+}
+
+fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&payload);
+    payload.put_u64_le(sum);
+    payload
+}
+
+fn unseal(bytes: &[u8]) -> Result<&[u8], PersistError> {
+    if bytes.len() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Serialize an [`ApproxIndex`] to bytes.
+#[must_use]
+pub fn encode_approx_index(index: &ApproxIndex) -> Vec<u8> {
+    let mut out = header(TAG_APPROX);
+    let grid = &index.grid;
+    out.put_u32_le(u32::try_from(grid.dim() + 1).expect("small d"));
+    out.put_u8(match grid.scheme() {
+        PartitionScheme::EqualArea => 0,
+        PartitionScheme::Uniform => 1,
+    });
+    out.put_u64_le(grid.target_cells() as u64);
+    // Integrity cross-checks for the deterministic rebuild.
+    out.put_f64_le(grid.gamma());
+    out.put_u64_le(grid.cell_count() as u64);
+
+    out.put_u64_le(index.assigned.len() as u64);
+    for a in &index.assigned {
+        out.put_u32_le(a.map_or(u32::MAX, |v| v));
+    }
+    out.put_u64_le(index.functions.len() as u64);
+    for f in &index.functions {
+        put_f64_vec(&mut out, f);
+    }
+    seal(out)
+}
+
+/// Deserialize an [`ApproxIndex`] from bytes produced by
+/// [`encode_approx_index`].
+///
+/// # Errors
+/// Any [`PersistError`] on malformed, corrupted or incompatible input.
+pub fn decode_approx_index(bytes: &[u8]) -> Result<ApproxIndex, PersistError> {
+    let body = unseal(bytes)?;
+    let mut buf = body;
+    check_header(&mut buf, TAG_APPROX)?;
+    if buf.remaining() < 4 + 1 + 8 + 8 + 8 {
+        return Err(PersistError::Truncated);
+    }
+    let d = buf.get_u32_le() as usize;
+    let scheme = match buf.get_u8() {
+        0 => PartitionScheme::EqualArea,
+        1 => PartitionScheme::Uniform,
+        _ => return Err(PersistError::Truncated),
+    };
+    let target = usize::try_from(buf.get_u64_le()).map_err(|_| PersistError::Truncated)?;
+    let saved_gamma = buf.get_f64_le();
+    let saved_cells = buf.get_u64_le() as usize;
+    if d < 2 || target == 0 {
+        return Err(PersistError::Truncated);
+    }
+
+    let grid = match scheme {
+        PartitionScheme::EqualArea => AngleGrid::equal_area(d, target),
+        PartitionScheme::Uniform => AngleGrid::uniform(d, target),
+    };
+    if (grid.gamma() - saved_gamma).abs() > 1e-12 || grid.cell_count() != saved_cells {
+        return Err(PersistError::GridDrift);
+    }
+
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    let n_assigned = buf.get_u64_le() as usize;
+    if n_assigned != grid.cell_count() || buf.remaining() < n_assigned * 4 {
+        return Err(PersistError::Truncated);
+    }
+    let assigned: Vec<Option<u32>> = (0..n_assigned)
+        .map(|_| {
+            let v = buf.get_u32_le();
+            (v != u32::MAX).then_some(v)
+        })
+        .collect();
+
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    let n_functions = buf.get_u64_le() as usize;
+    let mut functions = Vec::with_capacity(n_functions.min(1 << 20));
+    for _ in 0..n_functions {
+        let f = get_f64_vec(&mut buf)?;
+        if f.len() != grid.dim() || f.iter().any(|v| !v.is_finite()) {
+            return Err(PersistError::Truncated);
+        }
+        functions.push(f);
+    }
+    // Every assignment must point at a stored function.
+    if assigned
+        .iter()
+        .flatten()
+        .any(|&v| v as usize >= functions.len())
+    {
+        return Err(PersistError::Truncated);
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Truncated);
+    }
+
+    Ok(ApproxIndex {
+        grid,
+        assigned,
+        functions,
+        stats: BuildStats::default(),
+    })
+}
+
+/// Serialize a 2-D [`AngularIntervals`] index to bytes.
+#[must_use]
+pub fn encode_intervals(intervals: &AngularIntervals) -> Vec<u8> {
+    let mut out = header(TAG_INTERVALS);
+    out.put_u64_le(intervals.len() as u64);
+    for &(lo, hi) in intervals.as_slice() {
+        out.put_f64_le(lo);
+        out.put_f64_le(hi);
+    }
+    seal(out)
+}
+
+/// Deserialize an [`AngularIntervals`] index.
+///
+/// # Errors
+/// Any [`PersistError`] on malformed, corrupted or incompatible input.
+pub fn decode_intervals(bytes: &[u8]) -> Result<AngularIntervals, PersistError> {
+    let body = unseal(bytes)?;
+    let mut buf = body;
+    check_header(&mut buf, TAG_INTERVALS)?;
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() != len * 16 {
+        return Err(PersistError::Truncated);
+    }
+    let mut pairs = Vec::with_capacity(len);
+    for _ in 0..len {
+        let lo = buf.get_f64_le();
+        let hi = buf.get_f64_le();
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(PersistError::Truncated);
+        }
+        pairs.push((lo, hi));
+    }
+    Ok(AngularIntervals::from_pairs(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approximate::BuildOptions;
+    use fairrank_datasets::synthetic::generic;
+    use fairrank_fairness::Proportionality;
+
+    fn sample_index() -> ApproxIndex {
+        let ds = generic::uniform(40, 3, 0.9, 7);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 8).with_max_count(0, 4);
+        ApproxIndex::build(
+            &ds,
+            &oracle,
+            &BuildOptions {
+                n_cells: 120,
+                max_hyperplanes: Some(150),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn approx_round_trip() {
+        let index = sample_index();
+        let bytes = encode_approx_index(&index);
+        let back = decode_approx_index(&bytes).unwrap();
+        assert_eq!(back.functions(), index.functions());
+        assert_eq!(back.grid().cell_count(), index.grid().cell_count());
+        // Lookups agree everywhere.
+        for i in 0..10 {
+            for j in 0..10 {
+                let q = [
+                    (i as f64 + 0.5) / 10.0 * fairrank_geometry::HALF_PI,
+                    (j as f64 + 0.5) / 10.0 * fairrank_geometry::HALF_PI,
+                ];
+                assert_eq!(index.lookup(&q), back.lookup(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_round_trip() {
+        let ivs = AngularIntervals::from_pairs([(0.1, 0.4), (0.9, 1.2)]);
+        let bytes = encode_intervals(&ivs);
+        let back = decode_intervals(&bytes).unwrap();
+        assert_eq!(back.as_slice(), ivs.as_slice());
+    }
+
+    #[test]
+    fn empty_intervals_round_trip() {
+        let ivs = AngularIntervals::new();
+        let back = decode_intervals(&encode_intervals(&ivs)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let index = sample_index();
+        let mut bytes = encode_approx_index(&index);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_approx_index(&bytes),
+            Err(PersistError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let index = sample_index();
+        let bytes = encode_approx_index(&index);
+        for cut in [0usize, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+            let res = decode_approx_index(&bytes[..cut]);
+            assert!(res.is_err(), "accepted a {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn wrong_artifact_rejected() {
+        let ivs = AngularIntervals::from_pairs([(0.1, 0.4)]);
+        let bytes = encode_intervals(&ivs);
+        assert!(matches!(
+            decode_approx_index(&bytes),
+            Err(PersistError::WrongArtifact { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            decode_intervals(b"nonsense-bytes-here"),
+            Err(PersistError::ChecksumMismatch) // checksum fails before magic
+        );
+        // With a valid checksum but wrong magic:
+        let mut fake = b"XXXX".to_vec();
+        let sum = super::fnv1a(&fake);
+        fake.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_intervals(&fake), Err(PersistError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let ivs = AngularIntervals::new();
+        let mut bytes = encode_intervals(&ivs);
+        // Bump the version field (offset 4..6), re-seal.
+        let body_len = bytes.len() - 8;
+        bytes.truncate(body_len);
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        let sum = super::fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_intervals(&bytes),
+            Err(PersistError::UnsupportedVersion(0xFFFF))
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! The top-level query-answering system: build an index offline, answer
+//! CLOSEST SATISFACTORY FUNCTION queries online.
+
+use fairrank_datasets::Dataset;
+use fairrank_fairness::FairnessOracle;
+use fairrank_geometry::interval::AngularIntervals;
+use fairrank_geometry::polar::{to_cartesian, to_polar};
+use fairrank_geometry::vector::norm;
+
+use crate::approximate::{ApproxIndex, BuildOptions};
+use crate::error::{validate_weights, FairRankError};
+use crate::md::{closest_satisfactory_validated, sat_regions, SatRegion, SatRegionsOptions};
+use crate::twod::{online_2d, ray_sweep, TwoDAnswer};
+
+/// Answer to a closest-satisfactory-function query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Suggestion {
+    /// The queried weights already produce a fair ranking.
+    AlreadyFair,
+    /// The closest satisfactory function found by the index.
+    Suggested {
+        /// Suggested weight vector (same Euclidean norm as the query, so
+        /// only the *direction* — the ranking — changes).
+        weights: Vec<f64>,
+        /// Angular distance from the query, in radians (`[0, π/2]`).
+        distance: f64,
+    },
+    /// No linear scoring function satisfies the oracle on this dataset.
+    Infeasible,
+}
+
+enum Index {
+    TwoD(AngularIntervals),
+    MdExact(Vec<SatRegion>),
+    MdApprox(ApproxIndex),
+}
+
+/// The query-answering system of the paper: offline preprocessing behind
+/// an interactive suggestion API.
+pub struct FairRanker {
+    ds: Dataset,
+    oracle: Box<dyn FairnessOracle>,
+    index: Index,
+}
+
+impl FairRanker {
+    /// Offline phase for two scoring attributes: 2DRAYSWEEP (paper §3).
+    ///
+    /// # Errors
+    /// [`FairRankError::DimensionMismatch`] unless `ds.dim() == 2`.
+    pub fn build_2d(ds: &Dataset, oracle: Box<dyn FairnessOracle>) -> Result<Self, FairRankError> {
+        let sweep = ray_sweep(ds, oracle.as_ref())?;
+        Ok(FairRanker {
+            ds: ds.clone(),
+            oracle,
+            index: Index::TwoD(sweep.intervals),
+        })
+    }
+
+    /// Offline phase, exact multi-dimensional: SATREGIONS (paper §4).
+    /// Queries run MDBASELINE per satisfactory region — accurate but not
+    /// interactive for large inputs; prefer [`FairRanker::build_md_approx`].
+    ///
+    /// # Errors
+    /// [`FairRankError::TooFewAttributes`] for `ds.dim() < 2`.
+    pub fn build_md_exact(
+        ds: &Dataset,
+        oracle: Box<dyn FairnessOracle>,
+        opts: &SatRegionsOptions,
+    ) -> Result<Self, FairRankError> {
+        let regions = sat_regions(ds, oracle.as_ref(), opts)?;
+        Ok(FairRanker {
+            ds: ds.clone(),
+            oracle,
+            index: Index::MdExact(regions.satisfactory),
+        })
+    }
+
+    /// Offline phase, approximate multi-dimensional: the §5 grid pipeline
+    /// with the Theorem 6 distance guarantee and `O(log N)` queries.
+    ///
+    /// # Errors
+    /// [`FairRankError::TooFewAttributes`] for `ds.dim() < 2`.
+    pub fn build_md_approx(
+        ds: &Dataset,
+        oracle: Box<dyn FairnessOracle>,
+        opts: &BuildOptions,
+    ) -> Result<Self, FairRankError> {
+        let index = ApproxIndex::build(ds, oracle.as_ref(), opts)?;
+        Ok(FairRanker {
+            ds: ds.clone(),
+            oracle,
+            index: Index::MdApprox(index),
+        })
+    }
+
+    /// The dataset the index was built over.
+    #[must_use]
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// Answer a query: is `weights` fair, and if not, what is the closest
+    /// satisfactory function?
+    ///
+    /// Matching the paper's algorithms (2DONLINE line 8, MDBASELINE
+    /// line 1, MDONLINE line 1), the oracle is first consulted on the
+    /// query itself; only unfair queries hit the index.
+    ///
+    /// # Errors
+    /// [`FairRankError::InvalidWeights`] / `DimensionMismatch` on
+    /// malformed input.
+    pub fn suggest(&self, weights: &[f64]) -> Result<Suggestion, FairRankError> {
+        validate_weights(weights, self.ds.dim())?;
+        if self.oracle.is_satisfactory(&self.ds.rank(weights)) {
+            return Ok(Suggestion::AlreadyFair);
+        }
+        let r = norm(weights);
+        match &self.index {
+            Index::TwoD(intervals) => Ok(match online_2d(intervals, weights)? {
+                TwoDAnswer::AlreadyFair => Suggestion::AlreadyFair,
+                TwoDAnswer::Infeasible => Suggestion::Infeasible,
+                TwoDAnswer::Suggestion { weights, distance } => Suggestion::Suggested {
+                    weights: weights.to_vec(),
+                    distance,
+                },
+            }),
+            Index::MdExact(regions) => {
+                let (_, query_angles) = to_polar(weights);
+                match closest_satisfactory_validated(
+                    regions,
+                    &query_angles,
+                    &self.ds,
+                    self.oracle.as_ref(),
+                ) {
+                    None => Ok(Suggestion::Infeasible),
+                    Some(res) => Ok(Suggestion::Suggested {
+                        weights: scale_to(&to_cartesian(1.0, &res.angles), r),
+                        distance: res.distance,
+                    }),
+                }
+            }
+            Index::MdApprox(index) => {
+                let (_, query_angles) = to_polar(weights);
+                match index.lookup(&query_angles) {
+                    None => Ok(Suggestion::Infeasible),
+                    Some(angles) => {
+                        let distance =
+                            fairrank_geometry::polar::angular_distance(angles, &query_angles);
+                        Ok(Suggestion::Suggested {
+                            weights: scale_to(&to_cartesian(1.0, angles), r),
+                            distance,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Direct access to the 2-D satisfactory intervals (when built with
+    /// [`FairRanker::build_2d`]).
+    #[must_use]
+    pub fn intervals(&self) -> Option<&AngularIntervals> {
+        match &self.index {
+            Index::TwoD(ivs) => Some(ivs),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the approximate index (when built with
+    /// [`FairRanker::build_md_approx`]).
+    #[must_use]
+    pub fn approx_index(&self) -> Option<&ApproxIndex> {
+        match &self.index {
+            Index::MdApprox(idx) => Some(idx),
+            _ => None,
+        }
+    }
+}
+
+fn scale_to(unit: &[f64], r: f64) -> Vec<f64> {
+    unit.iter().map(|v| v * r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrank_datasets::synthetic::generic;
+    use fairrank_fairness::{FnOracle, Proportionality};
+
+    fn biased_2d() -> (Dataset, Proportionality) {
+        let ds = generic::uniform(50, 2, 0.95, 404);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 10).with_max_count(0, 5);
+        (ds, oracle)
+    }
+
+    #[test]
+    fn two_d_end_to_end() {
+        let (ds, oracle) = biased_2d();
+        let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
+        // A strongly attribute-0-weighted query should be unfair (group 0
+        // is concentrated at the top of that ranking)…
+        let sug = ranker.suggest(&[1.0, 0.02]).unwrap();
+        match sug {
+            Suggestion::Suggested { weights, distance } => {
+                use fairrank_fairness::FairnessOracle as _;
+                assert!(distance > 0.0);
+                assert!(
+                    oracle.is_satisfactory(&ds.rank(&weights)),
+                    "suggested weights must be fair"
+                );
+                // Norm preserved.
+                let r: f64 = weights.iter().map(|w| w * w).sum::<f64>().sqrt();
+                assert!((r - (1.0f64 + 0.02 * 0.02).sqrt()).abs() < 1e-9);
+            }
+            other => panic!("expected a suggestion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn already_fair_short_circuits() {
+        let ds = generic::uniform(30, 2, 0.0, 5);
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let ranker = FairRanker::build_2d(&ds, Box::new(o)).unwrap();
+        assert_eq!(ranker.suggest(&[1.0, 1.0]).unwrap(), Suggestion::AlreadyFair);
+    }
+
+    #[test]
+    fn infeasible_propagates() {
+        let ds = generic::uniform(30, 2, 0.0, 6);
+        let o = FnOracle::new("never", |_: &[u32]| false);
+        let ranker = FairRanker::build_2d(&ds, Box::new(o)).unwrap();
+        assert_eq!(ranker.suggest(&[1.0, 1.0]).unwrap(), Suggestion::Infeasible);
+    }
+
+    #[test]
+    fn md_exact_end_to_end() {
+        let ds = generic::uniform(25, 3, 0.9, 41);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
+        let ranker = FairRanker::build_md_exact(
+            &ds,
+            Box::new(oracle.clone()),
+            &SatRegionsOptions {
+                max_hyperplanes: Some(60),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sug = ranker.suggest(&[1.0, 0.05, 0.05]).unwrap();
+        if let Suggestion::Suggested { weights, .. } = &sug {
+            use fairrank_fairness::FairnessOracle as _;
+            assert!(
+                oracle.is_satisfactory(&ds.rank(weights)),
+                "exact suggestion must be fair"
+            );
+        }
+    }
+
+    #[test]
+    fn md_approx_end_to_end() {
+        let ds = generic::uniform(30, 3, 0.9, 43);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
+        let ranker = FairRanker::build_md_approx(
+            &ds,
+            Box::new(oracle.clone()),
+            &BuildOptions {
+                n_cells: 200,
+                max_hyperplanes: Some(100),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sug = ranker.suggest(&[1.0, 0.02, 0.02]).unwrap();
+        match sug {
+            Suggestion::Suggested { weights, .. } => {
+                use fairrank_fairness::FairnessOracle as _;
+                assert!(
+                    oracle.is_satisfactory(&ds.rank(&weights)),
+                    "approx suggestion must be fair (functions are validated)"
+                );
+            }
+            Suggestion::AlreadyFair => {} // possible if the query is fair
+            Suggestion::Infeasible => panic!("satisfiable setup reported infeasible"),
+        }
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let (ds, oracle) = biased_2d();
+        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        assert!(ranker.suggest(&[1.0]).is_err());
+        assert!(ranker.suggest(&[-1.0, 1.0]).is_err());
+        assert!(ranker.suggest(&[0.0, 0.0]).is_err());
+        assert!(ranker.suggest(&[f64::INFINITY, 1.0]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let (ds, oracle) = biased_2d();
+        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        assert!(ranker.intervals().is_some());
+        assert!(ranker.approx_index().is_none());
+        assert_eq!(ranker.dataset().len(), 50);
+    }
+}

@@ -1,0 +1,8 @@
+//! The two-dimensional case (paper §3): ray sweeping offline, binary
+//! search online.
+
+pub mod online;
+pub mod raysweep;
+
+pub use online::{online_2d, TwoDAnswer};
+pub use raysweep::{ray_sweep, ray_sweep_incremental, RaySweepResult};

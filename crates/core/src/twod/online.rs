@@ -1,0 +1,148 @@
+//! 2DONLINE (paper Algorithm 2): answer a 2-D query in `O(log n)` by
+//! binary search over the sorted satisfactory intervals.
+//!
+//! The input function is converted to polar form `(r, θ)`; if `θ` falls in
+//! a satisfactory interval the input is returned unchanged, otherwise the
+//! closest interval border is converted back to a weight vector *of the
+//! same norm `r`* — the suggestion differs from the query only in
+//! direction, which is the paper's measure of similarity.
+
+use fairrank_geometry::interval::AngularIntervals;
+
+use crate::error::{validate_weights, FairRankError};
+
+/// Answer to a 2-D closest-satisfactory-function query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TwoDAnswer {
+    /// The queried function already satisfies the constraints.
+    AlreadyFair,
+    /// The nearest satisfactory function.
+    Suggestion {
+        /// Suggested weight vector, same norm as the query.
+        weights: [f64; 2],
+        /// Angular distance from the query, radians.
+        distance: f64,
+    },
+    /// No satisfactory function exists anywhere in `[0, π/2]`.
+    Infeasible,
+}
+
+/// Answer a query against a 2-D satisfactory-interval index.
+///
+/// # Errors
+/// [`FairRankError::InvalidWeights`] for malformed weight vectors.
+pub fn online_2d(
+    intervals: &AngularIntervals,
+    weights: &[f64],
+) -> Result<TwoDAnswer, FairRankError> {
+    validate_weights(weights, 2)?;
+    let (w1, w2) = (weights[0], weights[1]);
+    let r = (w1 * w1 + w2 * w2).sqrt();
+    let theta = w2.atan2(w1);
+
+    if intervals.contains(theta) {
+        return Ok(TwoDAnswer::AlreadyFair);
+    }
+    // An interval border is an ordering-exchange angle where two items tie
+    // and the induced ranking is ambiguous; nudge the answer strictly into
+    // the satisfactory interval so the suggestion's ordering is the one the
+    // sweep validated. The nudge adds at most `BORDER_NUDGE` radians.
+    match intervals.nearest_interior(theta, BORDER_NUDGE) {
+        None => Ok(TwoDAnswer::Infeasible),
+        Some(t) => Ok(TwoDAnswer::Suggestion {
+            weights: [r * t.cos(), r * t.sin()],
+            distance: (t - theta).abs(),
+        }),
+    }
+}
+
+/// How far inside a satisfactory interval a border suggestion is placed.
+/// Large enough to break score ties robustly in `f64`, small enough to be
+/// invisible next to any meaningful angular distance.
+const BORDER_NUDGE: f64 = 1e-7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrank_geometry::HALF_PI;
+    use std::f64::consts::FRAC_PI_4;
+
+    fn idx(pairs: &[(f64, f64)]) -> AngularIntervals {
+        AngularIntervals::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn inside_returns_already_fair() {
+        let ivs = idx(&[(0.3, 0.9)]);
+        assert_eq!(
+            online_2d(&ivs, &[FRAC_PI_4.cos(), FRAC_PI_4.sin()]).unwrap(),
+            TwoDAnswer::AlreadyFair
+        );
+    }
+
+    #[test]
+    fn outside_snaps_to_nearest_border() {
+        let ivs = idx(&[(0.5, 0.9)]);
+        // Query at θ = 0.2 → nearest border 0.5.
+        let w = [0.2f64.cos() * 3.0, 0.2f64.sin() * 3.0];
+        match online_2d(&ivs, &w).unwrap() {
+            TwoDAnswer::Suggestion { weights, distance } => {
+                let theta = weights[1].atan2(weights[0]);
+                // Within the border nudge of 0.5, strictly inside [0.5, 0.9].
+                assert!((theta - 0.5).abs() < 1e-6);
+                assert!(theta >= 0.5);
+                assert!((distance - 0.3).abs() < 1e-6);
+                // Norm preserved.
+                let r = (weights[0].powi(2) + weights[1].powi(2)).sqrt();
+                assert!((r - 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected suggestion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn picks_closer_of_two_intervals() {
+        let ivs = idx(&[(0.1, 0.2), (1.0, 1.2)]);
+        // θ = 0.9 is 0.1 away from 1.0 and 0.7 away from 0.2.
+        let w = [0.9f64.cos(), 0.9f64.sin()];
+        match online_2d(&ivs, &w).unwrap() {
+            TwoDAnswer::Suggestion { weights, .. } => {
+                let theta = weights[1].atan2(weights[0]);
+                assert!((theta - 1.0).abs() < 1e-6);
+                assert!(theta >= 1.0, "suggestion must be inside the interval");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_index_infeasible() {
+        let ivs = AngularIntervals::new();
+        assert_eq!(
+            online_2d(&ivs, &[1.0, 1.0]).unwrap(),
+            TwoDAnswer::Infeasible
+        );
+    }
+
+    #[test]
+    fn axis_queries() {
+        let ivs = idx(&[(0.0, 0.1)]);
+        // Pure-x query (θ = 0) is inside.
+        assert_eq!(online_2d(&ivs, &[2.0, 0.0]).unwrap(), TwoDAnswer::AlreadyFair);
+        // Pure-y query (θ = π/2) snaps to 0.1.
+        match online_2d(&ivs, &[0.0, 2.0]).unwrap() {
+            TwoDAnswer::Suggestion { distance, .. } => {
+                assert!((distance - (HALF_PI - 0.1)).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let ivs = idx(&[(0.0, 1.0)]);
+        assert!(online_2d(&ivs, &[1.0]).is_err());
+        assert!(online_2d(&ivs, &[-1.0, 1.0]).is_err());
+        assert!(online_2d(&ivs, &[0.0, 0.0]).is_err());
+    }
+}

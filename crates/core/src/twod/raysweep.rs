@@ -1,0 +1,405 @@
+//! 2DRAYSWEEP (paper Algorithm 1): offline identification of the
+//! satisfactory angular regions in two dimensions.
+//!
+//! The ray of every scoring function `f = w₁x + w₂y` sweeps from the
+//! x-axis (`θ = 0`) to the y-axis (`θ = π/2`). The induced ranking changes
+//! only at the *ordering exchanges* of non-dominating item pairs; between
+//! consecutive exchanges the ranking — and the oracle verdict — is
+//! constant. The sweep therefore:
+//!
+//! 1. computes the `O(n²)` exchange angles (Eq. 2),
+//! 2. sorts them,
+//! 3. walks sector by sector, swapping the two exchanged items (adjacent
+//!    in the current ranking except at degenerate ties, where we re-rank —
+//!    DESIGN.md F5), and
+//! 4. asks the oracle once per sector, merging satisfactory sectors into
+//!    maximal intervals.
+//!
+//! Two oracle paths are provided: the faithful black-box path (one oracle
+//! call per sector — the paper's `O(n²(log n + O_n))` of Theorem 1) and an
+//! incremental path for proportionality constraints where each swap
+//! updates the verdict in `O(1)`.
+
+use fairrank_datasets::Dataset;
+use fairrank_fairness::incremental::SweepState;
+use fairrank_fairness::{FairnessOracle, Proportionality};
+use fairrank_geometry::dual::exchange_angle_2d;
+use fairrank_geometry::interval::AngularIntervals;
+use fairrank_geometry::HALF_PI;
+
+use crate::error::FairRankError;
+
+/// Result of a 2-D ray sweep.
+#[derive(Debug, Clone)]
+pub struct RaySweepResult {
+    /// Maximal satisfactory angular intervals, sorted — the index consumed
+    /// by 2DONLINE.
+    pub intervals: AngularIntervals,
+    /// Number of ordering exchanges found (non-dominating pairs with an
+    /// interior exchange). The Figure 17 series.
+    pub exchange_count: usize,
+    /// Number of swept sectors (distinct exchange angles + 1).
+    pub sector_count: usize,
+    /// Number of full black-box oracle invocations (0 on the incremental
+    /// path after the initial seeding).
+    pub oracle_calls: u64,
+    /// Number of degenerate re-rank events (non-adjacent swaps).
+    pub rerank_events: u64,
+}
+
+/// Exchange events sorted by angle, each carrying the swapping pair.
+fn exchange_events(ds: &Dataset) -> Vec<(f64, u32, u32)> {
+    let mut events = Vec::new();
+    for i in 0..ds.len() {
+        for j in i + 1..ds.len() {
+            if let Some(theta) = exchange_angle_2d(ds.item(i), ds.item(j)) {
+                // Exchanges at exactly 0 or π/2 are ties on an axis
+                // function; they do not flip the interior ordering.
+                if theta > 1e-12 && theta < HALF_PI - 1e-12 {
+                    events.push((theta, i as u32, j as u32));
+                }
+            }
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    events
+}
+
+/// Group consecutive events with (numerically) equal angles; returns the
+/// half-open index ranges of each batch.
+fn batches(events: &[(f64, u32, u32)]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=events.len() {
+        if i == events.len() || events[i].0 - events[start].0 > 1e-12 {
+            out.push(start..i);
+            start = i;
+        }
+    }
+    out
+}
+
+fn weights_at(theta: f64) -> [f64; 2] {
+    [theta.cos(), theta.sin()]
+}
+
+/// The black-box sweep: one oracle call per sector (paper Theorem 1).
+///
+/// # Errors
+/// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
+/// scoring attributes.
+pub fn ray_sweep(ds: &Dataset, oracle: &dyn FairnessOracle) -> Result<RaySweepResult, FairRankError> {
+    if ds.dim() != 2 {
+        return Err(FairRankError::DimensionMismatch {
+            expected: 2,
+            found: ds.dim(),
+        });
+    }
+    let events = exchange_events(ds);
+    let batches = batches(&events);
+    let sector_count = batches.len() + 1;
+
+    // Current ranking, seeded strictly inside the first sector.
+    let first_angle = batches.first().map_or(HALF_PI, |b| events[b.start].0);
+    let mut ranking = ds.rank(&weights_at(first_angle / 2.0));
+    let mut position = vec![0u32; ds.len()];
+    for (pos, &item) in ranking.iter().enumerate() {
+        position[item as usize] = pos as u32;
+    }
+
+    let mut oracle_calls = 0u64;
+    let mut rerank_events = 0u64;
+    let mut satisfactory_sectors: Vec<(f64, f64)> = Vec::new();
+    let mut sector_lo = 0.0f64;
+
+    let record = |sat: bool, lo: f64, hi: f64, acc: &mut Vec<(f64, f64)>| {
+        if sat {
+            acc.push((lo, hi));
+        }
+    };
+
+    for (bi, batch) in batches.iter().enumerate() {
+        let theta = events[batch.start].0;
+        // Verdict for the sector ending at this batch.
+        oracle_calls += 1;
+        let sat = oracle.is_satisfactory(&ranking);
+        record(sat, sector_lo, theta, &mut satisfactory_sectors);
+        sector_lo = theta;
+
+        // Apply the batch of swaps.
+        let mut degenerate = false;
+        for &(_, a, b) in &events[batch.clone()] {
+            let pa = position[a as usize] as usize;
+            let pb = position[b as usize] as usize;
+            if pa.abs_diff(pb) == 1 {
+                ranking.swap(pa, pb);
+                position.swap(a as usize, b as usize);
+            } else {
+                degenerate = true;
+            }
+        }
+        if degenerate {
+            // Ties made swap order ambiguous — re-rank strictly inside the
+            // next sector (DESIGN.md F5).
+            rerank_events += 1;
+            let next_theta = batches
+                .get(bi + 1)
+                .map_or(HALF_PI, |nb| events[nb.start].0);
+            ranking = ds.rank(&weights_at(0.5 * (theta + next_theta)));
+            for (pos, &item) in ranking.iter().enumerate() {
+                position[item as usize] = pos as u32;
+            }
+        }
+    }
+    // Final sector up to π/2.
+    oracle_calls += 1;
+    let sat = oracle.is_satisfactory(&ranking);
+    record(sat, sector_lo, HALF_PI, &mut satisfactory_sectors);
+
+    Ok(RaySweepResult {
+        intervals: AngularIntervals::from_pairs(satisfactory_sectors),
+        exchange_count: events.len(),
+        sector_count,
+        oracle_calls,
+        rerank_events,
+    })
+}
+
+/// The incremental sweep for proportionality constraints: `O(1)` per swap,
+/// no black-box oracle calls after seeding.
+///
+/// Produces identical intervals to [`ray_sweep`] with the equivalent
+/// oracle (verified by tests and the property suite).
+///
+/// # Errors
+/// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
+/// scoring attributes.
+pub fn ray_sweep_incremental(
+    ds: &Dataset,
+    constraints: &[&Proportionality],
+) -> Result<RaySweepResult, FairRankError> {
+    if ds.dim() != 2 {
+        return Err(FairRankError::DimensionMismatch {
+            expected: 2,
+            found: ds.dim(),
+        });
+    }
+    let events = exchange_events(ds);
+    let batches = batches(&events);
+    let sector_count = batches.len() + 1;
+
+    let first_angle = batches.first().map_or(HALF_PI, |b| events[b.start].0);
+    let mut sweep = SweepState::new(ds.rank(&weights_at(first_angle / 2.0)), constraints);
+
+    let mut rerank_events = 0u64;
+    let mut satisfactory_sectors: Vec<(f64, f64)> = Vec::new();
+    let mut sector_lo = 0.0f64;
+
+    for (bi, batch) in batches.iter().enumerate() {
+        let theta = events[batch.start].0;
+        if sweep.is_satisfactory() {
+            satisfactory_sectors.push((sector_lo, theta));
+        }
+        sector_lo = theta;
+
+        let mut degenerate = false;
+        for &(_, a, b) in &events[batch.clone()] {
+            if sweep.adjacent(a, b) {
+                sweep.swap_items(a, b);
+            } else {
+                degenerate = true;
+            }
+        }
+        if degenerate {
+            rerank_events += 1;
+            let next_theta = batches
+                .get(bi + 1)
+                .map_or(HALF_PI, |nb| events[nb.start].0);
+            sweep = SweepState::new(
+                ds.rank(&weights_at(0.5 * (theta + next_theta))),
+                constraints,
+            );
+        }
+    }
+    if sweep.is_satisfactory() {
+        satisfactory_sectors.push((sector_lo, HALF_PI));
+    }
+
+    Ok(RaySweepResult {
+        intervals: AngularIntervals::from_pairs(satisfactory_sectors),
+        exchange_count: events.len(),
+        sector_count,
+        oracle_calls: 0,
+        rerank_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrank_fairness::FnOracle;
+
+    /// The paper's Figure 3 dataset.
+    fn figure3() -> Dataset {
+        Dataset::from_rows(
+            vec!["x".into(), "y".into()],
+            &[
+                vec![1.0, 3.5],
+                vec![1.5, 3.1],
+                vec![1.91, 2.3],
+                vec![2.3, 1.8],
+                vec![3.2, 0.9],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimension_guard() {
+        let ds = Dataset::from_rows(vec!["a".into()], &[vec![1.0]]).unwrap();
+        let o = FnOracle::new("any", |_: &[u32]| true);
+        assert!(ray_sweep(&ds, &o).is_err());
+    }
+
+    #[test]
+    fn all_satisfactory_covers_quadrant() {
+        let ds = figure3();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r = ray_sweep(&ds, &o).unwrap();
+        assert_eq!(r.intervals.len(), 1);
+        assert!((r.intervals.measure() - HALF_PI).abs() < 1e-9);
+        assert_eq!(r.oracle_calls as usize, r.sector_count);
+    }
+
+    #[test]
+    fn never_satisfactory_empty() {
+        let ds = figure3();
+        let o = FnOracle::new("never", |_: &[u32]| false);
+        let r = ray_sweep(&ds, &o).unwrap();
+        assert!(r.intervals.is_empty());
+    }
+
+    #[test]
+    fn figure3_exchange_count() {
+        // No dominance in Figure 3 → all 10 pairs exchange somewhere in the
+        // open quadrant.
+        let ds = figure3();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r = ray_sweep(&ds, &o).unwrap();
+        assert_eq!(r.exchange_count, 10);
+        assert_eq!(r.sector_count, 11);
+    }
+
+    #[test]
+    fn sweep_matches_dense_sampling() {
+        // Ground truth: evaluate the oracle on a dense sweep of angles and
+        // compare membership with the computed intervals.
+        let ds = figure3();
+        // Satisfactory iff item 0 is ranked first (true near the y-axis).
+        let o = FnOracle::new("item 0 first", |r: &[u32]| r[0] == 0);
+        let result = ray_sweep(&ds, &o).unwrap();
+        for step in 0..2000 {
+            let theta = (step as f64 + 0.5) / 2000.0 * HALF_PI;
+            let truth = o.is_satisfactory(&ds.rank(&weights_at(theta)));
+            // Skip points within numeric distance of a boundary.
+            let near_boundary = result
+                .intervals
+                .as_slice()
+                .iter()
+                .any(|&(s, e)| (theta - s).abs() < 1e-6 || (theta - e).abs() < 1e-6);
+            if !near_boundary {
+                assert_eq!(
+                    result.intervals.contains(theta),
+                    truth,
+                    "mismatch at θ = {theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_blackbox() {
+        use fairrank_datasets::synthetic::generic;
+        let ds = generic::uniform(60, 2, 0.8, 11);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 12).with_max_count(0, 7);
+        let black = ray_sweep(&ds, &oracle).unwrap();
+        let inc = ray_sweep_incremental(&ds, &[&oracle]).unwrap();
+        assert_eq!(black.exchange_count, inc.exchange_count);
+        assert_eq!(
+            black.intervals.as_slice().len(),
+            inc.intervals.as_slice().len(),
+            "interval structure differs: {:?} vs {:?}",
+            black.intervals.as_slice(),
+            inc.intervals.as_slice()
+        );
+        for (a, b) in black
+            .intervals
+            .as_slice()
+            .iter()
+            .zip(inc.intervals.as_slice())
+        {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+        assert_eq!(inc.oracle_calls, 0);
+    }
+
+    #[test]
+    fn duplicate_items_handled() {
+        // Duplicates create ties everywhere; sweep must not panic and the
+        // all-satisfactory oracle must still cover the quadrant.
+        let ds = Dataset::from_rows(
+            vec!["x".into(), "y".into()],
+            &[
+                vec![1.0, 2.0],
+                vec![1.0, 2.0],
+                vec![2.0, 1.0],
+                vec![2.0, 1.0],
+            ],
+        )
+        .unwrap();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r = ray_sweep(&ds, &o).unwrap();
+        assert!((r.intervals.measure() - HALF_PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_ties_rerank() {
+        // Three collinear points exchange at the same angle — a degenerate
+        // batch that forces a re-rank, which must keep results correct.
+        let ds = Dataset::from_rows(
+            vec!["x".into(), "y".into()],
+            &[
+                vec![1.0, 3.0],
+                vec![2.0, 2.0],
+                vec![3.0, 1.0],
+                vec![0.5, 1.2],
+            ],
+        )
+        .unwrap();
+        let o = FnOracle::new("item 2 first", |r: &[u32]| r[0] == 2);
+        let result = ray_sweep(&ds, &o).unwrap();
+        for step in 0..500 {
+            let theta = (step as f64 + 0.5) / 500.0 * HALF_PI;
+            let truth = o.is_satisfactory(&ds.rank(&weights_at(theta)));
+            let near_boundary = result
+                .intervals
+                .as_slice()
+                .iter()
+                .any(|&(s, e)| (theta - s).abs() < 1e-5 || (theta - e).abs() < 1e-5);
+            if !near_boundary {
+                assert_eq!(result.intervals.contains(theta), truth, "θ = {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_dataset() {
+        let ds = Dataset::from_rows(vec!["x".into(), "y".into()], &[vec![1.0, 1.0]]).unwrap();
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r = ray_sweep(&ds, &o).unwrap();
+        assert_eq!(r.exchange_count, 0);
+        assert_eq!(r.sector_count, 1);
+        assert_eq!(r.intervals.len(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Minimal self-contained CSV codec for [`Dataset`] round-trips.
+//!
+//! Supports the subset of RFC 4180 the fairrank tooling needs: a header
+//! row, comma separation, double-quote escaping with `""` doubling, and
+//! both `\n` and `\r\n` line endings. Scoring columns parse as `f64`;
+//! designated type columns are interned into categorical group ids in
+//! order of first appearance.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetError};
+
+/// Errors reading a CSV into a [`Dataset`].
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the CSV text.
+    Parse(String),
+    /// The parsed data failed dataset validation.
+    Dataset(DatasetError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse(m) => write!(f, "csv parse error: {m}"),
+            CsvError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<DatasetError> for CsvError {
+    fn from(e: DatasetError) -> Self {
+        CsvError::Dataset(e)
+    }
+}
+
+/// Split one CSV record respecting quotes. Returns the fields.
+fn split_record(line: &str) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match (c, in_quotes) {
+            ('"', false) => {
+                if cur.is_empty() {
+                    in_quotes = true;
+                } else {
+                    return Err(CsvError::Parse(format!("stray quote in {line:?}")));
+                }
+            }
+            ('"', true) => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (',', false) => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            (c, _) => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Parse(format!("unterminated quote in {line:?}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parse CSV text into a [`Dataset`].
+///
+/// `scoring_cols` name the numeric columns (in the order they become
+/// scoring attributes); `type_cols` name the categorical columns.
+///
+/// # Errors
+/// On malformed CSV, missing columns, non-numeric scoring values or
+/// dataset validation failure.
+pub fn parse_csv(
+    text: &str,
+    scoring_cols: &[&str],
+    type_cols: &[&str],
+) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse("empty file".into()))?;
+    let header = split_record(header)?;
+    let find = |name: &str| -> Result<usize, CsvError> {
+        header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| CsvError::Parse(format!("missing column {name:?}")))
+    };
+    let score_idx: Vec<usize> = scoring_cols
+        .iter()
+        .map(|c| find(c))
+        .collect::<Result<_, _>>()?;
+    let type_idx: Vec<usize> = type_cols
+        .iter()
+        .map(|c| find(c))
+        .collect::<Result<_, _>>()?;
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut type_raw: Vec<Vec<String>> = vec![Vec::new(); type_idx.len()];
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_record(line)?;
+        if fields.len() != header.len() {
+            return Err(CsvError::Parse(format!(
+                "row {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                header.len()
+            )));
+        }
+        let row: Vec<f64> = score_idx
+            .iter()
+            .map(|&i| {
+                fields[i].trim().parse::<f64>().map_err(|_| {
+                    CsvError::Parse(format!(
+                        "row {}: non-numeric value {:?} in scoring column",
+                        lineno + 2,
+                        fields[i]
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        rows.push(row);
+        for (t, &i) in type_raw.iter_mut().zip(&type_idx) {
+            t.push(fields[i].clone());
+        }
+    }
+
+    let mut ds = Dataset::from_rows(
+        scoring_cols.iter().map(|s| (*s).to_string()).collect(),
+        &rows,
+    )?;
+    for (name, raw) in type_cols.iter().zip(type_raw) {
+        // Intern labels in order of first appearance.
+        let mut labels: Vec<String> = Vec::new();
+        let values: Vec<u32> = raw
+            .iter()
+            .map(|v| {
+                if let Some(pos) = labels.iter().position(|l| l == v) {
+                    pos as u32
+                } else {
+                    labels.push(v.clone());
+                    (labels.len() - 1) as u32
+                }
+            })
+            .collect();
+        ds.add_type_attribute(*name, labels, values)?;
+    }
+    Ok(ds)
+}
+
+/// Read a CSV file into a [`Dataset`]; see [`parse_csv`].
+///
+/// # Errors
+/// Propagates I/O and parse failures.
+pub fn read_csv(
+    path: &Path,
+    scoring_cols: &[&str],
+    type_cols: &[&str],
+) -> Result<Dataset, CsvError> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text, scoring_cols, type_cols)
+}
+
+/// Serialize a [`Dataset`] (scoring + type attributes) to CSV text.
+#[must_use]
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = ds.attr_names().to_vec();
+    for t in ds.type_attributes() {
+        header.push(t.name.clone());
+    }
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| quote_field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for i in 0..ds.len() {
+        let mut fields: Vec<String> = ds.item(i).iter().map(|v| format!("{v}")).collect();
+        for t in ds.type_attributes() {
+            fields.push(quote_field(&t.labels[t.values[i] as usize]));
+        }
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+/// Write a [`Dataset`] to a CSV file; see [`to_csv`].
+///
+/// # Errors
+/// On I/O failure.
+pub fn write_csv(ds: &Dataset, path: &Path) -> Result<(), CsvError> {
+    fs::write(path, to_csv(ds))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::from_rows(
+            vec!["gpa".into(), "sat".into()],
+            &[vec![3.5, 1200.0], vec![3.9, 1400.0], vec![2.8, 1000.0]],
+        )
+        .unwrap();
+        ds.add_type_attribute(
+            "gender",
+            vec!["f".into(), "m".into()],
+            vec![0, 1, 0],
+        )
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = sample();
+        let text = to_csv(&ds);
+        let back = parse_csv(&text, &["gpa", "sat"], &["gender"]).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.item(1), &[3.9, 1400.0]);
+        let g = back.type_attribute("gender").unwrap();
+        assert_eq!(g.labels, vec!["f".to_string(), "m".to_string()]);
+        assert_eq!(g.values, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = sample();
+        let path = std::env::temp_dir().join("fairrank_csv_test.csv");
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv(&path, &["gpa", "sat"], &["gender"]).unwrap();
+        assert_eq!(back.len(), ds.len());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let text = "name,score\n\"Smith, Jane\",1.5\n\"He said \"\"hi\"\"\",2.0\n";
+        let ds = parse_csv(text, &["score"], &["name"]).unwrap();
+        let t = ds.type_attribute("name").unwrap();
+        assert_eq!(t.labels[0], "Smith, Jane");
+        assert_eq!(t.labels[1], "He said \"hi\"");
+    }
+
+    #[test]
+    fn column_subset_and_order() {
+        let text = "a,b,c\n1,2,x\n3,4,y\n";
+        let ds = parse_csv(text, &["b", "a"], &["c"]).unwrap();
+        assert_eq!(ds.attr_names(), &["b".to_string(), "a".to_string()]);
+        assert_eq!(ds.item(0), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn error_on_missing_column() {
+        let text = "a,b\n1,2\n";
+        assert!(matches!(
+            parse_csv(text, &["z"], &[]),
+            Err(CsvError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn error_on_bad_number() {
+        let text = "a\nfoo\n";
+        assert!(matches!(
+            parse_csv(text, &["a"], &[]),
+            Err(CsvError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn error_on_ragged_row() {
+        let text = "a,b\n1\n";
+        assert!(matches!(
+            parse_csv(text, &["a"], &[]),
+            Err(CsvError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn error_on_unterminated_quote() {
+        let text = "a\n\"oops\n";
+        assert!(parse_csv(text, &["a"], &[]).is_err());
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(
+            parse_csv("", &["a"], &[]),
+            Err(CsvError::Parse(_))
+        ));
+    }
+}

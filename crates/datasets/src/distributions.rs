@@ -1,0 +1,150 @@
+//! Small sampling kernels on top of `rand`'s uniform source.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! handful of shaped distributions the synthetic generators need (normal,
+//! exponential, Poisson, categorical) are implemented here directly.
+
+use rand::Rng;
+
+/// Standard normal via the Box–Muller transform.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    // Avoid u1 = 0 (log of zero).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Exponential with the given rate `λ` (mean `1/λ`).
+///
+/// # Panics
+/// If `rate <= 0`.
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Poisson by inversion (suitable for the small means used by the
+/// generators; falls back to a normal approximation for large means).
+///
+/// # Panics
+/// If `mean < 0`.
+pub fn poisson<R: Rng>(rng: &mut R, mean: f64) -> u32 {
+    assert!(mean >= 0.0, "poisson mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        return normal(rng, mean, mean.sqrt()).round().max(0.0) as u32;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // defensive: numerically impossible in practice
+        }
+    }
+}
+
+/// Draw a category index proportional to `weights` (need not sum to 1).
+///
+/// # Panics
+/// If `weights` is empty or all weights are zero/negative.
+pub fn categorical<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().filter(|w| w.is_sign_positive()).sum();
+    assert!(total > 0.0, "categorical needs positive total weight");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Truncate-and-clamp helper: clamps a sample into `[lo, hi]`.
+pub fn clamped_normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.08, "mean {mean}");
+        assert!(exponential(&mut rng, 10.0) >= 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let n = 20_000;
+        let m1 = (0..n).map(|_| poisson(&mut rng, 2.5) as f64).sum::<f64>() / n as f64;
+        assert!((m1 - 2.5).abs() < 0.08, "small-mean {m1}");
+        let m2 = (0..n).map(|_| poisson(&mut rng, 50.0) as f64).sum::<f64>() / n as f64;
+        assert!((m2 - 50.0).abs() < 0.4, "large-mean {m2}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn categorical_proportions() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let weights = [0.5, 0.3, 0.2];
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        for (c, w) in counts.iter().zip(&weights) {
+            let p = *c as f64 / n as f64;
+            assert!((p - w).abs() < 0.02, "p {p} vs w {w}");
+        }
+    }
+
+    #[test]
+    fn categorical_skips_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(46);
+        for _ in 0..100 {
+            let i = categorical(&mut rng, &[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn clamped_normal_range() {
+        let mut rng = StdRng::seed_from_u64(47);
+        for _ in 0..1000 {
+            let v = clamped_normal(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # fairrank-datasets
+//!
+//! Columnar dataset model and data sources for the fair-ranking system of
+//! Asudeh et al. (SIGMOD 2019).
+//!
+//! The paper evaluates on two real datasets that cannot be redistributed
+//! here, so this crate ships **calibrated synthetic generators** instead
+//! (see DESIGN.md D1/D2 for the substitution argument):
+//!
+//! * [`synthetic::compas`] — a COMPAS-like recidivism dataset: 6,889
+//!   individuals, seven scoring attributes, and the protected attributes
+//!   `sex`, `race`, `age_binary`, `age_bucketized` with ProPublica's
+//!   published marginals and a tunable correlation between protected groups
+//!   and scores (the quantity the paper's experiments actually exercise).
+//! * [`synthetic::dot`] — a DOT-like flight on-time dataset scalable to the
+//!   paper's 1.32M rows, with market-share-weighted carriers and
+//!   heavy-tailed delays.
+//! * [`synthetic::generic`] — uniform / correlated / anti-correlated
+//!   attribute generators, the standard stress workloads of the top-k
+//!   literature.
+//!
+//! [`Dataset`] is the shared columnar container: `n × d` non-negative
+//! scoring attributes (higher is better after [`Dataset::normalize_min_max`])
+//! plus any number of categorical *type attributes* (protected features)
+//! that fairness oracles inspect. [`csvio`] round-trips datasets through a
+//! small self-contained CSV codec.
+
+pub mod csvio;
+pub mod dataset;
+pub mod distributions;
+pub mod synthetic;
+
+pub use dataset::{Dataset, DatasetError, TypeAttribute};

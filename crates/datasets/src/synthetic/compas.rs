@@ -1,0 +1,336 @@
+//! COMPAS-like synthetic recidivism dataset.
+//!
+//! The paper's default dataset is ProPublica's COMPAS collection: 6,889
+//! individuals with demographics, recidivism scores and offense history.
+//! This generator reproduces the published schema and marginals:
+//!
+//! * scoring attributes (paper §6.1, in the paper's order):
+//!   `c_days_from_compas`, `juv_other_count`, `days_b_screening_arrest`,
+//!   `start`, `end`, `age`, `priors_count`;
+//! * type attributes: `sex` (≈80% male), `race` (≈50% African-American,
+//!   ≈34% Caucasian, ≈16% other), `age_binary` (≈60% aged ≤35),
+//!   `age_bucketized` (≈42% / 34% / 24%);
+//! * a tunable `bias` coupling protected groups to scoring attributes —
+//!   the structural property the paper's experiments measure (with zero
+//!   coupling every fairness constraint is trivially satisfiable; with
+//!   strong coupling satisfactory regions shrink and fragment).
+//!
+//! Attribute values are min–max normalized to `[0, 1]` with `age`
+//! *inverted* (the paper: "For all attributes except age, a higher value
+//! corresponded to a higher score").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::distributions::{categorical, clamped_normal, exponential, poisson};
+
+/// Index of the `age` scoring attribute (inverted during normalization).
+pub const AGE_ATTR: usize = 5;
+
+/// The scoring-attribute names, in the paper's order.
+pub const ATTR_NAMES: [&str; 7] = [
+    "c_days_from_compas",
+    "juv_other_count",
+    "days_b_screening_arrest",
+    "start",
+    "end",
+    "age",
+    "priors_count",
+];
+
+/// Configuration for the COMPAS-like generator.
+#[derive(Debug, Clone)]
+pub struct CompasConfig {
+    /// Number of individuals (paper: 6,889).
+    pub n: usize,
+    /// Strength of the coupling between protected groups and scoring
+    /// attributes in `[0, 1]`. `0.35` reproduces the paper's validation
+    /// behaviour (roughly half of random d=3 queries violate the default
+    /// FM1 constraint).
+    pub bias: f64,
+    /// RNG seed — generation is fully deterministic.
+    pub seed: u64,
+    /// Min–max normalize (with `age` inverted) before returning.
+    pub normalized: bool,
+}
+
+impl Default for CompasConfig {
+    fn default() -> Self {
+        CompasConfig {
+            n: 6889,
+            bias: 0.35,
+            seed: 0xC0345,
+            normalized: true,
+        }
+    }
+}
+
+/// Generate the dataset.
+///
+/// # Panics
+/// If `n == 0`.
+#[must_use]
+pub fn generate(cfg: &CompasConfig) -> Dataset {
+    assert!(cfg.n > 0, "need at least one individual");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let bias = cfg.bias.clamp(0.0, 1.0);
+
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(cfg.n);
+    let mut sex = Vec::with_capacity(cfg.n);
+    let mut race = Vec::with_capacity(cfg.n);
+    let mut age_binary = Vec::with_capacity(cfg.n);
+    let mut age_bucket = Vec::with_capacity(cfg.n);
+
+    for _ in 0..cfg.n {
+        // Demographics with the published marginals.
+        let r = categorical(&mut rng, &[0.50, 0.34, 0.16]) as u32; // AA/Cauc/Other
+        let s = categorical(&mut rng, &[0.80, 0.20]) as u32; // male/female
+        let age: f64 = match categorical(&mut rng, &[0.42, 0.34, 0.24]) {
+            0 => rng.gen_range(18.0..=30.0),
+            1 => rng.gen_range(31.0..=40.0),
+            _ => rng.gen_range(41.0..=70.0),
+        };
+        let aa = f64::from(r == 0);
+        let male = f64::from(s == 0);
+        let youth = ((50.0 - age) / 32.0).clamp(0.0, 1.0);
+
+        // Offense-history attributes with group-dependent shifts — the
+        // synthetic stand-in for the historical bias embodied in COMPAS.
+        // The couplings are deliberately *differentiated* across
+        // attributes (c_days strongly AA-positive, juv_other youth- and
+        // AA-positive, start mildly AA-negative, days_b_screening
+        // neutral): the paper's validation experiments hinge on the
+        // fairness level-set slicing *through* the space of scoring
+        // functions, which requires attributes whose race correlations
+        // differ in sign and strength — exactly what the real COMPAS
+        // columns have. Calibrated so the paper's default FM1 model
+        // (≤60% AA in the top 30%) rejects roughly half of random d=3
+        // queries at any n — the paper's Figure 16 setting (52/100 fair).
+        let priors = poisson(
+            &mut rng,
+            0.8 + 2.2 * youth + 2.2 * bias * aa + 0.3 * male,
+        ) as f64;
+        let juv_other = poisson(&mut rng, 0.6 + 0.5 * youth * (1.0 + 0.8 * bias * aa)) as f64;
+        let days_b_screening = clamped_normal(&mut rng, 0.0, 5.0, -30.0, 30.0);
+        let start = (rng.gen_range(0.0..1000.0) - 300.0 * bias * aa).max(0.0);
+        let end = (start + exponential(&mut rng, 1.0 / 300.0)).min(1200.0);
+        let c_days = (exponential(&mut rng, 1.0 / 180.0) + 800.0 * bias * aa).min(4000.0);
+
+        rows.push(vec![
+            c_days,
+            juv_other,
+            days_b_screening,
+            start,
+            end,
+            age,
+            priors,
+        ]);
+        sex.push(s);
+        race.push(r);
+        age_binary.push(u32::from(age > 35.0));
+        age_bucket.push(if age <= 30.0 {
+            0
+        } else if age <= 40.0 {
+            1
+        } else {
+            2
+        });
+    }
+
+    let mut ds = Dataset::from_rows(
+        ATTR_NAMES.iter().map(|s| (*s).to_string()).collect(),
+        &rows,
+    )
+    .expect("generated rows are well-formed");
+    ds.add_type_attribute(
+        "sex",
+        vec!["male".into(), "female".into()],
+        sex,
+    )
+    .expect("aligned");
+    ds.add_type_attribute(
+        "race",
+        vec![
+            "African-American".into(),
+            "Caucasian".into(),
+            "Other".into(),
+        ],
+        race,
+    )
+    .expect("aligned");
+    ds.add_type_attribute(
+        "age_binary",
+        vec!["<=35".into(), ">35".into()],
+        age_binary,
+    )
+    .expect("aligned");
+    ds.add_type_attribute(
+        "age_bucketized",
+        vec!["<=30".into(), "31-40".into(), ">40".into()],
+        age_bucket,
+    )
+    .expect("aligned");
+
+    if cfg.normalized {
+        ds.normalize_min_max(&[AGE_ATTR]);
+    }
+    ds
+}
+
+/// The paper's default d=3 projection for the validation experiments:
+/// `start`, `c_days_from_compas`, `juv_other_count` (§6.2).
+#[must_use]
+pub fn validation_projection() -> Vec<usize> {
+    vec![3, 0, 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_paper() {
+        let ds = generate(&CompasConfig {
+            n: 500,
+            ..CompasConfig::default()
+        });
+        assert_eq!(ds.dim(), 7);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.attr_names()[0], "c_days_from_compas");
+        assert_eq!(ds.attr_names()[AGE_ATTR], "age");
+        for name in ["sex", "race", "age_binary", "age_bucketized"] {
+            assert!(ds.type_attribute(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn marginals_close_to_published() {
+        let ds = generate(&CompasConfig {
+            n: 20_000,
+            ..CompasConfig::default()
+        });
+        let race = ds.type_attribute("race").unwrap().group_proportions();
+        assert!((race[0] - 0.50).abs() < 0.02, "AA share {}", race[0]);
+        let sex = ds.type_attribute("sex").unwrap().group_proportions();
+        assert!((sex[0] - 0.80).abs() < 0.02, "male share {}", sex[0]);
+        let ab = ds.type_attribute("age_binary").unwrap().group_proportions();
+        assert!((ab[0] - 0.59).abs() < 0.03, "young share {}", ab[0]);
+        let buckets = ds
+            .type_attribute("age_bucketized")
+            .unwrap()
+            .group_proportions();
+        assert!((buckets[0] - 0.42).abs() < 0.02);
+        assert!((buckets[1] - 0.34).abs() < 0.02);
+    }
+
+    #[test]
+    fn normalized_range_and_age_inversion() {
+        let ds = generate(&CompasConfig {
+            n: 2000,
+            ..CompasConfig::default()
+        });
+        for i in 0..ds.len() {
+            for &v in ds.item(i) {
+                assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+            }
+        }
+        // Age inversion: find youngest raw individual — must have the
+        // *highest* normalized age score. Regenerate unnormalized to check.
+        let raw = generate(&CompasConfig {
+            n: 2000,
+            normalized: false,
+            ..CompasConfig::default()
+        });
+        let youngest = (0..raw.len())
+            .min_by(|&a, &b| raw.item(a)[AGE_ATTR].total_cmp(&raw.item(b)[AGE_ATTR]))
+            .unwrap();
+        let max_norm_age = (0..ds.len())
+            .map(|i| ds.item(i)[AGE_ATTR])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((ds.item(youngest)[AGE_ATTR] - max_norm_age).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&CompasConfig {
+            n: 100,
+            ..CompasConfig::default()
+        });
+        let b = generate(&CompasConfig {
+            n: 100,
+            ..CompasConfig::default()
+        });
+        assert_eq!(a, b);
+        let c = generate(&CompasConfig {
+            n: 100,
+            seed: 999,
+            ..CompasConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bias_skews_topk_composition() {
+        // The couplings are differentiated by design: ranking by c_days
+        // over-represents African-Americans in the top 30%, ranking by
+        // start under-represents them, and with zero bias neither does.
+        let k_share = |ds: &Dataset, w: &[f64]| {
+            let race = ds.type_attribute("race").unwrap();
+            let k = ds.len() * 3 / 10;
+            let top = ds.top_k(w, k);
+            let aa = top.iter().filter(|&&i| race.values[i as usize] == 0).count();
+            aa as f64 / k as f64 - race.group_proportions()[0]
+        };
+        let biased = generate(&CompasConfig {
+            n: 4000,
+            bias: 0.9,
+            ..CompasConfig::default()
+        });
+        // c_days = attr 0 (positive coupling), start = attr 3 (negative).
+        let mut w_cdays = vec![0.0; biased.dim()];
+        w_cdays[0] = 1.0;
+        let mut w_start = vec![0.0; biased.dim()];
+        w_start[3] = 1.0;
+        assert!(
+            k_share(&biased, &w_cdays) > 0.05,
+            "c_days ranking should over-represent AA: {}",
+            k_share(&biased, &w_cdays)
+        );
+        assert!(
+            k_share(&biased, &w_start) < -0.05,
+            "start ranking should under-represent AA: {}",
+            k_share(&biased, &w_start)
+        );
+
+        let unbiased = generate(&CompasConfig {
+            n: 4000,
+            bias: 0.0,
+            ..CompasConfig::default()
+        });
+        for w in [&w_cdays, &w_start] {
+            assert!(
+                k_share(&unbiased, w).abs() < 0.05,
+                "zero bias must not skew: {}",
+                k_share(&unbiased, w)
+            );
+        }
+    }
+
+    #[test]
+    fn validation_projection_names() {
+        let ds = generate(&CompasConfig {
+            n: 50,
+            ..CompasConfig::default()
+        });
+        let p = ds.project(&validation_projection()).unwrap();
+        assert_eq!(
+            p.attr_names(),
+            &[
+                "start".to_string(),
+                "c_days_from_compas".to_string(),
+                "juv_other_count".to_string()
+            ]
+        );
+    }
+}

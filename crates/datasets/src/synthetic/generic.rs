@@ -1,0 +1,159 @@
+//! Generic synthetic workloads: uniform, correlated and anti-correlated
+//! attribute distributions — the standard stress tests of the top-k /
+//! skyline literature, used here for property tests and scaling
+//! experiments where a named dataset is not required.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::distributions::clamped_normal;
+
+/// i.i.d. `U[0,1]^d` attributes with a binary `group` attribute whose
+/// membership probability is tilted by the first attribute:
+/// `P(group = 0) = 0.5 + group_bias · (t[0] − 0.5)`.
+///
+/// With `group_bias = 0` groups are independent of scores (every fairness
+/// constraint is easy); with `group_bias → 1` group 0 concentrates at the
+/// top of attribute-0 rankings.
+///
+/// # Panics
+/// If `n == 0` or `d == 0`.
+#[must_use]
+pub fn uniform(n: usize, d: usize, group_bias: f64, seed: u64) -> Dataset {
+    assert!(n > 0 && d > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    with_group(rows, group_bias, &mut rng)
+}
+
+/// Correlated attributes via a latent quality factor:
+/// `t[j] = clamp(ρ·z + (1−ρ)·u_j)` with `z, u_j ~ U[0,1]`.
+///
+/// # Panics
+/// If `n == 0` or `d == 0`.
+#[must_use]
+pub fn correlated(n: usize, d: usize, rho: f64, group_bias: f64, seed: u64) -> Dataset {
+    assert!(n > 0 && d > 0);
+    let rho = rho.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let z = rng.gen::<f64>();
+            (0..d)
+                .map(|_| (rho * z + (1.0 - rho) * rng.gen::<f64>()).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect();
+    with_group(rows, group_bias, &mut rng)
+}
+
+/// Anti-correlated attributes concentrated near the simplex
+/// `Σ t[j] ≈ d/2` — maximizes the number of non-dominating pairs and hence
+/// ordering exchanges (the hard case for arrangement construction).
+///
+/// # Panics
+/// If `n == 0` or `d == 0`.
+#[must_use]
+pub fn anticorrelated(n: usize, d: usize, group_bias: f64, seed: u64) -> Dataset {
+    assert!(n > 0 && d > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            // Dirichlet-ish: exponential weights normalized, then jitter.
+            let mut parts: Vec<f64> = (0..d)
+                .map(|_| -(rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln())
+                .collect();
+            let total: f64 = parts.iter().sum();
+            for p in &mut parts {
+                *p = (*p / total * d as f64 / 2.0
+                    + clamped_normal(&mut rng, 0.0, 0.05, -0.2, 0.2))
+                .clamp(0.0, 1.0);
+            }
+            parts
+        })
+        .collect();
+    with_group(rows, group_bias, &mut rng)
+}
+
+fn with_group(rows: Vec<Vec<f64>>, group_bias: f64, rng: &mut StdRng) -> Dataset {
+    let d = rows[0].len();
+    let group: Vec<u32> = rows
+        .iter()
+        .map(|r| {
+            let p0 = (0.5 + group_bias.clamp(-1.0, 1.0) * (r[0] - 0.5)).clamp(0.0, 1.0);
+            u32::from(rng.gen::<f64>() >= p0)
+        })
+        .collect();
+    let mut ds = Dataset::from_rows(
+        (0..d).map(|j| format!("a{j}")).collect(),
+        &rows,
+    )
+    .expect("generated rows are well-formed");
+    ds.add_type_attribute("group", vec!["g0".into(), "g1".into()], group)
+        .expect("aligned");
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape_and_range() {
+        let ds = uniform(500, 3, 0.0, 1);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dim(), 3);
+        for i in 0..ds.len() {
+            assert!(ds.item(i).iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        assert!(ds.type_attribute("group").is_some());
+    }
+
+    #[test]
+    fn group_bias_controls_correlation() {
+        let biased = uniform(20_000, 2, 0.9, 2);
+        let g = biased.type_attribute("group").unwrap();
+        // Group 0 should dominate the top of attribute-0 rankings.
+        let top = biased.top_k(&[1.0, 0.0], 2000);
+        let share0 = top.iter().filter(|&&i| g.values[i as usize] == 0).count() as f64 / 2000.0;
+        assert!(share0 > 0.75, "top share {share0}");
+
+        let unbiased = uniform(20_000, 2, 0.0, 3);
+        let g = unbiased.type_attribute("group").unwrap();
+        let top = unbiased.top_k(&[1.0, 0.0], 2000);
+        let share0 = top.iter().filter(|&&i| g.values[i as usize] == 0).count() as f64 / 2000.0;
+        assert!((share0 - 0.5).abs() < 0.06, "top share {share0}");
+    }
+
+    #[test]
+    fn correlated_reduces_nondominating_pairs() {
+        let corr = correlated(200, 3, 0.9, 0.0, 4);
+        let anti = anticorrelated(200, 3, 0.0, 4);
+        let pc = corr.non_dominating_pairs().len();
+        let pa = anti.non_dominating_pairs().len();
+        assert!(
+            pc < pa,
+            "correlated data should dominate more: {pc} vs {pa}"
+        );
+    }
+
+    #[test]
+    fn anticorrelated_mostly_incomparable() {
+        let ds = anticorrelated(150, 2, 0.0, 5);
+        let pairs = ds.non_dominating_pairs().len();
+        let total = 150 * 149 / 2;
+        assert!(
+            pairs * 2 > total,
+            "anti-correlated data should be mostly incomparable: {pairs}/{total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform(100, 2, 0.3, 9), uniform(100, 2, 0.3, 9));
+        assert_ne!(uniform(100, 2, 0.3, 9), uniform(100, 2, 0.3, 10));
+    }
+}

@@ -1,0 +1,6 @@
+//! Calibrated synthetic data sources standing in for the paper's real
+//! datasets (DESIGN.md D1/D2), plus generic stress-test generators.
+
+pub mod compas;
+pub mod dot;
+pub mod generic;

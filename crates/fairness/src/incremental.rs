@@ -1,0 +1,319 @@
+//! Incremental (swap-aware) oracle evaluation.
+//!
+//! 2DRAYSWEEP walks the angle axis exchange by exchange; each exchange
+//! swaps two *adjacent* items in the current ranking. For proportionality
+//! oracles, such a swap changes the top-k composition only when it
+//! straddles the k-boundary, so the verdict can be maintained in `O(1)` per
+//! swap — turning the paper's `O(n² · O_n)` sweep into `O(n²)` after
+//! sorting. The black-box path (re-invoking the oracle per sector) remains
+//! available and is what the paper's Theorem 1 costs out; the bench suite
+//! compares both.
+
+use crate::proportionality::Proportionality;
+
+/// An oracle evaluator that tracks a ranking and updates its verdict under
+/// adjacent transpositions.
+pub trait IncrementalOracle {
+    /// Swap the items at ranking positions `pos` and `pos + 1`.
+    ///
+    /// # Panics
+    /// May panic if `pos + 1` is out of range.
+    fn swap_adjacent(&mut self, pos: usize);
+
+    /// Current verdict.
+    fn is_satisfactory(&self) -> bool;
+}
+
+/// Incremental state for one [`Proportionality`] constraint.
+pub struct ProportionalityState<'a> {
+    oracle: &'a Proportionality,
+    /// Head counts per group among the top-k.
+    counts: Vec<usize>,
+    /// Number of groups currently violating their bounds.
+    violations: usize,
+}
+
+impl<'a> ProportionalityState<'a> {
+    /// Seed from a full ranking.
+    #[must_use]
+    pub fn new(oracle: &'a Proportionality, ranking: &[u32]) -> ProportionalityState<'a> {
+        let counts = oracle.head_counts(ranking);
+        let violations = counts
+            .iter()
+            .zip(oracle.bounds())
+            .filter(|(&c, b)| c < b.min || c > b.max)
+            .count();
+        ProportionalityState {
+            oracle,
+            counts,
+            violations,
+        }
+    }
+
+    /// Apply the boundary-crossing part of a swap: item of group `out`
+    /// leaves the top-k, item of group `enter` joins.
+    fn cross_boundary(&mut self, out: u32, enter: u32) {
+        if out == enter {
+            return;
+        }
+        for (g, delta) in [(out as usize, -1isize), (enter as usize, 1isize)] {
+            let b = &self.oracle.bounds()[g];
+            let before_ok = self.counts[g] >= b.min && self.counts[g] <= b.max;
+            self.counts[g] = (self.counts[g] as isize + delta) as usize;
+            let after_ok = self.counts[g] >= b.min && self.counts[g] <= b.max;
+            match (before_ok, after_ok) {
+                (true, false) => self.violations += 1,
+                (false, true) => self.violations -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Handle a swap of ranking positions `pos`/`pos+1` given the groups of
+    /// the item moving out of position `pos` (previously there) and the item
+    /// moving into it.
+    pub fn swap_with_groups(&mut self, pos: usize, group_at_pos: u32, group_below: u32) {
+        // Only a swap across the k-boundary (positions k−1 and k) changes
+        // the top-k multiset.
+        if pos + 1 == self.oracle.k() {
+            self.cross_boundary(group_at_pos, group_below);
+        }
+    }
+}
+
+/// A ranking paired with incremental oracle state — the object 2DRAYSWEEP
+/// actually sweeps. Maintains the item-at-position array, the
+/// position-of-item inverse, and any number of constraint states.
+pub struct SweepState<'a> {
+    ranking: Vec<u32>,
+    position: Vec<u32>,
+    states: Vec<ProportionalityState<'a>>,
+}
+
+impl<'a> SweepState<'a> {
+    /// Seed from a ranking and a set of proportionality constraints.
+    #[must_use]
+    pub fn new(ranking: Vec<u32>, oracles: &[&'a Proportionality]) -> SweepState<'a> {
+        let mut position = vec![0u32; ranking.len()];
+        for (pos, &item) in ranking.iter().enumerate() {
+            position[item as usize] = pos as u32;
+        }
+        let states = oracles
+            .iter()
+            .map(|o| ProportionalityState::new(o, &ranking))
+            .collect();
+        SweepState {
+            ranking,
+            position,
+            states,
+        }
+    }
+
+    /// Current ranking.
+    #[must_use]
+    pub fn ranking(&self) -> &[u32] {
+        &self.ranking
+    }
+
+    /// Position of an item.
+    #[must_use]
+    pub fn position_of(&self, item: u32) -> usize {
+        self.position[item as usize] as usize
+    }
+
+    /// Are items `a` and `b` adjacent in the current ranking?
+    #[must_use]
+    pub fn adjacent(&self, a: u32, b: u32) -> bool {
+        self.position_of(a).abs_diff(self.position_of(b)) == 1
+    }
+
+    /// Swap two items that are currently adjacent, updating all constraint
+    /// states in `O(constraints)`.
+    ///
+    /// # Panics
+    /// If the items are not adjacent.
+    pub fn swap_items(&mut self, a: u32, b: u32) {
+        let pa = self.position_of(a);
+        let pb = self.position_of(b);
+        assert!(
+            pa.abs_diff(pb) == 1,
+            "swap_items requires adjacency: {a} at {pa}, {b} at {pb}"
+        );
+        let (top, bottom) = if pa < pb { (a, b) } else { (b, a) };
+        let pos = pa.min(pb);
+        for s in &mut self.states {
+            s.swap_with_groups(pos, s.oracle.group_of(top), s.oracle.group_of(bottom));
+        }
+        self.ranking.swap(pos, pos + 1);
+        self.position[top as usize] = (pos + 1) as u32;
+        self.position[bottom as usize] = pos as u32;
+    }
+
+    /// Verdict across all constraints.
+    #[must_use]
+    pub fn is_satisfactory(&self) -> bool {
+        self.states.iter().all(|s| s.violations == 0)
+    }
+}
+
+impl IncrementalOracle for ProportionalityState<'_> {
+    fn swap_adjacent(&mut self, _pos: usize) {
+        unreachable!(
+            "ProportionalityState must be driven through SweepState, which \
+             knows the item groups at each position"
+        );
+    }
+
+    fn is_satisfactory(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Conjunction of several proportionality states (FM2 incremental path).
+pub struct ConjunctionState<'a> {
+    states: Vec<ProportionalityState<'a>>,
+}
+
+impl<'a> ConjunctionState<'a> {
+    /// Bundle states.
+    #[must_use]
+    pub fn new(states: Vec<ProportionalityState<'a>>) -> ConjunctionState<'a> {
+        ConjunctionState { states }
+    }
+}
+
+impl IncrementalOracle for ConjunctionState<'_> {
+    fn swap_adjacent(&mut self, _pos: usize) {
+        unreachable!("ConjunctionState must be driven through SweepState")
+    }
+
+    fn is_satisfactory(&self) -> bool {
+        self.states.iter().all(|s| s.violations == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FairnessOracle;
+    use fairrank_datasets::TypeAttribute;
+
+    fn attr(values: Vec<u32>, groups: usize) -> TypeAttribute {
+        TypeAttribute {
+            name: "g".into(),
+            labels: (0..groups).map(|i| format!("g{i}")).collect(),
+            values,
+        }
+    }
+
+    #[test]
+    fn state_matches_full_evaluation_after_swaps() {
+        // 8 items, alternating groups; top-4 capped at 2 of group 0.
+        let t = attr(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        let oracle = Proportionality::new(&t, 4).with_max_count(0, 2);
+        let ranking: Vec<u32> = (0..8).collect();
+        let mut sweep = SweepState::new(ranking.clone(), &[&oracle]);
+        assert_eq!(
+            sweep.is_satisfactory(),
+            oracle.is_satisfactory(sweep.ranking())
+        );
+        // Perform a series of adjacent swaps and compare against the
+        // black-box verdict after each.
+        let swap_script = [(3u32, 4u32), (2, 4), (4, 1), (5, 3), (0, 4)];
+        for &(a, b) in &swap_script {
+            if sweep.adjacent(a, b) {
+                sweep.swap_items(a, b);
+                assert_eq!(
+                    sweep.is_satisfactory(),
+                    oracle.is_satisfactory(sweep.ranking()),
+                    "divergence after swapping {a} and {b}: {:?}",
+                    sweep.ranking()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_swap_changes_verdict() {
+        // Top-2 capped at 1 of group 0. Ranking [0g0, 1g0, 2g1]: violating.
+        let t = attr(vec![0, 0, 1], 2);
+        let oracle = Proportionality::new(&t, 2).with_max_count(0, 1);
+        let mut sweep = SweepState::new(vec![0, 1, 2], &[&oracle]);
+        assert!(!sweep.is_satisfactory());
+        // Swap positions 1/2 (items 1 and 2): top-2 becomes {0, 2} → ok.
+        sweep.swap_items(1, 2);
+        assert!(sweep.is_satisfactory());
+        // Swap back.
+        sweep.swap_items(1, 2);
+        assert!(!sweep.is_satisfactory());
+    }
+
+    #[test]
+    fn interior_swap_keeps_verdict() {
+        let t = attr(vec![0, 0, 1, 1], 2);
+        let oracle = Proportionality::new(&t, 2).with_max_count(0, 1);
+        let mut sweep = SweepState::new(vec![0, 2, 1, 3], &[&oracle]);
+        let before = sweep.is_satisfactory();
+        // Swap positions 2/3 — entirely below the boundary.
+        sweep.swap_items(1, 3);
+        assert_eq!(sweep.is_satisfactory(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency")]
+    fn non_adjacent_swap_panics() {
+        let t = attr(vec![0, 1, 0], 2);
+        let oracle = Proportionality::new(&t, 2);
+        let mut sweep = SweepState::new(vec![0, 1, 2], &[&oracle]);
+        sweep.swap_items(0, 2);
+    }
+
+    #[test]
+    fn multiple_constraints_fm2() {
+        let ta = attr(vec![0, 0, 1, 1], 2);
+        let tb = attr(vec![0, 1, 0, 1], 2);
+        let oa = Proportionality::new(&ta, 2).with_max_count(0, 1);
+        let ob = Proportionality::new(&tb, 2).with_max_count(0, 1);
+        let mut sweep = SweepState::new(vec![0, 2, 1, 3], &[&oa, &ob]);
+        // Top-2 = {0, 2}: a-groups {0,1} ok; b-groups {0,0} → violates b.
+        assert!(!sweep.is_satisfactory());
+        sweep.swap_items(2, 1); // positions 1/2 → top-2 = {0, 1}
+        // a-groups {0,0} violates now.
+        assert!(!sweep.is_satisfactory());
+    }
+
+    #[test]
+    fn trait_incremental_entry_point() {
+        let t = attr(vec![0, 1, 0, 1], 2);
+        let oracle = Proportionality::new(&t, 2).with_max_count(0, 1);
+        let inc = oracle.incremental(&[0, 1, 2, 3]).unwrap();
+        assert!(inc.is_satisfactory());
+    }
+
+    #[test]
+    fn exhaustive_random_swap_agreement() {
+        // Drive long random swap sequences; the incremental verdict must
+        // equal the black-box verdict at every step.
+        let values: Vec<u32> = (0..20).map(|i| (i * 7 % 3) as u32).collect();
+        let t = attr(values, 3);
+        let oracle = Proportionality::new(&t, 6)
+            .with_max_count(0, 3)
+            .with_min_count(1, 1);
+        let mut sweep = SweepState::new((0..20).collect(), &[&oracle]);
+        let mut seed = 0x1234_5678u64;
+        for step in 0..500 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let pos = (seed % 19) as usize;
+            let a = sweep.ranking()[pos];
+            let b = sweep.ranking()[pos + 1];
+            sweep.swap_items(a, b);
+            assert_eq!(
+                sweep.is_satisfactory(),
+                oracle.is_satisfactory(sweep.ranking()),
+                "divergence at step {step}"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # fairrank-fairness
+//!
+//! Fairness oracles over ranked outputs (paper §2, fairness model).
+//!
+//! The paper treats fairness as a **black box**: an oracle
+//! `O : ordered(D) → {⊤, ⊥}` that accepts or rejects a complete ranking.
+//! Everything the indexing machinery needs is captured by the
+//! [`FairnessOracle`] trait; any criterion expressible over a ranked list —
+//! group fairness, diversity, exposure — plugs in unchanged.
+//!
+//! The concrete models evaluated in the paper's §6 are provided:
+//!
+//! * [`Proportionality`] — **FM1**: bounds (lower and/or upper) on the
+//!   number of members of each group of a single type attribute among the
+//!   top-k. Expresses the proportional-representation constraints of
+//!   Zehlike et al. (FA*IR), Celis et al., and Stoyanovich et al.
+//! * [`Conjunction`] — **FM2**: simultaneous FM1 constraints over multiple
+//!   (possibly overlapping) type attributes, as in Celis et al.
+//! * [`FnOracle`] — arbitrary user closures, demonstrating the black-box
+//!   claim.
+//!
+//! Two further oracle families from the paper's related work show the
+//! black box absorbing very different fairness semantics unchanged:
+//!
+//! * [`PrefixFairness`] — FA*IR-style ranked group fairness over *every
+//!   prefix* of the top-k (Zehlike et al., the paper's [32]);
+//! * [`ExposureFairness`] — position-discounted exposure shares, where
+//!   *where* group members sit matters, not just how many make the cut.
+//!
+//! [`IncrementalOracle`] is the performance hook the 2-D ray-sweeping
+//! algorithm exploits: adjacent swaps change the top-k content only when
+//! they straddle the boundary, so satisfaction can be re-evaluated in
+//! `O(1)` per swap instead of `O(n)` per sector.
+
+pub mod exposure;
+pub mod incremental;
+pub mod oracle;
+pub mod prefix;
+pub mod proportionality;
+
+pub use exposure::{ExposureBound, ExposureFairness};
+pub use incremental::{ConjunctionState, IncrementalOracle, ProportionalityState, SweepState};
+pub use oracle::{CountingOracle, FairnessOracle, FnOracle};
+pub use prefix::PrefixFairness;
+pub use proportionality::{Conjunction, GroupBound, Proportionality};

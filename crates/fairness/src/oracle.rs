@@ -1,0 +1,181 @@
+//! The black-box oracle trait and generic adapters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::incremental::IncrementalOracle;
+
+/// A fairness oracle `O : ordered(D) → {⊤, ⊥}` (paper §2).
+///
+/// `ranking` is a permutation of item ids, best first. Implementations must
+/// be deterministic: the indexing algorithms cache verdicts per region.
+pub trait FairnessOracle: Send + Sync {
+    /// Does this ranking meet the fairness criteria?
+    fn is_satisfactory(&self, ranking: &[u32]) -> bool;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String {
+        "fairness oracle".to_string()
+    }
+
+    /// An incremental evaluator seeded with `ranking`, when the oracle
+    /// supports `O(1)` adjacent-swap updates (the 2DRAYSWEEP fast path).
+    /// The default is `None`: fully black-box oracles are re-evaluated per
+    /// sector, exactly as the paper's complexity analysis assumes.
+    fn incremental<'a>(&'a self, ranking: &[u32]) -> Option<Box<dyn IncrementalOracle + 'a>> {
+        let _ = ranking;
+        None
+    }
+
+    /// If the oracle provably only inspects the top-`k` prefix, the bound
+    /// `k` — enabling the §8 convex-layers pruning. Default: unknown.
+    fn top_k_bound(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A closure adapter: any `Fn(&[u32]) -> bool` is a fairness oracle.
+///
+/// This is the paper's generality claim made concrete — diversity
+/// constraints, exposure measures, or hand-written predicates drop in
+/// without touching the indexing code.
+pub struct FnOracle<F: Fn(&[u32]) -> bool + Send + Sync> {
+    f: F,
+    description: String,
+}
+
+impl<F: Fn(&[u32]) -> bool + Send + Sync> FnOracle<F> {
+    /// Wrap a closure.
+    pub fn new(description: impl Into<String>, f: F) -> Self {
+        FnOracle {
+            f,
+            description: description.into(),
+        }
+    }
+}
+
+impl<F: Fn(&[u32]) -> bool + Send + Sync> FairnessOracle for FnOracle<F> {
+    fn is_satisfactory(&self, ranking: &[u32]) -> bool {
+        (self.f)(ranking)
+    }
+
+    fn describe(&self) -> String {
+        self.description.clone()
+    }
+}
+
+/// Decorator counting oracle invocations — the `O_n` factor in the paper's
+/// Theorems 1 and 3, measured rather than assumed.
+pub struct CountingOracle<O: FairnessOracle> {
+    inner: O,
+    calls: AtomicU64,
+}
+
+impl<O: FairnessOracle> CountingOracle<O> {
+    /// Wrap an oracle.
+    pub fn new(inner: O) -> Self {
+        CountingOracle {
+            inner,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of `is_satisfactory` calls so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: FairnessOracle> FairnessOracle for CountingOracle<O> {
+    fn is_satisfactory(&self, ranking: &[u32]) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.is_satisfactory(ranking)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+
+    // Note: deliberately does NOT forward `incremental` — the counter exists
+    // to measure black-box oracle cost.
+
+    fn top_k_bound(&self) -> Option<usize> {
+        self.inner.top_k_bound()
+    }
+}
+
+impl<T: FairnessOracle + ?Sized> FairnessOracle for &T {
+    fn is_satisfactory(&self, ranking: &[u32]) -> bool {
+        (**self).is_satisfactory(ranking)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn incremental<'a>(&'a self, ranking: &[u32]) -> Option<Box<dyn IncrementalOracle + 'a>> {
+        (**self).incremental(ranking)
+    }
+
+    fn top_k_bound(&self) -> Option<usize> {
+        (**self).top_k_bound()
+    }
+}
+
+impl FairnessOracle for Box<dyn FairnessOracle> {
+    fn is_satisfactory(&self, ranking: &[u32]) -> bool {
+        (**self).is_satisfactory(ranking)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn incremental<'a>(&'a self, ranking: &[u32]) -> Option<Box<dyn IncrementalOracle + 'a>> {
+        (**self).incremental(ranking)
+    }
+
+    fn top_k_bound(&self) -> Option<usize> {
+        (**self).top_k_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_oracle_delegates() {
+        // Satisfactory iff item 0 is ranked first.
+        let o = FnOracle::new("item 0 first", |r: &[u32]| r.first() == Some(&0));
+        assert!(o.is_satisfactory(&[0, 1, 2]));
+        assert!(!o.is_satisfactory(&[1, 0, 2]));
+        assert_eq!(o.describe(), "item 0 first");
+        assert!(o.incremental(&[0, 1, 2]).is_none());
+        assert!(o.top_k_bound().is_none());
+    }
+
+    #[test]
+    fn counting_oracle_counts() {
+        let o = CountingOracle::new(FnOracle::new("always", |_: &[u32]| true));
+        assert_eq!(o.calls(), 0);
+        for _ in 0..5 {
+            assert!(o.is_satisfactory(&[0]));
+        }
+        assert_eq!(o.calls(), 5);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r: &dyn FairnessOracle = &o;
+        assert!(r.is_satisfactory(&[1, 2]));
+        let boxed: Box<dyn FairnessOracle> = Box::new(FnOracle::new("never", |_: &[u32]| false));
+        assert!(!boxed.is_satisfactory(&[]));
+        assert_eq!(boxed.describe(), "never");
+    }
+}

@@ -1,0 +1,370 @@
+//! Incremental construction of the arrangement of hyperplanes in the angle
+//! coordinate system (the engine of SATREGIONS, paper Algorithm 4).
+//!
+//! A *region* is a maximal connected subset of the box `[0, π/2]^{d−1}` on
+//! which no ordering-exchange hyperplane changes sign; inside a region the
+//! induced ranking of the items — and therefore the fairness-oracle verdict
+//! — is constant. Hyperplanes are inserted one at a time; each insertion
+//! splits every region it *properly cuts* (both open sides non-empty, see
+//! DESIGN.md F4) into its `h⁻` and `h⁺` children.
+//!
+//! Feasibility of candidate regions is decided by Seidel's randomized LP
+//! with a simplex fallback; strict interior witness points (needed to probe
+//! the fairness oracle with an unambiguous ordering) come from the Chebyshev
+//! LP.
+
+use fairrank_lp::seidel::{solve_seidel, SeidelOutcome};
+use fairrank_lp::{interior_point, is_feasible, Constraint};
+
+use crate::hyperplane::{Hyperplane, Sign};
+use crate::HALF_PI;
+
+/// Identifier of a hyperplane within an [`Arrangement`].
+pub type HyperplaneId = u32;
+
+/// Identifier of a region within an [`Arrangement`].
+pub type RegionId = u32;
+
+/// A convex region: the intersection of half-spaces of previously inserted
+/// hyperplanes with the angle box.
+#[derive(Debug, Clone, Default)]
+pub struct Region {
+    /// The half-spaces bounding this region, in insertion order. Only
+    /// hyperplanes that properly cut the region appear here.
+    pub halfspaces: Vec<(HyperplaneId, Sign)>,
+}
+
+/// Statistics of one hyperplane insertion, used by the Figure 18/19
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertStats {
+    /// Number of regions examined (all regions present before insertion).
+    pub regions_checked: usize,
+    /// Number of regions split by the hyperplane.
+    pub splits: usize,
+}
+
+/// An incrementally built arrangement of hyperplanes over the angle box.
+#[derive(Debug, Clone)]
+pub struct Arrangement {
+    dim: usize,
+    box_lo: f64,
+    box_hi: f64,
+    split_margin: f64,
+    hyperplanes: Vec<Hyperplane>,
+    regions: Vec<Region>,
+}
+
+impl Arrangement {
+    /// An empty arrangement over `[0, π/2]^dim` — a single region.
+    ///
+    /// # Panics
+    /// If `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Arrangement {
+        Arrangement::with_box(dim, 0.0, HALF_PI)
+    }
+
+    /// An empty arrangement over a custom box `[lo, hi]^dim` (used by
+    /// MARKCELL to restrict the arrangement to one grid cell).
+    ///
+    /// # Panics
+    /// If `dim == 0` or the box is empty.
+    #[must_use]
+    pub fn with_box(dim: usize, lo: f64, hi: f64) -> Arrangement {
+        assert!(dim > 0, "arrangement needs at least one angle axis");
+        assert!(lo < hi, "empty box");
+        Arrangement {
+            dim,
+            box_lo: lo,
+            box_hi: hi,
+            split_margin: 1e-7,
+            hyperplanes: Vec::new(),
+            regions: vec![Region::default()],
+        }
+    }
+
+    /// Ambient dimension (number of angle coordinates, `d − 1`).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The inserted hyperplanes.
+    #[must_use]
+    pub fn hyperplanes(&self) -> &[Hyperplane] {
+        &self.hyperplanes
+    }
+
+    /// Number of regions currently in the arrangement.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Iterator over region ids.
+    pub fn region_ids(&self) -> impl Iterator<Item = RegionId> {
+        0..self.regions.len() as RegionId
+    }
+
+    /// The half-space description of a region.
+    #[must_use]
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id as usize]
+    }
+
+    /// The linear constraints of a region (excluding the implicit box).
+    #[must_use]
+    pub fn constraints_of(&self, id: RegionId) -> Vec<Constraint> {
+        self.regions[id as usize]
+            .halfspaces
+            .iter()
+            .map(|&(h, s)| self.hyperplanes[h as usize].constraint(s, 0.0))
+            .collect()
+    }
+
+    /// A point strictly inside the region (margin > 0 against every
+    /// bounding hyperplane and the box), suitable for probing the fairness
+    /// oracle with an unambiguous ordering.
+    #[must_use]
+    pub fn interior_point_of(&self, id: RegionId) -> Option<Vec<f64>> {
+        let cs = self.constraints_of(id);
+        interior_point(&cs, self.dim, self.box_lo, self.box_hi).map(|ip| ip.point)
+    }
+
+    /// Insert a hyperplane, splitting every region it properly cuts
+    /// (Algorithm 4, lines 9–18). Returns insertion statistics.
+    pub fn insert(&mut self, h: Hyperplane) -> InsertStats {
+        assert_eq!(h.dim(), self.dim, "hyperplane dimension mismatch");
+        let hid = self.hyperplanes.len() as HyperplaneId;
+        self.hyperplanes.push(h);
+        let h = &self.hyperplanes[hid as usize];
+
+        let before = self.regions.len();
+        let mut splits = 0usize;
+        let mut constraints: Vec<Constraint> = Vec::new();
+        for rid in 0..before {
+            constraints.clear();
+            constraints.extend(
+                self.regions[rid]
+                    .halfspaces
+                    .iter()
+                    .map(|&(hh, s)| self.hyperplanes[hh as usize].constraint(s, 0.0)),
+            );
+            if !proper_cut(
+                &constraints,
+                h,
+                self.dim,
+                self.box_lo,
+                self.box_hi,
+                self.split_margin,
+            ) {
+                continue;
+            }
+            // Split: existing region keeps the Plus side, the new region
+            // takes the Minus side (Algorithm 4 appends (h,+) to R and
+            // creates R' with (h,−)).
+            let mut minus_region = self.regions[rid].clone();
+            minus_region.halfspaces.push((hid, Sign::Minus));
+            self.regions[rid].halfspaces.push((hid, Sign::Plus));
+            self.regions.push(minus_region);
+            splits += 1;
+        }
+        InsertStats {
+            regions_checked: before,
+            splits,
+        }
+    }
+
+    /// Build the full arrangement of a set of hyperplanes, returning the
+    /// per-insertion statistics (used by the Figure 19 experiment).
+    pub fn insert_all(&mut self, hs: impl IntoIterator<Item = Hyperplane>) -> Vec<InsertStats> {
+        hs.into_iter().map(|h| self.insert(h)).collect()
+    }
+
+    /// The box bounds `(lo, hi)`.
+    #[must_use]
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.box_lo, self.box_hi)
+    }
+}
+
+/// Does `h` properly cut the region `{θ ∈ box : constraints}` — are both
+/// open sides non-empty?
+pub(crate) fn proper_cut(
+    constraints: &[Constraint],
+    h: &Hyperplane,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+    margin: f64,
+) -> bool {
+    let mut with_side = Vec::with_capacity(constraints.len() + 1);
+    with_side.extend_from_slice(constraints);
+    with_side.push(h.constraint(Sign::Minus, margin));
+    if !fast_feasible(&with_side, dim, lo, hi) {
+        return false;
+    }
+    *with_side.last_mut().expect("non-empty") = h.constraint(Sign::Plus, margin);
+    fast_feasible(&with_side, dim, lo, hi)
+}
+
+/// Does `h` touch the region at all (used for subtree pruning in the
+/// arrangement tree: feasibility of the region together with `a·θ = b`)?
+pub(crate) fn touches(
+    constraints: &[Constraint],
+    h: &Hyperplane,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+) -> bool {
+    let mut with_eq = Vec::with_capacity(constraints.len() + 1);
+    with_eq.extend_from_slice(constraints);
+    with_eq.push(h.equality());
+    fast_feasible(&with_eq, dim, lo, hi)
+}
+
+/// Feasibility via Seidel with simplex fallback.
+pub(crate) fn fast_feasible(constraints: &[Constraint], dim: usize, lo: f64, hi: f64) -> bool {
+    let zero = vec![0.0; dim];
+    match solve_seidel(constraints, &zero, lo, hi, 0x5eed_cafe) {
+        Some(SeidelOutcome::Optimal(_)) => true,
+        Some(SeidelOutcome::Infeasible) => false,
+        None => is_feasible(constraints, dim, lo, hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp(normal: Vec<f64>, offset: f64) -> Hyperplane {
+        Hyperplane::new(normal, offset).unwrap()
+    }
+
+    #[test]
+    fn empty_arrangement_single_region() {
+        let a = Arrangement::new(2);
+        assert_eq!(a.region_count(), 1);
+        let p = a.interior_point_of(0).unwrap();
+        assert!(p.iter().all(|&v| (0.0..=HALF_PI).contains(&v)));
+    }
+
+    #[test]
+    fn one_cutting_hyperplane_two_regions() {
+        let mut a = Arrangement::new(2);
+        let stats = a.insert(hp(vec![1.0, 1.0], 1.0));
+        assert_eq!(stats.splits, 1);
+        assert_eq!(a.region_count(), 2);
+        // The two regions lie on opposite sides.
+        let h = &a.hyperplanes()[0];
+        let p0 = a.interior_point_of(0).unwrap();
+        let p1 = a.interior_point_of(1).unwrap();
+        let s0 = h.side(&p0, 1e-12).unwrap();
+        let s1 = h.side(&p1, 1e-12).unwrap();
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn missing_hyperplane_does_not_split() {
+        let mut a = Arrangement::new(2);
+        // Plane far outside the box [0, π/2]²: x + y = 10.
+        let stats = a.insert(hp(vec![1.0, 1.0], 10.0));
+        assert_eq!(stats.splits, 0);
+        assert_eq!(a.region_count(), 1);
+    }
+
+    #[test]
+    fn tangent_hyperplane_does_not_split() {
+        // Touches the box only at the corner (0,0): x + y = 0.
+        let mut a = Arrangement::new(2);
+        let stats = a.insert(hp(vec![1.0, 1.0], 0.0));
+        assert_eq!(stats.splits, 0);
+        assert_eq!(a.region_count(), 1);
+    }
+
+    #[test]
+    fn two_crossing_lines_four_regions() {
+        let mut a = Arrangement::new(2);
+        a.insert(hp(vec![1.0, 0.0], 0.7)); // vertical θ₁ = 0.7
+        a.insert(hp(vec![0.0, 1.0], 0.7)); // horizontal θ₂ = 0.7
+        assert_eq!(a.region_count(), 4);
+        // All four quadrant combinations realized.
+        let mut seen = std::collections::HashSet::new();
+        for rid in a.region_ids() {
+            let p = a.interior_point_of(rid).unwrap();
+            seen.insert((p[0] > 0.7, p[1] > 0.7));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn parallel_lines_three_regions() {
+        let mut a = Arrangement::new(2);
+        a.insert(hp(vec![1.0, 0.0], 0.4));
+        a.insert(hp(vec![1.0, 0.0], 1.0));
+        assert_eq!(a.region_count(), 3);
+    }
+
+    #[test]
+    fn three_general_lines_seven_regions() {
+        // Classic: n lines in general position → 1 + n + C(n,2) regions.
+        let mut a = Arrangement::new(2);
+        a.insert(hp(vec![1.0, 0.0], 0.5));
+        a.insert(hp(vec![0.0, 1.0], 0.5));
+        a.insert(hp(vec![1.0, 1.0], 1.3));
+        assert_eq!(a.region_count(), 7);
+    }
+
+    #[test]
+    fn duplicate_hyperplane_no_double_split() {
+        let mut a = Arrangement::new(2);
+        a.insert(hp(vec![1.0, 1.0], 1.0));
+        let stats = a.insert(hp(vec![1.0, 1.0], 1.0));
+        assert_eq!(stats.splits, 0, "re-inserting the same plane is a no-op");
+        assert_eq!(a.region_count(), 2);
+    }
+
+    #[test]
+    fn interior_points_satisfy_region_constraints() {
+        let mut a = Arrangement::new(3);
+        a.insert(hp(vec![1.0, 1.0, 0.2], 1.0));
+        a.insert(hp(vec![0.3, -1.0, 1.0], 0.2));
+        for rid in a.region_ids() {
+            let p = a.interior_point_of(rid).unwrap();
+            for c in a.constraints_of(rid) {
+                assert!(c.satisfied(&p, 1e-9), "{c} violated at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_box_arrangement() {
+        let mut a = Arrangement::with_box(2, 0.2, 0.4);
+        // Crosses the small box.
+        let s1 = a.insert(hp(vec![1.0, 0.0], 0.3));
+        assert_eq!(s1.splits, 1);
+        // Crosses the full angle box but not this cell.
+        let s2 = a.insert(hp(vec![1.0, 0.0], 1.0));
+        assert_eq!(s2.splits, 0);
+    }
+
+    #[test]
+    fn region_count_growth_matches_2d_formula() {
+        // k lines in general position inside the box: regions = 1 + Σ (1 + crossings).
+        // Here all pairs cross inside the box, so after k inserts:
+        // 1 + k + C(k,2).
+        let mut a = Arrangement::new(2);
+        let lines = [
+            hp(vec![1.0, 0.3], 0.8),
+            hp(vec![0.3, 1.0], 0.8),
+            hp(vec![1.0, 1.0], 1.4),
+            hp(vec![1.0, -0.5], 0.3),
+        ];
+        for (k, h) in lines.into_iter().enumerate() {
+            a.insert(h);
+            let k = k + 1;
+            assert_eq!(a.region_count(), 1 + k + k * (k - 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The arrangement tree (paper §4.2, Algorithms 5 and 9).
+//!
+//! A binary tree in which every internal node carries a hyperplane; the left
+//! edge means `h⁻` and the right edge `h⁺`, so each *null link* is a region
+//! of the arrangement described by the constraints along its root path.
+//! Inserting a hyperplane only descends into subtrees whose region it
+//! touches, pruning the linear region scan of the flat
+//! [`crate::arrangement::Arrangement`] — the paper's Figure 18 measures
+//! exactly this effect.
+//!
+//! [`ArrangementTree::insert_with`] is the early-stopping variant used by
+//! MARKCELL/ATC⁺ (Algorithm 9): every time a leaf region is split, witness
+//! points of the two child regions are offered to a caller-supplied probe;
+//! the first accepted witness aborts the remaining construction.
+
+use fairrank_lp::{interior_point, Constraint};
+
+use crate::arrangement::{fast_feasible, proper_cut, touches};
+use crate::hyperplane::{Hyperplane, Sign};
+use crate::HALF_PI;
+
+type Link = Option<u32>;
+
+#[derive(Debug, Clone)]
+struct Node {
+    h: Hyperplane,
+    left: Link,
+    right: Link,
+}
+
+/// A hierarchical index over the arrangement of hyperplanes.
+#[derive(Debug, Clone)]
+pub struct ArrangementTree {
+    dim: usize,
+    box_lo: f64,
+    box_hi: f64,
+    split_margin: f64,
+    /// Constraints restricting the whole tree to a sub-region of the box
+    /// (MARKCELL restricts the arrangement to one grid cell — paper §5.1).
+    base: Vec<Constraint>,
+    nodes: Vec<Node>,
+    root: Link,
+    /// Cumulative number of region-feasibility LPs, for the Figure 18
+    /// cost comparison.
+    pub lp_calls: u64,
+}
+
+impl ArrangementTree {
+    /// Empty tree over `[0, π/2]^dim`.
+    ///
+    /// # Panics
+    /// If `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> ArrangementTree {
+        ArrangementTree::with_box(dim, 0.0, HALF_PI)
+    }
+
+    /// Empty tree over a custom box (same bound on every axis).
+    ///
+    /// # Panics
+    /// If `dim == 0` or the box is empty.
+    #[must_use]
+    pub fn with_box(dim: usize, lo: f64, hi: f64) -> ArrangementTree {
+        assert!(dim > 0, "arrangement tree needs at least one angle axis");
+        assert!(lo < hi, "empty box");
+        ArrangementTree {
+            dim,
+            box_lo: lo,
+            box_hi: hi,
+            split_margin: 1e-7,
+            base: Vec::new(),
+            nodes: Vec::new(),
+            root: None,
+            lp_calls: 0,
+        }
+    }
+
+    /// Empty tree restricted to an axis-aligned sub-box `[bl, tr]` of the
+    /// angle space — the per-cell arrangement of MARKCELL (paper §5.1).
+    ///
+    /// # Panics
+    /// If `dim == 0` or the box is empty on some axis.
+    #[must_use]
+    pub fn for_cell(bl: &[f64], tr: &[f64]) -> ArrangementTree {
+        let dim = bl.len();
+        assert!(dim > 0, "arrangement tree needs at least one angle axis");
+        assert_eq!(bl.len(), tr.len());
+        let mut base = Vec::with_capacity(2 * dim);
+        for j in 0..dim {
+            assert!(bl[j] < tr[j], "empty cell box on axis {j}");
+            let mut lo_row = vec![0.0; dim];
+            lo_row[j] = 1.0;
+            base.push(Constraint::ge(lo_row.clone(), bl[j]));
+            lo_row[j] = 1.0;
+            base.push(Constraint::le(lo_row, tr[j]));
+        }
+        ArrangementTree {
+            dim,
+            box_lo: 0.0,
+            box_hi: HALF_PI,
+            split_margin: 1e-9,
+            base,
+            nodes: Vec::new(),
+            root: None,
+            lp_calls: 0,
+        }
+    }
+
+    /// Ambient dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of regions (null links): `#nodes + 1`.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.nodes.len() + 1
+    }
+
+    /// Number of internal nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Insert a hyperplane (Algorithm 5, AT⁺). Returns the number of
+    /// regions split.
+    pub fn insert(&mut self, h: &Hyperplane) -> usize {
+        assert_eq!(h.dim(), self.dim, "hyperplane dimension mismatch");
+        let mut sigma: Vec<Constraint> = self.base.clone();
+        let mut splits = 0usize;
+        self.root = self.insert_rec(self.root, h, &mut sigma, &mut splits, &mut |_| false, &mut None);
+        splits
+    }
+
+    /// Insert a hyperplane, offering a strict interior witness point of
+    /// every newly created child region to `probe` (Algorithm 9, ATC⁺).
+    /// Returns the first witness `probe` accepts, if any; construction of
+    /// the remaining subtrees is skipped from that moment on.
+    pub fn insert_with<F>(&mut self, h: &Hyperplane, probe: &mut F) -> Option<Vec<f64>>
+    where
+        F: FnMut(&[f64]) -> bool,
+    {
+        assert_eq!(h.dim(), self.dim, "hyperplane dimension mismatch");
+        let mut sigma: Vec<Constraint> = self.base.clone();
+        let mut splits = 0usize;
+        let mut found: Option<Vec<f64>> = None;
+        self.root = self.insert_rec(self.root, h, &mut sigma, &mut splits, probe, &mut found);
+        found
+    }
+
+    fn insert_rec<F>(
+        &mut self,
+        link: Link,
+        h: &Hyperplane,
+        sigma: &mut Vec<Constraint>,
+        splits: &mut usize,
+        probe: &mut F,
+        found: &mut Option<Vec<f64>>,
+    ) -> Link
+    where
+        F: FnMut(&[f64]) -> bool,
+    {
+        if found.is_some() {
+            return link;
+        }
+        match link {
+            None => {
+                // Leaf region σ: split only on a proper cut.
+                self.lp_calls += 2;
+                if !proper_cut(sigma, h, self.dim, self.box_lo, self.box_hi, self.split_margin) {
+                    return None;
+                }
+                *splits += 1;
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    h: h.clone(),
+                    left: None,
+                    right: None,
+                });
+                // Offer witnesses of the two new child regions.
+                for side in [Sign::Minus, Sign::Plus] {
+                    sigma.push(h.constraint(side, 0.0));
+                    self.lp_calls += 1;
+                    if let Some(ip) = interior_point(sigma, self.dim, self.box_lo, self.box_hi) {
+                        if probe(&ip.point) {
+                            *found = Some(ip.point);
+                            sigma.pop();
+                            break;
+                        }
+                    }
+                    sigma.pop();
+                }
+                Some(idx)
+            }
+            Some(i) => {
+                let node_h = self.nodes[i as usize].h.clone();
+                for side in [Sign::Minus, Sign::Plus] {
+                    if found.is_some() {
+                        break;
+                    }
+                    sigma.push(node_h.constraint(side, 0.0));
+                    self.lp_calls += 1;
+                    if touches(sigma, h, self.dim, self.box_lo, self.box_hi) {
+                        let child = match side {
+                            Sign::Minus => self.nodes[i as usize].left,
+                            Sign::Plus => self.nodes[i as usize].right,
+                        };
+                        let new_child = self.insert_rec(child, h, sigma, splits, probe, found);
+                        match side {
+                            Sign::Minus => self.nodes[i as usize].left = new_child,
+                            Sign::Plus => self.nodes[i as usize].right = new_child,
+                        }
+                    }
+                    sigma.pop();
+                }
+                Some(i)
+            }
+        }
+    }
+
+    /// Enumerate all regions as constraint sets (root-to-null paths).
+    /// Regions that became empty through sibling refinements are filtered
+    /// out by a feasibility check.
+    #[must_use]
+    pub fn regions(&self) -> Vec<Vec<Constraint>> {
+        let mut out = Vec::with_capacity(self.region_count());
+        let mut sigma: Vec<Constraint> = self.base.clone();
+        self.collect(self.root, &mut sigma, &mut out);
+        out
+    }
+
+    fn collect(&self, link: Link, sigma: &mut Vec<Constraint>, out: &mut Vec<Vec<Constraint>>) {
+        match link {
+            None => {
+                if fast_feasible(sigma, self.dim, self.box_lo, self.box_hi) {
+                    out.push(sigma.clone());
+                }
+            }
+            Some(i) => {
+                let node = &self.nodes[i as usize];
+                sigma.push(node.h.constraint(Sign::Minus, 0.0));
+                self.collect(node.left, sigma, out);
+                sigma.pop();
+                sigma.push(node.h.constraint(Sign::Plus, 0.0));
+                self.collect(node.right, sigma, out);
+                sigma.pop();
+            }
+        }
+    }
+
+    /// A strict interior witness point for each region, paired with the
+    /// region's constraints — the probe set SATREGIONS hands to the oracle.
+    #[must_use]
+    pub fn region_witnesses(&self) -> Vec<(Vec<Constraint>, Vec<f64>)> {
+        self.regions()
+            .into_iter()
+            .filter_map(|cs| {
+                interior_point(&cs, self.dim, self.box_lo, self.box_hi)
+                    .map(|ip| (cs, ip.point))
+            })
+            .collect()
+    }
+
+    /// Locate the region containing `theta` and return its constraints.
+    /// Points lying exactly on a node hyperplane are routed to the `h⁻`
+    /// side, matching the closed `≤` semantics of region constraints.
+    #[must_use]
+    pub fn region_of(&self, theta: &[f64]) -> Vec<Constraint> {
+        let mut sigma = self.base.clone();
+        let mut link = self.root;
+        while let Some(i) = link {
+            let node = &self.nodes[i as usize];
+            if node.h.eval(theta) > 0.0 {
+                sigma.push(node.h.constraint(Sign::Plus, 0.0));
+                link = node.right;
+            } else {
+                sigma.push(node.h.constraint(Sign::Minus, 0.0));
+                link = node.left;
+            }
+        }
+        sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::Arrangement;
+
+    fn hp(normal: Vec<f64>, offset: f64) -> Hyperplane {
+        Hyperplane::new(normal, offset).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_one_region() {
+        let t = ArrangementTree::new(2);
+        assert_eq!(t.region_count(), 1);
+        assert_eq!(t.regions().len(), 1);
+    }
+
+    #[test]
+    fn single_insert_two_regions() {
+        let mut t = ArrangementTree::new(2);
+        assert_eq!(t.insert(&hp(vec![1.0, 1.0], 1.0)), 1);
+        assert_eq!(t.region_count(), 2);
+        assert_eq!(t.regions().len(), 2);
+    }
+
+    #[test]
+    fn non_crossing_plane_ignored() {
+        let mut t = ArrangementTree::new(2);
+        assert_eq!(t.insert(&hp(vec![1.0, 1.0], 10.0)), 0);
+        assert_eq!(t.region_count(), 1);
+    }
+
+    #[test]
+    fn matches_flat_arrangement_region_count() {
+        let planes = [
+            hp(vec![1.0, 0.0], 0.5),
+            hp(vec![0.0, 1.0], 0.5),
+            hp(vec![1.0, 1.0], 1.3),
+            hp(vec![1.0, -0.7], 0.2),
+            hp(vec![0.4, 1.0], 0.9),
+        ];
+        let mut flat = Arrangement::new(2);
+        let mut tree = ArrangementTree::new(2);
+        for p in &planes {
+            flat.insert(p.clone());
+            tree.insert(p);
+        }
+        assert_eq!(flat.region_count(), tree.region_count());
+        assert_eq!(tree.regions().len(), tree.region_count());
+    }
+
+    #[test]
+    fn region_witnesses_are_interior() {
+        let mut t = ArrangementTree::new(3);
+        t.insert(&hp(vec![1.0, 0.5, 0.5], 0.9));
+        t.insert(&hp(vec![0.2, 1.0, -0.3], 0.4));
+        let ws = t.region_witnesses();
+        assert_eq!(ws.len(), t.region_count());
+        for (cs, p) in ws {
+            for c in cs {
+                assert!(c.satisfied(&p, 1e-9), "{c} violated at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_of_descends_correctly() {
+        let mut t = ArrangementTree::new(2);
+        t.insert(&hp(vec![1.0, 0.0], 0.7));
+        t.insert(&hp(vec![0.0, 1.0], 0.7));
+        let cs = t.region_of(&[0.2, 1.0]);
+        // Should pin θ₁ ≤ 0.7 and θ₂ ≥ 0.7.
+        assert!(cs.iter().all(|c| c.satisfied(&[0.2, 1.0], 1e-9)));
+        assert!(cs.iter().any(|c| !c.satisfied(&[1.0, 1.0], 1e-9)));
+    }
+
+    #[test]
+    fn early_stop_returns_satisfying_witness() {
+        let mut t = ArrangementTree::new(2);
+        t.insert(&hp(vec![1.0, 0.0], 0.7));
+        // Probe accepts only points with θ₂ > 1.0.
+        let mut calls = 0usize;
+        let found = t.insert_with(&hp(vec![0.0, 1.0], 1.0), &mut |p| {
+            calls += 1;
+            p[1] > 1.0
+        });
+        let p = found.expect("the h⁺ side satisfies the probe");
+        assert!(p[1] > 1.0);
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn early_stop_none_when_probe_rejects() {
+        let mut t = ArrangementTree::new(2);
+        let found = t.insert_with(&hp(vec![1.0, 1.0], 1.0), &mut |_| false);
+        assert!(found.is_none());
+        assert_eq!(t.region_count(), 2, "tree still grows when probe rejects");
+    }
+
+    #[test]
+    fn lp_call_accounting_grows() {
+        let mut t = ArrangementTree::new(2);
+        t.insert(&hp(vec![1.0, 0.0], 0.5));
+        let after_one = t.lp_calls;
+        t.insert(&hp(vec![0.0, 1.0], 0.5));
+        assert!(t.lp_calls > after_one);
+    }
+
+    #[test]
+    fn deep_tree_consistency() {
+        // Insert a fan of lines and verify region_count == nodes + 1 and all
+        // enumerated regions feasible.
+        let mut t = ArrangementTree::new(2);
+        for k in 1..=8 {
+            let ang = 0.15 * k as f64;
+            t.insert(&hp(vec![ang.sin(), ang.cos()], 0.8));
+        }
+        assert_eq!(t.region_count(), t.node_count() + 1);
+        let regions = t.regions();
+        assert!(!regions.is_empty());
+        for cs in &regions {
+            assert!(fast_feasible(cs, 2, 0.0, HALF_PI));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Dual-space transform and 2-D ordering exchanges (paper §3.1–3.2).
+//!
+//! Every item `t` maps to the dual hyperplane `d(t): Σ t[k]·x_k = 1`
+//! (Eq. 1/3). The ordering of items under a scoring function `f_w` is the
+//! ordering of the intersections of their duals with the ray of `w`, so two
+//! items swap exactly where their duals intersect — the *ordering exchange*.
+//! In 2-D the exchange of a non-dominating pair is a single ray, identified
+//! by its angle with the x-axis (Eq. 2).
+
+use crate::GEOM_EPS;
+
+/// The dual line of a 2-D item `t`: `t[0]·x + t[1]·y = 1` (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualLine {
+    /// Coefficient of `x` (= `t[0]`).
+    pub a: f64,
+    /// Coefficient of `y` (= `t[1]`).
+    pub b: f64,
+}
+
+impl DualLine {
+    /// Dual of an item with attribute values `(t0, t1)`.
+    #[must_use]
+    pub fn of_item(t0: f64, t1: f64) -> DualLine {
+        DualLine { a: t0, b: t1 }
+    }
+
+    /// Intersection with another dual line, or `None` for parallel duals
+    /// (items whose attribute vectors are parallel never swap order —
+    /// they are scaled copies and tie everywhere or never).
+    #[must_use]
+    pub fn intersect(&self, other: &DualLine) -> Option<(f64, f64)> {
+        let det = self.a * other.b - self.b * other.a;
+        if det.abs() <= GEOM_EPS {
+            return None;
+        }
+        let x = (other.b - self.b) / det;
+        let y = (self.a - other.a) / det;
+        Some((x, y))
+    }
+}
+
+/// The angle `θ ∈ [0, π/2]` of the ordering exchange of two 2-D items, or
+/// `None` when the pair never swaps inside the first quadrant (one item
+/// dominates the other, or the duals are parallel).
+///
+/// This is Eq. 2 of the paper, made robust: the exchange ray direction is
+/// the non-negative solution of `(t_i − t_j)·w = 0`, i.e.
+/// `w ∝ (−v_1, v_0)` for `v = t_i − t_j`, which lies in the first quadrant
+/// iff `v_0` and `v_1` have opposite signs.
+#[must_use]
+pub fn exchange_angle_2d(ti: &[f64], tj: &[f64]) -> Option<f64> {
+    debug_assert_eq!(ti.len(), 2);
+    debug_assert_eq!(tj.len(), 2);
+    let v0 = ti[0] - tj[0];
+    let v1 = ti[1] - tj[1];
+    if v0.abs() <= GEOM_EPS && v1.abs() <= GEOM_EPS {
+        return None; // identical items tie everywhere
+    }
+    // Need w = (w0, w1) ≥ 0 with v0·w0 + v1·w1 = 0 and w ≠ 0.
+    if v0.abs() <= GEOM_EPS {
+        // v1·w1 = 0 → w1 = 0 → exchange on the x-axis.
+        return Some(0.0);
+    }
+    if v1.abs() <= GEOM_EPS {
+        return Some(std::f64::consts::FRAC_PI_2);
+    }
+    if v0.signum() == v1.signum() {
+        return None; // dominance: no first-quadrant exchange
+    }
+    // w ∝ (|v1|, |v0|) up to scale.
+    Some(v0.abs().atan2(v1.abs()))
+}
+
+/// Whether item `a` dominates item `b`: `a[k] ≥ b[k]` for all `k` with at
+/// least one strict inequality (paper footnote 4).
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn paper_figure2_example() {
+        // t1 = (1, 2), t2 = (2, 1): exchange at f = x + y, i.e. θ = π/4.
+        let theta = exchange_angle_2d(&[1.0, 2.0], &[2.0, 1.0]).unwrap();
+        assert!((theta - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exchange_matches_score_equality() {
+        let ti = [1.5, 3.1];
+        let tj = [2.3, 1.8];
+        let theta = exchange_angle_2d(&ti, &tj).unwrap();
+        let w = [theta.cos(), theta.sin()];
+        let si = ti[0] * w[0] + ti[1] * w[1];
+        let sj = tj[0] * w[0] + tj[1] * w[1];
+        assert!((si - sj).abs() < 1e-12, "scores must tie at the exchange");
+    }
+
+    #[test]
+    fn dominated_pair_has_no_exchange() {
+        assert!(exchange_angle_2d(&[2.0, 2.0], &[1.0, 1.0]).is_none());
+        assert!(exchange_angle_2d(&[1.0, 1.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn identical_items_no_exchange() {
+        assert!(exchange_angle_2d(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn axis_aligned_exchanges() {
+        // Same x, different y: tie only when w1 = 0 → θ = 0.
+        assert_eq!(exchange_angle_2d(&[1.0, 2.0], &[1.0, 3.0]), Some(0.0));
+        // Same y, different x: tie only when w0 = 0 → θ = π/2.
+        assert_eq!(
+            exchange_angle_2d(&[1.0, 2.0], &[3.0, 2.0]),
+            Some(FRAC_PI_2)
+        );
+    }
+
+    #[test]
+    fn dual_intersection_is_exchange_direction() {
+        // The intersection point of the duals lies on the exchange ray.
+        let ti = [1.0, 3.5];
+        let tj = [3.2, 0.9];
+        let di = DualLine::of_item(ti[0], ti[1]);
+        let dj = DualLine::of_item(tj[0], tj[1]);
+        let (x, y) = di.intersect(&dj).unwrap();
+        let theta = exchange_angle_2d(&ti, &tj).unwrap();
+        assert!((y.atan2(x) - theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_duals_none() {
+        let d1 = DualLine::of_item(1.0, 2.0);
+        let d2 = DualLine::of_item(2.0, 4.0);
+        assert!(d1.intersect(&d2).is_none());
+    }
+
+    #[test]
+    fn dominance_predicate() {
+        assert!(dominates(&[2.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[2.0, 0.5], &[1.0, 1.0]));
+        assert!(dominates(&[1.0, 1.0, 2.0], &[1.0, 1.0, 1.0]));
+    }
+}

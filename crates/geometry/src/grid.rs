@@ -1,0 +1,565 @@
+//! Angle-space partitioning (paper §5 and Appendix A.2, Algorithm 12
+//! ANGLEPARTITIONING).
+//!
+//! The approximate index divides the angle box `[0, π/2]^{d−1}` into ~`N`
+//! cells whose *angular* diameter is bounded, so that assigning one
+//! satisfactory function per cell yields the Theorem 6 approximation
+//! guarantee. A regular grid does not do this: the arc length spanned by a
+//! step `Δθ_j` along axis `j` shrinks with the cosine of the *deeper*
+//! angles (`arc = Δθ_j · Π_{l>j} cos θ_l` — the Jacobian of Eq. 8), so
+//! equal-θ cells near the pole are much smaller than cells near the equator
+//! (the paper's Figure 9 observation).
+//!
+//! We therefore build the partition as the paper's tree of rows, but with
+//! the row widths derived from the exact surface metric: axes are processed
+//! from the *deepest* angle outward, and a row at level `j` gets width
+//! `γ / Π_{l>j} cos θ_l^{row-lo}` — wider rows where the metric is
+//! compressed, which simultaneously (a) caps every cell's angular extent at
+//! `γ` per axis and (b) keeps cell areas approximately equal to `γ^{d−1}`.
+//! (The paper's own Eq. 15–16 algebra degenerates to uniform spacing when
+//! expanded symbolically — see DESIGN.md — so we implement the construction
+//! it *describes*: equal-area cells with a bounded intra-cell angle.)
+//!
+//! A plain uniform grid is also provided for the ablation experiment.
+
+use crate::hyperplane::Hyperplane;
+use crate::polar::angular_distance;
+use crate::sphere::cell_side_angle;
+use crate::{GEOM_EPS, HALF_PI};
+
+/// Identifier of a grid cell.
+pub type CellId = u32;
+
+/// How the grid spaces its rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PartitionScheme {
+    /// Equal-area rows (the paper's ANGLEPARTITIONING).
+    EqualArea,
+    /// Uniform `θ` spacing (baseline for the ablation).
+    Uniform,
+}
+
+/// One level of the partition tree: sorted boundaries along this level's
+/// axis; each row either recurses (inner levels) or is a cell (last level).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+struct LevelNode {
+    boundaries: Vec<f64>,
+    children: Vec<LevelNode>,
+    first_cell: CellId,
+}
+
+/// A partition of the angle box `[0, π/2]^{d−1}` into axis-aligned cells.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AngleGrid {
+    dim: usize,
+    scheme: PartitionScheme,
+    gamma: f64,
+    /// The `n_cells` the grid was built for (construction is deterministic
+    /// in `(d, scheme, target)`, which is what index persistence stores).
+    target: usize,
+    root: LevelNode,
+    /// Flat cell bounds: `bl[i]`/`tr[i]` of cell `i`.
+    cell_bl: Vec<Vec<f64>>,
+    cell_tr: Vec<Vec<f64>>,
+}
+
+impl AngleGrid {
+    /// Equal-area partitioning targeting `n_cells` cells for a `d`-attribute
+    /// dataset (so `d − 1` angle axes).
+    ///
+    /// # Panics
+    /// If `d < 2` or `n_cells == 0`.
+    #[must_use]
+    pub fn equal_area(d: usize, n_cells: usize) -> AngleGrid {
+        Self::build(d, n_cells, PartitionScheme::EqualArea)
+    }
+
+    /// Uniformly spaced grid with approximately `n_cells` cells (ablation
+    /// baseline).
+    ///
+    /// # Panics
+    /// If `d < 2` or `n_cells == 0`.
+    #[must_use]
+    pub fn uniform(d: usize, n_cells: usize) -> AngleGrid {
+        Self::build(d, n_cells, PartitionScheme::Uniform)
+    }
+
+    fn build(d: usize, n_cells: usize, scheme: PartitionScheme) -> AngleGrid {
+        assert!(d >= 2, "need at least two scoring attributes");
+        assert!(n_cells > 0, "need at least one cell");
+        let dim = d - 1;
+        let gamma = match scheme {
+            // Equal-area: per-axis angular side from the cell-area target
+            // (Eq. 13–14); the metric correction in `row_boundaries` keeps
+            // the total close to n_cells.
+            PartitionScheme::EqualArea => cell_side_angle(d, n_cells).min(HALF_PI),
+            // Uniform: k rows per axis with k^dim ≈ n_cells.
+            PartitionScheme::Uniform => {
+                let k = (n_cells as f64).powf(1.0 / dim as f64).round().max(1.0);
+                HALF_PI / k
+            }
+        };
+        let mut grid = AngleGrid {
+            dim,
+            scheme,
+            gamma,
+            target: n_cells,
+            root: LevelNode {
+                boundaries: Vec::new(),
+                children: Vec::new(),
+                first_cell: 0,
+            },
+            cell_bl: Vec::new(),
+            cell_tr: Vec::new(),
+        };
+        let mut prefix: Vec<(f64, f64)> = Vec::with_capacity(dim); // deeper-axis rows (lo, hi)
+        grid.root = grid.build_level(0, &mut prefix);
+        grid
+    }
+
+    /// Build level `level` (partitioning angle axis `dim − 1 − level`),
+    /// given the `(lo, hi)` borders of the already-chosen deeper rows in
+    /// `prefix` (deepest first).
+    fn build_level(&mut self, level: usize, prefix: &mut Vec<(f64, f64)>) -> LevelNode {
+        let rows = self.row_boundaries(prefix);
+        let first_cell = self.cell_bl.len() as CellId;
+        let mut children = Vec::new();
+        if level + 1 < self.dim {
+            children.reserve(rows.len() - 1);
+            for r in 0..rows.len() - 1 {
+                prefix.push((rows[r], rows[r + 1]));
+                let child = self.build_level(level + 1, prefix);
+                prefix.pop();
+                children.push(child);
+            }
+        } else {
+            // Leaf level: every row of every ancestor path becomes a cell.
+            for r in 0..rows.len() - 1 {
+                // Angle index order: prefix holds rows for axes
+                // dim−1, dim−2, …; this last level partitions axis 0.
+                let mut bl = vec![0.0; self.dim];
+                let mut tr = vec![0.0; self.dim];
+                bl[0] = rows[r];
+                tr[0] = rows[r + 1];
+                for (depth, &(lo, hi)) in prefix.iter().enumerate() {
+                    let axis = self.dim - 1 - depth;
+                    bl[axis] = lo;
+                    tr[axis] = hi;
+                }
+                self.cell_bl.push(bl);
+                self.cell_tr.push(tr);
+            }
+        }
+        LevelNode {
+            boundaries: rows,
+            children,
+            first_cell,
+        }
+    }
+
+    /// Row boundaries for the axis at depth `prefix.len()` given the chosen
+    /// deeper rows.
+    fn row_boundaries(&self, prefix: &[(f64, f64)]) -> Vec<f64> {
+        let width = match self.scheme {
+            PartitionScheme::Uniform => self.gamma,
+            PartitionScheme::EqualArea => {
+                // Metric compression from the deeper rows: Π cos(lo).
+                let c: f64 = prefix.iter().map(|&(lo, _)| lo.cos()).product();
+                if c <= GEOM_EPS {
+                    HALF_PI
+                } else {
+                    (self.gamma / c).min(HALF_PI)
+                }
+            }
+        };
+        let nrows = (HALF_PI / width).ceil().max(1.0) as usize;
+        let step = HALF_PI / nrows as f64;
+        let mut b: Vec<f64> = (0..=nrows).map(|i| i as f64 * step).collect();
+        // Guarantee the exact endpoint despite rounding.
+        *b.last_mut().expect("non-empty") = HALF_PI;
+        b
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cell_bl.len()
+    }
+
+    /// Ambient dimension (number of angle axes, `d − 1`).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The per-axis target angular side `γ`.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The `n_cells` target the grid was built with. Reconstructing with
+    /// the same `(d, scheme, target)` yields an identical grid.
+    #[must_use]
+    pub fn target_cells(&self) -> usize {
+        self.target
+    }
+
+    /// The partitioning scheme.
+    #[must_use]
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Bottom-left and top-right corners of a cell.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    #[must_use]
+    pub fn cell_bounds(&self, id: CellId) -> (&[f64], &[f64]) {
+        (&self.cell_bl[id as usize], &self.cell_tr[id as usize])
+    }
+
+    /// Center of a cell.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    #[must_use]
+    pub fn center(&self, id: CellId) -> Vec<f64> {
+        let (bl, tr) = self.cell_bounds(id);
+        bl.iter().zip(tr).map(|(a, b)| 0.5 * (a + b)).collect()
+    }
+
+    /// The cell containing `theta` (clamped into the box). `O(log N)` —
+    /// one binary search per level (MDONLINE's lookup, Algorithm 11).
+    #[must_use]
+    pub fn locate(&self, theta: &[f64]) -> CellId {
+        debug_assert_eq!(theta.len(), self.dim);
+        let mut node = &self.root;
+        let mut level = 0usize;
+        loop {
+            let axis = self.dim - 1 - level;
+            let t = theta[axis].clamp(0.0, HALF_PI);
+            let nrows = node.boundaries.len() - 1;
+            // First boundary strictly greater than t, minus one.
+            let mut row = node.boundaries.partition_point(|&b| b <= t);
+            row = row.saturating_sub(1).min(nrows - 1);
+            if node.children.is_empty() {
+                return node.first_cell + row as CellId;
+            }
+            node = &node.children[row];
+            level += 1;
+        }
+    }
+
+    /// All cells whose closed box intersects `[bl, tr]` (used for
+    /// neighbour enumeration). `eps`-tolerant so face-adjacent cells count.
+    #[must_use]
+    pub fn cells_in_box(&self, bl: &[f64], tr: &[f64], eps: f64) -> Vec<CellId> {
+        let mut out = Vec::new();
+        self.cells_in_box_rec(&self.root, 0, bl, tr, eps, &mut out);
+        out
+    }
+
+    fn cells_in_box_rec(
+        &self,
+        node: &LevelNode,
+        level: usize,
+        bl: &[f64],
+        tr: &[f64],
+        eps: f64,
+        out: &mut Vec<CellId>,
+    ) {
+        let axis = self.dim - 1 - level;
+        let lo = bl[axis] - eps;
+        let hi = tr[axis] + eps;
+        let nrows = node.boundaries.len() - 1;
+        // Rows [start, end) overlapping [lo, hi].
+        let start = node.boundaries.partition_point(|&b| b < lo).saturating_sub(1);
+        let end = node.boundaries.partition_point(|&b| b <= hi).min(nrows);
+        for r in start..end.max(start) {
+            if node.boundaries[r + 1] < lo || node.boundaries[r] > hi {
+                continue;
+            }
+            if node.children.is_empty() {
+                let id = node.first_cell + r as CellId;
+                // Check remaining axes exactly (leaf knows its full box).
+                let (cbl, ctr) = self.cell_bounds(id);
+                let overlaps = cbl
+                    .iter()
+                    .zip(ctr)
+                    .zip(bl.iter().zip(tr))
+                    .all(|((&cl, &ct), (&ql, &qt))| cl <= qt + eps && ct >= ql - eps);
+                if overlaps {
+                    out.push(id);
+                }
+            } else {
+                self.cells_in_box_rec(&node.children[r], level + 1, bl, tr, eps, out);
+            }
+        }
+    }
+
+    /// Neighbours of a cell: all distinct cells whose closed boxes touch it.
+    #[must_use]
+    pub fn neighbors(&self, id: CellId) -> Vec<CellId> {
+        let (bl, tr) = self.cell_bounds(id);
+        let bl = bl.to_vec();
+        let tr = tr.to_vec();
+        let mut v = self.cells_in_box(&bl, &tr, 1e-9);
+        v.retain(|&c| c != id);
+        v
+    }
+
+    /// All cells crossed by a hyperplane, found by hierarchical pruning
+    /// over the partition tree (CELLPLANE×, Algorithm 7, with the exact
+    /// interval-arithmetic box test — DESIGN.md F3).
+    #[must_use]
+    pub fn cells_crossing(&self, h: &Hyperplane) -> Vec<CellId> {
+        debug_assert_eq!(h.dim(), self.dim);
+        let mut bl = vec![0.0; self.dim];
+        let mut tr = vec![HALF_PI; self.dim];
+        let mut out = Vec::new();
+        self.crossing_rec(&self.root, 0, h, &mut bl, &mut tr, &mut out);
+        out
+    }
+
+    fn crossing_rec(
+        &self,
+        node: &LevelNode,
+        level: usize,
+        h: &Hyperplane,
+        bl: &mut Vec<f64>,
+        tr: &mut Vec<f64>,
+        out: &mut Vec<CellId>,
+    ) {
+        let axis = self.dim - 1 - level;
+        let nrows = node.boundaries.len() - 1;
+        for r in 0..nrows {
+            let (save_lo, save_hi) = (bl[axis], tr[axis]);
+            bl[axis] = node.boundaries[r];
+            tr[axis] = node.boundaries[r + 1];
+            if h.crosses_box(bl, tr) {
+                if node.children.is_empty() {
+                    out.push(node.first_cell + r as CellId);
+                } else {
+                    self.crossing_rec(&node.children[r], level + 1, h, bl, tr, out);
+                }
+            }
+            bl[axis] = save_lo;
+            tr[axis] = save_hi;
+        }
+    }
+
+    /// Brute-force variant of [`AngleGrid::cells_crossing`] for testing.
+    #[must_use]
+    pub fn cells_crossing_bruteforce(&self, h: &Hyperplane) -> Vec<CellId> {
+        (0..self.cell_count() as CellId)
+            .filter(|&id| {
+                let (bl, tr) = self.cell_bounds(id);
+                h.crosses_box(bl, tr)
+            })
+            .collect()
+    }
+
+    /// The maximum angular diameter over all cells, measured on the main
+    /// diagonals. Used to verify the Theorem 6 premise.
+    #[must_use]
+    pub fn max_cell_diameter(&self) -> f64 {
+        let mut max = 0.0f64;
+        for id in 0..self.cell_count() as CellId {
+            max = max.max(self.cell_diameter(id));
+        }
+        max
+    }
+
+    /// Angular diameter of one cell (max over opposite-corner pairs).
+    #[must_use]
+    pub fn cell_diameter(&self, id: CellId) -> f64 {
+        let (bl, tr) = self.cell_bounds(id);
+        let k = bl.len();
+        let mut max = 0.0f64;
+        // All 2^(k-1) opposite-corner pairs (corner c vs its complement).
+        for mask in 0..(1u32 << k.saturating_sub(1)) {
+            let mut a = Vec::with_capacity(k);
+            let mut b = Vec::with_capacity(k);
+            for j in 0..k {
+                if mask >> j & 1 == 1 {
+                    a.push(tr[j]);
+                    b.push(bl[j]);
+                } else {
+                    a.push(bl[j]);
+                    b.push(tr[j]);
+                }
+            }
+            max = max.max(angular_distance(&a, &b));
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::approx_error_bound;
+
+    #[test]
+    fn d2_grid_is_interval_partition() {
+        let g = AngleGrid::equal_area(2, 100);
+        assert_eq!(g.dim(), 1);
+        assert!(g.cell_count() >= 99 && g.cell_count() <= 101);
+        // Cells tile [0, π/2].
+        let mut total = 0.0;
+        for id in 0..g.cell_count() as CellId {
+            let (bl, tr) = g.cell_bounds(id);
+            total += tr[0] - bl[0];
+        }
+        assert!((total - HALF_PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn d3_grid_cell_count_near_target() {
+        let g = AngleGrid::equal_area(3, 1000);
+        let n = g.cell_count();
+        assert!(
+            (500..=2200).contains(&n),
+            "expected ≈1000 cells, got {n}"
+        );
+    }
+
+    #[test]
+    fn locate_agrees_with_bounds() {
+        let g = AngleGrid::equal_area(3, 500);
+        let probes = [
+            vec![0.1, 0.2],
+            vec![1.5, 1.5],
+            vec![0.0, 0.0],
+            vec![HALF_PI, HALF_PI],
+            vec![0.77, 0.01],
+        ];
+        for p in &probes {
+            let id = g.locate(p);
+            let (bl, tr) = g.cell_bounds(id);
+            for j in 0..g.dim() {
+                assert!(
+                    bl[j] - 1e-12 <= p[j] && p[j] <= tr[j] + 1e-12,
+                    "probe {p:?} not inside cell {id} [{bl:?}, {tr:?}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_cell_center_locates_to_itself() {
+        let g = AngleGrid::equal_area(3, 300);
+        for id in 0..g.cell_count() as CellId {
+            let c = g.center(id);
+            assert_eq!(g.locate(&c), id, "center of {id} mislocated");
+        }
+    }
+
+    #[test]
+    fn equal_area_diameters_bounded() {
+        let g = AngleGrid::equal_area(3, 2000);
+        let max_d = g.max_cell_diameter();
+        // Theorem 6 premise: the diameter must stay within the bound used
+        // by approx_error_bound (which is 4·asin(...) for two hops; one
+        // cell diameter is at most half of it).
+        let bound = approx_error_bound(3, 2000) / 2.0;
+        assert!(
+            max_d <= bound * 1.75,
+            "max diameter {max_d} far exceeds per-cell bound {bound}"
+        );
+    }
+
+    #[test]
+    fn equal_area_beats_uniform_on_max_diameter_per_cell() {
+        // For the same cell count, the equal-area layout should not have a
+        // larger worst-case angular diameter than the uniform grid in d=3.
+        let ea = AngleGrid::equal_area(3, 1500);
+        let un = AngleGrid::uniform(3, ea.cell_count());
+        assert!(ea.max_cell_diameter() <= un.max_cell_diameter() * 1.05);
+    }
+
+    #[test]
+    fn neighbors_symmetric_and_nontrivial() {
+        let g = AngleGrid::equal_area(3, 200);
+        for id in 0..g.cell_count() as CellId {
+            let ns = g.neighbors(id);
+            assert!(!ns.is_empty(), "cell {id} has no neighbours");
+            assert!(!ns.contains(&id));
+            for n in ns {
+                assert!(
+                    g.neighbors(n).contains(&id),
+                    "asymmetric neighbour pair ({id}, {n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cells_crossing_matches_bruteforce() {
+        let g = AngleGrid::equal_area(3, 400);
+        let planes = [
+            Hyperplane::new(vec![1.0, 1.0], 1.0).unwrap(),
+            Hyperplane::new(vec![1.0, -1.0], 0.0).unwrap(),
+            Hyperplane::new(vec![0.3, 1.0], 0.9).unwrap(),
+            Hyperplane::new(vec![1.0, 0.0], 1.3).unwrap(),
+        ];
+        for h in &planes {
+            let mut fast = g.cells_crossing(h);
+            let mut brute = g.cells_crossing_bruteforce(h);
+            fast.sort_unstable();
+            brute.sort_unstable();
+            assert_eq!(fast, brute, "mismatch for {h:?}");
+        }
+    }
+
+    #[test]
+    fn crossing_prunes_most_cells() {
+        let g = AngleGrid::equal_area(3, 2000);
+        let h = Hyperplane::new(vec![1.0, 1.0], 1.0).unwrap();
+        let crossing = g.cells_crossing(&h).len();
+        assert!(
+            crossing * 4 < g.cell_count(),
+            "a single plane should cross a small fraction of cells: {crossing}/{}",
+            g.cell_count()
+        );
+    }
+
+    #[test]
+    fn uniform_grid_counts() {
+        let g = AngleGrid::uniform(3, 400);
+        // Uniform: k rows per axis with k² ≈ 400.
+        let n = g.cell_count();
+        assert!((350..=450).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn d4_grid_construction_and_locate() {
+        let g = AngleGrid::equal_area(4, 3000);
+        assert_eq!(g.dim(), 3);
+        assert!(g.cell_count() > 500);
+        let p = vec![0.5, 1.0, 0.2];
+        let id = g.locate(&p);
+        let (bl, tr) = g.cell_bounds(id);
+        for j in 0..3 {
+            assert!(bl[j] <= p[j] && p[j] <= tr[j]);
+        }
+    }
+
+    #[test]
+    fn cells_tile_box_volume_d3() {
+        // Σ θ-volume of cells = (π/2)² regardless of scheme.
+        for g in [AngleGrid::equal_area(3, 700), AngleGrid::uniform(3, 700)] {
+            let mut vol = 0.0;
+            for id in 0..g.cell_count() as CellId {
+                let (bl, tr) = g.cell_bounds(id);
+                vol += (tr[0] - bl[0]) * (tr[1] - bl[1]);
+            }
+            assert!((vol - HALF_PI * HALF_PI).abs() < 1e-6, "vol {vol}");
+        }
+    }
+}

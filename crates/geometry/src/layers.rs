@@ -1,0 +1,249 @@
+//! Convex and dominance layers — the paper's §8 top-k pruning extension.
+//!
+//! The paper observes that when the fairness oracle only inspects the top-k
+//! of the ranking, items outside the first `k` *convex layers* can never
+//! enter the top-k under any linear scoring function, so their ordering
+//! exchanges are irrelevant and the arrangement shrinks from `n^{2(d−1)}`
+//! to `n_k^{2(d−1)}`.
+//!
+//! Two filters are provided:
+//!
+//! * [`convex_layers_2d`] — exact onion peeling in two dimensions using the
+//!   upper-right convex hull (only hull points maximize a non-negative
+//!   linear function).
+//! * [`dominance_layers`] — repeated skyline peeling in any dimension. If
+//!   item `t` sits in dominance layer `m`, there is a chain of `m − 1`
+//!   items each dominating the next down to `t`, and every dominator scores
+//!   at least as high under any monotone linear function; hence the top-k is
+//!   contained in the first `k` dominance layers. Dominance layers are a
+//!   superset of convex layers (valid but looser), which keeps the filter
+//!   sound in every dimension.
+
+use crate::dual::dominates;
+
+/// Assign each 2-D item to its convex (onion) layer, 1-based. Layer 1 is
+/// the upper-right convex hull of the full set, layer 2 the hull of the
+/// rest, and so on.
+///
+/// Only the *upper-right* hull matters for maximization with non-negative
+/// weights, so interior-but-Pareto points land in deeper layers exactly
+/// when no non-negative weight vector ranks them first among the remnant.
+///
+/// # Panics
+/// If any item does not have exactly 2 attributes.
+#[must_use]
+pub fn convex_layers_2d(items: &[Vec<f64>]) -> Vec<usize> {
+    for t in items {
+        assert_eq!(t.len(), 2, "convex_layers_2d requires 2-D items");
+    }
+    let n = items.len();
+    let mut layer = vec![0usize; n];
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut current = 0usize;
+    while !remaining.is_empty() {
+        current += 1;
+        let hull = upper_right_hull(items, &remaining);
+        for &i in &hull {
+            layer[i] = current;
+        }
+        remaining.retain(|i| layer[*i] == 0);
+    }
+    layer
+}
+
+/// Indices (into `items`) of the upper-right convex hull of the subset
+/// `active`: the points that maximize `w·t` for some `w ≥ 0, w ≠ 0`.
+fn upper_right_hull(items: &[Vec<f64>], active: &[usize]) -> Vec<usize> {
+    if active.len() <= 2 {
+        return active.to_vec();
+    }
+    // Sort by x descending, y ascending for ties; walk building an upper
+    // chain in the direction of decreasing x / increasing y.
+    let mut pts: Vec<usize> = active.to_vec();
+    pts.sort_by(|&a, &b| {
+        items[b][0]
+            .total_cmp(&items[a][0])
+            .then(items[a][1].total_cmp(&items[b][1]))
+    });
+    // Andrew-monotone-chain style scan keeping right turns only.
+    let mut hull: Vec<usize> = Vec::new();
+    for &i in &pts {
+        while hull.len() >= 2 {
+            let a = &items[hull[hull.len() - 2]];
+            let b = &items[hull[hull.len() - 1]];
+            let c = &items[i];
+            let cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    // The chain runs from the max-x point to the max-y point; points below
+    // the starting x-max's y or left of the ending y-max's x are already
+    // excluded by the scan. Remove chain points strictly dominated within
+    // the chain endpoints (concave ends cannot win any non-negative w).
+    hull
+}
+
+/// Assign each item to its dominance (skyline) layer, 1-based: layer 1 is
+/// the skyline of the full set, layer 2 the skyline of the rest, and so on.
+/// Items tied on every attribute share a layer.
+#[must_use]
+pub fn dominance_layers(items: &[Vec<f64>]) -> Vec<usize> {
+    let n = items.len();
+    let mut layer = vec![0usize; n];
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut current = 0usize;
+    while !remaining.is_empty() {
+        current += 1;
+        // An item stays in this round's skyline iff nothing remaining
+        // dominates it.
+        for &a in &remaining {
+            let dominated = remaining
+                .iter()
+                .any(|&b| b != a && dominates(&items[b], &items[a]));
+            if !dominated {
+                layer[a] = current;
+            }
+        }
+        let before = remaining.len();
+        remaining.retain(|i| layer[*i] == 0);
+        debug_assert!(remaining.len() < before, "skyline peel must progress");
+    }
+    layer
+}
+
+/// Indices of items within the first `k` layers of a layer assignment —
+/// the candidate set that can reach the top-k under some linear function.
+#[must_use]
+pub fn top_k_candidates(layers: &[usize], k: usize) -> Vec<usize> {
+    layers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &l)| (l <= k).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(t: &[f64], w: &[f64]) -> f64 {
+        t.iter().zip(w).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn dominance_layers_simple_chain() {
+        let items = vec![
+            vec![3.0, 3.0], // dominates everything: layer 1
+            vec![2.0, 2.0], // layer 2
+            vec![1.0, 1.0], // layer 3
+        ];
+        assert_eq!(dominance_layers(&items), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dominance_layers_antichain_single_layer() {
+        let items = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        assert_eq!(dominance_layers(&items), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn dominance_layers_ties_share_layer() {
+        let items = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(dominance_layers(&items), vec![1, 1]);
+    }
+
+    #[test]
+    fn convex_layers_hull_first() {
+        let items = vec![
+            vec![4.0, 0.5],
+            vec![0.5, 4.0],
+            vec![3.0, 3.0],
+            vec![1.0, 1.0], // strictly inside: deeper layer
+        ];
+        let layers = convex_layers_2d(&items);
+        assert_eq!(layers[0], 1);
+        assert_eq!(layers[1], 1);
+        assert_eq!(layers[2], 1);
+        assert!(layers[3] > 1);
+    }
+
+    #[test]
+    fn top1_always_in_first_convex_layer() {
+        // Deterministic pseudo-random points; for many weight vectors the
+        // top-1 item must be in layer 1.
+        let mut seed = 0x5eedu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 10_000) as f64 / 10_000.0
+        };
+        let items: Vec<Vec<f64>> = (0..60).map(|_| vec![next(), next()]).collect();
+        let layers = convex_layers_2d(&items);
+        for step in 0..20 {
+            let ang = step as f64 / 19.0 * std::f64::consts::FRAC_PI_2;
+            let w = [ang.cos(), ang.sin()];
+            let best = (0..items.len())
+                .max_by(|&a, &b| score(&items[a], &w).total_cmp(&score(&items[b], &w)))
+                .unwrap();
+            assert_eq!(
+                layers[best], 1,
+                "top-1 item {best} for w={w:?} not in layer 1"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_within_first_k_dominance_layers() {
+        let mut seed = 0xabcdu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 10_000) as f64 / 10_000.0
+        };
+        let items: Vec<Vec<f64>> = (0..80).map(|_| vec![next(), next(), next()]).collect();
+        let layers = dominance_layers(&items);
+        let k = 5usize;
+        let candidates = top_k_candidates(&layers, k);
+        for step in 0..10 {
+            let a = 0.1 + step as f64 / 10.0;
+            let w = [a, 1.0 - a / 2.0, 0.4];
+            let mut order: Vec<usize> = (0..items.len()).collect();
+            order.sort_by(|&x, &y| score(&items[y], &w).total_cmp(&score(&items[x], &w)));
+            for &top in order.iter().take(k) {
+                assert!(
+                    candidates.contains(&top),
+                    "top-{k} item {top} missing from candidate set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_filter_shrinks_input() {
+        let mut seed = 0x7777u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 10_000) as f64 / 10_000.0
+        };
+        let items: Vec<Vec<f64>> = (0..200).map(|_| vec![next(), next()]).collect();
+        let layers = dominance_layers(&items);
+        let candidates = top_k_candidates(&layers, 3);
+        assert!(candidates.len() < items.len() / 2, "{}", candidates.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dominance_layers(&[]).is_empty());
+        assert!(convex_layers_2d(&[]).is_empty());
+        assert!(top_k_candidates(&[], 3).is_empty());
+    }
+}

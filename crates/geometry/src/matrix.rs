@@ -1,0 +1,364 @@
+//! Small dense matrix kernels: linear solves and null spaces via Gaussian
+//! elimination with partial pivoting.
+//!
+//! HYPERPOLAR (paper Algorithm 3) builds a `(d−1) × (d−1)` matrix `Θ` of
+//! angle-space points and computes `Θ⁻¹ × ι`; the affine-fit fallback needs
+//! a one-dimensional null space of a `(d−1) × d` system. With `d ≤ 8`
+//! everything here is O(1) in practice.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row slices; all rows must share a length.
+    ///
+    /// # Panics
+    /// If rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// If `x.len() != ncols`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Solve the square system `A x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` when `A` is (numerically) singular.
+///
+/// # Panics
+/// If `A` is not square or `b` has the wrong length.
+#[must_use]
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows, a.cols, "solve requires a square matrix");
+    assert_eq!(b.len(), a.rows);
+    let n = a.rows;
+    // Augmented [A | b].
+    let mut aug = vec![0.0; n * (n + 1)];
+    for i in 0..n {
+        for j in 0..n {
+            aug[i * (n + 1) + j] = a.get(i, j);
+        }
+        aug[i * (n + 1) + n] = b[i];
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = aug[col * (n + 1) + col].abs();
+        for r in col + 1..n {
+            let v = aug[r * (n + 1) + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-11 {
+            return None;
+        }
+        if piv != col {
+            for j in 0..=n {
+                aug.swap(col * (n + 1) + j, piv * (n + 1) + j);
+            }
+        }
+        let pivot = aug[col * (n + 1) + col];
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = aug[r * (n + 1) + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..=n {
+                aug[r * (n + 1) + j] -= factor * aug[col * (n + 1) + j];
+            }
+        }
+    }
+    Some(
+        (0..n)
+            .map(|i| aug[i * (n + 1) + n] / aug[i * (n + 1) + i])
+            .collect(),
+    )
+}
+
+/// A unit-norm vector `v` with `A v ≈ 0`, when `A` (with more columns than
+/// effective rank) has a non-trivial null space. Returns `None` if the rows
+/// span the full column space.
+///
+/// Used by the HYPERPOLAR fallback: given `k` points that should define an
+/// affine hyperplane `a·θ = b`, the homogeneous system over `(a, −b)` has a
+/// one-dimensional null space.
+#[must_use]
+pub fn null_space_vector(a: &Matrix) -> Option<Vec<f64>> {
+    let (m, n) = (a.rows, a.cols);
+    let mut mat: Vec<f64> = a.data.clone();
+    let mut pivot_cols = Vec::new();
+    let mut row = 0usize;
+    for col in 0..n {
+        if row >= m {
+            break;
+        }
+        // Partial pivot within this column.
+        let mut piv = row;
+        let mut best = mat[row * n + col].abs();
+        for r in row + 1..m {
+            let v = mat[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-11 {
+            continue; // free column
+        }
+        if piv != row {
+            for j in 0..n {
+                mat.swap(row * n + j, piv * n + j);
+            }
+        }
+        let pivot = mat[row * n + col];
+        for r in 0..m {
+            if r == row {
+                continue;
+            }
+            let factor = mat[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                mat[r * n + j] -= factor * mat[row * n + j];
+            }
+        }
+        pivot_cols.push((row, col));
+        row += 1;
+    }
+    // Pick the first free column and back-substitute.
+    let used: Vec<usize> = pivot_cols.iter().map(|&(_, c)| c).collect();
+    let free = (0..n).find(|c| !used.contains(c))?;
+    let mut v = vec![0.0; n];
+    v[free] = 1.0;
+    for &(r, c) in pivot_cols.iter().rev() {
+        let mut s = 0.0;
+        for j in 0..n {
+            if j != c {
+                s += mat[r * n + j] * v[j];
+            }
+        }
+        v[c] = -s / mat[r * n + c];
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm < 1e-12 {
+        return None;
+    }
+    for x in &mut v {
+        *x /= norm;
+    }
+    Some(v)
+}
+
+/// Least-squares solution of the (possibly overdetermined) system
+/// `A x ≈ b`, via the normal equations `AᵀA x = Aᵀb`. Returns `None` when
+/// `AᵀA` is (numerically) singular — i.e. the columns of `A` are linearly
+/// dependent.
+///
+/// For a square non-singular `A` this coincides with [`solve`]. HYPERPOLAR
+/// uses it to fit the ordering-exchange hyperplane through *all* extreme
+/// rays of the exchange cone, not just an arbitrary `d − 1` of them, which
+/// tightens the linearization of the curved exchange surface.
+///
+/// # Panics
+/// If `b.len() != A.nrows()`.
+#[must_use]
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(b.len(), a.rows, "rhs length must match row count");
+    let (m, n) = (a.rows, a.cols);
+    let mut ata = Matrix::zeros(n, n);
+    let mut atb = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for r in 0..m {
+                s += a.get(r, i) * a.get(r, j);
+            }
+            ata.set(i, j, s);
+        }
+        let mut s = 0.0;
+        for r in 0..m {
+            s += a.get(r, i) * b[r];
+        }
+        atb[i] = s;
+    }
+    solve(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(solve(&a, &[3.0, 4.0]).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_general_3x3() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        // Known solution (2, 3, -1).
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_square_matches_solve() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let exact = solve(&a, &[5.0, 10.0]).unwrap();
+        let ls = solve_least_squares(&a, &[5.0, 10.0]).unwrap();
+        assert!((exact[0] - ls[0]).abs() < 1e-9);
+        assert!((exact[1] - ls[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_regression() {
+        // Fit y = 2x + 1 through noiseless samples: exact recovery.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let sol = solve_least_squares(&Matrix::from_rows(&rows), &b).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-9);
+        assert!((sol[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_inconsistent_minimizes_residual() {
+        // Inconsistent system: A = [[1],[1]], b = [0, 1] → x = 0.5.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let sol = solve_least_squares(&a, &[0.0, 1.0]).unwrap();
+        assert!((sol[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_rank_deficient_none() {
+        // Dependent columns → singular normal equations.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        assert!(solve_least_squares(&a, &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn mul_vec_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = solve(&a, &[5.0, 11.0]).unwrap();
+        let b = a.mul_vec(&x);
+        assert!((b[0] - 5.0).abs() < 1e-9);
+        assert!((b[1] - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_space_of_rank_deficient() {
+        // Row space = span{(1,1,0)}; null space contains (1,-1,0)/√2 and (0,0,1).
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 0.0]]);
+        let v = null_space_vector(&a).unwrap();
+        let r = v[0] + v[1];
+        assert!(r.abs() < 1e-9, "A v = {r}");
+        assert!((v.iter().map(|x| x * x).sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_space_full_rank_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(null_space_vector(&a).is_none());
+    }
+
+    #[test]
+    fn null_space_affine_fit_shape() {
+        // Points (1,0), (0,1) on the line x + y = 1: homogeneous rows
+        // (x, y, -1) · (a1, a2, b) = 0 should recover a ∝ (1,1), b ∝ 1.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, -1.0], vec![0.0, 1.0, -1.0]]);
+        let v = null_space_vector(&a).unwrap();
+        assert!((v[0] - v[1]).abs() < 1e-9);
+        assert!((v[0] - v[2]).abs() < 1e-9);
+    }
+}

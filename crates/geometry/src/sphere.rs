@@ -1,0 +1,146 @@
+//! Hypersphere surface geometry for the angle-space partitioning
+//! (paper Eq. 11–14 and Theorem 6).
+
+/// `Γ(d/2)` for positive integer `d`, computed exactly from the recurrence
+/// (`Γ(n) = (n−1)!`, `Γ(n + ½) = (2n−1)!!/2ⁿ · √π`).
+///
+/// # Panics
+/// If `d == 0`.
+#[must_use]
+pub fn gamma_half_integer(d: usize) -> f64 {
+    assert!(d > 0, "gamma_half_integer requires d ≥ 1");
+    if d % 2 == 0 {
+        // Γ(d/2) = (d/2 − 1)!
+        let n = d / 2;
+        (1..n).map(|k| k as f64).product()
+    } else {
+        // Γ(d/2) = Γ(n + 1/2) with n = (d−1)/2 = (2n−1)!!/2ⁿ √π
+        let n = (d - 1) / 2;
+        let mut v = std::f64::consts::PI.sqrt();
+        for k in 0..n {
+            v *= 0.5 + k as f64; // Γ(x+1) = x Γ(x) climbing from Γ(1/2)
+        }
+        v
+    }
+}
+
+/// Surface area of the first orthant of the unit `(d−1)`-sphere in `R^d`
+/// (paper Eq. 11): `η = π^{d/2} / (2^{d−1} Γ(d/2))`.
+#[must_use]
+pub fn first_orthant_area(d: usize) -> f64 {
+    let pi = std::f64::consts::PI;
+    pi.powf(d as f64 / 2.0) / (2f64.powi(d as i32 - 1) * gamma_half_integer(d))
+}
+
+/// Target per-cell surface area for `n_cells` equal-area cells
+/// (paper Eq. 12).
+#[must_use]
+pub fn cell_area(d: usize, n_cells: usize) -> f64 {
+    first_orthant_area(d) / n_cells.max(1) as f64
+}
+
+/// Side length `γ` of the hypercube base of an equal-area cell
+/// (paper Eq. 13–14): the `(d−1)`-th root of the cell area, converted to an
+/// angle via the chord relation `γ_angle = 2 asin(side/2)`.
+#[must_use]
+pub fn cell_side_angle(d: usize, n_cells: usize) -> f64 {
+    debug_assert!(d >= 2);
+    let side = cell_area(d, n_cells).powf(1.0 / (d as f64 - 1.0));
+    2.0 * (side / 2.0).clamp(0.0, 1.0).asin()
+}
+
+/// The Theorem 6 guarantee: an upper bound on `θ_app − θ_opt` for the
+/// grid-based approximate index with `n_cells` cells in `d` scoring
+/// dimensions:
+///
+/// `θ_app ≤ θ_opt + 4 asin( (√(d−1)/2) · (π^{d/2} / (N 2^{d−1} Γ(d/2)))^{1/(d−1)} )`.
+#[must_use]
+pub fn approx_error_bound(d: usize, n_cells: usize) -> f64 {
+    let eta_cell = cell_area(d, n_cells);
+    let side = eta_cell.powf(1.0 / (d as f64 - 1.0));
+    let arg = ((d as f64 - 1.0).sqrt() / 2.0) * side;
+    4.0 * arg.clamp(0.0, 1.0).asin()
+}
+
+/// Surface measure density of the angle parametrization at `angles`:
+/// `Π_{k=1}^{d−1} cos^{k−1}(θ_k)` — the Jacobian of paper Eq. 8. Integrating
+/// this over `[0, π/2]^{d−1}` yields [`first_orthant_area`].
+#[must_use]
+pub fn surface_density(angles: &[f64]) -> f64 {
+    angles
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| t.cos().powi(i as i32))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HALF_PI;
+    use std::f64::consts::PI;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn gamma_small_values() {
+        assert_close(gamma_half_integer(2), 1.0, 1e-12); // Γ(1)
+        assert_close(gamma_half_integer(4), 1.0, 1e-12); // Γ(2)
+        assert_close(gamma_half_integer(6), 2.0, 1e-12); // Γ(3)
+        assert_close(gamma_half_integer(8), 6.0, 1e-12); // Γ(4)
+        assert_close(gamma_half_integer(1), PI.sqrt(), 1e-12); // Γ(1/2)
+        assert_close(gamma_half_integer(3), PI.sqrt() / 2.0, 1e-12); // Γ(3/2)
+        assert_close(gamma_half_integer(5), 3.0 * PI.sqrt() / 4.0, 1e-12); // Γ(5/2)
+    }
+
+    #[test]
+    fn first_orthant_areas_match_known_spheres() {
+        // d=2: quarter circle arc length = π/2.
+        assert_close(first_orthant_area(2), PI / 2.0, 1e-12);
+        // d=3: sphere area 4π, first octant = π/2.
+        assert_close(first_orthant_area(3), PI / 2.0, 1e-12);
+        // d=4: 3-sphere area 2π², one of 16 orthants = π²/8.
+        assert_close(first_orthant_area(4), PI * PI / 8.0, 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_area_d3() {
+        // Midpoint rule over [0, π/2]² for dA = cos θ₂ dθ₁ dθ₂.
+        let n = 400;
+        let h = HALF_PI / n as f64;
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let a = [(i as f64 + 0.5) * h, (j as f64 + 0.5) * h];
+                total += surface_density(&a) * h * h;
+            }
+        }
+        assert_close(total, first_orthant_area(3), 1e-4);
+    }
+
+    #[test]
+    fn cell_side_shrinks_with_n() {
+        let s1 = cell_side_angle(3, 100);
+        let s2 = cell_side_angle(3, 10_000);
+        assert!(s2 < s1);
+        assert!(s2 > 0.0);
+    }
+
+    #[test]
+    fn error_bound_monotone_in_n() {
+        let b1 = approx_error_bound(3, 1_000);
+        let b2 = approx_error_bound(3, 40_000);
+        assert!(b2 < b1, "{b2} !< {b1}");
+        assert!(b2 > 0.0);
+    }
+
+    #[test]
+    fn error_bound_paper_setting() {
+        // N = 40,000, d = 3 as in the paper's experiments — the bound must
+        // be well below the observed distances (~0.6 rad) to be meaningful.
+        let b = approx_error_bound(3, 40_000);
+        assert!(b < 0.05, "bound {b} too loose for the paper's N");
+    }
+}

@@ -1,0 +1,216 @@
+//! Feasibility queries over constraint sets: witness points and strict
+//! interior points.
+//!
+//! SATREGIONS and the arrangement tree ask two questions per region of the
+//! hyperplane arrangement:
+//!
+//! * *does a hyperplane pass through this region?* — feasibility of the
+//!   region's constraints plus one equality row;
+//! * *give me a function inside this region to hand to the fairness oracle* —
+//!   a point that is strictly inside, so that the induced item ordering is
+//!   unambiguous (a point on an ordering-exchange boundary scores two items
+//!   equally).
+//!
+//! The strict-interior query is answered with a Chebyshev-style LP: maximize
+//! the margin `t` such that every `≤` constraint keeps distance `t·‖a‖` from
+//! its boundary.
+
+use crate::problem::{Constraint, LinearProgram, LpOutcome, Rel};
+use crate::simplex::solve;
+use crate::EPS;
+
+/// A strict interior point of a constraint set, with its margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteriorPoint {
+    /// The witness point.
+    pub point: Vec<f64>,
+    /// The Euclidean margin to the nearest constraint boundary (Chebyshev
+    /// radius, capped at 1.0 so unbounded regions do not blow up).
+    pub margin: f64,
+}
+
+/// Whether the set `{x ∈ [lo,hi]^n : constraints}` is non-empty.
+#[must_use]
+pub fn is_feasible(constraints: &[Constraint], n: usize, lo: f64, hi: f64) -> bool {
+    feasible_point(constraints, n, lo, hi).is_some()
+}
+
+/// A point of the set `{x ∈ [lo,hi]^n : constraints}`, if one exists.
+///
+/// The returned point satisfies every constraint within the crate tolerance
+/// but may lie on constraint boundaries; use [`interior_point`] when a
+/// strictly interior witness is needed.
+#[must_use]
+pub fn feasible_point(constraints: &[Constraint], n: usize, lo: f64, hi: f64) -> Option<Vec<f64>> {
+    let lp = LinearProgram::minimize(vec![0.0; n])
+        .with_constraints(constraints.iter().cloned())
+        .with_box(lo, hi);
+    match solve(&lp) {
+        Ok(LpOutcome::Optimal { x, .. }) => Some(x),
+        _ => None,
+    }
+}
+
+/// A point strictly inside `{x ∈ [lo,hi]^n : constraints}` together with its
+/// margin, or `None` when the region is empty **or has empty interior**
+/// (lower-dimensional slivers are reported as `None` because `margin` would
+/// be zero; callers that only need feasibility use [`feasible_point`]).
+///
+/// Equality constraints are honoured exactly (they carry no margin), so a
+/// region constrained to a hyperplane can still produce a witness that is
+/// interior *relative to the inequalities*.
+#[must_use]
+pub fn interior_point(
+    constraints: &[Constraint],
+    n: usize,
+    lo: f64,
+    hi: f64,
+) -> Option<InteriorPoint> {
+    chebyshev_center(constraints, n, lo, hi).filter(|ip| ip.margin > EPS)
+}
+
+/// The Chebyshev center of `{x ∈ [lo,hi]^n : constraints}`: the point
+/// maximizing the minimum distance to the inequality boundaries (radius
+/// capped at 1.0). Returns `None` only when the region is empty.
+///
+/// The box bounds participate as ordinary inequality rows so the center
+/// stays away from the box walls too.
+#[must_use]
+pub fn chebyshev_center(
+    constraints: &[Constraint],
+    n: usize,
+    lo: f64,
+    hi: f64,
+) -> Option<InteriorPoint> {
+    // Variables: x_0..x_{n-1}, t  (t = margin).
+    let mut lp_constraints: Vec<Constraint> = Vec::with_capacity(constraints.len() + 2 * n);
+    for c in constraints {
+        match c.rel {
+            Rel::Eq => {
+                let mut a = c.a.clone();
+                a.push(0.0);
+                lp_constraints.push(Constraint::eq(a, c.b));
+            }
+            Rel::Le | Rel::Ge => {
+                let cle = c.normalized_le();
+                let norm = cle.a.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let mut a = cle.a;
+                a.push(norm);
+                lp_constraints.push(Constraint::le(a, cle.b));
+            }
+        }
+    }
+    if lo.is_finite() {
+        for j in 0..n {
+            // −x_j + t ≤ −lo  ⇔  x_j ≥ lo + t
+            let mut a = vec![0.0; n + 1];
+            a[j] = -1.0;
+            a[n] = 1.0;
+            lp_constraints.push(Constraint::le(a, -lo));
+        }
+    }
+    if hi.is_finite() {
+        for j in 0..n {
+            // x_j + t ≤ hi
+            let mut a = vec![0.0; n + 1];
+            a[j] = 1.0;
+            a[n] = 1.0;
+            lp_constraints.push(Constraint::le(a, hi));
+        }
+    }
+
+    let mut objective = vec![0.0; n + 1];
+    objective[n] = 1.0;
+    let mut lp = LinearProgram::maximize(objective).with_constraints(lp_constraints);
+    for j in 0..n {
+        lp.bounds[j] = (
+            if lo.is_finite() { lo } else { f64::NEG_INFINITY },
+            if hi.is_finite() { hi } else { f64::INFINITY },
+        );
+    }
+    // Cap the radius so unbounded regions still have a finite optimum.
+    lp.bounds[n] = (0.0, 1.0);
+
+    match solve(&lp) {
+        Ok(LpOutcome::Optimal { x, value }) => {
+            let point = x[..n].to_vec();
+            Some(InteriorPoint {
+                point,
+                margin: value,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn feasible_box_only() {
+        let p = feasible_point(&[], 3, 0.0, 1.0).unwrap();
+        assert!(p.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn infeasible_contradiction() {
+        let cs = vec![
+            Constraint::le(vec![1.0, 0.0], 0.2),
+            Constraint::ge(vec![1.0, 0.0], 0.8),
+        ];
+        assert!(!is_feasible(&cs, 2, 0.0, 1.0));
+        assert!(interior_point(&cs, 2, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn chebyshev_center_of_unit_box() {
+        let ip = chebyshev_center(&[], 2, 0.0, 1.0).unwrap();
+        assert!((ip.margin - 0.5).abs() < 1e-6);
+        assert!((ip.point[0] - 0.5).abs() < 1e-6);
+        assert!((ip.point[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interior_point_respects_halfspace() {
+        // Triangle: x + y ≤ 1 in the unit box.
+        let cs = vec![Constraint::le(vec![1.0, 1.0], 1.0)];
+        let ip = interior_point(&cs, 2, 0.0, 1.0).unwrap();
+        assert!(ip.margin > 0.1);
+        assert!(ip.point[0] + ip.point[1] < 1.0 - ip.margin / 2.0);
+    }
+
+    #[test]
+    fn sliver_region_has_no_interior() {
+        // x ≤ 0.5 and x ≥ 0.5: feasible but zero-width.
+        let cs = vec![
+            Constraint::le(vec![1.0, 0.0], 0.5),
+            Constraint::ge(vec![1.0, 0.0], 0.5),
+        ];
+        assert!(is_feasible(&cs, 2, 0.0, 1.0));
+        assert!(interior_point(&cs, 2, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn equality_constrained_interior() {
+        // On the segment x + y = 1 within the box: Chebyshev center exists
+        // with zero margin (equality rows carry no slack), so interior_point
+        // filters it out but chebyshev_center still yields a witness.
+        let cs = vec![Constraint::eq(vec![1.0, 1.0], 1.0)];
+        let ip = chebyshev_center(&cs, 2, 0.0, 1.0).unwrap();
+        assert!((ip.point[0] + ip.point[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angle_box_region() {
+        // A typical arrangement-region query in the angle space.
+        let cs = vec![
+            Constraint::ge(vec![0.9, 0.8], 1.0),
+            Constraint::le(vec![2.0, 0.1], 1.0),
+        ];
+        let ip = interior_point(&cs, 2, 0.0, FRAC_PI_2).unwrap();
+        assert!(cs.iter().all(|c| c.satisfied(&ip.point, 1e-9)));
+        assert!(ip.margin > 0.0);
+    }
+}

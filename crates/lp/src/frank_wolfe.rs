@@ -1,0 +1,479 @@
+//! Frank–Wolfe (conditional gradient) minimization of a smooth objective
+//! over a polytope, with **away steps**.
+//!
+//! MDBASELINE (Algorithm 6 of the paper) must solve, for every satisfactory
+//! region `R` of the arrangement, the non-linear program
+//!
+//! ```text
+//!   minimize   θ_angle(Θ, Θ_query)      (Equation 10)
+//!   subject to Θ ∈ R                     (linear half-spaces + angle box)
+//! ```
+//!
+//! The paper delegates this to `scipy.optimize`; we use Frank–Wolfe, which
+//! only needs a *linear* oracle over the feasible region — exactly what the
+//! [`crate::simplex`] provides. Plain Frank–Wolfe zig-zags with `O(1/k)`
+//! error when the optimum sits on a face of the polytope (the common case
+//! here: the closest point of a region to an outside query is on the
+//! region's boundary), so the implementation keeps the visited vertices as
+//! an *active atom set* and takes **away steps** (Guélat–Marcotte): when
+//! the steepest remaining descent is to move away from a bad atom rather
+//! than toward a new one, weight is transferred off that atom. Away-step
+//! Frank–Wolfe converges linearly on polytopes for the objectives used
+//! here.
+//!
+//! The angular distance is smooth and convex in the neighbourhoods that
+//! matter (regions of the arrangement are small relative to the curvature
+//! of the sphere), and every result is validated downstream against the
+//! true fairness oracle, so a local optimum can never produce an *unfair*
+//! suggestion — only a slightly conservative distance.
+
+use crate::problem::{Constraint, LinearProgram, LpOutcome};
+use crate::simplex::solve;
+
+/// Options for [`minimize_over_polytope`].
+#[derive(Debug, Clone, Copy)]
+pub struct FwOptions {
+    /// Maximum number of Frank–Wolfe iterations.
+    pub max_iters: usize,
+    /// Stop when the Frank–Wolfe duality gap `∇f·(x − s)` drops below this.
+    pub gap_tol: f64,
+    /// Relative step size for numeric gradients.
+    pub grad_step: f64,
+    /// Enable away steps (linear convergence on faces). Disable to get the
+    /// textbook algorithm — kept for the ablation benchmark.
+    pub away_steps: bool,
+}
+
+impl Default for FwOptions {
+    fn default() -> Self {
+        FwOptions {
+            max_iters: 200,
+            gap_tol: 1e-10,
+            grad_step: 1e-6,
+            away_steps: true,
+        }
+    }
+}
+
+/// Result of a Frank–Wolfe run.
+#[derive(Debug, Clone)]
+pub struct FwResult {
+    /// The final iterate (always feasible).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Number of iterations performed.
+    pub iters: usize,
+    /// Final duality gap (0 when converged exactly or the region is a point).
+    pub gap: f64,
+}
+
+/// An atom of the convex decomposition `x = Σ αᵢ aᵢ` maintained for away
+/// steps.
+struct Atom {
+    point: Vec<f64>,
+    weight: f64,
+}
+
+/// Minimize `f` over `{x ∈ [lo,hi]^n : constraints}` starting from the
+/// feasible point `start`.
+///
+/// `f` must be finite on the feasible set. Returns `None` if `start` has the
+/// wrong arity or the linear oracle ever fails (empty region).
+pub fn minimize_over_polytope<F>(
+    f: F,
+    constraints: &[Constraint],
+    lo: f64,
+    hi: f64,
+    start: &[f64],
+    opts: &FwOptions,
+) -> Option<FwResult>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = start.len();
+    if n == 0 {
+        return None;
+    }
+    let mut x = start.to_vec();
+    let mut grad = vec![0.0; n];
+    let mut value = f(&x);
+    let mut gap = f64::INFINITY;
+    let mut iters = 0;
+    // Active atoms: x is always Σ αᵢ aᵢ with αᵢ ≥ 0, Σ αᵢ = 1. The start
+    // point is itself a valid (non-vertex) atom.
+    let mut atoms: Vec<Atom> = vec![Atom {
+        point: x.clone(),
+        weight: 1.0,
+    }];
+
+    for it in 0..opts.max_iters {
+        iters = it + 1;
+        numeric_gradient(&f, &x, opts.grad_step, &mut grad);
+
+        // Linear oracle: s = argmin_{s ∈ P} ∇f·s
+        let lp = LinearProgram::minimize(grad.clone())
+            .with_constraints(constraints.iter().cloned())
+            .with_box(lo, hi);
+        let s = match solve(&lp) {
+            Ok(LpOutcome::Optimal { x: s, .. }) => s,
+            _ => return None,
+        };
+
+        gap = dot_diff(&grad, &x, &s);
+        if gap <= opts.gap_tol {
+            break;
+        }
+
+        // Away atom: the active atom the gradient most wants to leave.
+        let away = if opts.away_steps {
+            atoms
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.weight > 1e-15)
+                .max_by(|(_, a), (_, b)| {
+                    dot(&grad, &a.point)
+                        .partial_cmp(&dot(&grad, &b.point))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+        } else {
+            None
+        };
+        let away_gap = away
+            .map(|i| dot_diff(&grad, &atoms[i].point, &x))
+            .unwrap_or(f64::NEG_INFINITY);
+
+        if away_gap > gap && atoms.len() > 1 {
+            // Away step: move from the bad atom v through x.
+            let v = away.expect("away_gap finite implies an away atom");
+            let alpha_v = atoms[v].weight;
+            let gamma_max = alpha_v / (1.0 - alpha_v).max(1e-15);
+            let v_point = atoms[v].point.clone();
+            let gamma = golden_section(
+                |g| {
+                    let p: Vec<f64> = x
+                        .iter()
+                        .zip(&v_point)
+                        .map(|(xi, vi)| xi + g * (xi - vi))
+                        .collect();
+                    f(&p)
+                },
+                0.0,
+                gamma_max,
+                48,
+            );
+            if gamma <= 1e-15 {
+                break;
+            }
+            for (xi, vi) in x.iter_mut().zip(&v_point) {
+                *xi += gamma * (*xi - vi);
+            }
+            // Reweight: αᵢ ← (1+γ)αᵢ, α_v ← (1+γ)α_v − γ.
+            for (i, a) in atoms.iter_mut().enumerate() {
+                a.weight *= 1.0 + gamma;
+                if i == v {
+                    a.weight -= gamma;
+                }
+            }
+            atoms.retain(|a| a.weight > 1e-15); // drop step
+        } else {
+            // Frank–Wolfe step toward the new vertex s.
+            let gamma = golden_section(
+                |g| {
+                    let p: Vec<f64> =
+                        x.iter().zip(&s).map(|(xi, si)| xi + g * (si - xi)).collect();
+                    f(&p)
+                },
+                0.0,
+                1.0,
+                48,
+            );
+            if gamma <= 1e-15 {
+                break;
+            }
+            for (xi, si) in x.iter_mut().zip(&s) {
+                *xi += gamma * (*si - *xi);
+            }
+            if gamma >= 1.0 - 1e-12 {
+                atoms.clear();
+                atoms.push(Atom {
+                    point: s.clone(),
+                    weight: 1.0,
+                });
+            } else {
+                for a in &mut atoms {
+                    a.weight *= 1.0 - gamma;
+                }
+                merge_atom(&mut atoms, &s, gamma);
+            }
+        }
+
+        let new_value = f(&x);
+        let stalled = (value - new_value).abs() < opts.gap_tol * 1e-2;
+        value = new_value;
+        if stalled && !opts.away_steps {
+            break;
+        }
+        if stalled && opts.away_steps && gap < 1e-6 {
+            break;
+        }
+    }
+
+    Some(FwResult {
+        value: f(&x),
+        x,
+        iters,
+        gap,
+    })
+}
+
+/// Add weight `w` to atom `p`, merging with an existing equal atom.
+fn merge_atom(atoms: &mut Vec<Atom>, p: &[f64], w: f64) {
+    for a in atoms.iter_mut() {
+        if a.point
+            .iter()
+            .zip(p)
+            .all(|(x, y)| (x - y).abs() <= 1e-12)
+        {
+            a.weight += w;
+            return;
+        }
+    }
+    atoms.push(Atom {
+        point: p.to_vec(),
+        weight: w,
+    });
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `g · (a − b)`
+fn dot_diff(g: &[f64], a: &[f64], b: &[f64]) -> f64 {
+    g.iter()
+        .zip(a.iter().zip(b))
+        .map(|(gi, (ai, bi))| gi * (ai - bi))
+        .sum()
+}
+
+/// Central-difference numeric gradient.
+fn numeric_gradient<F: Fn(&[f64]) -> f64>(f: &F, x: &[f64], h: f64, out: &mut [f64]) {
+    let mut probe = x.to_vec();
+    for j in 0..x.len() {
+        let step = h * (1.0 + x[j].abs());
+        probe[j] = x[j] + step;
+        let fp = f(&probe);
+        probe[j] = x[j] - step;
+        let fm = f(&probe);
+        probe[j] = x[j];
+        out[j] = (fp - fm) / (2.0 * step);
+    }
+}
+
+/// Golden-section search for the minimum of a unimodal `g` on `[a, b]`.
+fn golden_section<G: Fn(f64) -> f64>(g: G, mut a: f64, mut b: f64, iters: usize) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (orig_a, orig_b) = (a, b);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut gc = g(c);
+    let mut gd = g(d);
+    for _ in 0..iters {
+        if gc < gd {
+            b = d;
+            d = c;
+            gd = gc;
+            c = b - INV_PHI * (b - a);
+            gc = g(c);
+        } else {
+            a = c;
+            c = d;
+            gc = gd;
+            d = a + INV_PHI * (b - a);
+            gd = g(d);
+        }
+    }
+    let mid = 0.5 * (a + b);
+    // Endpoints matter when the optimum is at the boundary of the range.
+    let mut best = mid;
+    let mut best_v = g(mid);
+    for cand in [orig_a, a, b, orig_b] {
+        let v = g(cand);
+        if v < best_v {
+            best_v = v;
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq_dist_to(target: &'static [f64]) -> impl Fn(&[f64]) -> f64 {
+        move |x: &[f64]| {
+            x.iter()
+                .zip(target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn unconstrained_box_minimum_interior() {
+        // min ||x − (0.3, 0.7)||² over the unit box: optimum is the target.
+        let r = minimize_over_polytope(
+            sq_dist_to(&[0.3, 0.7]),
+            &[],
+            0.0,
+            1.0,
+            &[0.9, 0.1],
+            &FwOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.3).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 0.7).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn projection_onto_halfspace() {
+        // Target (1,1) outside x + y ≤ 1 → projection (0.5, 0.5).
+        let cs = vec![Constraint::le(vec![1.0, 1.0], 1.0)];
+        let r = minimize_over_polytope(
+            sq_dist_to(&[1.0, 1.0]),
+            &cs,
+            0.0,
+            1.0,
+            &[0.1, 0.1],
+            &FwOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 5e-3, "{:?}", r.x);
+        assert!((r.x[1] - 0.5).abs() < 5e-3, "{:?}", r.x);
+        assert!(r.x[0] + r.x[1] <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn away_steps_beat_vanilla_on_face_optimum() {
+        // Optimum on a face, query outside: vanilla FW zig-zags; away-step
+        // FW must land (much) closer for the same iteration budget.
+        let cs = vec![Constraint::ge(vec![1.0, 0.0], 1.0)];
+        let target: &[f64] = &[0.2, 0.3];
+        let opts_away = FwOptions {
+            max_iters: 120,
+            ..FwOptions::default()
+        };
+        let opts_vanilla = FwOptions {
+            away_steps: false,
+            max_iters: 120,
+            ..FwOptions::default()
+        };
+        let away = minimize_over_polytope(
+            sq_dist_to(target),
+            &cs,
+            0.0,
+            std::f64::consts::FRAC_PI_2,
+            &[1.3, 0.3],
+            &opts_away,
+        )
+        .unwrap();
+        let vanilla = minimize_over_polytope(
+            sq_dist_to(target),
+            &cs,
+            0.0,
+            std::f64::consts::FRAC_PI_2,
+            &[1.3, 0.3],
+            &opts_vanilla,
+        )
+        .unwrap();
+        // True optimum: (1.0, 0.3).
+        assert!((away.x[0] - 1.0).abs() < 1e-4, "{:?}", away.x);
+        assert!((away.x[1] - 0.3).abs() < 1e-4, "{:?}", away.x);
+        assert!(away.value <= vanilla.value + 1e-12);
+    }
+
+    #[test]
+    fn stays_feasible_throughout() {
+        let cs = vec![
+            Constraint::le(vec![1.0, 2.0], 1.5),
+            Constraint::ge(vec![1.0, -1.0], -0.5),
+        ];
+        let r = minimize_over_polytope(
+            sq_dist_to(&[2.0, 2.0]),
+            &cs,
+            0.0,
+            1.0,
+            &[0.0, 0.0],
+            &FwOptions::default(),
+        )
+        .unwrap();
+        for c in &cs {
+            assert!(c.satisfied(&r.x, 1e-7), "{c} at {:?}", r.x);
+        }
+    }
+
+    #[test]
+    fn already_optimal_converges_immediately() {
+        let r = minimize_over_polytope(
+            sq_dist_to(&[0.0, 0.0]),
+            &[],
+            0.0,
+            1.0,
+            &[0.0, 0.0],
+            &FwOptions::default(),
+        )
+        .unwrap();
+        assert!(r.value < 1e-12);
+        assert!(r.iters <= 2);
+    }
+
+    #[test]
+    fn golden_section_finds_quadratic_minimum() {
+        let g = |t: f64| (t - 0.37) * (t - 0.37);
+        let t = golden_section(g, 0.0, 1.0, 60);
+        assert!((t - 0.37).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_endpoint_minimum() {
+        let g = |t: f64| t; // minimum at a = 0
+        let t = golden_section(g, 0.0, 1.0, 60);
+        assert!(t < 1e-6);
+    }
+
+    #[test]
+    fn nonquadratic_objective() {
+        // Smooth non-quadratic objective: cosine-like bowl.
+        let f = |x: &[f64]| 1.0 - (x[0].cos() * x[1].cos());
+        let r = minimize_over_polytope(f, &[], 0.2, 1.0, &[0.9, 0.9], &FwOptions::default())
+            .unwrap();
+        // Minimum of the bowl on the box is at the lower corner (0.2, 0.2).
+        assert!((r.x[0] - 0.2).abs() < 1e-3);
+        assert!((r.x[1] - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn point_region_is_a_fixed_point() {
+        // Equality-pinched region: nothing to optimize, start returned.
+        let cs = vec![
+            Constraint::ge(vec![1.0, 0.0], 0.7),
+            Constraint::le(vec![1.0, 0.0], 0.7),
+            Constraint::ge(vec![0.0, 1.0], 0.7),
+            Constraint::le(vec![0.0, 1.0], 0.7),
+        ];
+        let r = minimize_over_polytope(
+            sq_dist_to(&[0.1, 0.1]),
+            &cs,
+            0.0,
+            1.0,
+            &[0.7, 0.7],
+            &FwOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.7).abs() < 1e-9);
+        assert!((r.x[1] - 0.7).abs() < 1e-9);
+    }
+}

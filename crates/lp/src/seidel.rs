@@ -1,0 +1,372 @@
+//! Seidel's randomized incremental linear programming.
+//!
+//! The LP instances in this workload have a *fixed, tiny* dimension (the
+//! `d − 1 ≤ 5` angle coordinates) and a potentially large constraint count
+//! (ordering-exchange hyperplanes). Seidel's algorithm runs in expected
+//! `O(m · n!)` time — linear in the number of constraints `m` for fixed
+//! dimension `n` — which makes it the natural fast path for the region
+//! feasibility tests that dominate SATREGIONS and MARKCELL (the `Lp(n²)`
+//! term of the paper's Theorem 3).
+//!
+//! The implementation requires a finite bounding box (always available: the
+//! angle space is `[0, π/2]^{d−1}`), which guarantees bounded subproblems.
+//! Equality rows are split into opposing inequalities. Results are
+//! cross-checked against the two-phase simplex in the test suite, including
+//! a randomized property test.
+
+use crate::problem::{Constraint, Rel};
+use crate::EPS;
+
+/// Outcome of a Seidel solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeidelOutcome {
+    /// Optimal point minimizing the objective.
+    Optimal(Vec<f64>),
+    /// Empty feasible set.
+    Infeasible,
+}
+
+/// Minimize `objective · x` over `{x ∈ [lo,hi]^n : constraints}` using
+/// Seidel's randomized incremental algorithm.
+///
+/// `lo` and `hi` must be finite with `lo ≤ hi`. The solve is deterministic
+/// for a given `seed` (the random permutation drives only performance, not
+/// the result). Returns `None` for invalid input (non-finite box, NaN or
+/// arity mismatch); callers should then fall back to [`crate::simplex`].
+#[must_use]
+pub fn solve_seidel(
+    constraints: &[Constraint],
+    objective: &[f64],
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> Option<SeidelOutcome> {
+    let n = objective.len();
+    if n == 0 || !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return None;
+    }
+    if objective.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(constraints.len() * 2);
+    for c in constraints {
+        if c.a.len() != n || c.b.is_nan() || c.a.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        match c.rel {
+            Rel::Le => rows.push(Row {
+                a: c.a.clone(),
+                b: c.b,
+            }),
+            Rel::Ge => rows.push(Row {
+                a: c.a.iter().map(|v| -v).collect(),
+                b: -c.b,
+            }),
+            Rel::Eq => {
+                rows.push(Row {
+                    a: c.a.clone(),
+                    b: c.b,
+                });
+                rows.push(Row {
+                    a: c.a.iter().map(|v| -v).collect(),
+                    b: -c.b,
+                });
+            }
+        }
+    }
+    let mut rng = XorShift64::new(seed);
+    let lows = vec![lo; n];
+    let highs = vec![hi; n];
+    Some(recurse(&mut rows, objective, &lows, &highs, &mut rng))
+}
+
+struct Row {
+    a: Vec<f64>,
+    b: f64,
+}
+
+/// Tiny deterministic RNG — only the permutation quality matters.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+fn recurse(
+    rows: &mut [Row],
+    c: &[f64],
+    lows: &[f64],
+    highs: &[f64],
+    rng: &mut XorShift64,
+) -> SeidelOutcome {
+    let n = c.len();
+    if n == 1 {
+        return base_1d(rows, c[0], lows[0], highs[0]);
+    }
+
+    // Fisher–Yates shuffle for the expected-linear bound.
+    for i in (1..rows.len()).rev() {
+        let j = rng.below(i + 1);
+        rows.swap(i, j);
+    }
+
+    // Start from the box optimum.
+    let mut x: Vec<f64> = (0..n)
+        .map(|j| if c[j] > 0.0 { lows[j] } else { highs[j] })
+        .collect();
+
+    for i in 0..rows.len() {
+        let viol = dot(&rows[i].a, &x) - rows[i].b;
+        if viol <= EPS {
+            continue;
+        }
+        // The optimum of rows[..=i] lies on the boundary of rows[i].
+        let (k, ak) = match pivot_column(&rows[i].a) {
+            Some(p) => p,
+            None => {
+                // Degenerate row 0·x ≤ b with b < 0: infeasible.
+                return SeidelOutcome::Infeasible;
+            }
+        };
+        let (sub_rows, sub_c, sub_lo, sub_hi) =
+            project(&rows[..i], &rows[i], k, ak, c, lows, highs);
+        let mut sub_rows = sub_rows;
+        match recurse(&mut sub_rows, &sub_c, &sub_lo, &sub_hi, rng) {
+            SeidelOutcome::Infeasible => return SeidelOutcome::Infeasible,
+            SeidelOutcome::Optimal(y) => {
+                // Lift back: insert x_k from the boundary equation.
+                let mut lifted = Vec::with_capacity(n);
+                let mut yi = y.iter();
+                for j in 0..n {
+                    if j == k {
+                        lifted.push(0.0); // placeholder
+                    } else {
+                        lifted.push(*yi.next().expect("arity"));
+                    }
+                }
+                let mut s = rows[i].b;
+                for (j, lj) in lifted.iter().enumerate() {
+                    if j != k {
+                        s -= rows[i].a[j] * lj;
+                    }
+                }
+                lifted[k] = s / ak;
+                x = lifted;
+            }
+        }
+    }
+    SeidelOutcome::Optimal(x)
+}
+
+/// Largest-magnitude coefficient for numerically stable elimination.
+fn pivot_column(a: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, &v) in a.iter().enumerate() {
+        if v.abs() > EPS && best.map_or(true, |(_, bv): (usize, f64)| v.abs() > bv.abs()) {
+            best = Some((j, v));
+        }
+    }
+    best
+}
+
+/// Substitute `x_k = (b − Σ_{j≠k} a_j x_j) / a_k` (from the tight row) into
+/// the earlier rows, the objective and the box bounds of `x_k`.
+#[allow(clippy::type_complexity)]
+fn project(
+    earlier: &[Row],
+    tight: &Row,
+    k: usize,
+    ak: f64,
+    c: &[f64],
+    lows: &[f64],
+    highs: &[f64],
+) -> (Vec<Row>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = c.len();
+    let reduce = |a: &[f64], b: f64, coeff_k: f64| -> Row {
+        let scale = coeff_k / ak;
+        let mut na = Vec::with_capacity(n - 1);
+        for j in 0..n {
+            if j != k {
+                na.push(a[j] - scale * tight.a[j]);
+            }
+        }
+        Row {
+            a: na,
+            b: b - scale * tight.b,
+        }
+    };
+
+    let mut rows: Vec<Row> = Vec::with_capacity(earlier.len() + 2);
+    for r in earlier {
+        rows.push(reduce(&r.a, r.b, r.a[k]));
+    }
+    // Box bounds on x_k become two general constraints in the subspace:
+    //   lo_k ≤ (b − Σ a_j x_j)/a_k ≤ hi_k
+    // ⇔  sign-adjusted linear rows over the remaining variables.
+    {
+        // (b − Σ_{j≠k} a_j x_j)/a_k ≤ hi_k  ⇔  −Σ a_j x_j · sign ≤ ...
+        // expressed by reducing the pseudo-rows x_k ≤ hi_k and −x_k ≤ −lo_k.
+        let mut unit = vec![0.0; n];
+        unit[k] = 1.0;
+        rows.push(reduce(&unit, highs[k], 1.0));
+        unit[k] = -1.0;
+        rows.push(reduce(&unit, -lows[k], -1.0));
+    }
+
+    let scale = c[k] / ak;
+    let mut sub_c = Vec::with_capacity(n - 1);
+    let mut sub_lo = Vec::with_capacity(n - 1);
+    let mut sub_hi = Vec::with_capacity(n - 1);
+    for j in 0..n {
+        if j != k {
+            sub_c.push(c[j] - scale * tight.a[j]);
+            sub_lo.push(lows[j]);
+            sub_hi.push(highs[j]);
+        }
+    }
+    (rows, sub_c, sub_lo, sub_hi)
+}
+
+fn base_1d(rows: &[Row], c: f64, lo: f64, hi: f64) -> SeidelOutcome {
+    let mut lo = lo;
+    let mut hi = hi;
+    for r in rows {
+        let a = r.a[0];
+        if a > EPS {
+            hi = hi.min(r.b / a);
+        } else if a < -EPS {
+            lo = lo.max(r.b / a);
+        } else if r.b < -EPS {
+            return SeidelOutcome::Infeasible;
+        }
+    }
+    if lo > hi + EPS {
+        return SeidelOutcome::Infeasible;
+    }
+    let x = if c > 0.0 { lo } else { hi };
+    SeidelOutcome::Optimal(vec![x.clamp(lo.min(hi), hi.max(lo))])
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearProgram, LpOutcome};
+    use crate::simplex::solve;
+
+    fn optimal(out: SeidelOutcome) -> Vec<f64> {
+        match out {
+            SeidelOutcome::Optimal(x) => x,
+            SeidelOutcome::Infeasible => panic!("unexpected infeasible"),
+        }
+    }
+
+    #[test]
+    fn box_only_minimum() {
+        let x = optimal(solve_seidel(&[], &[1.0, -1.0], 0.0, 2.0, 7).unwrap());
+        assert!((x[0] - 0.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_halfspace_binds() {
+        // min −x −y over unit box with x + y ≤ 1 → value −1 on the segment.
+        let cs = vec![Constraint::le(vec![1.0, 1.0], 1.0)];
+        let x = optimal(solve_seidel(&cs, &[-1.0, -1.0], 0.0, 1.0, 3).unwrap());
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-7, "{x:?}");
+    }
+
+    #[test]
+    fn infeasible_pair() {
+        let cs = vec![
+            Constraint::le(vec![1.0, 0.0], 0.2),
+            Constraint::ge(vec![1.0, 0.0], 0.8),
+        ];
+        assert_eq!(
+            solve_seidel(&cs, &[0.0, 0.0], 0.0, 1.0, 5).unwrap(),
+            SeidelOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn equality_row_supported() {
+        // min x over x + y = 1 in the unit box → x = 0, y = 1.
+        let cs = vec![Constraint::eq(vec![1.0, 1.0], 1.0)];
+        let x = optimal(solve_seidel(&cs, &[1.0, 0.0], 0.0, 1.0, 11).unwrap());
+        assert!(x[0].abs() < 1e-7);
+        assert!((x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn three_dimensional() {
+        // min −x−y−z over x+y+z ≤ 1.5 in the unit box.
+        let cs = vec![Constraint::le(vec![1.0, 1.0, 1.0], 1.5)];
+        let x = optimal(solve_seidel(&cs, &[-1.0, -1.0, -1.0], 0.0, 1.0, 13).unwrap());
+        assert!((x.iter().sum::<f64>() - 1.5).abs() < 1e-7, "{x:?}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(solve_seidel(&[], &[1.0], f64::NEG_INFINITY, 1.0, 1).is_none());
+        assert!(solve_seidel(&[], &[f64::NAN], 0.0, 1.0, 1).is_none());
+        assert!(solve_seidel(&[], &[], 0.0, 1.0, 1).is_none());
+        let bad = vec![Constraint::le(vec![1.0], 0.5)];
+        assert!(solve_seidel(&bad, &[1.0, 1.0], 0.0, 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn agrees_with_simplex_on_random_instances() {
+        // Deterministic pseudo-random cross-check against the simplex.
+        let mut rng = XorShift64::new(0xfa1c_4a11);
+        let mut fr = || (rng.next_u64() % 2000) as f64 / 1000.0 - 1.0;
+        for case in 0..60 {
+            let n = 2 + (case % 3);
+            let m = 1 + (case % 7);
+            let mut cs = Vec::new();
+            for _ in 0..m {
+                let a: Vec<f64> = (0..n).map(|_| fr()).collect();
+                let b = fr();
+                cs.push(Constraint::le(a, b));
+            }
+            let obj: Vec<f64> = (0..n).map(|_| fr()).collect();
+
+            let seidel = solve_seidel(&cs, &obj, 0.0, 1.0, 17 + case as u64).unwrap();
+            let lp = LinearProgram::minimize(obj.clone())
+                .with_constraints(cs.iter().cloned())
+                .with_box(0.0, 1.0);
+            let simplex = solve(&lp).unwrap();
+            match (seidel, simplex) {
+                (SeidelOutcome::Infeasible, LpOutcome::Infeasible) => {}
+                (SeidelOutcome::Optimal(xs), LpOutcome::Optimal { value, .. }) => {
+                    let vs: f64 = xs.iter().zip(&obj).map(|(a, b)| a * b).sum();
+                    assert!(
+                        (vs - value).abs() < 1e-5,
+                        "case {case}: seidel {vs} vs simplex {value}"
+                    );
+                    for c in &cs {
+                        assert!(c.satisfied(&xs, 1e-6), "case {case}: {c} at {xs:?}");
+                    }
+                }
+                (a, b) => panic!("case {case}: seidel {a:?} vs simplex {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,626 @@
+//! Dense two-phase primal simplex.
+//!
+//! Sized for the paper's workload: a handful of variables (the `d − 1 ≤ 5`
+//! angle coordinates) and tens to a few thousand constraints (the
+//! ordering-exchange hyperplanes bounding a region of the arrangement).
+//! A dense tableau with full artificial-variable Phase 1 is entirely
+//! adequate at this scale and is easy to make robust.
+//!
+//! Anti-cycling: Dantzig's rule is used initially; after a grace budget the
+//! solver switches to Bland's rule, which guarantees termination.
+
+use crate::problem::{LinearProgram, LpError, LpOutcome, Rel};
+use crate::EPS;
+
+/// Solve a [`LinearProgram`].
+///
+/// Returns [`LpOutcome::Optimal`] with the optimal point and objective value
+/// (in the problem's own sense — maximization problems report the maximum),
+/// [`LpOutcome::Infeasible`] or [`LpOutcome::Unbounded`].
+///
+/// # Errors
+///
+/// [`LpError::DimensionMismatch`] if a constraint row has the wrong arity,
+/// [`LpError::NotANumber`] on NaN input, [`LpError::IterationLimit`] if the
+/// pivot budget is exhausted (should not happen with Bland's rule; kept as a
+/// defensive bound).
+pub fn solve(lp: &LinearProgram) -> Result<LpOutcome, LpError> {
+    validate(lp)?;
+    let std = StandardForm::build(lp);
+    let mut tab = Tableau::new(&std);
+
+    // Phase 1: minimize the sum of artificials.
+    let mut phase1_cost = vec![0.0; tab.ncols];
+    for j in std.artificial_cols.clone() {
+        phase1_cost[j] = 1.0;
+    }
+    match tab.optimize(&phase1_cost, None)? {
+        PhaseResult::Unbounded => {
+            // The phase-1 objective is bounded below by 0; unbounded here
+            // indicates numerical trouble, treat as infeasible.
+            return Ok(LpOutcome::Infeasible);
+        }
+        PhaseResult::Optimal => {}
+    }
+    if tab.objective_value(&phase1_cost) > 1e-7 {
+        return Ok(LpOutcome::Infeasible);
+    }
+    tab.drive_out_artificials(&std.artificial_cols);
+
+    // Phase 2: original objective over y-space, artificials barred.
+    match tab.optimize(&std.cost, Some(&std.artificial_cols))? {
+        PhaseResult::Unbounded => return Ok(LpOutcome::Unbounded),
+        PhaseResult::Optimal => {}
+    }
+
+    let y = tab.primal_solution();
+    let x = std.recover(&y);
+    let value = lp.objective_value(&x);
+    Ok(LpOutcome::Optimal { x, value })
+}
+
+fn validate(lp: &LinearProgram) -> Result<(), LpError> {
+    if lp.objective.len() != lp.n || lp.bounds.len() != lp.n {
+        return Err(LpError::DimensionMismatch {
+            expected: lp.n,
+            found: lp.objective.len().min(lp.bounds.len()),
+        });
+    }
+    if lp.objective.iter().any(|v| v.is_nan()) {
+        return Err(LpError::NotANumber);
+    }
+    for c in &lp.constraints {
+        if c.a.len() != lp.n {
+            return Err(LpError::DimensionMismatch {
+                expected: lp.n,
+                found: c.a.len(),
+            });
+        }
+        if c.b.is_nan() || c.a.iter().any(|v| v.is_nan()) {
+            return Err(LpError::NotANumber);
+        }
+    }
+    for &(lo, hi) in &lp.bounds {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(LpError::NotANumber);
+        }
+    }
+    Ok(())
+}
+
+/// How each original variable maps into the non-negative `y` space.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lo + y[col]`
+    Shifted { col: usize, lo: f64 },
+    /// `x = hi − y[col]`
+    Mirrored { col: usize, hi: f64 },
+    /// `x = y[pos] − y[neg]` (free variable split)
+    Split { pos: usize, neg: usize },
+}
+
+/// The LP rewritten as `min c·y  s.t.  A y = b, y ≥ 0, b ≥ 0`, with slack,
+/// surplus and artificial columns appended.
+struct StandardForm {
+    /// Equality rows `A y = b` (row-major), including slack/surplus columns
+    /// but *not* artificial columns (those are an identity appended by the
+    /// tableau).
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    /// Phase-2 cost over all tableau columns (artificials get 0 but are
+    /// barred from entering).
+    cost: Vec<f64>,
+    /// Column range of the artificial variables.
+    artificial_cols: std::ops::Range<usize>,
+    var_map: Vec<VarMap>,
+}
+
+impl StandardForm {
+    fn build(lp: &LinearProgram) -> StandardForm {
+        let n = lp.n;
+        // 1. Map variables into non-negative space.
+        let mut var_map = Vec::with_capacity(n);
+        let mut ncols = 0usize;
+        // Extra rows for two-sided finite bounds.
+        let mut bound_rows: Vec<(usize, f64)> = Vec::new(); // (col, ub on y)
+        for &(lo, hi) in &lp.bounds {
+            match (lo.is_finite(), hi.is_finite()) {
+                (true, true) => {
+                    var_map.push(VarMap::Shifted { col: ncols, lo });
+                    bound_rows.push((ncols, hi - lo));
+                    ncols += 1;
+                }
+                (true, false) => {
+                    var_map.push(VarMap::Shifted { col: ncols, lo });
+                    ncols += 1;
+                }
+                (false, true) => {
+                    var_map.push(VarMap::Mirrored { col: ncols, hi });
+                    ncols += 1;
+                }
+                (false, false) => {
+                    var_map.push(VarMap::Split {
+                        pos: ncols,
+                        neg: ncols + 1,
+                    });
+                    ncols += 2;
+                }
+            }
+        }
+        let n_structural = ncols;
+
+        // 2. Rewrite constraint rows over y and collect (row, rel, rhs).
+        let m = lp.constraints.len() + bound_rows.len();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rels: Vec<Rel> = Vec::with_capacity(m);
+        let mut rhs: Vec<f64> = Vec::with_capacity(m);
+        for c in &lp.constraints {
+            let mut row = vec![0.0; n_structural];
+            let mut b = c.b;
+            for (j, &aij) in c.a.iter().enumerate() {
+                if aij == 0.0 {
+                    continue;
+                }
+                match var_map[j] {
+                    VarMap::Shifted { col, lo } => {
+                        row[col] += aij;
+                        b -= aij * lo;
+                    }
+                    VarMap::Mirrored { col, hi } => {
+                        row[col] -= aij;
+                        b -= aij * hi;
+                    }
+                    VarMap::Split { pos, neg } => {
+                        row[pos] += aij;
+                        row[neg] -= aij;
+                    }
+                }
+            }
+            rows.push(row);
+            rels.push(c.rel);
+            rhs.push(b);
+        }
+        for &(col, ub) in &bound_rows {
+            let mut row = vec![0.0; n_structural];
+            row[col] = 1.0;
+            rows.push(row);
+            rels.push(Rel::Le);
+            rhs.push(ub);
+        }
+
+        // 3. Slack / surplus columns, then force b ≥ 0.
+        let n_slack = rels.iter().filter(|r| !matches!(r, Rel::Eq)).count();
+        let total_pre_art = n_structural + n_slack;
+        let mut slack_at = n_structural;
+        for (i, rel) in rels.iter().enumerate() {
+            rows[i].resize(total_pre_art, 0.0);
+            match rel {
+                Rel::Le => {
+                    rows[i][slack_at] = 1.0;
+                    slack_at += 1;
+                }
+                Rel::Ge => {
+                    rows[i][slack_at] = -1.0;
+                    slack_at += 1;
+                }
+                Rel::Eq => {}
+            }
+        }
+        for i in 0..rows.len() {
+            if rhs[i] < 0.0 {
+                rhs[i] = -rhs[i];
+                for v in &mut rows[i] {
+                    *v = -*v;
+                }
+            }
+        }
+
+        // 4. Phase-2 cost vector over y (minimization sense).
+        let sign = if lp.maximize { -1.0 } else { 1.0 };
+        let n_rows = rows.len();
+        let mut cost = vec![0.0; total_pre_art + n_rows];
+        for (j, &cj) in lp.objective.iter().enumerate() {
+            match var_map[j] {
+                VarMap::Shifted { col, .. } => cost[col] += sign * cj,
+                VarMap::Mirrored { col, .. } => cost[col] -= sign * cj,
+                VarMap::Split { pos, neg } => {
+                    cost[pos] += sign * cj;
+                    cost[neg] -= sign * cj;
+                }
+            }
+        }
+
+        StandardForm {
+            rows,
+            rhs,
+            cost,
+            artificial_cols: total_pre_art..total_pre_art + n_rows,
+            var_map,
+        }
+    }
+
+    /// Map a `y`-space solution back to the original variables.
+    fn recover(&self, y: &[f64]) -> Vec<f64> {
+        self.var_map
+            .iter()
+            .map(|vm| match *vm {
+                VarMap::Shifted { col, lo } => lo + y[col],
+                VarMap::Mirrored { col, hi } => hi - y[col],
+                VarMap::Split { pos, neg } => y[pos] - y[neg],
+            })
+            .collect()
+    }
+}
+
+enum PhaseResult {
+    Optimal,
+    Unbounded,
+}
+
+/// Dense simplex tableau with an explicit basis.
+struct Tableau {
+    m: usize,
+    ncols: usize,
+    /// `m × ncols`, row-major. Artificial columns form the initial identity.
+    a: Vec<f64>,
+    b: Vec<f64>,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn new(std: &StandardForm) -> Tableau {
+        let m = std.rows.len();
+        let ncols = std.artificial_cols.end;
+        let mut a = vec![0.0; m * ncols];
+        for (i, row) in std.rows.iter().enumerate() {
+            a[i * ncols..i * ncols + row.len()].copy_from_slice(row);
+            a[i * ncols + std.artificial_cols.start + i] = 1.0;
+        }
+        Tableau {
+            m,
+            ncols,
+            a,
+            b: std.rhs.clone(),
+            basis: (std.artificial_cols.start..std.artificial_cols.end).collect(),
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.ncols + j]
+    }
+
+    fn objective_value(&self, cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.b)
+            .map(|(&bi, &xi)| cost[bi] * xi)
+            .sum()
+    }
+
+    /// Reduced costs `r_j = c_j − c_B · T_j` for all columns.
+    fn reduced_costs(&self, cost: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(cost);
+        for (i, &bi) in self.basis.iter().enumerate() {
+            let cb = cost[bi];
+            if cb == 0.0 {
+                continue;
+            }
+            let row = &self.a[i * self.ncols..(i + 1) * self.ncols];
+            for (rj, &tij) in out.iter_mut().zip(row) {
+                *rj -= cb * tij;
+            }
+        }
+    }
+
+    fn pivot(&mut self, r: usize, c: usize) {
+        let piv = self.at(r, c);
+        debug_assert!(piv.abs() > 1e-12);
+        let inv = 1.0 / piv;
+        for j in 0..self.ncols {
+            self.a[r * self.ncols + j] *= inv;
+        }
+        self.b[r] *= inv;
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.at(i, c);
+            if factor == 0.0 {
+                continue;
+            }
+            let (head, tail) = self.a.split_at_mut(r.max(i) * self.ncols);
+            let (row_i, row_r) = if i < r {
+                (
+                    &mut head[i * self.ncols..(i + 1) * self.ncols],
+                    &tail[..self.ncols],
+                )
+            } else {
+                (
+                    &mut tail[..self.ncols],
+                    &head[r * self.ncols..(r + 1) * self.ncols],
+                )
+            };
+            for (vi, &vr) in row_i.iter_mut().zip(row_r) {
+                *vi -= factor * vr;
+            }
+            self.b[i] -= factor * self.b[r];
+        }
+        self.basis[r] = c;
+    }
+
+    /// Run simplex iterations for the given cost vector. Columns in
+    /// `barred` (if any) may not enter the basis.
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        barred: Option<&std::ops::Range<usize>>,
+    ) -> Result<PhaseResult, LpError> {
+        let max_iters = 200 * (self.m + self.ncols) + 2000;
+        let bland_after = 20 * (self.m + self.ncols) + 200;
+        let mut reduced = Vec::with_capacity(self.ncols);
+        for iter in 0..max_iters {
+            let bland = iter > bland_after;
+            self.reduced_costs(cost, &mut reduced);
+
+            // Entering column.
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for (j, &rj) in reduced.iter().enumerate() {
+                if let Some(bar) = barred {
+                    if bar.contains(&j) {
+                        continue;
+                    }
+                }
+                if rj < -EPS {
+                    if bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if rj < best {
+                        best = rj;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(c) = enter else {
+                return Ok(PhaseResult::Optimal);
+            };
+
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                let tic = self.at(i, c);
+                if tic > EPS {
+                    let ratio = self.b[i] / tic;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if leave.is_none() || better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return Ok(PhaseResult::Unbounded);
+            };
+            self.pivot(r, c);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// After Phase 1, remove any artificial variables still in the basis by
+    /// pivoting on a non-artificial column of their row; rows that admit no
+    /// such pivot are redundant and zeroed.
+    fn drive_out_artificials(&mut self, artificials: &std::ops::Range<usize>) {
+        for i in 0..self.m {
+            if !artificials.contains(&self.basis[i]) {
+                continue;
+            }
+            let mut pivot_col = None;
+            for j in 0..artificials.start {
+                if self.at(i, j).abs() > 1e-7 {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = pivot_col {
+                self.pivot(i, j);
+            }
+            // else: redundant row; the artificial stays basic at value ~0,
+            // harmless because its cost is zero and it is barred.
+        }
+    }
+
+    fn primal_solution(&self) -> Vec<f64> {
+        let mut y = vec![0.0; self.ncols];
+        for (i, &bi) in self.basis.iter().enumerate() {
+            y[bi] = self.b[i];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Constraint;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn maximize_2d_box() {
+        // max x + y s.t. x ≤ 2, y ≤ 3, x,y ≥ 0 → 5 at (2,3)
+        let lp = LinearProgram::maximize(vec![1.0, 1.0])
+            .with_constraint(Constraint::le(vec![1.0, 0.0], 2.0))
+            .with_constraint(Constraint::le(vec![0.0, 1.0], 3.0))
+            .with_box(0.0, f64::INFINITY);
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, 5.0);
+                assert_close(x[0], 2.0);
+                assert_close(x[1], 3.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classic_simplex_example() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0 → 36 at (2,6)
+        let lp = LinearProgram::maximize(vec![3.0, 5.0])
+            .with_constraint(Constraint::le(vec![1.0, 0.0], 4.0))
+            .with_constraint(Constraint::le(vec![0.0, 2.0], 12.0))
+            .with_constraint(Constraint::le(vec![3.0, 2.0], 18.0))
+            .with_box(0.0, f64::INFINITY);
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, 36.0);
+                assert_close(x[0], 2.0);
+                assert_close(x[1], 6.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_with_ge_rows() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2, y ≥ 3 → at (7,3): 23
+        let lp = LinearProgram::minimize(vec![2.0, 3.0])
+            .with_constraint(Constraint::ge(vec![1.0, 1.0], 10.0))
+            .with_bound(0, 2.0, f64::INFINITY)
+            .with_bound(1, 3.0, f64::INFINITY);
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, 23.0);
+                assert_close(x[0], 7.0);
+                assert_close(x[1], 3.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + 2y = 4, x,y ≥ 0 → (0,2): 2
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .with_constraint(Constraint::eq(vec![1.0, 2.0], 4.0))
+            .with_box(0.0, f64::INFINITY);
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, 2.0);
+                assert_close(x[1], 2.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = LinearProgram::minimize(vec![1.0])
+            .with_constraint(Constraint::le(vec![1.0], 1.0))
+            .with_constraint(Constraint::ge(vec![1.0], 2.0))
+            .with_box(0.0, f64::INFINITY);
+        assert_eq!(solve(&lp).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LinearProgram::maximize(vec![1.0, 0.0]).with_box(0.0, f64::INFINITY);
+        assert_eq!(solve(&lp).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn free_variables_split() {
+        // min x s.t. x ≥ -5 with free x: → -5
+        let lp = LinearProgram::minimize(vec![1.0]).with_constraint(Constraint::ge(vec![1.0], -5.0));
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, -5.0);
+                assert_close(x[0], -5.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirrored_upper_bound_only() {
+        // max x with x ≤ 7 (no lower bound), objective pushes up.
+        let lp = LinearProgram::maximize(vec![1.0]).with_bound(0, f64::NEG_INFINITY, 7.0);
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, 7.0);
+                assert_close(x[0], 7.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_sided_bounds_respected() {
+        // min -x - 2y over box [1,2]×[0,1] with x + y ≤ 2.5 → (1.5, 1): -3.5
+        let lp = LinearProgram::minimize(vec![-1.0, -2.0])
+            .with_constraint(Constraint::le(vec![1.0, 1.0], 2.5))
+            .with_bound(0, 1.0, 2.0)
+            .with_bound(1, 0.0, 1.0);
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { x, value } => {
+                assert_close(value, -3.5);
+                assert_close(x[0], 1.5);
+                assert_close(x[1], 1.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_ties_terminate() {
+        // Heavily degenerate: many redundant rows through the same vertex.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]).with_box(0.0, f64::INFINITY);
+        for k in 1..=8 {
+            let kf = k as f64;
+            lp = lp.with_constraint(Constraint::le(vec![kf, kf], 2.0 * kf));
+        }
+        match solve(&lp).unwrap() {
+            LpOutcome::Optimal { value, .. } => assert_close(value, 2.0),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let lp = LinearProgram::minimize(vec![f64::NAN]);
+        assert_eq!(solve(&lp).unwrap_err(), LpError::NotANumber);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let lp =
+            LinearProgram::minimize(vec![1.0, 2.0]).with_constraint(Constraint::le(vec![1.0], 0.0));
+        assert!(matches!(
+            solve(&lp).unwrap_err(),
+            LpError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn angle_box_feasibility_shape() {
+        // The shape used throughout fairrank: is there a θ in [0, π/2]^2 with
+        // h·θ ≤ 1 and g·θ ≥ 1?
+        let half_pi = std::f64::consts::FRAC_PI_2;
+        let lp = LinearProgram::maximize(vec![0.0, 0.0])
+            .with_constraint(Constraint::le(vec![2.0, 0.5], 1.0))
+            .with_constraint(Constraint::ge(vec![0.2, 1.0], 1.0))
+            .with_box(0.0, half_pi);
+        let out = solve(&lp).unwrap();
+        let x = out.point().expect("feasible").to_vec();
+        assert!(2.0 * x[0] + 0.5 * x[1] <= 1.0 + 1e-7);
+        assert!(0.2 * x[0] + x[1] >= 1.0 - 1e-7);
+        assert!(x.iter().all(|&v| (-1e-9..=half_pi + 1e-9).contains(&v)));
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's main evaluation scenario: the (synthetic) COMPAS dataset
+//! with the default fairness model FM1 — at most 60% African-Americans
+//! among the top-ranked 30% — over three scoring attributes, answered with
+//! the multi-dimensional approximate index (§5).
+//!
+//! ```sh
+//! cargo run --release --example compas_recidivism
+//! ```
+
+use fairrank::approximate::BuildOptions;
+use fairrank::{FairRanker, Suggestion};
+use fairrank_datasets::synthetic::compas::{self, CompasConfig};
+use fairrank_fairness::{FairnessOracle, Proportionality};
+
+fn main() {
+    // Small-n COMPAS variant so the example runs in seconds; the bench
+    // harness exercises the full 6,889 rows.
+    let full = compas::generate(&CompasConfig {
+        n: 300,
+        ..CompasConfig::default()
+    });
+    // §6.2 scoring attributes: start, c_days_from_compas, juv_other_count.
+    let ds = full.project(&compas::validation_projection()).unwrap();
+    let race = ds.type_attribute("race").unwrap();
+    println!(
+        "COMPAS-like dataset: {} individuals, d = {}; AA share = {:.1}%",
+        ds.len(),
+        ds.dim(),
+        100.0 * race.group_proportions()[0]
+    );
+
+    // FM1: at most 60% African-American among the top 30%.
+    let k = (ds.len() as f64 * 0.3).round() as usize;
+    let oracle = Proportionality::new(race, k).with_max_share(0, 0.6);
+    println!("constraint: {} (k = {k}, cap = 60%)", oracle.describe());
+
+    let ranker = FairRanker::build_md_approx(
+        &ds,
+        Box::new(oracle.clone()),
+        &BuildOptions {
+            n_cells: 2_000,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let stats = ranker.approx_index().unwrap().stats();
+    println!(
+        "offline: |H| = {}, {} cells ({} satisfied directly, {} colored), {:?} total",
+        stats.hyperplane_count,
+        stats.cell_count,
+        stats.satisfied_cells,
+        stats.colored_cells,
+        stats.total_time()
+    );
+
+    // A user explores a few weightings of the three attributes.
+    let queries = [
+        [1.0, 1.0, 1.0],
+        [1.0, 0.1, 0.1],
+        [0.2, 1.0, 0.3],
+        [0.1, 0.1, 1.0],
+    ];
+    for q in queries {
+        match ranker.suggest(&q).unwrap() {
+            Suggestion::AlreadyFair => println!("w = {q:?}: fair as-is"),
+            Suggestion::Suggested { weights, distance } => {
+                let top = ds.top_k(&weights, k);
+                let aa = top
+                    .iter()
+                    .filter(|&&i| race.values[i as usize] == 0)
+                    .count();
+                println!(
+                    "w = {q:?}: unfair → suggest [{:.3}, {:.3}, {:.3}] \
+                     ({distance:.4} rad; AA in top-{k}: {aa} ≤ {})",
+                    weights[0],
+                    weights[1],
+                    weights[2],
+                    (0.6 * k as f64).floor()
+                );
+            }
+            Suggestion::Infeasible => println!("w = {q:?}: constraint unsatisfiable"),
+        }
+    }
+}

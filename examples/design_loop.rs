@@ -1,0 +1,87 @@
+//! The interactive design loop of the paper's introduction: a human
+//! designer proposes weights, the system approves or proposes the closest
+//! fair alternative, the designer counter-proposes, and so on — each
+//! online round answering in sub-millisecond time against the offline
+//! index.
+//!
+//! Also demonstrates the **black-box oracle** claim: the third round
+//! swaps the proportionality oracle for a hand-written diversity closure
+//! without touching any indexing code.
+//!
+//! ```sh
+//! cargo run --release --example design_loop
+//! ```
+
+use std::time::Instant;
+
+use fairrank::{FairRanker, Suggestion};
+use fairrank_datasets::synthetic::generic;
+use fairrank_fairness::{FnOracle, Proportionality};
+
+fn report(round: usize, query: &[f64], suggestion: &Suggestion, micros: u128) {
+    match suggestion {
+        Suggestion::AlreadyFair => {
+            println!("round {round}: {query:?} accepted ({micros} µs)");
+        }
+        Suggestion::Suggested { weights, distance } => {
+            let pretty: Vec<String> = weights.iter().map(|w| format!("{w:.3}")).collect();
+            println!(
+                "round {round}: {query:?} rejected → counter-proposal [{}] at {distance:.4} rad ({micros} µs)",
+                pretty.join(", ")
+            );
+        }
+        Suggestion::Infeasible => {
+            println!("round {round}: {query:?} — constraint unsatisfiable ({micros} µs)");
+        }
+    }
+}
+
+fn main() {
+    let ds = generic::uniform(400, 2, 0.85, 99);
+    let group = ds.type_attribute("group").unwrap();
+
+    // Session 1: proportionality constraint, 2-D index.
+    println!("— session 1: FM1 proportionality (≤ 22 of the top-40 from group 0) —");
+    let oracle = Proportionality::new(group, 40).with_max_count(0, 22);
+    let t = Instant::now();
+    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    println!("offline preprocessing: {:?}", t.elapsed());
+
+    // The designer iterates: start attribute-0 heavy, accept or nudge.
+    let mut proposal = vec![1.0, 0.05];
+    for round in 1..=4 {
+        let t = Instant::now();
+        let suggestion = ranker.suggest(&proposal).unwrap();
+        let micros = t.elapsed().as_micros();
+        report(round, &proposal, &suggestion, micros);
+        match suggestion {
+            Suggestion::Suggested { weights, .. } => {
+                // The designer accepts half the correction and tries again
+                // (the "manual adjust and re-invoke" loop of §2.1).
+                proposal = proposal
+                    .iter()
+                    .zip(&weights)
+                    .map(|(p, w)| 0.5 * (p + w))
+                    .collect();
+            }
+            _ => break,
+        }
+    }
+
+    // Session 2: an arbitrary closure as the oracle — top-10 must contain
+    // at least 3 items of each group AND item 0 must not be ranked first.
+    println!("— session 2: hand-written diversity oracle (black-box) —");
+    let groups: Vec<u32> = group.values.clone();
+    let custom = FnOracle::new("≥3 of each group in top-10, item 0 not first", move |r: &[u32]| {
+        let g0 = r.iter().take(10).filter(|&&i| groups[i as usize] == 0).count();
+        (3..=7).contains(&g0) && r[0] != 0
+    });
+    let t = Instant::now();
+    let ranker2 = FairRanker::build_2d(&ds, Box::new(custom)).unwrap();
+    println!("offline preprocessing: {:?}", t.elapsed());
+    for (round, q) in [[1.0, 0.02], [0.6, 0.8]].iter().enumerate() {
+        let t = Instant::now();
+        let suggestion = ranker2.suggest(q).unwrap();
+        report(round + 1, q, &suggestion, t.elapsed().as_micros());
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline → online hand-off: build an approximate index, persist it to
+//! disk, reload it in a fresh "online service", and answer queries —
+//! without the dataset or the oracle ever reaching the online side.
+//!
+//! ```sh
+//! cargo run --release --example index_persistence
+//! ```
+
+use std::time::Instant;
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank::persist::{decode_approx_index, encode_approx_index};
+use fairrank_datasets::synthetic::compas;
+use fairrank_fairness::Proportionality;
+use fairrank_geometry::polar::{angular_distance, to_polar};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- offline process -------------------------------------------------
+    let ds = compas::generate(&compas::CompasConfig {
+        n: 300,
+        ..Default::default()
+    })
+    .project(&compas::validation_projection())?;
+    let race = ds.type_attribute("race").expect("race attribute");
+    let k = ds.len() * 3 / 10;
+    let oracle = Proportionality::new(race, k).with_max_share(0, 0.60);
+
+    let t0 = Instant::now();
+    let index = ApproxIndex::build(
+        &ds,
+        &oracle,
+        &BuildOptions {
+            n_cells: 800,
+            max_hyperplanes: Some(8_000),
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "offline: built index over {} cells ({} satisfactory functions) in {:.2?}",
+        index.grid().cell_count(),
+        index.functions().len(),
+        t0.elapsed()
+    );
+
+    let bytes = encode_approx_index(&index);
+    let path = std::env::temp_dir().join("fairrank_index.frix");
+    std::fs::write(&path, &bytes)?;
+    println!(
+        "offline: persisted {} bytes to {}",
+        bytes.len(),
+        path.display()
+    );
+
+    // ---- online process (no dataset, no oracle) --------------------------
+    let loaded = decode_approx_index(&std::fs::read(&path)?)?;
+    println!(
+        "online:  loaded index ({} cells, error bound {:.4} rad)",
+        loaded.grid().cell_count(),
+        loaded.error_bound()
+    );
+
+    for weights in [[1.0, 1.0, 1.0], [1.0, 0.1, 0.1], [0.2, 0.4, 1.4]] {
+        let (_, angles) = to_polar(&weights);
+        let t = Instant::now();
+        let answer = loaded.lookup(&angles).expect("satisfiable model");
+        let micros = t.elapsed().as_secs_f64() * 1e6;
+        println!(
+            "online:  query {:?} → fair function at θ-distance {:.4} rad ({micros:.1} µs)",
+            weights,
+            angular_distance(answer, &angles)
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a 2-D fair-ranking index and query it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fairrank::{FairRanker, Suggestion};
+use fairrank_datasets::synthetic::generic;
+use fairrank_fairness::{FairnessOracle, Proportionality};
+
+fn main() {
+    // A dataset of 200 items with two scoring attributes. The protected
+    // `group` attribute is correlated with attribute 0: group-0 members
+    // concentrate at the top of attribute-0-heavy rankings.
+    let ds = generic::uniform(200, 2, 0.9, 7);
+    let group = ds.type_attribute("group").unwrap();
+    println!(
+        "dataset: {} items, {} attributes; group shares = {:?}",
+        ds.len(),
+        ds.dim(),
+        group.group_proportions()
+    );
+
+    // Fairness: at most 50% of the top-20 may come from group 0.
+    let oracle = Proportionality::new(group, 20).with_max_count(0, 10);
+    println!("constraint: {}", oracle.describe());
+
+    // Offline phase: 2DRAYSWEEP indexes the satisfactory angular regions.
+    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    let intervals = ranker.intervals().unwrap();
+    println!(
+        "satisfactory regions: {} interval(s), covering {:.1}% of the function space",
+        intervals.len(),
+        100.0 * intervals.measure() / fairrank::geometry::HALF_PI
+    );
+
+    // Online phase: propose weights, get a fair alternative when needed.
+    for query in [[1.0, 1.0], [1.0, 0.1], [0.1, 1.0]] {
+        match ranker.suggest(&query).unwrap() {
+            Suggestion::AlreadyFair => {
+                println!("w = {query:?}: already fair — keep it");
+            }
+            Suggestion::Suggested { weights, distance } => {
+                println!(
+                    "w = {query:?}: unfair; closest fair function is \
+                     [{:.3}, {:.3}] ({distance:.4} rad away)",
+                    weights[0], weights[1]
+                );
+            }
+            Suggestion::Infeasible => {
+                println!("w = {query:?}: no linear function satisfies the constraint");
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration: datasets → oracle → 2DRAYSWEEP → 2DONLINE, end to end
+//! (paper §3 pipeline).
+
+use fairrank::twod::{online_2d, ray_sweep, ray_sweep_incremental, TwoDAnswer};
+use fairrank::{FairRanker, Suggestion};
+use fairrank_datasets::synthetic::{compas, generic};
+use fairrank_fairness::{FairnessOracle, Proportionality};
+use fairrank_geometry::HALF_PI;
+
+/// COMPAS-like 2-D setup used by the paper's §6.2 region-layout
+/// experiments: age (inverted) and juv_other_count.
+fn compas_2d(n: usize) -> fairrank_datasets::Dataset {
+    let full = compas::generate(&compas::CompasConfig {
+        n,
+        ..Default::default()
+    });
+    // age = attr 5, juv_other_count = attr 1.
+    full.project(&[5, 1]).unwrap()
+}
+
+#[test]
+fn compas_age_race_constraint_end_to_end() {
+    let ds = compas_2d(400);
+    let race = ds.type_attribute("race").unwrap();
+    let k = 100.min(ds.len());
+    let oracle = Proportionality::new(race, k).with_max_count(0, 60);
+
+    let sweep = ray_sweep(&ds, &oracle).unwrap();
+    // The index must agree with direct evaluation for a fan of queries.
+    for step in 0..60 {
+        let theta = (step as f64 + 0.5) / 60.0 * HALF_PI;
+        let w = [theta.cos(), theta.sin()];
+        let truth = oracle.is_satisfactory(&ds.rank(&w));
+        let near_boundary = sweep
+            .intervals
+            .as_slice()
+            .iter()
+            .any(|&(s, e)| (theta - s).abs() < 1e-6 || (theta - e).abs() < 1e-6);
+        if !near_boundary {
+            assert_eq!(sweep.intervals.contains(theta), truth, "θ = {theta}");
+        }
+    }
+
+    // Online answers are fair and minimal against the interval index.
+    for step in 0..20 {
+        let theta = (step as f64 + 0.5) / 20.0 * HALF_PI;
+        let w = [theta.cos(), theta.sin()];
+        match online_2d(&sweep.intervals, &w).unwrap() {
+            TwoDAnswer::AlreadyFair => {
+                assert!(oracle.is_satisfactory(&ds.rank(&w)));
+            }
+            TwoDAnswer::Suggestion { weights, distance } => {
+                assert!(oracle.is_satisfactory(&ds.rank(&weights)));
+                assert!(distance > 0.0 && distance <= HALF_PI);
+            }
+            TwoDAnswer::Infeasible => {
+                assert!(sweep.intervals.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_and_blackbox_paths_agree_on_compas() {
+    let ds = compas_2d(250);
+    let race = ds.type_attribute("race").unwrap();
+    let oracle = Proportionality::new(race, 75).with_max_count(0, 45);
+
+    let black = ray_sweep(&ds, &oracle).unwrap();
+    let inc = ray_sweep_incremental(&ds, &[&oracle]).unwrap();
+    assert_eq!(black.intervals.as_slice().len(), inc.intervals.as_slice().len());
+    for (a, b) in black
+        .intervals
+        .as_slice()
+        .iter()
+        .zip(inc.intervals.as_slice())
+    {
+        assert!((a.0 - b.0).abs() < 1e-9, "{a:?} vs {b:?}");
+        assert!((a.1 - b.1).abs() < 1e-9, "{a:?} vs {b:?}");
+    }
+    // The incremental path skips all black-box calls.
+    assert_eq!(inc.oracle_calls, 0);
+    assert!(black.oracle_calls as usize >= black.sector_count);
+}
+
+#[test]
+fn ranker_suggestions_are_fair_and_norm_preserving() {
+    let ds = generic::uniform(150, 2, 0.9, 1234);
+    let group = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(group, 30).with_max_count(0, 16);
+    let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
+
+    let mut suggestions = 0;
+    for step in 0..40 {
+        let theta = (step as f64 + 0.5) / 40.0 * HALF_PI;
+        let scale = 1.0 + step as f64 * 0.25;
+        let q = [scale * theta.cos(), scale * theta.sin()];
+        match ranker.suggest(&q).unwrap() {
+            Suggestion::AlreadyFair => {
+                assert!(oracle.is_satisfactory(&ds.rank(&q)));
+            }
+            Suggestion::Suggested { weights, distance } => {
+                suggestions += 1;
+                assert!(oracle.is_satisfactory(&ds.rank(&weights)));
+                let rq: f64 = q.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let rw: f64 = weights.iter().map(|v| v * v).sum::<f64>().sqrt();
+                assert!((rq - rw).abs() < 1e-9, "norm must be preserved");
+                assert!(distance > 0.0);
+            }
+            Suggestion::Infeasible => panic!("this setup has satisfactory regions"),
+        }
+    }
+    assert!(suggestions > 0, "bias should make some queries unfair");
+}
+
+#[test]
+fn suggestion_distance_is_minimal_against_dense_scan() {
+    let ds = generic::uniform(80, 2, 0.95, 555);
+    let group = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(group, 16).with_max_count(0, 8);
+    let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
+
+    // Dense truth: satisfactory angles.
+    let mut sat_angles = Vec::new();
+    for step in 0..4000 {
+        let theta = (step as f64 + 0.5) / 4000.0 * HALF_PI;
+        if oracle.is_satisfactory(&ds.rank(&[theta.cos(), theta.sin()])) {
+            sat_angles.push(theta);
+        }
+    }
+    assert!(!sat_angles.is_empty());
+
+    for q_theta in [0.05f64, 0.4, 0.9, 1.3, 1.55] {
+        let q = [q_theta.cos(), q_theta.sin()];
+        match ranker.suggest(&q).unwrap() {
+            Suggestion::AlreadyFair => {}
+            Suggestion::Suggested { distance, .. } => {
+                let optimal = sat_angles
+                    .iter()
+                    .map(|t| (t - q_theta).abs())
+                    .fold(f64::INFINITY, f64::min);
+                // The dense scan has ~π/8000 resolution.
+                assert!(
+                    distance <= optimal + 1e-3,
+                    "query θ={q_theta}: suggested {distance} vs dense optimum {optimal}"
+                );
+            }
+            Suggestion::Infeasible => panic!("satisfiable"),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Failure injection: unsatisfiable constraints, degenerate datasets and
+//! malformed queries must degrade gracefully, never panic.
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank::md::{sat_regions, SatRegionsOptions};
+use fairrank::twod::ray_sweep;
+use fairrank::{FairRanker, FairRankError, Suggestion};
+use fairrank_datasets::synthetic::generic;
+use fairrank_datasets::Dataset;
+use fairrank_fairness::{FnOracle, Proportionality};
+
+#[test]
+fn unsatisfiable_constraint_reports_infeasible_everywhere() {
+    let ds = generic::uniform(40, 2, 0.5, 1);
+    let group = ds.type_attribute("group").unwrap();
+    // k = 10 but both groups capped at 2 → impossible.
+    let oracle = Proportionality::new(group, 10)
+        .with_max_count(0, 2)
+        .with_max_count(1, 2);
+    assert!(!oracle.is_satisfiable_in_principle());
+
+    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    for q in [[1.0, 0.0], [1.0, 1.0], [0.0, 1.0]] {
+        assert_eq!(ranker.suggest(&q).unwrap(), Suggestion::Infeasible);
+    }
+}
+
+#[test]
+fn unsatisfiable_md_approx_reports_infeasible() {
+    let ds = generic::uniform(20, 3, 0.5, 2);
+    let o = FnOracle::new("never", |_: &[u32]| false);
+    let index = ApproxIndex::build(
+        &ds,
+        &o,
+        &BuildOptions {
+            n_cells: 100,
+            max_hyperplanes: Some(30),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!index.is_satisfiable());
+    assert!(index.lookup(&[0.5, 0.5]).is_none());
+}
+
+#[test]
+fn single_item_and_tiny_datasets() {
+    let one = Dataset::from_rows(vec!["x".into(), "y".into()], &[vec![1.0, 2.0]]).unwrap();
+    let o = FnOracle::new("always", |_: &[u32]| true);
+    let sweep = ray_sweep(&one, &o).unwrap();
+    assert_eq!(sweep.exchange_count, 0);
+    assert!(!sweep.intervals.is_empty());
+
+    let two = Dataset::from_rows(
+        vec!["x".into(), "y".into(), "z".into()],
+        &[vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]],
+    )
+    .unwrap();
+    let o2 = FnOracle::new("always", |_: &[u32]| true);
+    let r = sat_regions(&two, &o2, &SatRegionsOptions::default()).unwrap();
+    assert!(r.region_count >= 1);
+    assert_eq!(r.satisfactory.len(), r.region_count);
+}
+
+#[test]
+fn all_identical_items() {
+    // Every pair ties everywhere: no exchanges, one region.
+    let ds = Dataset::from_rows(
+        vec!["x".into(), "y".into(), "z".into()],
+        &(0..10).map(|_| vec![0.5, 0.5, 0.5]).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let o = FnOracle::new("always", |_: &[u32]| true);
+    let r = sat_regions(&ds, &o, &SatRegionsOptions::default()).unwrap();
+    assert_eq!(r.hyperplane_count, 0);
+    assert_eq!(r.region_count, 1);
+}
+
+#[test]
+fn totally_ordered_dataset_has_no_exchanges() {
+    // A dominance chain: the ranking never changes with the weights.
+    let ds = Dataset::from_rows(
+        vec!["x".into(), "y".into()],
+        &(0..8)
+            .map(|i| vec![f64::from(i), f64::from(i)])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let o = FnOracle::new("top is 7", |r: &[u32]| r[0] == 7);
+    let sweep = ray_sweep(&ds, &o).unwrap();
+    assert_eq!(sweep.exchange_count, 0);
+    // Item 7 dominates all: always satisfactory.
+    assert!((sweep.intervals.measure() - fairrank::geometry::HALF_PI).abs() < 1e-9);
+}
+
+#[test]
+fn malformed_queries_error_cleanly() {
+    let ds = generic::uniform(30, 2, 0.5, 3);
+    let o = FnOracle::new("always", |_: &[u32]| true);
+    let ranker = FairRanker::build_2d(&ds, Box::new(o)).unwrap();
+    for bad in [
+        vec![],
+        vec![1.0],
+        vec![1.0, 2.0, 3.0],
+        vec![f64::NAN, 1.0],
+        vec![f64::NEG_INFINITY, 1.0],
+        vec![-0.5, 0.5],
+        vec![0.0, 0.0],
+    ] {
+        assert!(
+            matches!(
+                ranker.suggest(&bad),
+                Err(FairRankError::InvalidWeights(_))
+                    | Err(FairRankError::DimensionMismatch { .. })
+            ),
+            "{bad:?} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn one_attribute_dataset_rejected() {
+    let ds = Dataset::from_rows(vec!["x".into()], &[vec![1.0], vec![2.0]]).unwrap();
+    let o = FnOracle::new("always", |_: &[u32]| true);
+    assert!(matches!(
+        sat_regions(&ds, &o, &SatRegionsOptions::default()),
+        Err(FairRankError::TooFewAttributes)
+    ));
+    let o2 = FnOracle::new("always", |_: &[u32]| true);
+    assert!(ApproxIndex::build(
+        &ds,
+        &o2,
+        &BuildOptions {
+            n_cells: 10,
+            ..Default::default()
+        }
+    )
+    .is_err());
+}
+
+#[test]
+fn oracle_inspecting_full_ranking_is_supported() {
+    // The black-box interface must allow oracles that look beyond any
+    // top-k — e.g. "no two group-0 items adjacent anywhere".
+    let ds = generic::uniform(25, 2, 0.7, 4);
+    let groups: Vec<u32> = ds.type_attribute("group").unwrap().values.clone();
+    let o = FnOracle::new("no two adjacent group-0 items", move |r: &[u32]| {
+        r.windows(2)
+            .all(|w| !(groups[w[0] as usize] == 0 && groups[w[1] as usize] == 0))
+    });
+    // Must run to completion; satisfiability depends on the draw.
+    let sweep = ray_sweep(&ds, &o).unwrap();
+    let _ = sweep.intervals.len();
+}
+
+#[test]
+fn zero_bias_makes_everything_fair() {
+    // Sanity: without group/score correlation, proportional caps with
+    // slack hold for every function.
+    let ds = generic::uniform(400, 2, 0.0, 5);
+    let group = ds.type_attribute("group").unwrap();
+    let props = group.group_proportions();
+    let oracle =
+        Proportionality::new(group, 100).with_proportional_caps(&props, 0.15, None);
+    let sweep = ray_sweep(&ds, &oracle).unwrap();
+    assert!(
+        sweep.intervals.measure() / fairrank::geometry::HALF_PI > 0.95,
+        "nearly the whole space should be satisfactory, got {}",
+        sweep.intervals.measure()
+    );
+}

@@ -1,0 +1,198 @@
+//! Integration: the exact multi-dimensional pipeline (paper §4) —
+//! HYPERPOLAR → SATREGIONS (+ arrangement tree) → MDBASELINE.
+
+use fairrank::md::{closest_satisfactory_validated, sat_regions, SatRegionsOptions};
+use fairrank::{FairRanker, Suggestion};
+use fairrank_datasets::synthetic::{compas, generic};
+use fairrank_fairness::{FairnessOracle, Proportionality};
+use fairrank_geometry::polar::{angular_distance, to_cartesian, to_polar};
+use fairrank_geometry::HALF_PI;
+
+#[test]
+fn satregions_verdicts_match_dense_truth() {
+    // d = 3 COMPAS-like data: every region's witness verdict must agree
+    // with a dense grid of direct oracle evaluations *in the same region*.
+    let full = compas::generate(&compas::CompasConfig {
+        n: 40,
+        ..Default::default()
+    });
+    let ds = full.project(&compas::validation_projection()).unwrap();
+    let race = ds.type_attribute("race").unwrap();
+    let oracle = Proportionality::new(race, 12).with_max_share(0, 0.6);
+
+    let result = sat_regions(
+        &ds,
+        &oracle,
+        &SatRegionsOptions {
+            max_hyperplanes: Some(80),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(result.region_count >= result.satisfactory.len());
+
+    // Witness self-consistency.
+    for region in &result.satisfactory {
+        let w = to_cartesian(1.0, &region.witness);
+        assert!(oracle.is_satisfactory(&ds.rank(&w)));
+    }
+}
+
+#[test]
+fn mdbaseline_returns_fair_and_near_optimal_answers() {
+    let ds = generic::uniform(24, 3, 0.95, 2024);
+    let group = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(group, 6).with_max_count(0, 3);
+
+    let regions = sat_regions(&ds, &oracle, &SatRegionsOptions::default())
+        .unwrap()
+        .satisfactory;
+    assert!(!regions.is_empty(), "setup should be satisfiable");
+
+    // Dense truth over the 2-angle space.
+    let steps = 50;
+    let mut sat_points = Vec::new();
+    for i in 0..steps {
+        for j in 0..steps {
+            let a = vec![
+                (i as f64 + 0.5) / steps as f64 * HALF_PI,
+                (j as f64 + 0.5) / steps as f64 * HALF_PI,
+            ];
+            if oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, &a))) {
+                sat_points.push(a);
+            }
+        }
+    }
+    assert!(!sat_points.is_empty());
+
+    for q in [[0.1, 0.1], [1.4, 0.2], [0.7, 0.7], [0.2, 1.4]] {
+        let res =
+            closest_satisfactory_validated(&regions, &q, &ds, &oracle).expect("regions exist");
+        // Answer must be genuinely fair…
+        let w = to_cartesian(1.0, &res.angles);
+        assert!(
+            oracle.is_satisfactory(&ds.rank(&w)),
+            "MDBASELINE answer unfair at query {q:?}"
+        );
+        // …and close to the dense optimum (grid resolution + hyperplane
+        // linearization slack).
+        let optimal = sat_points
+            .iter()
+            .map(|p| angular_distance(p, &q))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            res.distance <= optimal + 0.12,
+            "query {q:?}: got {} vs dense optimum {}",
+            res.distance,
+            optimal
+        );
+    }
+}
+
+#[test]
+fn md_exact_ranker_round_trip() {
+    let ds = generic::uniform(20, 4, 0.9, 321);
+    let group = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(group, 5).with_max_count(0, 2);
+    let ranker = FairRanker::build_md_exact(
+        &ds,
+        Box::new(oracle.clone()),
+        &SatRegionsOptions {
+            max_hyperplanes: Some(40),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    for q in [
+        vec![1.0, 0.1, 0.1, 0.1],
+        vec![0.3, 0.9, 0.5, 0.2],
+        vec![0.25, 0.25, 0.25, 0.25],
+    ] {
+        match ranker.suggest(&q).unwrap() {
+            Suggestion::AlreadyFair => {
+                assert!(oracle.is_satisfactory(&ds.rank(&q)));
+            }
+            Suggestion::Suggested { weights, .. } => {
+                assert!(oracle.is_satisfactory(&ds.rank(&weights)));
+            }
+            Suggestion::Infeasible => {
+                // Legal only if nothing satisfies — spot-check a fan.
+                let mut any = false;
+                for i in 0..10 {
+                    for j in 0..10 {
+                        let a = vec![
+                            i as f64 / 9.0 * HALF_PI,
+                            j as f64 / 9.0 * HALF_PI,
+                            0.4,
+                        ];
+                        if oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, &a))) {
+                            any = true;
+                        }
+                    }
+                }
+                assert!(!any, "reported infeasible but satisfactory functions exist");
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_and_unpruned_satregions_agree_on_verdicts() {
+    // §8 pruning must not change which functions are satisfactory.
+    let ds = generic::uniform(40, 3, 0.8, 77);
+    let group = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(group, 5).with_max_count(0, 2);
+
+    let unpruned = sat_regions(
+        &ds,
+        &oracle,
+        &SatRegionsOptions {
+            max_hyperplanes: Some(120),
+            prune_top_k: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let pruned = sat_regions(
+        &ds,
+        &oracle,
+        &SatRegionsOptions {
+            max_hyperplanes: Some(120),
+            prune_top_k: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(pruned.items_used <= 40);
+    assert!(pruned.hyperplane_count <= unpruned.hyperplane_count);
+
+    // Check agreement by querying both region sets.
+    for q in [[0.2, 0.2], [1.0, 0.5], [0.5, 1.2]] {
+        let a = closest_satisfactory_validated(&unpruned.satisfactory, &q, &ds, &oracle);
+        let b = closest_satisfactory_validated(&pruned.satisfactory, &q, &ds, &oracle);
+        match (a, b) {
+            (Some(ra), Some(rb)) => {
+                // Both must be fair; distances comparable (pruned index has
+                // coarser regions, so allow slack).
+                let wa = to_cartesian(1.0, &ra.angles);
+                let wb = to_cartesian(1.0, &rb.angles);
+                assert!(oracle.is_satisfactory(&ds.rank(&wa)));
+                assert!(oracle.is_satisfactory(&ds.rank(&wb)));
+            }
+            (None, None) => {}
+            (x, y) => panic!("pruning changed satisfiability: {x:?} vs {y:?}"),
+        }
+    }
+}
+
+#[test]
+fn query_angles_round_trip_weights() {
+    // to_polar/to_cartesian self-consistency on the ranker query path.
+    let w = vec![0.4, 1.2, 0.3, 0.8];
+    let (r, angles) = to_polar(&w);
+    let back = to_cartesian(r, &angles);
+    for (a, b) in w.iter().zip(&back) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
