@@ -55,7 +55,13 @@ fn bench_feasibility(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("seidel_optimize", m), &m, |b, _| {
             b.iter(|| {
-                black_box(seidel::solve_seidel(&cs, &objective, 0.0, HALF_PI, SEIDEL_SEED))
+                black_box(seidel::solve_seidel(
+                    &cs,
+                    &objective,
+                    0.0,
+                    HALF_PI,
+                    SEIDEL_SEED,
+                ))
             });
         });
     }
@@ -66,8 +72,12 @@ fn bench_frank_wolfe(c: &mut Criterion) {
     let mut group = c.benchmark_group("frank_wolfe");
     let cs = vec![Constraint::ge(vec![1.0, 0.0], 1.0)];
     let target = [0.2f64, 0.3];
-    let objective =
-        |x: &[f64]| x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+    let objective = |x: &[f64]| {
+        x.iter()
+            .zip(&target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+    };
     for (name, away) in [("away_steps", true), ("vanilla", false)] {
         let opts = FwOptions {
             away_steps: away,

@@ -51,8 +51,7 @@ fn bench_suggest(c: &mut Criterion) {
     let d = 3usize;
     let ds = compas_d(500, d);
     let oracle = default_compas_oracle(&ds);
-    let ranker =
-        FairRanker::build_md_approx(&ds, Box::new(oracle), &build_options(d)).unwrap();
+    let ranker = FairRanker::build_md_approx(&ds, Box::new(oracle), &build_options(d)).unwrap();
     let weights: Vec<Vec<f64>> = query_fan(d - 1, 64)
         .iter()
         .map(|q| to_cartesian(1.0, q))

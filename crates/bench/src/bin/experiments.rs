@@ -40,6 +40,8 @@ struct Ctx {
     full: bool,
 }
 
+type Experiment = (&'static str, fn(&Ctx));
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -50,7 +52,7 @@ fn main() {
         .collect();
     let ctx = Ctx { full };
 
-    let experiments: &[(&str, fn(&Ctx))] = &[
+    let experiments: &[Experiment] = &[
         ("fig16", fig16),
         ("validation", validation_regions),
         ("fig17", fig17),
@@ -132,7 +134,10 @@ fn fig16(ctx: &Ctx) {
     }
     let thresholds = [0.2, 0.4, 0.6, HALF_PI];
     let cum = cumulative_at(&distances, &thresholds);
-    println!("already fair: {fair}/100; repaired: {}/100", distances.len());
+    println!(
+        "already fair: {fair}/100; repaired: {}/100",
+        distances.len()
+    );
     for (t, c) in thresholds.iter().zip(&cum) {
         println!("  θ(f,f') < {t:.2}: {c} of {} repairs", distances.len());
     }
@@ -250,7 +255,10 @@ fn fig17(ctx: &Ctx) {
     };
     println!("## fig17 — 2DRAYSWEEP: ordering exchanges and time vs n (d=2)");
     println!("paper: exchanges ≪ n² upper bound (450k at n=4000, not 16M); time slope ≈ n³ with O(n) oracle\n");
-    println!("{:>6} {:>12} {:>12} {:>12}", "n", "exchanges", "n² bound", "time");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "n", "exchanges", "n² bound", "time"
+    );
     let mut pts_ex = Vec::new();
     let mut pts_t = Vec::new();
     for &n in ns {
@@ -293,7 +301,10 @@ fn fig18_fig19(ctx: &Ctx) {
 
     let ds = compas_d3(n);
     let hyperplanes = exchange_hyperplanes(&ds);
-    println!("dataset: synthetic COMPAS n={n}, |H| = {}", hyperplanes.len());
+    println!(
+        "dataset: synthetic COMPAS n={n}, |H| = {}",
+        hyperplanes.len()
+    );
     println!(
         "{:>12} {:>14} {:>14} {:>10}",
         "hyperplanes", "baseline time", "tree time", "|R| (tree)"
@@ -347,7 +358,10 @@ fn fig20(ctx: &Ctx) {
     };
     println!("## fig20 — HYPERPOLAR: |H| and construction time vs n (d=3)");
     println!("paper: |H| approaches n²/2 as d grows (fewer dominated pairs than 2-D); time linear in |H|\n");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>12}", "n", "|H|", "pairs", "|H|/pairs", "time");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12}",
+        "n", "|H|", "pairs", "|H|/pairs", "time"
+    );
     let mut pts = Vec::new();
     for &n in ns {
         let ds = compas_d3(n);
@@ -543,7 +557,10 @@ fn querymd(ctx: &Ctx) {
     let dims: &[usize] = if ctx.full { &[3, 4, 5, 6] } else { &[3, 4, 5] };
     println!("## querymd — MDONLINE vs ordering the data (n={n})");
     println!("paper: MDONLINE < 200 µs for d=3…6, independent of n; ordering ≈ 25 ms\n");
-    println!("{:>4} {:>14} {:>14} {:>10}", "d", "MDONLINE", "ordering", "ratio");
+    println!(
+        "{:>4} {:>14} {:>14} {:>10}",
+        "d", "MDONLINE", "ordering", "ratio"
+    );
 
     for &d in dims {
         let ds = compas_d(n, d);
@@ -598,7 +615,11 @@ fn sampling(ctx: &Ctx) {
     println!("paper: preprocess a 1,000-row sample (N=40,000) in 1,276 s; 100% of assigned functions valid on all 1.32M rows\n");
 
     let (full, gen_t) = time(|| dot_flights(n));
-    println!("generated {} flights in {}", full.len(), fmt_duration(gen_t));
+    println!(
+        "generated {} flights in {}",
+        full.len(),
+        fmt_duration(gen_t)
+    );
     let full_oracle = dot_oracle(&full);
 
     let ((index, sample), prep_t) = time(|| {

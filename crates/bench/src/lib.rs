@@ -89,11 +89,7 @@ pub fn dot_oracle(ds: &Dataset) -> Proportionality {
         .expect("DOT has airline_name");
     let props = airline.group_proportions();
     let majors = dot::major_carrier_groups();
-    Proportionality::new(airline, ds.len() / 10).with_proportional_caps(
-        &props,
-        0.05,
-        Some(&majors),
-    )
+    Proportionality::new(airline, ds.len() / 10).with_proportional_caps(&props, 0.05, Some(&majors))
 }
 
 /// Deterministic query fan: `count` angle vectors spread over the open

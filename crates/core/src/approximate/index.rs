@@ -94,7 +94,6 @@ impl BuildStats {
 /// The offline artifact: a partition of the angle space with one
 /// validated satisfactory function per cell (where one exists).
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ApproxIndex {
     pub(crate) grid: AngleGrid,
     /// Per cell: index into `functions`, or `None` when the fairness
@@ -103,7 +102,6 @@ pub struct ApproxIndex {
     /// Distinct satisfactory functions (angle vectors), each validated
     /// against the real oracle during the build.
     pub(crate) functions: Vec<Vec<f64>>,
-    #[cfg_attr(feature = "serde", serde(skip))]
     pub(crate) stats: BuildStats,
 }
 
@@ -184,17 +182,16 @@ impl ApproxIndex {
                 }
             }
         } else {
-            let results = crossbeam::thread::scope(|scope| {
+            let results = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n_threads);
                 for _ in 0..n_threads {
                     let next_cell = &next_cell;
                     let search_cell = &search_cell;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut local: Vec<(CellId, Vec<f64>)> = Vec::new();
                         let mut calls = 0u64;
                         loop {
-                            let cell =
-                                next_cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let cell = next_cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if cell >= cell_count {
                                 break;
                             }
@@ -209,8 +206,7 @@ impl ApproxIndex {
                     .into_iter()
                     .map(|h| h.join().expect("markcell worker panicked"))
                     .collect::<Vec<_>>()
-            })
-            .expect("markcell scope");
+            });
             for (local, calls) in results {
                 oracle_calls += calls;
                 found.extend(local);
@@ -246,8 +242,7 @@ impl ApproxIndex {
     #[must_use]
     pub fn lookup(&self, angles: &[f64]) -> Option<&[f64]> {
         let cell = self.grid.locate(angles);
-        self.assigned[cell as usize]
-            .map(|f| self.functions[f as usize].as_slice())
+        self.assigned[cell as usize].map(|f| self.functions[f as usize].as_slice())
     }
 
     /// The underlying grid.

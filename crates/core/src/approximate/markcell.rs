@@ -120,9 +120,7 @@ mod tests {
         // first probe regardless of how many hyperplanes cross the cell.
         let grid = AngleGrid::equal_area(3, 16);
         let hs: Vec<Hyperplane> = (1..8)
-            .map(|k| {
-                Hyperplane::new(vec![1.0, 0.1 * k as f64], 0.2 + 0.1 * k as f64).unwrap()
-            })
+            .map(|k| Hyperplane::new(vec![1.0, 0.1 * k as f64], 0.2 + 0.1 * k as f64).unwrap())
             .collect();
         let hc = hyperplanes_per_cell(&grid, &hs);
         let cell = (0..grid.cell_count() as CellId)
@@ -148,12 +146,18 @@ mod tests {
         let h = Hyperplane::new(vec![1.0, 1.0], bl[0] + bl[1]).unwrap();
         let mut centers = 0usize;
         let center = grid.center(5);
-        let got = find_satisfactory(&grid, 5, &[0], std::slice::from_ref(&h), &mut |p: &[f64]| {
-            if p == center.as_slice() {
-                centers += 1;
-            }
-            true
-        });
+        let got = find_satisfactory(
+            &grid,
+            5,
+            &[0],
+            std::slice::from_ref(&h),
+            &mut |p: &[f64]| {
+                if p == center.as_slice() {
+                    centers += 1;
+                }
+                true
+            },
+        );
         assert!(got.is_some());
     }
 

@@ -50,9 +50,7 @@ pub fn exchange_hyperplane(ti: &[f64], tj: &[f64]) -> Option<Hyperplane> {
     let v: Vec<f64> = ti.iter().zip(tj).map(|(a, b)| a - b).collect();
     let pos: Vec<usize> = (0..d).filter(|&k| v[k] > GEOM_EPS).collect();
     let neg: Vec<usize> = (0..d).filter(|&k| v[k] < -GEOM_EPS).collect();
-    let zero: Vec<usize> = (0..d)
-        .filter(|&k| v[k].abs() <= GEOM_EPS)
-        .collect();
+    let zero: Vec<usize> = (0..d).filter(|&k| v[k].abs() <= GEOM_EPS).collect();
     if pos.is_empty() || neg.is_empty() {
         return None; // dominance (or identical): no interior exchange
     }
@@ -188,8 +186,9 @@ mod tests {
                 let mut angles = Vec::with_capacity(dim);
                 let mut rem = idx;
                 for _ in 0..dim {
-                    angles
-                        .push((rem % steps) as f64 / (steps - 1) as f64 * fairrank_geometry::HALF_PI);
+                    angles.push(
+                        (rem % steps) as f64 / (steps - 1) as f64 * fairrank_geometry::HALF_PI,
+                    );
                     rem /= steps;
                 }
                 let side = h.eval(&angles);

@@ -67,7 +67,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Truncated => write!(f, "index payload truncated or invalid"),
             PersistError::ChecksumMismatch => write!(f, "index checksum mismatch"),
             PersistError::GridDrift => {
-                write!(f, "grid rebuild mismatch: writer used a different partitioning")
+                write!(
+                    f,
+                    "grid rebuild mismatch: writer used a different partitioning"
+                )
             }
         }
     }

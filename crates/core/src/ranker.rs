@@ -32,7 +32,10 @@ pub enum Suggestion {
 enum Index {
     TwoD(AngularIntervals),
     MdExact(Vec<SatRegion>),
-    MdApprox(ApproxIndex),
+    // Boxed: an ApproxIndex (grid + assignments) is far larger than the
+    // other variants, and one pointer chase per query is noise next to
+    // the grid lookup itself.
+    MdApprox(Box<ApproxIndex>),
 }
 
 /// The query-answering system of the paper: offline preprocessing behind
@@ -90,7 +93,7 @@ impl FairRanker {
         Ok(FairRanker {
             ds: ds.clone(),
             oracle,
-            index: Index::MdApprox(index),
+            index: Index::MdApprox(Box::new(index)),
         })
     }
 
@@ -172,7 +175,7 @@ impl FairRanker {
     #[must_use]
     pub fn approx_index(&self) -> Option<&ApproxIndex> {
         match &self.index {
-            Index::MdApprox(idx) => Some(idx),
+            Index::MdApprox(idx) => Some(idx.as_ref()),
             _ => None,
         }
     }
@@ -223,7 +226,10 @@ mod tests {
         let ds = generic::uniform(30, 2, 0.0, 5);
         let o = FnOracle::new("always", |_: &[u32]| true);
         let ranker = FairRanker::build_2d(&ds, Box::new(o)).unwrap();
-        assert_eq!(ranker.suggest(&[1.0, 1.0]).unwrap(), Suggestion::AlreadyFair);
+        assert_eq!(
+            ranker.suggest(&[1.0, 1.0]).unwrap(),
+            Suggestion::AlreadyFair
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ mod tests {
     fn axis_queries() {
         let ivs = idx(&[(0.0, 0.1)]);
         // Pure-x query (θ = 0) is inside.
-        assert_eq!(online_2d(&ivs, &[2.0, 0.0]).unwrap(), TwoDAnswer::AlreadyFair);
+        assert_eq!(
+            online_2d(&ivs, &[2.0, 0.0]).unwrap(),
+            TwoDAnswer::AlreadyFair
+        );
         // Pure-y query (θ = π/2) snaps to 0.1.
         match online_2d(&ivs, &[0.0, 2.0]).unwrap() {
             TwoDAnswer::Suggestion { distance, .. } => {

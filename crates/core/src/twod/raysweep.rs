@@ -88,7 +88,10 @@ fn weights_at(theta: f64) -> [f64; 2] {
 /// # Errors
 /// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
 /// scoring attributes.
-pub fn ray_sweep(ds: &Dataset, oracle: &dyn FairnessOracle) -> Result<RaySweepResult, FairRankError> {
+pub fn ray_sweep(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+) -> Result<RaySweepResult, FairRankError> {
     if ds.dim() != 2 {
         return Err(FairRankError::DimensionMismatch {
             expected: 2,
@@ -142,9 +145,7 @@ pub fn ray_sweep(ds: &Dataset, oracle: &dyn FairnessOracle) -> Result<RaySweepRe
             // Ties made swap order ambiguous — re-rank strictly inside the
             // next sector (DESIGN.md F5).
             rerank_events += 1;
-            let next_theta = batches
-                .get(bi + 1)
-                .map_or(HALF_PI, |nb| events[nb.start].0);
+            let next_theta = batches.get(bi + 1).map_or(HALF_PI, |nb| events[nb.start].0);
             ranking = ds.rank(&weights_at(0.5 * (theta + next_theta)));
             for (pos, &item) in ranking.iter().enumerate() {
                 position[item as usize] = pos as u32;
@@ -212,9 +213,7 @@ pub fn ray_sweep_incremental(
         }
         if degenerate {
             rerank_events += 1;
-            let next_theta = batches
-                .get(bi + 1)
-                .map_or(HALF_PI, |nb| events[nb.start].0);
+            let next_theta = batches.get(bi + 1).map_or(HALF_PI, |nb| events[nb.start].0);
             sweep = SweepState::new(
                 ds.rank(&weights_at(0.5 * (theta + next_theta))),
                 constraints,

@@ -236,12 +236,8 @@ mod tests {
             &[vec![3.5, 1200.0], vec![3.9, 1400.0], vec![2.8, 1000.0]],
         )
         .unwrap();
-        ds.add_type_attribute(
-            "gender",
-            vec!["f".into(), "m".into()],
-            vec![0, 1, 0],
-        )
-        .unwrap();
+        ds.add_type_attribute("gender", vec!["f".into(), "m".into()], vec![0, 1, 0])
+            .unwrap();
         ds
     }
 

@@ -5,7 +5,6 @@ use std::fmt;
 /// A categorical *type attribute* (protected feature): one small-cardinality
 /// group id per item, with human-readable labels (paper §2, fairness model).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TypeAttribute {
     /// Attribute name, e.g. `"race"`.
     pub name: String,
@@ -70,7 +69,11 @@ pub enum DatasetError {
 impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DatasetError::RaggedRow { row, expected, found } => {
+            DatasetError::RaggedRow {
+                row,
+                expected,
+                found,
+            } => {
                 write!(f, "row {row} has {found} attributes, expected {expected}")
             }
             DatasetError::NonFiniteValue { row, attr } => {
@@ -94,7 +97,6 @@ impl std::error::Error for DatasetError {}
 /// After [`Dataset::normalize_min_max`], all values are in `[0, 1]` and
 /// larger is better, matching the paper's preliminaries.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dataset {
     attr_names: Vec<String>,
     scoring: Vec<f64>,
@@ -108,10 +110,7 @@ impl Dataset {
     ///
     /// # Errors
     /// On ragged rows, non-finite values or an empty input.
-    pub fn from_rows(
-        attr_names: Vec<String>,
-        rows: &[Vec<f64>],
-    ) -> Result<Dataset, DatasetError> {
+    pub fn from_rows(attr_names: Vec<String>, rows: &[Vec<f64>]) -> Result<Dataset, DatasetError> {
         if rows.is_empty() {
             return Err(DatasetError::Empty);
         }
@@ -501,8 +500,7 @@ mod tests {
 
     #[test]
     fn normalization_constant_column() {
-        let mut ds =
-            Dataset::from_rows(vec!["c".into()], &[vec![5.0], vec![5.0]]).unwrap();
+        let mut ds = Dataset::from_rows(vec!["c".into()], &[vec![5.0], vec![5.0]]).unwrap();
         ds.normalize_min_max(&[]);
         assert_eq!(ds.item(0), &[0.0]);
     }
@@ -551,8 +549,7 @@ mod tests {
         for i in 0..3 {
             let row = s.item(i);
             let found = (0..ds.len()).any(|j| {
-                ds.item(j) == row
-                    && ds.type_attribute("color").unwrap().values[j] == t.values[i]
+                ds.item(j) == row && ds.type_attribute("color").unwrap().values[j] == t.values[i]
             });
             assert!(found, "sampled row {row:?} not aligned");
         }

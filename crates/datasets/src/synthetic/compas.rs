@@ -107,10 +107,7 @@ pub fn generate(cfg: &CompasConfig) -> Dataset {
         // columns have. Calibrated so the paper's default FM1 model
         // (≤60% AA in the top 30%) rejects roughly half of random d=3
         // queries at any n — the paper's Figure 16 setting (52/100 fair).
-        let priors = poisson(
-            &mut rng,
-            0.8 + 2.2 * youth + 2.2 * bias * aa + 0.3 * male,
-        ) as f64;
+        let priors = poisson(&mut rng, 0.8 + 2.2 * youth + 2.2 * bias * aa + 0.3 * male) as f64;
         let juv_other = poisson(&mut rng, 0.6 + 0.5 * youth * (1.0 + 0.8 * bias * aa)) as f64;
         let days_b_screening = clamped_normal(&mut rng, 0.0, 5.0, -30.0, 30.0);
         let start = (rng.gen_range(0.0..1000.0) - 300.0 * bias * aa).max(0.0);
@@ -138,17 +135,10 @@ pub fn generate(cfg: &CompasConfig) -> Dataset {
         });
     }
 
-    let mut ds = Dataset::from_rows(
-        ATTR_NAMES.iter().map(|s| (*s).to_string()).collect(),
-        &rows,
-    )
-    .expect("generated rows are well-formed");
-    ds.add_type_attribute(
-        "sex",
-        vec!["male".into(), "female".into()],
-        sex,
-    )
-    .expect("aligned");
+    let mut ds = Dataset::from_rows(ATTR_NAMES.iter().map(|s| (*s).to_string()).collect(), &rows)
+        .expect("generated rows are well-formed");
+    ds.add_type_attribute("sex", vec!["male".into(), "female".into()], sex)
+        .expect("aligned");
     ds.add_type_attribute(
         "race",
         vec![
@@ -159,12 +149,8 @@ pub fn generate(cfg: &CompasConfig) -> Dataset {
         race,
     )
     .expect("aligned");
-    ds.add_type_attribute(
-        "age_binary",
-        vec!["<=35".into(), ">35".into()],
-        age_binary,
-    )
-    .expect("aligned");
+    ds.add_type_attribute("age_binary", vec!["<=35".into(), ">35".into()], age_binary)
+        .expect("aligned");
     ds.add_type_attribute(
         "age_bucketized",
         vec!["<=30".into(), "31-40".into(), ">40".into()],
@@ -279,7 +265,10 @@ mod tests {
             let race = ds.type_attribute("race").unwrap();
             let k = ds.len() * 3 / 10;
             let top = ds.top_k(w, k);
-            let aa = top.iter().filter(|&&i| race.values[i as usize] == 0).count();
+            let aa = top
+                .iter()
+                .filter(|&&i| race.values[i as usize] == 0)
+                .count();
             aa as f64 / k as f64 - race.group_proportions()[0]
         };
         let biased = generate(&CompasConfig {

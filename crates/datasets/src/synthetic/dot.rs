@@ -103,11 +103,8 @@ pub fn generate(cfg: &DotConfig) -> Dataset {
         airline.push(c as u32);
     }
 
-    let mut ds = Dataset::from_rows(
-        ATTR_NAMES.iter().map(|s| (*s).to_string()).collect(),
-        &rows,
-    )
-    .expect("generated rows are well-formed");
+    let mut ds = Dataset::from_rows(ATTR_NAMES.iter().map(|s| (*s).to_string()).collect(), &rows)
+        .expect("generated rows are well-formed");
     ds.add_type_attribute(
         "airline_name",
         CARRIERS.iter().map(|c| c.0.to_string()).collect(),
@@ -147,10 +144,7 @@ mod tests {
         });
         assert_eq!(ds.dim(), 3);
         assert_eq!(ds.len(), 5000);
-        assert_eq!(
-            ds.type_attribute("airline_name").unwrap().group_count(),
-            14
-        );
+        assert_eq!(ds.type_attribute("airline_name").unwrap().group_count(), 14);
     }
 
     #[test]
@@ -222,10 +216,7 @@ mod tests {
     fn major_carriers_resolve() {
         let groups = major_carrier_groups();
         assert_eq!(groups.len(), 4);
-        let names: Vec<&str> = groups
-            .iter()
-            .map(|&g| CARRIERS[g as usize].0)
-            .collect();
+        let names: Vec<&str> = groups.iter().map(|&g| CARRIERS[g as usize].0).collect();
         assert_eq!(names, vec!["DL", "AA", "WN", "UA"]);
     }
 

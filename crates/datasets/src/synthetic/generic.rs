@@ -68,9 +68,8 @@ pub fn anticorrelated(n: usize, d: usize, group_bias: f64, seed: u64) -> Dataset
                 .collect();
             let total: f64 = parts.iter().sum();
             for p in &mut parts {
-                *p = (*p / total * d as f64 / 2.0
-                    + clamped_normal(&mut rng, 0.0, 0.05, -0.2, 0.2))
-                .clamp(0.0, 1.0);
+                *p = (*p / total * d as f64 / 2.0 + clamped_normal(&mut rng, 0.0, 0.05, -0.2, 0.2))
+                    .clamp(0.0, 1.0);
             }
             parts
         })
@@ -87,11 +86,8 @@ fn with_group(rows: Vec<Vec<f64>>, group_bias: f64, rng: &mut StdRng) -> Dataset
             u32::from(rng.gen::<f64>() >= p0)
         })
         .collect();
-    let mut ds = Dataset::from_rows(
-        (0..d).map(|j| format!("a{j}")).collect(),
-        &rows,
-    )
-    .expect("generated rows are well-formed");
+    let mut ds = Dataset::from_rows((0..d).map(|j| format!("a{j}")).collect(), &rows)
+        .expect("generated rows are well-formed");
     ds.add_type_attribute("group", vec!["g0".into(), "g1".into()], group)
         .expect("aligned");
     ds

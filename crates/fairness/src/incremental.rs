@@ -278,7 +278,7 @@ mod tests {
         // Top-2 = {0, 2}: a-groups {0,1} ok; b-groups {0,0} → violates b.
         assert!(!sweep.is_satisfactory());
         sweep.swap_items(2, 1); // positions 1/2 → top-2 = {0, 1}
-        // a-groups {0,0} violates now.
+                                // a-groups {0,0} violates now.
         assert!(!sweep.is_satisfactory());
     }
 

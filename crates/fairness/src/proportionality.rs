@@ -370,8 +370,16 @@ mod tests {
             &(0..10).map(|i| vec![f64::from(i)]).collect::<Vec<_>>(),
         )
         .unwrap();
-        ds.add_type_attribute("g", vec!["a".into(), "b".into()], vec![0; 10].into_iter().enumerate().map(|(i, _)| (i % 2) as u32).collect())
-            .unwrap();
+        ds.add_type_attribute(
+            "g",
+            vec!["a".into(), "b".into()],
+            vec![0; 10]
+                .into_iter()
+                .enumerate()
+                .map(|(i, _)| (i % 2) as u32)
+                .collect(),
+        )
+        .unwrap();
         let o = Proportionality::over_fraction(&ds, "g", 0.3);
         assert_eq!(o.k(), 3);
     }

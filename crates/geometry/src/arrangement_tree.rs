@@ -130,7 +130,14 @@ impl ArrangementTree {
         assert_eq!(h.dim(), self.dim, "hyperplane dimension mismatch");
         let mut sigma: Vec<Constraint> = self.base.clone();
         let mut splits = 0usize;
-        self.root = self.insert_rec(self.root, h, &mut sigma, &mut splits, &mut |_| false, &mut None);
+        self.root = self.insert_rec(
+            self.root,
+            h,
+            &mut sigma,
+            &mut splits,
+            &mut |_| false,
+            &mut None,
+        );
         splits
     }
 
@@ -169,7 +176,14 @@ impl ArrangementTree {
             None => {
                 // Leaf region σ: split only on a proper cut.
                 self.lp_calls += 2;
-                if !proper_cut(sigma, h, self.dim, self.box_lo, self.box_hi, self.split_margin) {
+                if !proper_cut(
+                    sigma,
+                    h,
+                    self.dim,
+                    self.box_lo,
+                    self.box_hi,
+                    self.split_margin,
+                ) {
                     return None;
                 }
                 *splits += 1;
@@ -257,8 +271,7 @@ impl ArrangementTree {
         self.regions()
             .into_iter()
             .filter_map(|cs| {
-                interior_point(&cs, self.dim, self.box_lo, self.box_hi)
-                    .map(|ip| (cs, ip.point))
+                interior_point(&cs, self.dim, self.box_lo, self.box_hi).map(|ip| (cs, ip.point))
             })
             .collect()
     }

@@ -128,10 +128,7 @@ mod tests {
         // Same x, different y: tie only when w1 = 0 → θ = 0.
         assert_eq!(exchange_angle_2d(&[1.0, 2.0], &[1.0, 3.0]), Some(0.0));
         // Same y, different x: tie only when w0 = 0 → θ = π/2.
-        assert_eq!(
-            exchange_angle_2d(&[1.0, 2.0], &[3.0, 2.0]),
-            Some(FRAC_PI_2)
-        );
+        assert_eq!(exchange_angle_2d(&[1.0, 2.0], &[3.0, 2.0]), Some(FRAC_PI_2));
     }
 
     #[test]

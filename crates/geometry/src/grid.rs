@@ -32,7 +32,6 @@ pub type CellId = u32;
 
 /// How the grid spaces its rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PartitionScheme {
     /// Equal-area rows (the paper's ANGLEPARTITIONING).
     EqualArea,
@@ -43,7 +42,6 @@ pub enum PartitionScheme {
 /// One level of the partition tree: sorted boundaries along this level's
 /// axis; each row either recurses (inner levels) or is a cell (last level).
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct LevelNode {
     boundaries: Vec<f64>,
     children: Vec<LevelNode>,
@@ -52,7 +50,6 @@ struct LevelNode {
 
 /// A partition of the angle box `[0, π/2]^{d−1}` into axis-aligned cells.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AngleGrid {
     dim: usize,
     scheme: PartitionScheme,
@@ -278,7 +275,10 @@ impl AngleGrid {
         let hi = tr[axis] + eps;
         let nrows = node.boundaries.len() - 1;
         // Rows [start, end) overlapping [lo, hi].
-        let start = node.boundaries.partition_point(|&b| b < lo).saturating_sub(1);
+        let start = node
+            .boundaries
+            .partition_point(|&b| b < lo)
+            .saturating_sub(1);
         let end = node.boundaries.partition_point(|&b| b <= hi).min(nrows);
         for r in start..end.max(start) {
             if node.boundaries[r + 1] < lo || node.boundaries[r] > hi {
@@ -423,10 +423,7 @@ mod tests {
     fn d3_grid_cell_count_near_target() {
         let g = AngleGrid::equal_area(3, 1000);
         let n = g.cell_count();
-        assert!(
-            (500..=2200).contains(&n),
-            "expected ≈1000 cells, got {n}"
-        );
+        assert!((500..=2200).contains(&n), "expected ≈1000 cells, got {n}");
     }
 
     #[test]

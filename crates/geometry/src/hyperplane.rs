@@ -19,7 +19,6 @@ use crate::GEOM_EPS;
 /// `Plus` is the half-space `a·θ ≥ b` (the paper's `h⁺`), `Minus` is
 /// `a·θ ≤ b` (`h⁻`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Sign {
     /// `a·θ ≥ b`
     Plus,
@@ -40,7 +39,6 @@ impl Sign {
 
 /// An affine hyperplane `a·θ = b` in the `(d−1)`-dimensional angle space.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hyperplane {
     /// Normal vector `a` (unit length after [`Hyperplane::new`]).
     pub normal: Vec<f64>,

@@ -10,7 +10,6 @@ use crate::{GEOM_EPS, HALF_PI};
 
 /// A set of disjoint, sorted, closed angular intervals within `[0, π/2]`.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AngularIntervals {
     /// Disjoint `[start, end]` pairs, sorted by `start`.
     intervals: Vec<(f64, f64)>,
@@ -86,7 +85,9 @@ impl AngularIntervals {
             return None;
         }
         // partition_point: first interval with start > theta.
-        let idx = self.intervals.partition_point(|&(s, _)| s <= theta + GEOM_EPS);
+        let idx = self
+            .intervals
+            .partition_point(|&(s, _)| s <= theta + GEOM_EPS);
         if idx == 0 {
             return None;
         }

@@ -236,7 +236,7 @@ pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     let (m, n) = (a.rows, a.cols);
     let mut ata = Matrix::zeros(n, n);
     let mut atb = vec![0.0; n];
-    for i in 0..n {
+    for (i, slot) in atb.iter_mut().enumerate() {
         for j in 0..n {
             let mut s = 0.0;
             for r in 0..m {
@@ -245,10 +245,10 @@ pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
             ata.set(i, j, s);
         }
         let mut s = 0.0;
-        for r in 0..m {
-            s += a.get(r, i) * b[r];
+        for (r, &bv) in b.iter().enumerate() {
+            s += a.get(r, i) * bv;
         }
-        atb[i] = s;
+        *slot = s;
     }
     solve(&ata, &atb)
 }

@@ -51,11 +51,12 @@ pub fn to_polar(point: &[f64]) -> (f64, Vec<f64>) {
     for k in 1..d {
         let p = point[k];
         let prefix = prefix_sq.max(0.0).sqrt();
-        angles[k - 1] = if prefix <= GEOM_EPS && p.abs() <= GEOM_EPS {
-            0.0
-        } else {
-            p.atan2(prefix)
-        };
+        // atan2 is exact on both boundaries (atan2(0, x≥0) = 0 for the
+        // axis-aligned case, atan2(p>0, 0) = π/2 for a zero prefix, and
+        // IEEE atan2(+0, +0) = 0), so no epsilon guard belongs here: an
+        // absolute-tolerance collapse to 0 would misdirect rays whose
+        // leading components are merely small on the caller's scale.
+        angles[k - 1] = p.atan2(prefix);
         prefix_sq += p * p;
     }
     (r, angles)

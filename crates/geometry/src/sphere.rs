@@ -9,7 +9,7 @@
 #[must_use]
 pub fn gamma_half_integer(d: usize) -> f64 {
     assert!(d > 0, "gamma_half_integer requires d ≥ 1");
-    if d % 2 == 0 {
+    if d.is_multiple_of(2) {
         // Γ(d/2) = (d/2 − 1)!
         let n = d / 2;
         (1..n).map(|k| k as f64).product()

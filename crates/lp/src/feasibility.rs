@@ -124,7 +124,11 @@ pub fn chebyshev_center(
     let mut lp = LinearProgram::maximize(objective).with_constraints(lp_constraints);
     for j in 0..n {
         lp.bounds[j] = (
-            if lo.is_finite() { lo } else { f64::NEG_INFINITY },
+            if lo.is_finite() {
+                lo
+            } else {
+                f64::NEG_INFINITY
+            },
             if hi.is_finite() { hi } else { f64::INFINITY },
         );
     }

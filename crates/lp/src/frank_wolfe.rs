@@ -181,8 +181,11 @@ where
             // Frank–Wolfe step toward the new vertex s.
             let gamma = golden_section(
                 |g| {
-                    let p: Vec<f64> =
-                        x.iter().zip(&s).map(|(xi, si)| xi + g * (si - xi)).collect();
+                    let p: Vec<f64> = x
+                        .iter()
+                        .zip(&s)
+                        .map(|(xi, si)| xi + g * (si - xi))
+                        .collect();
                     f(&p)
                 },
                 0.0,
@@ -231,11 +234,7 @@ where
 /// Add weight `w` to atom `p`, merging with an existing equal atom.
 fn merge_atom(atoms: &mut Vec<Atom>, p: &[f64], w: f64) {
     for a in atoms.iter_mut() {
-        if a.point
-            .iter()
-            .zip(p)
-            .all(|(x, y)| (x - y).abs() <= 1e-12)
-        {
+        if a.point.iter().zip(p).all(|(x, y)| (x - y).abs() <= 1e-12) {
             a.weight += w;
             return;
         }
@@ -448,8 +447,8 @@ mod tests {
     fn nonquadratic_objective() {
         // Smooth non-quadratic objective: cosine-like bowl.
         let f = |x: &[f64]| 1.0 - (x[0].cos() * x[1].cos());
-        let r = minimize_over_polytope(f, &[], 0.2, 1.0, &[0.9, 0.9], &FwOptions::default())
-            .unwrap();
+        let r =
+            minimize_over_polytope(f, &[], 0.2, 1.0, &[0.9, 0.9], &FwOptions::default()).unwrap();
         // Minimum of the bowl on the box is at the lower corner (0.2, 0.2).
         assert!((r.x[0] - 0.2).abs() < 1e-3);
         assert!((r.x[1] - 0.2).abs() < 1e-3);

@@ -258,7 +258,10 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::DimensionMismatch { expected, found } => {
-                write!(f, "constraint arity {found} does not match variable count {expected}")
+                write!(
+                    f,
+                    "constraint arity {found} does not match variable count {expected}"
+                )
             }
             LpError::NotANumber => write!(f, "NaN coefficient in linear program"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),

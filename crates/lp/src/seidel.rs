@@ -177,7 +177,7 @@ fn recurse(
 fn pivot_column(a: &[f64]) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (j, &v) in a.iter().enumerate() {
-        if v.abs() > EPS && best.map_or(true, |(_, bv): (usize, f64)| v.abs() > bv.abs()) {
+        if v.abs() > EPS && best.is_none_or(|(_, bv): (usize, f64)| v.abs() > bv.abs()) {
             best = Some((j, v));
         }
     }
@@ -200,9 +200,9 @@ fn project(
     let reduce = |a: &[f64], b: f64, coeff_k: f64| -> Row {
         let scale = coeff_k / ak;
         let mut na = Vec::with_capacity(n - 1);
-        for j in 0..n {
+        for (j, (&aj, &tj)) in a.iter().zip(&tight.a).enumerate() {
             if j != k {
-                na.push(a[j] - scale * tight.a[j]);
+                na.push(aj - scale * tj);
             }
         }
         Row {

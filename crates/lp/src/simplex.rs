@@ -538,7 +538,8 @@ mod tests {
     #[test]
     fn free_variables_split() {
         // min x s.t. x ≥ -5 with free x: → -5
-        let lp = LinearProgram::minimize(vec![1.0]).with_constraint(Constraint::ge(vec![1.0], -5.0));
+        let lp =
+            LinearProgram::minimize(vec![1.0]).with_constraint(Constraint::ge(vec![1.0], -5.0));
         match solve(&lp).unwrap() {
             LpOutcome::Optimal { x, value } => {
                 assert_close(value, -5.0);

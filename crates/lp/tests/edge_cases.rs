@@ -1,0 +1,303 @@
+//! Focused unit tests for the LP kernels on the inputs the happy-path
+//! integration suite never produces: infeasible systems, unbounded
+//! objectives, degenerate vertices, slivers and malformed programs.
+
+use fairrank_lp::seidel::{solve_seidel, SeidelOutcome};
+use fairrank_lp::{
+    chebyshev_center, feasible_point, interior_point, is_feasible, simplex, Constraint,
+    LinearProgram, LpError, LpOutcome,
+};
+
+// ---------------------------------------------------------------------
+// Simplex: infeasible systems
+// ---------------------------------------------------------------------
+
+#[test]
+fn simplex_detects_contradictory_halfspaces() {
+    let lp = LinearProgram::minimize(vec![1.0, 1.0])
+        .with_constraints([
+            Constraint::le(vec![1.0, 0.0], 0.2),
+            Constraint::ge(vec![1.0, 0.0], 0.8),
+        ])
+        .with_box(0.0, 1.0);
+    assert_eq!(simplex::solve(&lp).unwrap(), LpOutcome::Infeasible);
+}
+
+#[test]
+fn simplex_detects_constraint_outside_box() {
+    // x + y >= 3 can never hold inside [0, 1]^2.
+    let lp = LinearProgram::minimize(vec![0.0, 0.0])
+        .with_constraint(Constraint::ge(vec![1.0, 1.0], 3.0))
+        .with_box(0.0, 1.0);
+    assert_eq!(simplex::solve(&lp).unwrap(), LpOutcome::Infeasible);
+}
+
+#[test]
+fn simplex_detects_infeasible_equalities() {
+    let lp = LinearProgram::minimize(vec![0.0, 0.0])
+        .with_constraints([
+            Constraint::eq(vec![1.0, 1.0], 1.0),
+            Constraint::eq(vec![1.0, 1.0], 2.0),
+        ])
+        .with_box(0.0, 10.0);
+    assert_eq!(simplex::solve(&lp).unwrap(), LpOutcome::Infeasible);
+}
+
+// ---------------------------------------------------------------------
+// Simplex: unbounded objectives
+// ---------------------------------------------------------------------
+
+#[test]
+fn simplex_detects_unbounded_free_variable() {
+    // Minimize -x with x free and unconstrained.
+    let lp = LinearProgram::minimize(vec![-1.0, 0.0]);
+    assert_eq!(simplex::solve(&lp).unwrap(), LpOutcome::Unbounded);
+}
+
+#[test]
+fn simplex_detects_unbounded_ray_despite_constraints() {
+    // y <= 5 does not bound the descent direction of -x.
+    let lp = LinearProgram::minimize(vec![-1.0, 0.0])
+        .with_constraint(Constraint::le(vec![0.0, 1.0], 5.0))
+        .with_bound(0, 0.0, f64::INFINITY)
+        .with_bound(1, 0.0, f64::INFINITY);
+    assert_eq!(simplex::solve(&lp).unwrap(), LpOutcome::Unbounded);
+}
+
+#[test]
+fn bounded_box_prevents_unboundedness() {
+    let lp = LinearProgram::minimize(vec![-1.0, 0.0]).with_box(0.0, 2.0);
+    match simplex::solve(&lp).unwrap() {
+        LpOutcome::Optimal { x, value } => {
+            assert!((x[0] - 2.0).abs() < 1e-9);
+            assert!((value + 2.0).abs() < 1e-9);
+        }
+        other => panic!("expected optimum, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simplex: degeneracy
+// ---------------------------------------------------------------------
+
+#[test]
+fn simplex_survives_degenerate_vertex() {
+    // Four constraints meet at (1, 1): a degenerate optimal vertex with
+    // redundant rows — the classic cycling trap for naive pivoting.
+    let lp = LinearProgram::minimize(vec![-1.0, -1.0])
+        .with_constraints([
+            Constraint::le(vec![1.0, 0.0], 1.0),
+            Constraint::le(vec![0.0, 1.0], 1.0),
+            Constraint::le(vec![1.0, 1.0], 2.0),
+            Constraint::le(vec![2.0, 2.0], 4.0),
+        ])
+        .with_box(0.0, 10.0);
+    match simplex::solve(&lp).unwrap() {
+        LpOutcome::Optimal { x, value } => {
+            assert!(
+                (value + 2.0).abs() < 1e-7,
+                "optimum should be -2, got {value}"
+            );
+            assert!((x[0] - 1.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+        }
+        other => panic!("expected optimum, got {other:?}"),
+    }
+}
+
+#[test]
+fn simplex_handles_duplicate_rows() {
+    let row = Constraint::le(vec![1.0, 1.0], 1.0);
+    let lp = LinearProgram::minimize(vec![-1.0, 0.0])
+        .with_constraints(vec![row.clone(), row.clone(), row])
+        .with_box(0.0, 1.0);
+    match simplex::solve(&lp).unwrap() {
+        LpOutcome::Optimal { x, value } => {
+            assert!((value + 1.0).abs() < 1e-7);
+            assert!((x[0] - 1.0).abs() < 1e-7);
+        }
+        other => panic!("expected optimum, got {other:?}"),
+    }
+}
+
+#[test]
+fn simplex_handles_zero_width_box() {
+    // lo == hi pins every variable; the only question is feasibility.
+    let lp = LinearProgram::minimize(vec![1.0, -1.0])
+        .with_constraint(Constraint::le(vec![1.0, 1.0], 2.0))
+        .with_box(0.5, 0.5);
+    match simplex::solve(&lp).unwrap() {
+        LpOutcome::Optimal { x, value } => {
+            assert!((x[0] - 0.5).abs() < 1e-9 && (x[1] - 0.5).abs() < 1e-9);
+            assert!(value.abs() < 1e-9);
+        }
+        other => panic!("expected optimum, got {other:?}"),
+    }
+}
+
+#[test]
+fn simplex_honours_equality_rows() {
+    let lp = LinearProgram::minimize(vec![1.0, 0.0])
+        .with_constraint(Constraint::eq(vec![1.0, 1.0], 1.0))
+        .with_box(0.0, 1.0);
+    match simplex::solve(&lp).unwrap() {
+        LpOutcome::Optimal { x, value } => {
+            assert!(value.abs() < 1e-9, "x should be driven to 0");
+            assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
+        }
+        other => panic!("expected optimum, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simplex: malformed programs
+// ---------------------------------------------------------------------
+
+#[test]
+fn simplex_rejects_arity_mismatch() {
+    let lp = LinearProgram::minimize(vec![1.0, 1.0])
+        .with_constraint(Constraint::le(vec![1.0, 2.0, 3.0], 1.0));
+    assert_eq!(
+        simplex::solve(&lp),
+        Err(LpError::DimensionMismatch {
+            expected: 2,
+            found: 3
+        })
+    );
+}
+
+#[test]
+fn simplex_rejects_nan() {
+    let lp = LinearProgram::minimize(vec![f64::NAN, 1.0]).with_box(0.0, 1.0);
+    assert_eq!(simplex::solve(&lp), Err(LpError::NotANumber));
+
+    let lp = LinearProgram::minimize(vec![1.0, 1.0])
+        .with_constraint(Constraint::le(vec![1.0, f64::NAN], 1.0))
+        .with_box(0.0, 1.0);
+    assert_eq!(simplex::solve(&lp), Err(LpError::NotANumber));
+}
+
+// ---------------------------------------------------------------------
+// Seidel: edge cases and cross-checks
+// ---------------------------------------------------------------------
+
+#[test]
+fn seidel_detects_infeasibility() {
+    let cs = vec![
+        Constraint::le(vec![1.0, 0.0], 0.2),
+        Constraint::ge(vec![1.0, 0.0], 0.8),
+    ];
+    assert_eq!(
+        solve_seidel(&cs, &[1.0, 1.0], 0.0, 1.0, 7).unwrap(),
+        SeidelOutcome::Infeasible
+    );
+}
+
+#[test]
+fn seidel_splits_equality_rows() {
+    let cs = vec![Constraint::eq(vec![1.0, 1.0], 1.0)];
+    match solve_seidel(&cs, &[1.0, 0.0], 0.0, 1.0, 7).unwrap() {
+        SeidelOutcome::Optimal(x) => {
+            assert!(x[0].abs() < 1e-7, "x should be driven to 0, got {x:?}");
+            assert!((x[0] + x[1] - 1.0).abs() < 1e-7);
+        }
+        SeidelOutcome::Infeasible => panic!("feasible system"),
+    }
+}
+
+#[test]
+fn seidel_rejects_invalid_input() {
+    assert!(solve_seidel(&[], &[], 0.0, 1.0, 1).is_none());
+    assert!(solve_seidel(&[], &[1.0], 1.0, 0.0, 1).is_none());
+    assert!(solve_seidel(&[], &[f64::NAN], 0.0, 1.0, 1).is_none());
+    assert!(solve_seidel(&[], &[1.0, 1.0], f64::NEG_INFINITY, 1.0, 1).is_none());
+    let bad_arity = vec![Constraint::le(vec![1.0], 0.5)];
+    assert!(solve_seidel(&bad_arity, &[1.0, 1.0], 0.0, 1.0, 1).is_none());
+}
+
+#[test]
+fn seidel_agrees_with_simplex_on_degenerate_vertex() {
+    let cs = vec![
+        Constraint::le(vec![1.0, 0.0], 1.0),
+        Constraint::le(vec![0.0, 1.0], 1.0),
+        Constraint::le(vec![1.0, 1.0], 2.0),
+    ];
+    let obj = [-1.0, -1.0];
+    let lp = LinearProgram::minimize(obj.to_vec())
+        .with_constraints(cs.clone())
+        .with_box(0.0, 10.0);
+    let LpOutcome::Optimal { value, .. } = simplex::solve(&lp).unwrap() else {
+        panic!("simplex should find the optimum");
+    };
+    for seed in [1u64, 2, 3, 99] {
+        match solve_seidel(&cs, &obj, 0.0, 10.0, seed).unwrap() {
+            SeidelOutcome::Optimal(x) => {
+                let sv = obj.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
+                assert!((sv - value).abs() < 1e-6, "seed {seed}: {sv} vs {value}");
+            }
+            SeidelOutcome::Infeasible => panic!("feasible system"),
+        }
+    }
+}
+
+#[test]
+fn seidel_is_deterministic_per_seed() {
+    let cs = vec![Constraint::le(vec![1.0, 2.0], 2.0)];
+    let a = solve_seidel(&cs, &[-1.0, -1.0], 0.0, 5.0, 42).unwrap();
+    let b = solve_seidel(&cs, &[-1.0, -1.0], 0.0, 5.0, 42).unwrap();
+    assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Feasibility probes
+// ---------------------------------------------------------------------
+
+#[test]
+fn feasible_point_satisfies_all_rows() {
+    let cs = vec![
+        Constraint::ge(vec![1.0, 1.0], 0.5),
+        Constraint::le(vec![1.0, -1.0], 0.1),
+    ];
+    let p = feasible_point(&cs, 2, 0.0, 1.0).unwrap();
+    assert!(cs.iter().all(|c| c.satisfied(&p, 1e-7)));
+    assert!(p.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+}
+
+#[test]
+fn interior_point_rejects_sliver_but_accepts_slab() {
+    // Zero-width sliver: feasible yet no interior.
+    let sliver = vec![
+        Constraint::le(vec![1.0, 0.0], 0.5),
+        Constraint::ge(vec![1.0, 0.0], 0.5),
+    ];
+    assert!(is_feasible(&sliver, 2, 0.0, 1.0));
+    assert!(interior_point(&sliver, 2, 0.0, 1.0).is_none());
+
+    // Widen by 2e-3 and an interior point exists with ~1e-3 margin.
+    let slab = vec![
+        Constraint::le(vec![1.0, 0.0], 0.501),
+        Constraint::ge(vec![1.0, 0.0], 0.499),
+    ];
+    let ip = interior_point(&slab, 2, 0.0, 1.0).unwrap();
+    assert!(ip.margin > 1e-4, "margin {}", ip.margin);
+    assert!(slab.iter().all(|c| c.satisfied(&ip.point, 1e-9)));
+}
+
+#[test]
+fn chebyshev_margin_is_scale_invariant() {
+    // The same halfplane written at two scales must give one geometry:
+    // normalization happens on the constraint normals.
+    let a = chebyshev_center(&[Constraint::le(vec![1.0, 1.0], 1.0)], 2, 0.0, 1.0).unwrap();
+    let b = chebyshev_center(&[Constraint::le(vec![100.0, 100.0], 100.0)], 2, 0.0, 1.0).unwrap();
+    assert!((a.margin - b.margin).abs() < 1e-7);
+    assert!((a.point[0] - b.point[0]).abs() < 1e-7);
+    assert!((a.point[1] - b.point[1]).abs() < 1e-7);
+}
+
+#[test]
+fn empty_constraint_set_on_degenerate_box() {
+    // lo == hi: the box is a single point, still feasible.
+    let p = feasible_point(&[], 3, 0.25, 0.25).unwrap();
+    assert!(p.iter().all(|&v| (v - 0.25).abs() < 1e-9));
+    // ...but has no interior.
+    assert!(interior_point(&[], 3, 0.25, 0.25).is_none());
+}

@@ -21,8 +21,8 @@ fn applicant_pool(n: usize, seed: u64) -> Dataset {
     let mut gender = Vec::with_capacity(n);
     for _ in 0..n {
         let female = categorical(&mut rng, &[0.5, 0.5]) as u32; // 0: male, 1: female
-        // SAT: gender-gapped; GPA: slightly favoring women (observed in
-        // national data), both clamped to their scales.
+                                                                // SAT: gender-gapped; GPA: slightly favoring women (observed in
+                                                                // national data), both clamped to their scales.
         let sat = clamped_normal(
             &mut rng,
             if female == 1 { 1475.0 } else { 1500.0 },

@@ -72,10 +72,17 @@ fn main() {
     // at least 3 items of each group AND item 0 must not be ranked first.
     println!("— session 2: hand-written diversity oracle (black-box) —");
     let groups: Vec<u32> = group.values.clone();
-    let custom = FnOracle::new("≥3 of each group in top-10, item 0 not first", move |r: &[u32]| {
-        let g0 = r.iter().take(10).filter(|&&i| groups[i as usize] == 0).count();
-        (3..=7).contains(&g0) && r[0] != 0
-    });
+    let custom = FnOracle::new(
+        "≥3 of each group in top-10, item 0 not first",
+        move |r: &[u32]| {
+            let g0 = r
+                .iter()
+                .take(10)
+                .filter(|&&i| groups[i as usize] == 0)
+                .count();
+            (3..=7).contains(&g0) && r[0] != 0
+        },
+    );
     let t = Instant::now();
     let ranker2 = FairRanker::build_2d(&ds, Box::new(custom)).unwrap();
     println!("offline preprocessing: {:?}", t.elapsed());

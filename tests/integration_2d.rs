@@ -68,7 +68,10 @@ fn incremental_and_blackbox_paths_agree_on_compas() {
 
     let black = ray_sweep(&ds, &oracle).unwrap();
     let inc = ray_sweep_incremental(&ds, &[&oracle]).unwrap();
-    assert_eq!(black.intervals.as_slice().len(), inc.intervals.as_slice().len());
+    assert_eq!(
+        black.intervals.as_slice().len(),
+        inc.intervals.as_slice().len()
+    );
     for (a, b) in black
         .intervals
         .as_slice()
@@ -115,7 +118,10 @@ fn ranker_suggestions_are_fair_and_norm_preserving() {
 
 #[test]
 fn suggestion_distance_is_minimal_against_dense_scan() {
-    let ds = generic::uniform(80, 2, 0.95, 555);
+    // Seed chosen (by scanning the deterministic generator) so that the
+    // satisfactory region is narrow but non-empty: most probe queries get
+    // a suggestion, at least one is already fair.
+    let ds = generic::uniform(80, 2, 0.95, 33);
     let group = ds.type_attribute("group").unwrap();
     let oracle = Proportionality::new(group, 16).with_max_count(0, 8);
     let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();

@@ -35,7 +35,10 @@ fn compas_default_model_full_pipeline() {
         },
     )
     .unwrap();
-    assert!(index.is_satisfiable(), "the default FM1 model is satisfiable");
+    assert!(
+        index.is_satisfiable(),
+        "the default FM1 model is satisfiable"
+    );
 
     // Every assigned function must be genuinely satisfactory (MARKCELL
     // validates against the real oracle).

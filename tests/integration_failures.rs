@@ -4,7 +4,7 @@
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::md::{sat_regions, SatRegionsOptions};
 use fairrank::twod::ray_sweep;
-use fairrank::{FairRanker, FairRankError, Suggestion};
+use fairrank::{FairRankError, FairRanker, Suggestion};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::{FnOracle, Proportionality};
@@ -160,8 +160,7 @@ fn zero_bias_makes_everything_fair() {
     let ds = generic::uniform(400, 2, 0.0, 5);
     let group = ds.type_attribute("group").unwrap();
     let props = group.group_proportions();
-    let oracle =
-        Proportionality::new(group, 100).with_proportional_caps(&props, 0.15, None);
+    let oracle = Proportionality::new(group, 100).with_proportional_caps(&props, 0.15, None);
     let sweep = ray_sweep(&ds, &oracle).unwrap();
     assert!(
         sweep.intervals.measure() / fairrank::geometry::HALF_PI > 0.95,

@@ -121,11 +121,7 @@ fn md_exact_ranker_round_trip() {
                 let mut any = false;
                 for i in 0..10 {
                     for j in 0..10 {
-                        let a = vec![
-                            i as f64 / 9.0 * HALF_PI,
-                            j as f64 / 9.0 * HALF_PI,
-                            0.4,
-                        ];
+                        let a = vec![i as f64 / 9.0 * HALF_PI, j as f64 / 9.0 * HALF_PI, 0.4];
                         if oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, &a))) {
                             any = true;
                         }

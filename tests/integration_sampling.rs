@@ -75,8 +75,11 @@ fn tighter_caps_reduce_but_do_not_break_transfer() {
     let airline = full.type_attribute("airline_name").unwrap();
     let majors = dot::major_carrier_groups();
     let props = airline.group_proportions();
-    let full_oracle = Proportionality::new(airline, full.len() / 10)
-        .with_proportional_caps(&props, 0.04, Some(&majors));
+    let full_oracle = Proportionality::new(airline, full.len() / 10).with_proportional_caps(
+        &props,
+        0.04,
+        Some(&majors),
+    );
 
     let (index, _) = build_on_sample(
         &full,
@@ -129,8 +132,11 @@ fn sampling_noise_destroys_transfer_at_boundary() {
     let majors = dot::major_carrier_groups();
     let props = airline.group_proportions();
     // 2% slack: below the ~+3-point deviations the generator produces.
-    let full_oracle = Proportionality::new(airline, full.len() / 10)
-        .with_proportional_caps(&props, 0.02, Some(&majors));
+    let full_oracle = Proportionality::new(airline, full.len() / 10).with_proportional_caps(
+        &props,
+        0.02,
+        Some(&majors),
+    );
 
     let (index, _) = build_on_sample(
         &full,

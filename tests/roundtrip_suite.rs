@@ -1,0 +1,187 @@
+//! Round-trip tests for the persisted index artifacts and the CSV codec,
+//! exercised through the public API: build → serialize → deserialize →
+//! identical answers. The in-module unit tests cover corruption and
+//! version-skew error paths; these focus on writer/reader agreement on
+//! real pipeline outputs.
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank::persist::{
+    decode_approx_index, decode_intervals, encode_approx_index, encode_intervals,
+};
+use fairrank::twod::{online_2d, ray_sweep, TwoDAnswer};
+use fairrank_datasets::synthetic::generic;
+use fairrank_datasets::{csvio, Dataset};
+use fairrank_fairness::Proportionality;
+use fairrank_geometry::HALF_PI;
+
+// ---------------------------------------------------------------------
+// Persisted ApproxIndex: lookups agree everywhere after a round-trip
+// ---------------------------------------------------------------------
+
+#[test]
+fn approx_index_round_trip_preserves_all_lookups() {
+    let ds = generic::uniform(60, 3, 0.9, 11);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(attr, 12).with_max_count(0, 6);
+    let index = ApproxIndex::build(
+        &ds,
+        &oracle,
+        &BuildOptions {
+            n_cells: 200,
+            max_hyperplanes: Some(200),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let bytes = encode_approx_index(&index);
+    let back = decode_approx_index(&bytes).unwrap();
+
+    assert_eq!(back.functions(), index.functions());
+    assert_eq!(back.grid().cell_count(), index.grid().cell_count());
+    // Dense probe over the whole angle square: every lookup identical.
+    for i in 0..40 {
+        for j in 0..40 {
+            let q = [
+                (i as f64 + 0.5) / 40.0 * HALF_PI,
+                (j as f64 + 0.5) / 40.0 * HALF_PI,
+            ];
+            assert_eq!(index.lookup(&q), back.lookup(&q), "diverged at {q:?}");
+        }
+    }
+}
+
+#[test]
+fn approx_index_round_trip_is_byte_stable() {
+    // encode(decode(encode(x))) == encode(x): the codec is canonical.
+    let ds = generic::uniform(40, 3, 0.5, 3);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(attr, 8).with_max_count(0, 5);
+    let index = ApproxIndex::build(
+        &ds,
+        &oracle,
+        &BuildOptions {
+            n_cells: 120,
+            max_hyperplanes: Some(120),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let bytes = encode_approx_index(&index);
+    let again = encode_approx_index(&decode_approx_index(&bytes).unwrap());
+    assert_eq!(bytes, again);
+}
+
+// ---------------------------------------------------------------------
+// Persisted 2-D interval index: online answers agree after a round-trip
+// ---------------------------------------------------------------------
+
+#[test]
+fn interval_index_round_trip_preserves_online_answers() {
+    let ds = generic::uniform(120, 2, 0.9, 21);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(attr, 24).with_max_count(0, 13);
+    let sweep = ray_sweep(&ds, &oracle).unwrap();
+
+    let bytes = encode_intervals(&sweep.intervals);
+    let back = decode_intervals(&bytes).unwrap();
+    assert_eq!(back.as_slice(), sweep.intervals.as_slice());
+
+    for step in 0..64 {
+        let theta = (step as f64 + 0.5) / 64.0 * HALF_PI;
+        let q = [theta.cos(), theta.sin()];
+        let a = online_2d(&sweep.intervals, &q).unwrap();
+        let b = online_2d(&back, &q).unwrap();
+        match (a, b) {
+            (TwoDAnswer::AlreadyFair, TwoDAnswer::AlreadyFair)
+            | (TwoDAnswer::Infeasible, TwoDAnswer::Infeasible) => {}
+            (
+                TwoDAnswer::Suggestion {
+                    weights: wa,
+                    distance: da,
+                },
+                TwoDAnswer::Suggestion {
+                    weights: wb,
+                    distance: db,
+                },
+            ) => {
+                assert!((da - db).abs() < 1e-12);
+                for (x, y) in wa.iter().zip(&wb) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+            (x, y) => panic!("answers diverged at θ={theta}: {x:?} vs {y:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSV codec: parse(write(ds)) == ds
+// ---------------------------------------------------------------------
+
+fn assert_datasets_equal(a: &Dataset, b: &Dataset) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.dim(), b.dim());
+    assert_eq!(a.attr_names(), b.attr_names());
+    for i in 0..a.len() {
+        assert_eq!(a.item(i), b.item(i), "row {i} differs");
+    }
+    assert_eq!(a.type_attributes().len(), b.type_attributes().len());
+    for (ta, tb) in a.type_attributes().iter().zip(b.type_attributes()) {
+        assert_eq!(ta.name, tb.name);
+        assert_eq!(ta.labels, tb.labels);
+        assert_eq!(ta.values, tb.values);
+    }
+}
+
+#[test]
+fn csv_text_round_trip_is_lossless() {
+    let ds = generic::uniform(50, 3, 0.7, 5);
+    let text = csvio::to_csv(&ds);
+    let back = csvio::parse_csv(&text, &["a0", "a1", "a2"], &["group"]).unwrap();
+    assert_datasets_equal(&ds, &back);
+    // Full-precision floats: rankings agree exactly for any weights.
+    assert_eq!(ds.rank(&[0.3, 0.5, 0.2]), back.rank(&[0.3, 0.5, 0.2]));
+}
+
+#[test]
+fn csv_file_round_trip_is_lossless() {
+    let ds = generic::correlated(30, 2, 0.6, 0.4, 8);
+    let path = std::env::temp_dir().join("fairrank_csv_roundtrip_test.csv");
+    csvio::write_csv(&ds, &path).unwrap();
+    let back = csvio::read_csv(&path, &["a0", "a1"], &["group"]).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_datasets_equal(&ds, &back);
+}
+
+#[test]
+fn csv_round_trip_preserves_awkward_labels() {
+    // Labels containing commas, quotes and spaces must survive quoting.
+    let mut ds = Dataset::from_rows(
+        vec!["score".into(), "aux".into()],
+        &[vec![1.0, 0.5], vec![0.25, 2.0], vec![0.125, 1.5]],
+    )
+    .unwrap();
+    ds.add_type_attribute(
+        "city",
+        vec![
+            "Ann Arbor, MI".into(),
+            "the \"big\" one".into(),
+            "plain".into(),
+        ],
+        vec![0, 1, 2],
+    )
+    .unwrap();
+    let text = csvio::to_csv(&ds);
+    let back = csvio::parse_csv(&text, &["score", "aux"], &["city"]).unwrap();
+    assert_datasets_equal(&ds, &back);
+}
+
+#[test]
+fn csv_second_generation_text_is_identical() {
+    // write(parse(write(ds))) == write(ds): the codec is canonical.
+    let ds = generic::anticorrelated(25, 3, 0.2, 13);
+    let text = csvio::to_csv(&ds);
+    let back = csvio::parse_csv(&text, &["a0", "a1", "a2"], &["group"]).unwrap();
+    assert_eq!(text, csvio::to_csv(&back));
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the [`Buf`] / [`BufMut`] cursor traits for the two shapes
+//! the workspace's binary codec actually uses: reading from `&[u8]` and
+//! appending to `Vec<u8>`. All multi-byte accessors are explicit-endian,
+//! matching the upstream API.
+
+/// Read cursor over a contiguous byte source.
+///
+/// # Panics
+/// Like upstream `bytes`, the `get_*` methods panic when fewer than the
+/// required bytes remain; callers guard with [`Buf::remaining`].
+pub trait Buf {
+    fn remaining(&self) -> usize;
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    #[inline]
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    #[inline]
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    #[inline]
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.len() >= dst.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Append cursor over a growable byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+
+    #[inline]
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_f64_le(-1234.5678);
+        out.put_slice(b"xyz");
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), out.len());
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16_le(), 0x1234);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.get_f64_le(), -1234.5678);
+        let mut tail = [0u8; 3];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let mut out = Vec::new();
+        out.put_f64_le(f64::NAN);
+        let mut buf: &[u8] = &out;
+        assert!(buf.get_f64_le().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut buf: &[u8] = &[1, 2];
+        let _ = buf.get_u32_le();
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Exposes the bench-definition API the workspace's nine benches use
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`])
+//! with a simple adaptive wall-clock measurement instead of criterion's
+//! statistical machinery.
+//!
+//! Mode selection mirrors how cargo invokes bench binaries: `cargo bench`
+//! passes `--bench`, which enables real measurement; any other invocation
+//! (e.g. a plain run) executes every benchmark body exactly once as a
+//! smoke test, so bench code stays exercised without minutes of timing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: bool,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measure,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measure: self.measure,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mt = self.measurement_time;
+        let measure = self.measure;
+        run_one("", &id.into(), measure, mt, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    measure: bool,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into(),
+            self.measure,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into(),
+            self.measure,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(group: &str, id: &BenchmarkId, measure: bool, time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        measure,
+        budget: time,
+        report: None,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{group}/{}", id.id)
+    };
+    match bencher.report {
+        Some(ns) => println!("bench: {label:<48} {}", fmt_ns(ns)),
+        None => println!("bench: {label:<48} smoke-run ok"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>10.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:>10.2} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to every benchmark body; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    measure: bool,
+    budget: Duration,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: find an iteration count that takes ≥ ~1% of the budget.
+        let mut iters: u64 = 1;
+        let min_chunk = self.budget.as_secs_f64() / 100.0;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt >= min_chunk || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        // Measurement: run chunks until the budget is spent, keep the
+        // best (least-noisy) per-iteration time.
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+            best = best.min(per_iter);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.report = Some(best * 1e9);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            measure: false,
+            measurement_time: Duration::from_millis(1),
+        };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("f", 1), &1, |b, _| {
+            b.iter(|| calls += 1);
+        });
+        group.bench_function("plain", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn measure_mode_reports_time() {
+        let mut c = Criterion {
+            measure: true,
+            measurement_time: Duration::from_millis(5),
+        };
+        c.bench_function("spin", |b| b.iter(|| black_box(2u64.pow(10))));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

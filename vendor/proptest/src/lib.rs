@@ -1,0 +1,485 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! suite uses: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//! [`prop_assume!`], the [`Strategy`] trait over ranges / tuples /
+//! [`prop::collection::vec`], and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberate for an offline build:
+//!
+//! * **No shrinking.** A failing case reports the assertion message (which
+//!   the suite's assertions already format with the offending values).
+//! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   the test name, so runs are reproducible without a `proptest-regressions`
+//!   directory; case counts in `ProptestConfig` are honoured exactly.
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// SplitMix64 — a small, fast, deterministic generator for test input.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (FNV-1a) so every test has its own
+        /// reproducible stream.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf29ce484222325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        #[inline]
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *passing* cases required before the test succeeds.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 strategy range");
+            let v = self.start + rng.next_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty f64 strategy range");
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer strategy range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return lo + (rng.next_u64() as $t);
+                    }
+                    lo + (rng.next_below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+    /// The `Just` strategy: always the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+    }
+
+    /// Inclusive-lo / exclusive-hi element-count range for collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S: Strategy> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span <= 1 {
+                    0
+                } else {
+                    rng.next_below(span) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub use strategy::Strategy;
+
+/// The `prop::` namespace (`prop::collection::vec(..)`).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A strategy producing `Vec`s of `element` values with a length
+        /// in `size` (a `usize` for an exact length, or a range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Drives one `proptest!`-generated test: keeps generating cases until
+/// `config.cases` of them pass, skipping `prop_assume!` rejections.
+///
+/// # Panics
+/// On the first failing case, or when rejections outnumber the case
+/// budget by 64x (a degenerate `prop_assume!`).
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = test_runner::TestRng::from_name(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases).saturating_mul(64).max(1024);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(test_runner::TestCaseError::Reject(what)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': {rejected} rejections for {passed} passing \
+                     cases; prop_assume!({what}) rejects almost everything"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (after {passed} passing cases): {msg}")
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        #[allow(unreachable_code)]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {{
+        // Bind to a bool first: negating `$cond` textually would trip
+        // clippy::neg_cmp_op_on_partial_ord when the condition is a
+        // float comparison. The braces keep this usable in expression
+        // position (e.g. as a match-arm body).
+        let __prop_assert_ok: bool = $cond;
+        if !__prop_assert_ok {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{} [condition: {}]",
+                    format_args!($($fmt)+),
+                    stringify!($cond)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l != *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l != *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{}\nassertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    format_args!($($fmt)+),
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {{
+        // Same bool binding as prop_assert!: avoids textual negation of
+        // float comparisons (clippy::neg_cmp_op_on_partial_ord).
+        let __prop_assume_ok: bool = $cond;
+        if !__prop_assume_ok {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_respect_ranges() {
+        let mut rng = TestRng::from_name("strategies_respect_ranges");
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&x));
+            let n = Strategy::generate(&(3usize..=5), &mut rng);
+            assert!((3..=5).contains(&n));
+            let v = Strategy::generate(&prop::collection::vec(0.0f64..1.0, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            let (a, b) = Strategy::generate(&(0.0f64..1.0, 5u64..9), &mut rng);
+            assert!((0.0..1.0).contains(&a) && (5..9).contains(&b));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut seen_a = Vec::new();
+        crate::run_proptest(&ProptestConfig::with_cases(16), "det", |rng| {
+            seen_a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut seen_b = Vec::new();
+        crate::run_proptest(&ProptestConfig::with_cases(16), "det", |rng| {
+            seen_b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(seen_a, seen_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejects almost everything")]
+    fn degenerate_assume_is_detected() {
+        crate::run_proptest(&ProptestConfig::with_cases(4), "degenerate", |_rng| {
+            Err(TestCaseError::Reject("false".into()))
+        });
+    }
+
+    // The macro path itself, end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments and multiple args parse.
+        #[test]
+        fn macro_smoke(x in 0.0f64..1.0, n in 1usize..4) {
+            prop_assume!(x > 0.0001);
+            prop_assert!(x < 1.0, "x out of range: {}", x);
+            prop_assert_eq!(n.min(3), n);
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert_ne!(x, -1.0);
+        }
+    }
+}
