@@ -1,0 +1,185 @@
+//! Record the perf trajectory: run the `query_md` / `lp_kernels` /
+//! `batch` bench workloads and a reduced-scale experiment series with
+//! fixed parameters, and write the numbers to `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run --release -p fairrank-bench --bin baseline             # writes BENCH_baseline.json
+//! cargo run --release -p fairrank-bench --bin baseline -- out.json
+//! ```
+//!
+//! The workloads are deterministic (fixed seeds, fixed scales) so the
+//! *relative* series — batched vs per-probe, workspace vs allocating,
+//! index lookup vs re-sort — is comparable across commits; absolute
+//! numbers shift with the machine, so CI only checks that this binary
+//! and the benches still compile and the equivalence tests pass.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank::twod::ray_sweep;
+use fairrank::FairRanker;
+use fairrank_bench::{compas_2d, compas_d, default_compas_oracle, query_fan, time, time_avg};
+use fairrank_datasets::RankWorkspace;
+use fairrank_fairness::FairnessOracle;
+use fairrank_geometry::polar::to_cartesian;
+use fairrank_geometry::HALF_PI;
+use fairrank_lp::{chebyshev_center, feasible_point, seidel, simplex, Constraint, LinearProgram};
+
+/// Deterministic half-space stack, mirroring the `lp_kernels` bench.
+fn region_constraints(count: usize, vars: usize) -> Vec<Constraint> {
+    let mut out = Vec::with_capacity(count);
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..count {
+        let a: Vec<f64> = (0..vars).map(|_| next() * 2.0 - 1.0).collect();
+        let b = 0.3 + next();
+        out.push(if i % 2 == 0 {
+            Constraint::le(a, b)
+        } else {
+            Constraint::ge(a, -b)
+        });
+    }
+    out
+}
+
+fn us(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6 * 1000.0).round() / 1000.0
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let mut series: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, v: f64| {
+        println!("{name:56} {v:>12.3}");
+        series.push((name.to_string(), v));
+    };
+
+    // --- lp_kernels (m = 32 constraints, 3 vars) --------------------
+    let cs = region_constraints(32, 3);
+    push(
+        "lp.feasible_point_m32_us",
+        us(time_avg(200, || feasible_point(&cs, 3, 0.0, HALF_PI))),
+    );
+    push(
+        "lp.chebyshev_center_m32_us",
+        us(time_avg(200, || chebyshev_center(&cs, 3, 0.0, HALF_PI))),
+    );
+    let lp = LinearProgram::minimize(vec![1.0, -0.5, 0.25])
+        .with_constraints(cs.iter().cloned())
+        .with_box(0.0, HALF_PI);
+    push(
+        "lp.simplex_optimize_m32_us",
+        us(time_avg(200, || simplex::solve(&lp))),
+    );
+    push(
+        "lp.seidel_optimize_m32_us",
+        us(time_avg(200, || {
+            seidel::solve_seidel(&cs, &[1.0, -0.5, 0.25], 0.0, HALF_PI, 0x5E1DE1)
+        })),
+    );
+
+    // --- query_md (COMPAS n = 500, d = 3, reduced grid) -------------
+    let ds3 = compas_d(500, 3);
+    let oracle3 = default_compas_oracle(&ds3);
+    let opts = BuildOptions {
+        n_cells: 2_000,
+        max_hyperplanes: Some(3_000),
+        ..Default::default()
+    };
+    let (index, build_t) = time(|| ApproxIndex::build(&ds3, &oracle3, &opts).unwrap());
+    push("querymd.build_n500_d3_ms", us(build_t) / 1000.0);
+    let queries = query_fan(2, 64);
+    let mut qi = 0usize;
+    push(
+        "querymd.mdonline_lookup_us",
+        us(time_avg(20_000, || {
+            qi = (qi + 1) % queries.len();
+            index.lookup(&queries[qi])
+        })),
+    );
+    let weights3: Vec<Vec<f64>> = queries.iter().map(|q| to_cartesian(1.0, q)).collect();
+    let mut qj = 0usize;
+    push(
+        "querymd.ordering_only_us",
+        us(time_avg(2_000, || {
+            qj = (qj + 1) % weights3.len();
+            ds3.rank(&weights3[qj])
+        })),
+    );
+
+    // --- batch / workspace paths (COMPAS 2-D) -----------------------
+    let ds2 = compas_2d(6889);
+    let oracle2 = default_compas_oracle(&ds2);
+    let top_k = oracle2.top_k_bound();
+    let w = [0.7, 0.3];
+    push(
+        "batch.rank_alloc_n6889_us",
+        us(time_avg(500, || ds2.rank(&w))),
+    );
+    let mut ws = RankWorkspace::with_capacity(ds2.len());
+    push(
+        "batch.rank_workspace_n6889_us",
+        us(time_avg(500, || ws.rank(&ds2, &w).len())),
+    );
+    let mut ws_topk = RankWorkspace::with_capacity(ds2.len());
+    push(
+        "batch.rank_workspace_topk_n6889_us",
+        us(time_avg(500, || {
+            ws_topk.rank_with_bound(&ds2, &w, top_k).len()
+        })),
+    );
+
+    let ds_serve = compas_2d(1500);
+    let oracle_serve = default_compas_oracle(&ds_serve);
+    let (ranker, sweep_t) =
+        time(|| FairRanker::build_2d(&ds_serve, Box::new(oracle_serve)).unwrap());
+    push("experiments.raysweep_build_n1500_ms", us(sweep_t) / 1000.0);
+    let serve_queries: Vec<Vec<f64>> = query_fan(1, 64)
+        .iter()
+        .map(|q| to_cartesian(1.0, q))
+        .collect();
+    let refs: Vec<&[f64]> = serve_queries.iter().map(Vec::as_slice).collect();
+    push(
+        "batch.suggest_serial_64q_us",
+        us(time_avg(30, || {
+            refs.iter()
+                .map(|q| ranker.suggest(q).unwrap())
+                .collect::<Vec<_>>()
+        })),
+    );
+    push(
+        "batch.suggest_batch_64q_us",
+        us(time_avg(30, || ranker.suggest_batch(&refs).unwrap())),
+    );
+
+    // --- reduced experiments series (fig16-shaped 2-D pipeline) -----
+    let ds_fig = compas_2d(1000);
+    let oracle_fig = default_compas_oracle(&ds_fig);
+    let (sweep, fig_t) = time(|| ray_sweep(&ds_fig, &oracle_fig).unwrap());
+    push("experiments.fig16_raysweep_n1000_ms", us(fig_t) / 1000.0);
+    push("experiments.fig16_sectors", sweep.sector_count as f64);
+    push("experiments.fig16_oracle_calls", sweep.oracle_calls as f64);
+
+    // --- serialize ---------------------------------------------------
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    json.push_str(
+        "  \"note\": \"reduced-scale perf baseline; absolute numbers are machine-dependent, compare relative series across commits\",\n",
+    );
+    json.push_str("  \"generator\": \"cargo run --release -p fairrank-bench --bin baseline\",\n");
+    json.push_str("  \"series\": {\n");
+    for (i, (name, v)) in series.iter().enumerate() {
+        let sep = if i + 1 == series.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {v}{sep}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write baseline json");
+    println!("\nwrote {out_path}");
+}

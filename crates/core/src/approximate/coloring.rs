@@ -73,6 +73,10 @@ pub fn color_cells(
     }
 
     let mut colored = 0usize;
+    // One center buffer for the whole flood: the loop visits every
+    // cell-adjacency edge, and `grid.center` would otherwise allocate a
+    // fresh Vec per edge.
+    let mut center = Vec::with_capacity(grid.dim());
     while let Some(Entry { dist: d, cell }) = heap.pop() {
         let c = cell as usize;
         if visited[c] || d > dist[c] {
@@ -86,7 +90,8 @@ pub fn color_cells(
             if visited[nbi] {
                 continue;
             }
-            let alt = angular_distance(f, &grid.center(nb));
+            grid.center_into(nb, &mut center);
+            let alt = angular_distance(f, &center);
             if alt < dist[nbi] {
                 if assigned[nbi].is_none() {
                     colored += 1;

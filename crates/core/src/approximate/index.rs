@@ -3,10 +3,10 @@
 
 use std::time::{Duration, Instant};
 
-use fairrank_datasets::Dataset;
+use fairrank_datasets::{Dataset, RankWorkspace};
 use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::grid::{AngleGrid, CellId, PartitionScheme};
-use fairrank_geometry::polar::to_cartesian;
+use fairrank_geometry::polar::to_cartesian_into;
 use fairrank_geometry::sphere::approx_error_bound;
 
 use crate::approximate::{cellplane, coloring, markcell};
@@ -91,6 +91,24 @@ impl BuildStats {
     }
 }
 
+/// Per-worker probe state for MARKCELL: ranking workspace, reusable
+/// weight buffer, and the worker's oracle-call tally.
+struct ProbeCtx {
+    workspace: RankWorkspace,
+    weights: Vec<f64>,
+    calls: u64,
+}
+
+impl ProbeCtx {
+    fn new(ds: &Dataset) -> ProbeCtx {
+        ProbeCtx {
+            workspace: RankWorkspace::with_capacity(ds.len()),
+            weights: Vec::with_capacity(ds.dim()),
+            calls: 0,
+        }
+    }
+}
+
 /// The offline artifact: a partition of the angle space with one
 /// validated satisfactory function per cell (where one exists).
 #[derive(Debug, Clone)]
@@ -150,7 +168,12 @@ impl ApproxIndex {
         // Phase 3: MARKCELL with early stop, parallel over cells. Cells
         // are independent, so per-cell outcomes are deterministic and the
         // merge below (in cell order) yields the same index for any
-        // thread count.
+        // thread count. Each worker owns a ProbeCtx — a RankWorkspace
+        // plus a weights buffer — so the steady probe path performs zero
+        // heap allocations, and the oracle's top-k bound (when exposed)
+        // turns each probe's full sort into a partial top-k ranking. The
+        // probe *verdicts* are identical either way, so the built index
+        // is bit-identical to the per-probe path.
         let t2 = Instant::now();
         let n_threads = opts
             .threads
@@ -161,26 +184,35 @@ impl ApproxIndex {
             .min(grid.cell_count().max(1));
         let next_cell = std::sync::atomic::AtomicU32::new(0);
         let cell_count = grid.cell_count() as CellId;
-        let search_cell = |cell: CellId, calls: &mut u64| -> Option<Vec<f64>> {
+        let top_k = oracle.top_k_bound();
+        let search_cell = |cell: CellId, ctx: &mut ProbeCtx| -> Option<Vec<f64>> {
             let cell_hc = &hc[cell as usize];
             let cell_hc = match opts.max_hyperplanes_per_cell {
                 Some(cap) if cell_hc.len() > cap => &cell_hc[..cap],
                 _ => cell_hc.as_slice(),
             };
+            let ProbeCtx {
+                workspace,
+                weights,
+                calls,
+            } = ctx;
             let mut probe = |angles: &[f64]| {
                 *calls += 1;
-                oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, angles)))
+                to_cartesian_into(1.0, angles, weights);
+                oracle.is_satisfactory(workspace.rank_with_bound(ds, weights, top_k))
             };
             markcell::find_satisfactory(&grid, cell, cell_hc, &hyperplanes, &mut probe)
         };
         let mut found: Vec<(CellId, Vec<f64>)> = Vec::new();
         let mut oracle_calls = 0u64;
         if n_threads <= 1 {
+            let mut ctx = ProbeCtx::new(ds);
             for cell in 0..cell_count {
-                if let Some(f) = search_cell(cell, &mut oracle_calls) {
+                if let Some(f) = search_cell(cell, &mut ctx) {
                     found.push((cell, f));
                 }
             }
+            oracle_calls = ctx.calls;
         } else {
             let results = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n_threads);
@@ -189,17 +221,17 @@ impl ApproxIndex {
                     let search_cell = &search_cell;
                     handles.push(scope.spawn(move || {
                         let mut local: Vec<(CellId, Vec<f64>)> = Vec::new();
-                        let mut calls = 0u64;
+                        let mut ctx = ProbeCtx::new(ds);
                         loop {
                             let cell = next_cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if cell >= cell_count {
                                 break;
                             }
-                            if let Some(f) = search_cell(cell, &mut calls) {
+                            if let Some(f) = search_cell(cell, &mut ctx) {
                                 local.push((cell, f));
                             }
                         }
-                        (local, calls)
+                        (local, ctx.calls)
                     }));
                 }
                 handles
@@ -282,7 +314,7 @@ mod tests {
     use super::*;
     use fairrank_datasets::synthetic::generic;
     use fairrank_fairness::{FnOracle, Proportionality};
-    use fairrank_geometry::polar::{angular_distance, to_polar};
+    use fairrank_geometry::polar::{angular_distance, to_cartesian, to_polar};
 
     fn build_small(
         bias: f64,

@@ -57,6 +57,7 @@ pub mod approximate;
 pub mod error;
 pub mod md;
 pub mod persist;
+pub mod probes;
 pub mod pruning;
 pub mod ranker;
 pub mod sampling;

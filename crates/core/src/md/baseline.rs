@@ -85,11 +85,18 @@ pub fn closest_satisfactory_validated(
     ds: &fairrank_datasets::Dataset,
     oracle: &dyn fairrank_fairness::FairnessOracle,
 ) -> Option<ClosestResult> {
-    use fairrank_geometry::polar::to_cartesian;
+    use fairrank_geometry::polar::to_cartesian_into;
     let raw = closest_satisfactory(regions, query)?;
-    let is_fair = |angles: &[f64]| {
-        let w = to_cartesian(1.0, angles);
-        oracle.is_satisfactory(&ds.rank(&w))
+    // One workspace + weight buffer across the whole repair walk: the
+    // validation loop can probe the oracle many times on the way to a
+    // fair point, and each probe is allocation-free with a top-k partial
+    // ranking when the oracle exposes a bound.
+    let mut workspace = fairrank_datasets::RankWorkspace::with_capacity(ds.len());
+    let mut weights: Vec<f64> = Vec::with_capacity(ds.dim());
+    let top_k = oracle.top_k_bound();
+    let mut is_fair = |angles: &[f64]| {
+        to_cartesian_into(1.0, angles, &mut weights);
+        oracle.is_satisfactory(workspace.rank_with_bound(ds, &weights, top_k))
     };
     if is_fair(&raw.angles) {
         return Some(raw);

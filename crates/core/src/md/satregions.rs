@@ -11,11 +11,11 @@ use fairrank_datasets::Dataset;
 use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::arrangement::Arrangement;
 use fairrank_geometry::arrangement_tree::ArrangementTree;
-use fairrank_geometry::polar::to_cartesian;
 use fairrank_lp::Constraint;
 
 use crate::error::FairRankError;
 use crate::md::hyperpolar::exchange_hyperplanes;
+use crate::probes;
 use crate::pruning;
 
 /// One satisfactory region of the arrangement.
@@ -125,18 +125,21 @@ pub fn sat_regions(
     };
 
     // Oracle pass: keep satisfactory regions (Algorithm 4 lines 20–26).
-    let mut oracle_calls = 0u64;
-    let mut satisfactory = Vec::new();
-    for (constraints, witness) in witnesses {
-        let w = to_cartesian(1.0, &witness);
-        oracle_calls += 1;
-        if oracle.is_satisfactory(&ds.rank(&w)) {
-            satisfactory.push(SatRegion {
-                constraints,
-                witness,
-            });
-        }
-    }
+    // Witness probes run through the batched pipeline — workspace-backed
+    // partial ranking plus is_satisfactory_batch — with verdicts (and the
+    // per-witness call count) identical to serial probing.
+    let witness_angles: Vec<&[f64]> = witnesses.iter().map(|(_, w)| w.as_slice()).collect();
+    let verdicts = probes::batch_verdicts(ds, oracle, &witness_angles);
+    let oracle_calls = verdicts.len() as u64;
+    let satisfactory = witnesses
+        .into_iter()
+        .zip(verdicts)
+        .filter(|(_, ok)| *ok)
+        .map(|((constraints, witness), _)| SatRegion {
+            constraints,
+            witness,
+        })
+        .collect();
 
     Ok(SatRegions {
         dim,
@@ -153,6 +156,7 @@ mod tests {
     use super::*;
     use fairrank_datasets::synthetic::generic;
     use fairrank_fairness::{FnOracle, Proportionality};
+    use fairrank_geometry::polar::to_cartesian;
 
     fn small_ds() -> Dataset {
         generic::anticorrelated(12, 3, 0.8, 21)

@@ -1,0 +1,157 @@
+//! Batched oracle probing: evaluate many candidate functions against the
+//! real oracle with amortized ranking cost.
+//!
+//! Every offline phase ends the same way — a list of candidate functions
+//! (angle vectors) whose induced rankings the oracle must accept or
+//! reject. Evaluating them one at a time pays a fresh `O(n log n)` sort
+//! plus two heap allocations per probe ([`Dataset::rank`]); this module
+//! runs the same verdicts through a [`RankWorkspace`] (buffer reuse +
+//! top-k partial ranking) and the oracle's batched entry point
+//! ([`FairnessOracle::is_satisfactory_batch`]), in bounded-memory chunks.
+//!
+//! Verdicts are identical to the serial path by the trait contracts; the
+//! equivalence is property-tested in `tests/batch_equivalence.rs`.
+
+use fairrank_datasets::{Dataset, RankWorkspace};
+use fairrank_fairness::FairnessOracle;
+use fairrank_geometry::polar::to_cartesian_into;
+
+/// Upper bound on rankings materialized at once: large enough to
+/// amortize per-batch oracle setup; the effective chunk size also
+/// respects [`PROBE_BUFFER_BYTES`].
+pub const PROBE_BATCH: usize = 64;
+
+/// Soft cap on the flat ranking buffer. For a top-k-bounded oracle only
+/// the k-prefix of each ranking is stored, so even DOT-scale inputs
+/// (1.32M rows, k = n/10) stay within a few MB per chunk instead of
+/// materializing `PROBE_BATCH` full permutations (~340 MB).
+pub const PROBE_BUFFER_BYTES: usize = 4 << 20;
+
+/// Oracle verdicts for a set of candidate angle vectors, batched.
+///
+/// Ranks each candidate's induced ordering (partially, when the oracle
+/// exposes a [`top_k_bound`](FairnessOracle::top_k_bound)) into a reused
+/// flat buffer and asks the oracle in memory-capped chunks. Returns one
+/// verdict per candidate, in order. Each candidate counts as exactly one
+/// oracle invocation, as with the serial path. Candidates are borrowed
+/// (`&[f64]`, `Vec<f64>`, …), never copied.
+#[must_use]
+pub fn batch_verdicts<A: AsRef<[f64]>>(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    candidates: &[A],
+) -> Vec<bool> {
+    batch_verdicts_by(ds, oracle, candidates.len(), |i, out| {
+        to_cartesian_into(1.0, candidates[i].as_ref(), out);
+    })
+}
+
+/// The shared batched-probe pipeline: `weights_of(i, out)` appends the
+/// weight vector of candidate `i` to `out`. Used by [`batch_verdicts`]
+/// (angle candidates) and `FairRanker::suggest_batch` (weight queries)
+/// so the chunking/prefix logic exists once.
+///
+/// A top-k-bounded oracle only inspects the first `k` positions by
+/// contract, so for those oracles each stored ranking is the exact
+/// k-prefix of the full ranking rather than the whole permutation —
+/// verdict-identical, and what keeps the buffer small at scale.
+pub(crate) fn batch_verdicts_by<F>(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    count: usize,
+    mut weights_of: F,
+) -> Vec<bool>
+where
+    F: FnMut(usize, &mut Vec<f64>),
+{
+    let n = ds.len();
+    let bound = oracle.top_k_bound();
+    // Entries stored per ranking, and the chunk size the byte cap allows.
+    let stride = match bound {
+        Some(k) if k > 0 && k < n => k,
+        _ => n,
+    };
+    let chunk_len =
+        (PROBE_BUFFER_BYTES / (stride * std::mem::size_of::<u32>()).max(1)).clamp(1, PROBE_BATCH);
+    let mut ws = RankWorkspace::with_capacity(n);
+    let mut weights: Vec<f64> = Vec::with_capacity(ds.dim());
+    let mut flat: Vec<u32> = Vec::new();
+    let mut verdicts = Vec::with_capacity(count);
+    let mut start = 0usize;
+    while start < count {
+        let end = (start + chunk_len).min(count);
+        flat.clear();
+        for i in start..end {
+            weights.clear();
+            weights_of(i, &mut weights);
+            flat.extend_from_slice(&ws.rank_with_bound(ds, &weights, bound)[..stride]);
+        }
+        let rankings: Vec<&[u32]> = flat.chunks(stride).collect();
+        let chunk_verdicts = oracle.is_satisfactory_batch(&rankings);
+        // The length contract is prose-only on a public trait; fail loudly
+        // rather than silently misalign verdicts with candidates.
+        assert_eq!(
+            chunk_verdicts.len(),
+            rankings.len(),
+            "is_satisfactory_batch must return one verdict per ranking ({})",
+            oracle.describe()
+        );
+        verdicts.extend(chunk_verdicts);
+        start = end;
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrank_datasets::synthetic::generic;
+    use fairrank_fairness::{CountingOracle, FnOracle, Proportionality};
+    use fairrank_geometry::polar::to_cartesian;
+
+    #[test]
+    fn batch_verdicts_match_serial_probing() {
+        let ds = generic::uniform(40, 3, 0.8, 17);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 8).with_max_count(0, 4);
+        let candidates: Vec<Vec<f64>> = (0..150)
+            .map(|i| {
+                vec![
+                    (i as f64 + 0.5) / 150.0 * fairrank_geometry::HALF_PI,
+                    ((i * 7) % 150) as f64 / 150.0 * fairrank_geometry::HALF_PI,
+                ]
+            })
+            .collect();
+        let batched = batch_verdicts(&ds, &oracle, &candidates);
+        for (c, &v) in candidates.iter().zip(&batched) {
+            let serial = oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, c)));
+            assert_eq!(v, serial, "verdict mismatch at {c:?}");
+        }
+    }
+
+    #[test]
+    fn batch_verdicts_count_one_call_per_candidate() {
+        let ds = generic::uniform(10, 2, 0.0, 3);
+        let oracle = CountingOracle::new(FnOracle::new("always", |_: &[u32]| true));
+        let candidates: Vec<Vec<f64>> = (0..PROBE_BATCH + 5).map(|_| vec![0.5]).collect();
+        let verdicts = batch_verdicts(&ds, &oracle, &candidates);
+        assert_eq!(verdicts.len(), candidates.len());
+        assert_eq!(oracle.calls() as usize, candidates.len());
+    }
+
+    #[test]
+    fn empty_candidates_yield_no_verdicts() {
+        let ds = generic::uniform(5, 2, 0.0, 1);
+        let oracle = FnOracle::new("always", |_: &[u32]| true);
+        assert!(batch_verdicts::<Vec<f64>>(&ds, &oracle, &[]).is_empty());
+    }
+
+    #[test]
+    fn borrowed_candidates_accepted() {
+        let ds = generic::uniform(5, 2, 0.0, 1);
+        let oracle = FnOracle::new("always", |_: &[u32]| true);
+        let owned = [vec![0.3], vec![0.9]];
+        let borrowed: Vec<&[f64]> = owned.iter().map(Vec::as_slice).collect();
+        assert_eq!(batch_verdicts(&ds, &oracle, &borrowed), vec![true, true]);
+    }
+}

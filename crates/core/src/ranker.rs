@@ -118,6 +118,52 @@ impl FairRanker {
         if self.oracle.is_satisfactory(&self.ds.rank(weights)) {
             return Ok(Suggestion::AlreadyFair);
         }
+        self.suggest_unfair(weights)
+    }
+
+    /// Answer a batch of queries at once — the multi-query entry point
+    /// for online serving.
+    ///
+    /// Element-wise identical to calling [`FairRanker::suggest`] per
+    /// query (property-tested), but amortized: the query rankings for the
+    /// paper's "is it already fair?" check (2DONLINE line 8 / MDBASELINE
+    /// line 1 / MDONLINE line 1) run through one reused
+    /// [`fairrank_datasets::RankWorkspace`] — partial top-k sorts when the oracle exposes a
+    /// bound, zero allocations on the steady path — and the oracle sees
+    /// them through its batched entry point, so per-call setup is paid
+    /// once per chunk instead of once per query. Only queries whose
+    /// ranking the oracle rejects proceed to the index.
+    ///
+    /// # Errors
+    /// [`FairRankError::InvalidWeights`] / `DimensionMismatch` if *any*
+    /// query is malformed (checked upfront; no partial answers).
+    pub fn suggest_batch(&self, queries: &[&[f64]]) -> Result<Vec<Suggestion>, FairRankError> {
+        for q in queries {
+            validate_weights(q, self.ds.dim())?;
+        }
+        let verdicts = crate::probes::batch_verdicts_by(
+            &self.ds,
+            self.oracle.as_ref(),
+            queries.len(),
+            |i, out| out.extend_from_slice(queries[i]),
+        );
+        queries
+            .iter()
+            .zip(verdicts)
+            .map(|(q, fair)| {
+                if fair {
+                    Ok(Suggestion::AlreadyFair)
+                } else {
+                    self.suggest_unfair(q)
+                }
+            })
+            .collect()
+    }
+
+    /// The index half of a query, shared by [`FairRanker::suggest`] and
+    /// [`FairRanker::suggest_batch`] so both paths produce identical
+    /// answers for unfair queries.
+    fn suggest_unfair(&self, weights: &[f64]) -> Result<Suggestion, FairRankError> {
         let r = norm(weights);
         match &self.index {
             Index::TwoD(intervals) => Ok(match online_2d(intervals, weights)? {
@@ -291,6 +337,58 @@ mod tests {
             Suggestion::AlreadyFair => {} // possible if the query is fair
             Suggestion::Infeasible => panic!("satisfiable setup reported infeasible"),
         }
+    }
+
+    #[test]
+    fn suggest_batch_matches_serial_2d() {
+        let (ds, oracle) = biased_2d();
+        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        let queries: Vec<Vec<f64>> = (0..80)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / 80.0 * fairrank_geometry::HALF_PI;
+                vec![2.0 * t.cos(), 2.0 * t.sin()]
+            })
+            .collect();
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let batch = ranker.suggest_batch(&refs).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in refs.iter().zip(&batch) {
+            assert_eq!(*b, ranker.suggest(q).unwrap(), "mismatch at {q:?}");
+        }
+    }
+
+    #[test]
+    fn suggest_batch_matches_serial_md_approx() {
+        let ds = generic::uniform(30, 3, 0.9, 43);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
+        let ranker = FairRanker::build_md_approx(
+            &ds,
+            Box::new(oracle),
+            &BuildOptions {
+                n_cells: 150,
+                max_hyperplanes: Some(80),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let queries: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![1.0, 0.02 + 0.03 * i as f64, 0.5])
+            .collect();
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let batch = ranker.suggest_batch(&refs).unwrap();
+        for (q, b) in refs.iter().zip(&batch) {
+            assert_eq!(*b, ranker.suggest(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn suggest_batch_empty_and_invalid() {
+        let (ds, oracle) = biased_2d();
+        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        assert_eq!(ranker.suggest_batch(&[]).unwrap(), vec![]);
+        let bad: Vec<&[f64]> = vec![&[1.0, 1.0], &[-1.0, 1.0]];
+        assert!(ranker.suggest_batch(&bad).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! direction, which is the paper's measure of similarity.
 
 use fairrank_geometry::interval::AngularIntervals;
+use fairrank_geometry::HALF_PI;
 
 use crate::error::{validate_weights, FairRankError};
 
@@ -38,7 +39,11 @@ pub fn online_2d(
     validate_weights(weights, 2)?;
     let (w1, w2) = (weights[0], weights[1]);
     let r = (w1 * w1 + w2 * w2).sqrt();
-    let theta = w2.atan2(w1);
+    // atan2 of validated weights (non-negative, not both zero) is already
+    // in [0, π/2]; the clamp pins axis-aligned queries like [1, 0] or
+    // [0, 2] to the exact domain boundary against any rounding drift, so
+    // downstream interval search can never see an out-of-domain angle.
+    let theta = w2.atan2(w1).clamp(0.0, HALF_PI);
 
     if intervals.contains(theta) {
         return Ok(TwoDAnswer::AlreadyFair);
@@ -138,6 +143,38 @@ mod tests {
                 assert!((distance - (HALF_PI - 0.1)).abs() < 1e-6);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn axis_aligned_queries_never_leave_domain() {
+        // θ = 0 and θ = π/2 exactly, against interval layouts that do and
+        // do not touch the boundary: every suggestion must be a valid
+        // non-negative weight vector whose angle lies in [0, π/2].
+        let layouts = [
+            idx(&[(0.4, 0.6)]),
+            idx(&[(0.0, 0.3)]),
+            idx(&[(1.2, HALF_PI)]),
+            idx(&[(0.0, 0.1), (0.7, 0.8), (1.5, HALF_PI)]),
+        ];
+        for ivs in &layouts {
+            for q in [[3.0, 0.0], [0.0, 3.0], [1.0, 0.0], [0.0, 1e-3]] {
+                match online_2d(ivs, &q).unwrap() {
+                    TwoDAnswer::AlreadyFair => {}
+                    TwoDAnswer::Suggestion { weights, distance } => {
+                        crate::error::validate_weights(&weights, 2)
+                            .expect("suggested weights must be valid queries themselves");
+                        let theta = weights[1].atan2(weights[0]);
+                        assert!((0.0..=HALF_PI).contains(&theta));
+                        assert!((0.0..=HALF_PI + 1e-9).contains(&distance));
+                        assert!(
+                            ivs.contains(theta),
+                            "suggestion θ={theta} outside the satisfactory set"
+                        );
+                    }
+                    TwoDAnswer::Infeasible => panic!("layouts are non-empty"),
+                }
+            }
         }
     }
 

@@ -20,7 +20,7 @@
 //! incremental path for proportionality constraints where each swap
 //! updates the verdict in `O(1)`.
 
-use fairrank_datasets::Dataset;
+use fairrank_datasets::{Dataset, RankWorkspace};
 use fairrank_fairness::incremental::SweepState;
 use fairrank_fairness::{FairnessOracle, Proportionality};
 use fairrank_geometry::dual::exchange_angle_2d;
@@ -102,9 +102,15 @@ pub fn ray_sweep(
     let batches = batches(&events);
     let sector_count = batches.len() + 1;
 
-    // Current ranking, seeded strictly inside the first sector.
+    // Current ranking, seeded strictly inside the first sector. The
+    // sweep needs the *full* ordering (swaps walk the whole permutation),
+    // so re-ranks are full sorts — but through one workspace and into the
+    // persistent `ranking` buffer, so degenerate re-rank events allocate
+    // nothing after the seed.
+    let mut workspace = RankWorkspace::with_capacity(ds.len());
     let first_angle = batches.first().map_or(HALF_PI, |b| events[b.start].0);
-    let mut ranking = ds.rank(&weights_at(first_angle / 2.0));
+    let mut ranking: Vec<u32> = Vec::with_capacity(ds.len());
+    workspace.rank_into(ds, &weights_at(first_angle / 2.0), None, &mut ranking);
     let mut position = vec![0u32; ds.len()];
     for (pos, &item) in ranking.iter().enumerate() {
         position[item as usize] = pos as u32;
@@ -146,7 +152,12 @@ pub fn ray_sweep(
             // next sector (DESIGN.md F5).
             rerank_events += 1;
             let next_theta = batches.get(bi + 1).map_or(HALF_PI, |nb| events[nb.start].0);
-            ranking = ds.rank(&weights_at(0.5 * (theta + next_theta)));
+            workspace.rank_into(
+                ds,
+                &weights_at(0.5 * (theta + next_theta)),
+                None,
+                &mut ranking,
+            );
             for (pos, &item) in ranking.iter().enumerate() {
                 position[item as usize] = pos as u32;
             }
@@ -189,8 +200,14 @@ pub fn ray_sweep_incremental(
     let batches = batches(&events);
     let sector_count = batches.len() + 1;
 
+    // SweepState owns its ranking, so seeding/re-ranks hand over a fresh
+    // Vec — but the sort itself still runs through one reused workspace.
+    let mut workspace = RankWorkspace::with_capacity(ds.len());
     let first_angle = batches.first().map_or(HALF_PI, |b| events[b.start].0);
-    let mut sweep = SweepState::new(ds.rank(&weights_at(first_angle / 2.0)), constraints);
+    let mut sweep = SweepState::new(
+        workspace.rank(ds, &weights_at(first_angle / 2.0)).to_vec(),
+        constraints,
+    );
 
     let mut rerank_events = 0u64;
     let mut satisfactory_sectors: Vec<(f64, f64)> = Vec::new();
@@ -215,7 +232,9 @@ pub fn ray_sweep_incremental(
             rerank_events += 1;
             let next_theta = batches.get(bi + 1).map_or(HALF_PI, |nb| events[nb.start].0);
             sweep = SweepState::new(
-                ds.rank(&weights_at(0.5 * (theta + next_theta))),
+                workspace
+                    .rank(ds, &weights_at(0.5 * (theta + next_theta)))
+                    .to_vec(),
                 constraints,
             );
         }

@@ -23,11 +23,15 @@
 //! scoring attributes (higher is better after [`Dataset::normalize_min_max`])
 //! plus any number of categorical *type attributes* (protected features)
 //! that fairness oracles inspect. [`csvio`] round-trips datasets through a
-//! small self-contained CSV codec.
+//! small self-contained CSV codec. [`RankWorkspace`] is the probe-loop
+//! companion to [`Dataset::rank`]: allocation-free repeated ranking with
+//! partial top-k sorting for prefix-bounded oracles.
 
 pub mod csvio;
 pub mod dataset;
 pub mod distributions;
+pub mod rank;
 pub mod synthetic;
 
 pub use dataset::{Dataset, DatasetError, TypeAttribute};
+pub use rank::RankWorkspace;

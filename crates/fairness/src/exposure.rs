@@ -34,6 +34,10 @@ pub struct ExposureFairness {
     group_count: usize,
     k: usize,
     bounds: Vec<ExposureBound>,
+    /// Discount table `[discount(0), …, discount(k−1)]`, fixed at
+    /// construction so neither the serial nor the batched probe path
+    /// recomputes `log2` (or allocates) per call.
+    discounts: Vec<f64>,
 }
 
 impl ExposureFairness {
@@ -44,11 +48,16 @@ impl ExposureFairness {
     #[must_use]
     pub fn new(attr: &TypeAttribute, k: usize) -> Self {
         assert!(k > 0, "top-k must be non-empty");
+        // Rankings are permutations of the items, so at most
+        // `attr.values.len()` positions can ever receive exposure — cap
+        // the table there and an oversized k costs nothing.
+        let table_len = k.min(attr.values.len());
         ExposureFairness {
             group_of: attr.values.clone(),
             group_count: attr.group_count(),
             k,
             bounds: Vec::new(),
+            discounts: (0..table_len).map(Self::discount).collect(),
         }
     }
 
@@ -79,28 +88,52 @@ impl ExposureFairness {
     #[must_use]
     pub fn exposure_shares(&self, ranking: &[u32]) -> Vec<f64> {
         let mut per_group = vec![0.0f64; self.group_count];
+        self.shares_into(ranking, &mut per_group);
+        per_group
+    }
+
+    /// Fill `per_group` (len = group count, overwritten) with exposure
+    /// shares using the cached discount table — the allocation-free
+    /// kernel behind [`exposure_shares`](ExposureFairness::exposure_shares)
+    /// and both oracle paths.
+    fn shares_into(&self, ranking: &[u32], per_group: &mut [f64]) {
+        per_group.iter_mut().for_each(|g| *g = 0.0);
         let mut total = 0.0f64;
-        for (r, &item) in ranking.iter().take(self.k).enumerate() {
-            let e = Self::discount(r);
+        for (&item, &e) in ranking.iter().zip(&self.discounts) {
             per_group[self.group_of[item as usize] as usize] += e;
             total += e;
         }
         if total > 0.0 {
-            for g in &mut per_group {
+            for g in per_group {
                 *g /= total;
             }
         }
-        per_group
+    }
+
+    fn bounds_hold(&self, shares: &[f64]) -> bool {
+        self.bounds.iter().all(|b| {
+            let s = shares.get(b.group as usize).copied().unwrap_or(0.0);
+            s >= b.min_share - 1e-12 && s <= b.max_share + 1e-12
+        })
     }
 }
 
 impl FairnessOracle for ExposureFairness {
     fn is_satisfactory(&self, ranking: &[u32]) -> bool {
-        let shares = self.exposure_shares(ranking);
-        self.bounds.iter().all(|b| {
-            let s = shares.get(b.group as usize).copied().unwrap_or(0.0);
-            s >= b.min_share - 1e-12 && s <= b.max_share + 1e-12
-        })
+        self.bounds_hold(&self.exposure_shares(ranking))
+    }
+
+    // Batched path: one share buffer for the whole batch instead of a
+    // fresh Vec per ranking.
+    fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
+        let mut per_group = vec![0.0f64; self.group_count];
+        rankings
+            .iter()
+            .map(|ranking| {
+                self.shares_into(ranking, &mut per_group);
+                self.bounds_hold(&per_group)
+            })
+            .collect()
     }
 
     fn describe(&self) -> String {
@@ -182,6 +215,21 @@ mod tests {
         let o = ExposureFairness::new(&a, 2);
         assert_eq!(o.top_k_bound(), Some(2));
         assert!(o.describe().contains("exposure"));
+    }
+
+    #[test]
+    fn batched_verdicts_match_serial() {
+        let a = attr(vec![0, 0, 1, 1]);
+        let o = ExposureFairness::new(&a, 4).with_share_bounds(0, 0.0, 0.55);
+        let rankings: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 3],
+            vec![2, 3, 0, 1],
+            vec![0, 2, 1, 3],
+            vec![1, 0], // shorter than k
+        ];
+        let refs: Vec<&[u32]> = rankings.iter().map(Vec::as_slice).collect();
+        let serial: Vec<bool> = refs.iter().map(|r| o.is_satisfactory(r)).collect();
+        assert_eq!(o.is_satisfactory_batch(&refs), serial);
     }
 
     #[test]

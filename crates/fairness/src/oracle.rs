@@ -12,6 +12,22 @@ pub trait FairnessOracle: Send + Sync {
     /// Does this ranking meet the fairness criteria?
     fn is_satisfactory(&self, ranking: &[u32]) -> bool;
 
+    /// Evaluate a batch of rankings at once; `out[i]` is the verdict for
+    /// `rankings[i]`.
+    ///
+    /// The default delegates to [`FairnessOracle::is_satisfactory`] per
+    /// ranking, so every oracle is batchable for free. Concrete oracles
+    /// override this to amortize per-call setup across the batch —
+    /// scratch counters, discount tables — which is what the offline
+    /// probe pipelines and [`suggest_batch`] feed on. Overrides must
+    /// return verdicts identical to the serial path: the indexing
+    /// machinery treats batch evaluation as a pure optimization.
+    ///
+    /// [`suggest_batch`]: https://docs.rs/fairrank (FairRanker::suggest_batch)
+    fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
+        rankings.iter().map(|r| self.is_satisfactory(r)).collect()
+    }
+
     /// Human-readable description for reports.
     fn describe(&self) -> String {
         "fairness oracle".to_string()
@@ -96,6 +112,15 @@ impl<O: FairnessOracle> FairnessOracle for CountingOracle<O> {
         self.inner.is_satisfactory(ranking)
     }
 
+    // Each ranking in a batch counts as one oracle invocation (the
+    // batch is an amortization of setup, not of verdicts), and the
+    // inner oracle's batched override stays in effect.
+    fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
+        self.calls
+            .fetch_add(rankings.len() as u64, Ordering::Relaxed);
+        self.inner.is_satisfactory_batch(rankings)
+    }
+
     fn describe(&self) -> String {
         self.inner.describe()
     }
@@ -111,6 +136,10 @@ impl<O: FairnessOracle> FairnessOracle for CountingOracle<O> {
 impl<T: FairnessOracle + ?Sized> FairnessOracle for &T {
     fn is_satisfactory(&self, ranking: &[u32]) -> bool {
         (**self).is_satisfactory(ranking)
+    }
+
+    fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
+        (**self).is_satisfactory_batch(rankings)
     }
 
     fn describe(&self) -> String {
@@ -129,6 +158,10 @@ impl<T: FairnessOracle + ?Sized> FairnessOracle for &T {
 impl FairnessOracle for Box<dyn FairnessOracle> {
     fn is_satisfactory(&self, ranking: &[u32]) -> bool {
         (**self).is_satisfactory(ranking)
+    }
+
+    fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
+        (**self).is_satisfactory_batch(rankings)
     }
 
     fn describe(&self) -> String {
@@ -157,6 +190,21 @@ mod tests {
         assert_eq!(o.describe(), "item 0 first");
         assert!(o.incremental(&[0, 1, 2]).is_none());
         assert!(o.top_k_bound().is_none());
+    }
+
+    #[test]
+    fn default_batch_matches_serial() {
+        let o = FnOracle::new("item 0 first", |r: &[u32]| r.first() == Some(&0));
+        let rankings: [&[u32]; 3] = [&[0, 1], &[1, 0], &[0]];
+        assert_eq!(o.is_satisfactory_batch(&rankings), vec![true, false, true]);
+    }
+
+    #[test]
+    fn counting_oracle_counts_batches_per_ranking() {
+        let o = CountingOracle::new(FnOracle::new("always", |_: &[u32]| true));
+        let rankings: [&[u32]; 4] = [&[0], &[1], &[2], &[3]];
+        assert_eq!(o.is_satisfactory_batch(&rankings), vec![true; 4]);
+        assert_eq!(o.calls(), 4, "each batched ranking is one invocation");
     }
 
     #[test]

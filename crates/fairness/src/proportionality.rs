@@ -154,10 +154,18 @@ impl Proportionality {
     #[must_use]
     pub fn head_counts(&self, ranking: &[u32]) -> Vec<usize> {
         let mut counts = vec![0usize; self.group_count];
+        self.head_counts_into(ranking, &mut counts);
+        counts
+    }
+
+    /// The counting kernel shared by the serial and batched oracle paths:
+    /// fill `counts` (len = group count, overwritten) with per-group
+    /// head counts over the top-k of `ranking`.
+    fn head_counts_into(&self, ranking: &[u32], counts: &mut [usize]) {
+        counts.iter_mut().for_each(|c| *c = 0);
         for &item in ranking.iter().take(self.k) {
             counts[self.groups[item as usize] as usize] += 1;
         }
-        counts
     }
 
     /// Whether a vector of head counts satisfies all bounds.
@@ -194,6 +202,19 @@ impl Proportionality {
 impl FairnessOracle for Proportionality {
     fn is_satisfactory(&self, ranking: &[u32]) -> bool {
         self.counts_satisfy(&self.head_counts(ranking))
+    }
+
+    // Batched path: one counts buffer for the whole batch instead of a
+    // fresh Vec per ranking (head_counts allocates). Verdicts identical.
+    fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
+        let mut counts = vec![0usize; self.group_count];
+        rankings
+            .iter()
+            .map(|ranking| {
+                self.head_counts_into(ranking, &mut counts);
+                self.counts_satisfy(&counts)
+            })
+            .collect()
     }
 
     fn describe(&self) -> String {
@@ -243,6 +264,17 @@ impl Conjunction {
 impl FairnessOracle for Conjunction {
     fn is_satisfactory(&self, ranking: &[u32]) -> bool {
         self.parts.iter().all(|p| p.is_satisfactory(ranking))
+    }
+
+    // Forward the batch to each part's batched path and conjoin.
+    fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
+        let mut out = vec![true; rankings.len()];
+        for p in &self.parts {
+            for (v, part_v) in out.iter_mut().zip(p.is_satisfactory_batch(rankings)) {
+                *v = *v && part_v;
+            }
+        }
+        out
     }
 
     fn describe(&self) -> String {
@@ -354,6 +386,39 @@ mod tests {
         // Top-2 = {0, 3}: a counts 1/1 ok; b counts 1/1 ok.
         assert!(c.is_satisfactory(&[0, 3, 1, 2]));
         assert_eq!(c.top_k_bound(), Some(2));
+    }
+
+    #[test]
+    fn batched_verdicts_match_serial() {
+        let t = attr(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        let o = Proportionality::new(&t, 4).with_max_count(0, 2);
+        let rankings: Vec<Vec<u32>> = vec![
+            vec![0, 2, 4, 6, 1, 3, 5, 7], // 4 of group 0 in top-4
+            vec![0, 1, 2, 3, 4, 5, 6, 7], // 2 of group 0
+            vec![1, 3, 5, 7, 0, 2, 4, 6], // 0 of group 0
+        ];
+        let refs: Vec<&[u32]> = rankings.iter().map(Vec::as_slice).collect();
+        let batch = o.is_satisfactory_batch(&refs);
+        let serial: Vec<bool> = refs.iter().map(|r| o.is_satisfactory(r)).collect();
+        assert_eq!(batch, serial);
+        assert_eq!(batch, vec![false, true, true]);
+    }
+
+    #[test]
+    fn conjunction_batch_matches_serial() {
+        let ta = attr(vec![0, 0, 1, 1], 2);
+        let tb = TypeAttribute {
+            name: "h".into(),
+            labels: vec!["x".into(), "y".into()],
+            values: vec![0, 1, 0, 1],
+        };
+        let c = Conjunction::new()
+            .and(Proportionality::new(&ta, 2).with_max_count(0, 1))
+            .and(Proportionality::new(&tb, 2).with_max_count(0, 1));
+        let rankings: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3], vec![0, 3, 1, 2], vec![2, 3, 0, 1]];
+        let refs: Vec<&[u32]> = rankings.iter().map(Vec::as_slice).collect();
+        let serial: Vec<bool> = refs.iter().map(|r| c.is_satisfactory(r)).collect();
+        assert_eq!(c.is_satisfactory_batch(&refs), serial);
     }
 
     #[test]

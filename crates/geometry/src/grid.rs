@@ -226,12 +226,30 @@ impl AngleGrid {
     /// If `id` is out of range.
     #[must_use]
     pub fn center(&self, id: CellId) -> Vec<f64> {
-        let (bl, tr) = self.cell_bounds(id);
-        bl.iter().zip(tr).map(|(a, b)| 0.5 * (a + b)).collect()
+        let mut out = Vec::with_capacity(self.dim);
+        self.center_into(id, &mut out);
+        out
     }
 
-    /// The cell containing `theta` (clamped into the box). `O(log N)` —
+    /// [`AngleGrid::center`] into a caller-owned buffer (cleared and
+    /// refilled) — the coloring flood and the probe loops query centers
+    /// per edge/cell, and buffer reuse keeps those paths allocation-free.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn center_into(&self, id: CellId, out: &mut Vec<f64>) {
+        let (bl, tr) = self.cell_bounds(id);
+        out.clear();
+        out.extend(bl.iter().zip(tr).map(|(a, b)| 0.5 * (a + b)));
+    }
+
+    /// The cell containing `theta` (clamped into the box: ±∞ clamp to
+    /// the respective boundary, NaN maps to the lower one). `O(log N)` —
     /// one binary search per level (MDONLINE's lookup, Algorithm 11).
+    ///
+    /// The boundary convention is total: θ = 0 maps to the first row,
+    /// θ = π/2 exactly maps to the last row, so axis-aligned queries
+    /// (weights like `[1, 0]`) always land in a valid cell.
     #[must_use]
     pub fn locate(&self, theta: &[f64]) -> CellId {
         debug_assert_eq!(theta.len(), self.dim);
@@ -239,7 +257,13 @@ impl AngleGrid {
         let mut level = 0usize;
         loop {
             let axis = self.dim - 1 - level;
-            let t = theta[axis].clamp(0.0, HALF_PI);
+            let raw = theta[axis];
+            // clamp already pins ±∞ to the box; only NaN needs a branch.
+            let t = if raw.is_nan() {
+                0.0
+            } else {
+                raw.clamp(0.0, HALF_PI)
+            };
             let nrows = node.boundaries.len() - 1;
             // First boundary strictly greater than t, minus one.
             let mut row = node.boundaries.partition_point(|&b| b <= t);
@@ -445,6 +469,61 @@ mod tests {
                     "probe {p:?} not inside cell {id} [{bl:?}, {tr:?}]"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn locate_boundary_angles_map_to_valid_cells() {
+        // θ = 0 and θ = π/2 exactly, per axis and jointly, for both
+        // schemes and several dimensions: the returned cell must exist
+        // and its bounds must contain the (clamped) probe.
+        for d in [2usize, 3, 4] {
+            for g in [AngleGrid::equal_area(d, 300), AngleGrid::uniform(d, 300)] {
+                let dim = g.dim();
+                let mut probes: Vec<Vec<f64>> = vec![vec![0.0; dim], vec![HALF_PI; dim]];
+                for axis in 0..dim {
+                    let mut lo = vec![0.3; dim];
+                    lo[axis] = 0.0;
+                    let mut hi = vec![0.3; dim];
+                    hi[axis] = HALF_PI;
+                    probes.push(lo);
+                    probes.push(hi);
+                }
+                // Slightly out-of-domain probes clamp instead of escaping.
+                probes.push(vec![-1e-12; dim]);
+                probes.push(vec![HALF_PI + 1e-12; dim]);
+                for p in probes {
+                    let id = g.locate(&p);
+                    assert!((id as usize) < g.cell_count(), "cell out of range");
+                    let (bl, tr) = g.cell_bounds(id);
+                    for j in 0..dim {
+                        let c = p[j].clamp(0.0, HALF_PI);
+                        assert!(
+                            bl[j] - 1e-12 <= c && c <= tr[j] + 1e-12,
+                            "boundary probe {p:?} outside cell {id} on axis {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_non_finite_coordinates_clamp() {
+        let g = AngleGrid::equal_area(3, 200);
+        let pos = g.locate(&[f64::INFINITY, f64::INFINITY]);
+        assert_eq!(pos, g.locate(&[HALF_PI, HALF_PI]));
+        let neg = g.locate(&[f64::NEG_INFINITY, f64::NAN]);
+        assert_eq!(neg, g.locate(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn center_into_matches_center() {
+        let g = AngleGrid::equal_area(3, 100);
+        let mut buf = vec![7.0; 5];
+        for id in 0..g.cell_count() as CellId {
+            g.center_into(id, &mut buf);
+            assert_eq!(buf, g.center(id));
         }
     }
 

@@ -97,7 +97,9 @@ impl AngularIntervals {
 
     /// The angle inside the set closest to `theta` (the 2DONLINE answer):
     /// `theta` itself when contained, otherwise the nearest interval
-    /// endpoint. `None` when the set is empty (no satisfactory function).
+    /// endpoint, with exact ties broken toward the endpoint *above*
+    /// `theta` (deterministic, and stable under adding candidates).
+    /// `None` when the set is empty (no satisfactory function).
     #[must_use]
     pub fn nearest(&self, theta: f64) -> Option<f64> {
         if self.intervals.is_empty() || theta.is_nan() {
@@ -107,24 +109,21 @@ impl AngularIntervals {
             return Some(theta);
         }
         let idx = self.intervals.partition_point(|&(s, _)| s < theta);
-        let mut best = f64::INFINITY;
-        let mut best_angle = 0.0;
-        if idx < self.intervals.len() {
-            let s = self.intervals[idx].0;
-            let d = (s - theta).abs();
-            if d < best {
-                best = d;
-                best_angle = s;
+        // Exactly two candidates can be nearest: the start of the first
+        // interval above theta and the end of the last interval below it.
+        // Fold every candidate through one comparison that updates the
+        // (distance, angle) pair together — a candidate list can then grow
+        // without the distance going stale against the stored angle.
+        let above = (idx < self.intervals.len()).then(|| self.intervals[idx].0);
+        let below = (idx > 0).then(|| self.intervals[idx - 1].1);
+        let mut best: Option<(f64, f64)> = None;
+        for angle in [above, below].into_iter().flatten() {
+            let d = (angle - theta).abs();
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, angle));
             }
         }
-        if idx > 0 {
-            let e = self.intervals[idx - 1].1;
-            let d = (theta - e).abs();
-            if d < best {
-                best_angle = e;
-            }
-        }
-        Some(best_angle)
+        best.map(|(_, angle)| angle)
     }
 
     /// Like [`AngularIntervals::nearest`], but endpoint answers are nudged
@@ -228,6 +227,77 @@ mod tests {
     #[test]
     fn nearest_on_empty_is_none() {
         assert_eq!(AngularIntervals::new().nearest(0.3), None);
+    }
+
+    #[test]
+    fn nearest_equidistant_breaks_toward_upper_endpoint() {
+        // Query exactly between the end of one interval and the start of
+        // the next (0.4 and 0.6 around 0.5, binary-exact): the tie must
+        // break deterministically toward the endpoint above the query.
+        let ivs = AngularIntervals::from_pairs([(0.125, 0.25), (0.75, 1.0)]);
+        let q = 0.5;
+        assert_eq!(q - 0.25, 0.75 - q, "setup must be exactly equidistant");
+        assert_eq!(ivs.nearest(q), Some(0.75));
+    }
+
+    #[test]
+    fn nearest_scans_correctly_with_three_intervals() {
+        // Regression for the stale-best bug: with the left endpoint
+        // evaluated after the right one, a stored distance that is not
+        // updated alongside the angle would corrupt any later comparison.
+        // Three intervals exercise queries in both gaps.
+        let ivs = AngularIntervals::from_pairs([(0.1, 0.2), (0.6, 0.7), (1.2, 1.3)]);
+        assert_eq!(ivs.nearest(0.25), Some(0.2)); // left end closer
+        assert_eq!(ivs.nearest(0.55), Some(0.6)); // right start closer
+        assert_eq!(ivs.nearest(0.75), Some(0.7));
+        assert_eq!(ivs.nearest(1.15), Some(1.2));
+    }
+
+    #[test]
+    fn nearest_matches_exhaustive_endpoint_scan() {
+        // The returned angle must be an argmin over *all* endpoints — the
+        // invariant the two-candidate shortcut relies on.
+        let ivs = AngularIntervals::from_pairs([(0.05, 0.1), (0.4, 0.5), (0.9, 1.1), (1.4, 1.5)]);
+        for step in 0..=300 {
+            let q = step as f64 / 300.0 * HALF_PI;
+            let got = ivs.nearest(q).unwrap();
+            let best = ivs
+                .as_slice()
+                .iter()
+                .flat_map(|&(s, e)| [s, e])
+                .map(|p| (p - q).abs())
+                .fold(f64::INFINITY, f64::min);
+            let got_dist = if ivs.contains(q) {
+                0.0
+            } else {
+                (got - q).abs()
+            };
+            let true_dist = if ivs.contains(q) { 0.0 } else { best };
+            assert!(
+                (got_dist - true_dist).abs() < 1e-12,
+                "q={q}: got {got} (d={got_dist}), optimum d={true_dist}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_angles_locate_and_snap_in_domain() {
+        // θ = 0 and θ = π/2 exactly (axis-aligned queries like w = [1, 0]).
+        let touching = AngularIntervals::from_pairs([(0.0, 0.2), (1.0, HALF_PI)]);
+        assert!(touching.contains(0.0));
+        assert!(touching.contains(HALF_PI));
+        assert_eq!(touching.nearest(0.0), Some(0.0));
+        assert_eq!(touching.nearest(HALF_PI), Some(HALF_PI));
+        // Interior-only set: boundary queries snap to the nearest endpoint
+        // and the answer stays inside [0, π/2].
+        let interior = AngularIntervals::from_pairs([(0.4, 0.6)]);
+        assert_eq!(interior.nearest(0.0), Some(0.4));
+        assert_eq!(interior.nearest(HALF_PI), Some(0.6));
+        for q in [0.0, HALF_PI] {
+            let a = interior.nearest_interior(q, 1e-7).unwrap();
+            assert!((0.0..=HALF_PI).contains(&a));
+            assert!(interior.contains(a));
+        }
     }
 
     #[test]

@@ -23,8 +23,18 @@ use crate::{GEOM_EPS, HALF_PI};
 /// `[0, π/2]` for first-orthant rays, but the formula is total.
 #[must_use]
 pub fn to_cartesian(r: f64, angles: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(angles.len() + 1);
+    to_cartesian_into(r, angles, &mut out);
+    out
+}
+
+/// [`to_cartesian`] into a caller-owned buffer (cleared and refilled) —
+/// the probe loops convert angles to weights once per oracle probe, and
+/// reusing the buffer keeps the steady path allocation-free.
+pub fn to_cartesian_into(r: f64, angles: &[f64], out: &mut Vec<f64>) {
     let d = angles.len() + 1;
-    let mut out = vec![0.0; d];
+    out.clear();
+    out.resize(d, 0.0);
     // Suffix products of cosines: suffix[k] = Π_{l ≥ k} cos θ_l (angle index).
     // Build in reverse while emitting components.
     let mut suffix = 1.0;
@@ -34,7 +44,6 @@ pub fn to_cartesian(r: f64, angles: &[f64]) -> Vec<f64> {
         suffix *= theta.cos();
     }
     out[0] = r * suffix;
-    out
 }
 
 /// Convert a Cartesian point to its polar representation `(r, Θ)`.
@@ -166,6 +175,17 @@ mod tests {
         let y = to_cartesian(1.0, &[FRAC_PI_2]);
         assert_close(y[0], 0.0);
         assert_close(y[1], 1.0);
+    }
+
+    #[test]
+    fn cartesian_into_matches_and_reuses_buffer() {
+        let mut buf = vec![9.0; 7]; // stale, oversized content must vanish
+        to_cartesian_into(2.0, &[0.3, 1.1], &mut buf);
+        assert_eq!(buf, to_cartesian(2.0, &[0.3, 1.1]));
+        let cap = buf.capacity();
+        to_cartesian_into(1.0, &[0.8, 0.2], &mut buf);
+        assert_eq!(buf, to_cartesian(1.0, &[0.8, 0.2]));
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

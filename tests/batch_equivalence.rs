@@ -1,0 +1,185 @@
+//! Batch/serial equivalence: the batched oracle pipeline and the
+//! rank-workspace paths must be *observationally identical* to the
+//! per-probe paths they accelerate — same suggestions, same ranking
+//! prefixes, same oracle-call counts (even under concurrent MARKCELL).
+
+use proptest::prelude::*;
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank::probes::batch_verdicts;
+use fairrank::{FairRanker, Suggestion};
+use fairrank_datasets::synthetic::generic;
+use fairrank_datasets::RankWorkspace;
+use fairrank_fairness::{CountingOracle, FairnessOracle, Proportionality};
+use fairrank_geometry::polar::to_cartesian;
+use fairrank_geometry::HALF_PI;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `suggest_batch` answers are element-wise identical to per-query
+    /// `suggest` on the 2-D index, across random datasets, constraints
+    /// and query fans (axis-aligned queries included).
+    #[test]
+    fn suggest_batch_equals_serial_2d(
+        seed in 0u64..500,
+        n in 20usize..70,
+        kfrac in 0.15f64..0.5,
+        cap_frac in 0.3f64..0.9,
+    ) {
+        let ds = generic::uniform(n, 2, 0.9, seed);
+        let attr = ds.type_attribute("group").unwrap().clone();
+        let k = ((n as f64) * kfrac).round().max(2.0) as usize;
+        let cap = ((k as f64) * cap_frac).round().max(1.0) as usize;
+        let oracle = Proportionality::new(&attr, k).with_max_count(0, cap);
+        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+
+        let mut queries: Vec<Vec<f64>> = (0..24)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / 24.0 * HALF_PI;
+                vec![1.7 * t.cos(), 1.7 * t.sin()]
+            })
+            .collect();
+        queries.push(vec![1.0, 0.0]); // axis-aligned boundary queries
+        queries.push(vec![0.0, 1.0]);
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+
+        let batch = ranker.suggest_batch(&refs).unwrap();
+        prop_assert_eq!(batch.len(), refs.len());
+        for (q, b) in refs.iter().zip(&batch) {
+            let serial = ranker.suggest(q).unwrap();
+            prop_assert_eq!(b, &serial, "batch/serial diverged at query {:?}", q);
+            // Boundary hardening: any suggestion is itself a valid query
+            // inside the domain.
+            if let Suggestion::Suggested { weights, distance } = b {
+                prop_assert!(ranker.suggest(weights).is_ok());
+                prop_assert!((0.0..=HALF_PI + 1e-9).contains(distance));
+            }
+        }
+    }
+
+    /// Workspace partial top-k ranking agrees with the full
+    /// `Dataset::rank` prefix for random weights and bounds, and the
+    /// tail is still a permutation of the remaining items.
+    #[test]
+    fn workspace_topk_agrees_with_full_rank(
+        seed in 0u64..1000,
+        n in 5usize..120,
+        k in 1usize..140,
+        w in prop::collection::vec(0.01f64..5.0, 3),
+    ) {
+        let ds = generic::uniform(n, 3, 0.5, seed);
+        let full = ds.rank(&w);
+        let mut ws = RankWorkspace::new();
+        let partial = ws.rank_with_bound(&ds, &w, Some(k)).to_vec();
+        let k_eff = k.min(n);
+        prop_assert_eq!(&partial[..k_eff], &full[..k_eff]);
+        let mut sorted = partial.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<u32>>());
+        // Unbounded workspace ranking is bit-identical to Dataset::rank.
+        prop_assert_eq!(ws.rank(&ds, &w), full.as_slice());
+    }
+
+    /// `batch_verdicts` equals serial oracle probing for random
+    /// candidate sets.
+    #[test]
+    fn batched_probe_verdicts_equal_serial(
+        seed in 0u64..500,
+        n in 10usize..50,
+        probes in 1usize..150,
+    ) {
+        let ds = generic::uniform(n, 3, 0.8, seed);
+        let attr = ds.type_attribute("group").unwrap().clone();
+        let k = (n / 3).max(2);
+        let oracle = Proportionality::new(&attr, k).with_max_count(0, (k / 2).max(1));
+        let candidates: Vec<Vec<f64>> = (0..probes)
+            .map(|i| {
+                vec![
+                    (i as f64 + 0.5) / probes as f64 * HALF_PI,
+                    ((i * 13 + 5) % probes) as f64 / probes as f64 * HALF_PI * 0.98 + 0.01,
+                ]
+            })
+            .collect();
+        let batched = batch_verdicts(&ds, &oracle, &candidates);
+        prop_assert_eq!(batched.len(), candidates.len());
+        for (c, v) in candidates.iter().zip(batched) {
+            let serial = oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, c)));
+            prop_assert_eq!(v, serial);
+        }
+    }
+}
+
+/// Under concurrent MARKCELL, a `CountingOracle` shared across workers
+/// must see *exactly* the same number of probes the build reports — the
+/// workspace/batched plumbing may not lose or double-count invocations.
+#[test]
+fn concurrent_markcell_probe_counts_are_exact() {
+    let ds = generic::uniform(40, 3, 0.85, 7);
+    let attr = ds.type_attribute("group").unwrap();
+    let inner = Proportionality::new(attr, 8).with_max_count(0, 4);
+    let opts = |threads| BuildOptions {
+        n_cells: 150,
+        max_hyperplanes: Some(200),
+        threads: Some(threads),
+        ..Default::default()
+    };
+
+    let counter_seq = CountingOracle::new(inner.clone());
+    let seq = ApproxIndex::build(&ds, &counter_seq, &opts(1)).unwrap();
+    assert_eq!(
+        counter_seq.calls(),
+        seq.stats().oracle_calls,
+        "sequential build must report exactly the probes it made"
+    );
+
+    let counter_par = CountingOracle::new(inner.clone());
+    let par = ApproxIndex::build(&ds, &counter_par, &opts(4)).unwrap();
+    assert_eq!(
+        counter_par.calls(),
+        par.stats().oracle_calls,
+        "parallel build must report exactly the probes it made"
+    );
+
+    // Parallelism must not change the artifact or the probe count.
+    assert_eq!(seq.functions(), par.functions());
+    assert_eq!(seq.stats().oracle_calls, par.stats().oracle_calls);
+}
+
+/// Deterministic batch/serial agreement on the approximate m-d index,
+/// including infeasible and already-fair outcomes.
+#[test]
+fn suggest_batch_equals_serial_md_approx() {
+    let ds = generic::uniform(35, 3, 0.9, 101);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(attr, 7).with_max_count(0, 3);
+    let ranker = FairRanker::build_md_approx(
+        &ds,
+        Box::new(oracle),
+        &BuildOptions {
+            n_cells: 200,
+            max_hyperplanes: Some(120),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let queries: Vec<Vec<f64>> = (0..50)
+        .map(|i| {
+            vec![
+                1.0,
+                0.01 + 0.04 * f64::from(i),
+                0.02 + 0.03 * f64::from(49 - i),
+            ]
+        })
+        .collect();
+    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+    let batch = ranker.suggest_batch(&refs).unwrap();
+    let mut fair = 0usize;
+    for (q, b) in refs.iter().zip(&batch) {
+        assert_eq!(b, &ranker.suggest(q).unwrap());
+        if matches!(b, Suggestion::AlreadyFair) {
+            fair += 1;
+        }
+    }
+    assert!(fair < refs.len(), "bias should leave some queries unfair");
+}

@@ -118,12 +118,39 @@ fn ranker_suggestions_are_fair_and_norm_preserving() {
 
 #[test]
 fn suggestion_distance_is_minimal_against_dense_scan() {
-    // Seed chosen (by scanning the deterministic generator) so that the
-    // satisfactory region is narrow but non-empty: most probe queries get
-    // a suggestion, at least one is already fair.
-    let ds = generic::uniform(80, 2, 0.95, 33);
-    let group = ds.type_attribute("group").unwrap();
-    let oracle = Proportionality::new(group, 16).with_max_count(0, 8);
+    // The interesting setup is a *narrow but non-empty* satisfactory
+    // region (most probe queries get a suggestion, at least one angle is
+    // fair). Instead of hard-coding one RNG-dependent seed — which breaks
+    // the moment the vendored generator is swapped back to upstream
+    // ChaCha12 — scan a seed range and test the first setup exhibiting
+    // the property. The minimality assertion itself holds for *every*
+    // dataset; the scan only guarantees the test exercises the
+    // suggestion path rather than vacuously passing on AlreadyFair or
+    // Infeasible.
+    const QUERY_FAN: [f64; 5] = [0.05, 0.4, 0.9, 1.3, 1.55];
+    let coarse_sat = |ds: &fairrank_datasets::Dataset, oracle: &Proportionality| {
+        (0..64)
+            .filter(|&s| {
+                let theta = (f64::from(s) + 0.5) / 64.0 * HALF_PI;
+                oracle.is_satisfactory(&ds.rank(&[theta.cos(), theta.sin()]))
+            })
+            .count()
+    };
+    let (ds, oracle) = (0..200u64)
+        .find_map(|seed| {
+            let ds = generic::uniform(80, 2, 0.95, seed);
+            let group = ds.type_attribute("group").unwrap();
+            let oracle = Proportionality::new(group, 16).with_max_count(0, 8);
+            // Narrow: satisfied on some rays but at most a quarter of them —
+            // and at least one of the fan queries below must itself be
+            // unfair, so the suggestion (minimality) branch genuinely runs.
+            let sat = coarse_sat(&ds, &oracle);
+            let fan_has_unfair = QUERY_FAN
+                .iter()
+                .any(|&t| !oracle.is_satisfactory(&ds.rank(&[t.cos(), t.sin()])));
+            ((1..=16).contains(&sat) && fan_has_unfair).then_some((ds, oracle))
+        })
+        .expect("some seed in 0..200 must yield a narrow satisfactory region");
     let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
 
     // Dense truth: satisfactory angles.
@@ -136,11 +163,13 @@ fn suggestion_distance_is_minimal_against_dense_scan() {
     }
     assert!(!sat_angles.is_empty());
 
-    for q_theta in [0.05f64, 0.4, 0.9, 1.3, 1.55] {
+    let mut suggested = 0usize;
+    for q_theta in QUERY_FAN {
         let q = [q_theta.cos(), q_theta.sin()];
         match ranker.suggest(&q).unwrap() {
             Suggestion::AlreadyFair => {}
             Suggestion::Suggested { distance, .. } => {
+                suggested += 1;
                 let optimal = sat_angles
                     .iter()
                     .map(|t| (t - q_theta).abs())
@@ -154,4 +183,7 @@ fn suggestion_distance_is_minimal_against_dense_scan() {
             Suggestion::Infeasible => panic!("satisfiable"),
         }
     }
+    // The scan required an unfair fan query, so the minimality branch
+    // genuinely ran.
+    assert!(suggested >= 1, "no query exercised the suggestion path");
 }
