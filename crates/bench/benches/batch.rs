@@ -68,7 +68,9 @@ fn bench_suggest_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_suggest");
     let ds = compas_2d(1500);
     let oracle = default_compas_oracle(&ds);
-    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .build()
+        .unwrap();
     let queries: Vec<Vec<f64>> = query_fan(1, 64)
         .iter()
         .map(|q| to_cartesian(1.0, q))
@@ -84,6 +86,15 @@ fn bench_suggest_batch(c: &mut Criterion) {
     group.bench_function("suggest_batch", |b| {
         b.iter(|| black_box(ranker.suggest_batch(&refs).unwrap()));
     });
+    // The sharded serving path: index-decided fairness per shard (the
+    // 2-D intervals answer the pre-check in O(log n)) plus worker
+    // threads. Answers are element-wise identical to `suggest`
+    // (tests/serving_equivalence.rs).
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("suggest_batch_parallel_{shards}shard"), |b| {
+            b.iter(|| black_box(ranker.suggest_batch_parallel(&refs, shards).unwrap()));
+        });
+    }
     group.finish();
 }
 

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
-use fairrank::FairRanker;
+use fairrank::{FairRanker, Strategy};
 use fairrank_bench::{compas_d, default_compas_oracle, query_fan};
 use fairrank_geometry::polar::to_cartesian;
 
@@ -51,7 +51,11 @@ fn bench_suggest(c: &mut Criterion) {
     let d = 3usize;
     let ds = compas_d(500, d);
     let oracle = default_compas_oracle(&ds);
-    let ranker = FairRanker::build_md_approx(&ds, Box::new(oracle), &build_options(d)).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .strategy(Strategy::MdApprox)
+        .approx_options(build_options(d))
+        .build()
+        .unwrap();
     let weights: Vec<Vec<f64>> = query_fan(d - 1, 64)
         .iter()
         .map(|q| to_cartesian(1.0, q))

@@ -139,8 +139,11 @@ fn main() {
 
     let ds_serve = compas_2d(1500);
     let oracle_serve = default_compas_oracle(&ds_serve);
-    let (ranker, sweep_t) =
-        time(|| FairRanker::build_2d(&ds_serve, Box::new(oracle_serve)).unwrap());
+    let (ranker, sweep_t) = time(|| {
+        FairRanker::builder(ds_serve.clone(), Box::new(oracle_serve))
+            .build()
+            .unwrap()
+    });
     push("experiments.raysweep_build_n1500_ms", us(sweep_t) / 1000.0);
     let serve_queries: Vec<Vec<f64>> = query_fan(1, 64)
         .iter()
@@ -159,6 +162,19 @@ fn main() {
         "batch.suggest_batch_64q_us",
         us(time_avg(30, || ranker.suggest_batch(&refs).unwrap())),
     );
+    // Sharded serving: the 2-D backend decides fairness from the index
+    // (O(log n) per query instead of the O(n log n) oracle ranking), and
+    // shards run on scoped worker threads. Same answers as `suggest`
+    // (tests/serving_equivalence.rs); the 4-shard series is the
+    // committed throughput reference against `batch.suggest_batch_64q_us`.
+    for shards in [1usize, 2, 4] {
+        push(
+            &format!("batch.suggest_parallel_{shards}shard_64q_us"),
+            us(time_avg(30, || {
+                ranker.suggest_batch_parallel(&refs, shards).unwrap()
+            })),
+        );
+    }
 
     // --- reduced experiments series (fig16-shaped 2-D pipeline) -----
     let ds_fig = compas_2d(1000);

@@ -21,7 +21,7 @@ use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::md::exchange_hyperplanes;
 use fairrank::sampling::{build_on_sample, validate_against};
 use fairrank::twod::{online_2d, ray_sweep};
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, Strategy, Suggestion};
 use fairrank_bench::stats::{cumulative_at, loglog_slope, mean, median};
 use fairrank_bench::{
     compas_2d, compas_d, compas_d3, compas_full, default_compas_oracle, dot_flights, dot_oracle,
@@ -110,17 +110,16 @@ fn fig16(ctx: &Ctx) {
 
     let ds = compas_d3(n);
     let oracle = default_compas_oracle(&ds);
-    let ranker = FairRanker::build_md_approx(
-        &ds,
-        Box::new(oracle),
-        &BuildOptions {
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .strategy(Strategy::MdApprox)
+        .approx_options(BuildOptions {
             n_cells: if ctx.full { 40_000 } else { 2_000 },
             max_hyperplanes: Some(if ctx.full { 60_000 } else { 10_000 }),
             max_hyperplanes_per_cell: Some(if ctx.full { 48 } else { 24 }),
             ..Default::default()
-        },
-    )
-    .expect("build");
+        })
+        .build()
+        .expect("build");
 
     let mut fair = 0usize;
     let mut distances = Vec::new();

@@ -40,7 +40,7 @@ pub fn compas_d3(n: usize) -> Dataset {
 }
 
 /// COMPAS projected to the first `d` scoring attributes "in the same
-/// ordering provided in the description of [the] COMPAS dataset" (§6.3).
+/// ordering provided in the description of \[the\] COMPAS dataset" (§6.3).
 ///
 /// # Panics
 /// If `d` exceeds the 7 available attributes.

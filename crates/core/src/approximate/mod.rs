@@ -22,3 +22,80 @@ pub mod index;
 pub mod markcell;
 
 pub use index::{ApproxIndex, BuildOptions, BuildStats};
+
+use fairrank_geometry::polar::{angular_distance, to_polar};
+use fairrank_geometry::vector::norm;
+
+use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
+use crate::error::FairRankError;
+
+/// The §5 serving backend: [`ApproxIndex`] packaged for
+/// [`crate::FairRanker`] — `O(log N)` cell lookups under the Theorem 6
+/// distance guarantee.
+///
+/// Boxed: the grid plus per-cell assignments is far larger than the
+/// other backends, and one pointer chase per query is noise next to the
+/// grid descent itself.
+#[derive(Debug, Clone)]
+pub struct ApproxGrid {
+    index: Box<ApproxIndex>,
+}
+
+impl ApproxGrid {
+    /// Wrap a built (or decoded) approximate index.
+    #[must_use]
+    pub fn new(index: ApproxIndex) -> Self {
+        ApproxGrid {
+            index: Box::new(index),
+        }
+    }
+
+    /// The underlying grid index.
+    #[must_use]
+    pub fn index(&self) -> &ApproxIndex {
+        &self.index
+    }
+}
+
+impl IndexBackend for ApproxGrid {
+    fn dim(&self) -> usize {
+        self.index.grid().dim() + 1
+    }
+
+    fn suggest_unfair(
+        &self,
+        weights: &[f64],
+        _ctx: &QueryCtx<'_>,
+    ) -> Result<Suggestion, FairRankError> {
+        let r = norm(weights);
+        let (_, query_angles) = to_polar(weights);
+        match self.index.lookup(&query_angles) {
+            None => Ok(Suggestion::Infeasible),
+            Some(angles) => Ok(Suggestion::Suggested {
+                weights: crate::backend::suggestion_weights(angles, r),
+                distance: angular_distance(angles, &query_angles),
+            }),
+        }
+    }
+
+    fn persist_tag(&self) -> u8 {
+        crate::persist::TAG_APPROX
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        crate::persist::encode_approx_index(&self.index)
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            kind: "approx-grid",
+            artifacts: self.index.grid().cell_count(),
+            functions: Some(self.index.functions().len()),
+            error_bound: Some(self.index.error_bound()),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

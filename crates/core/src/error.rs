@@ -2,8 +2,15 @@
 
 use std::fmt;
 
+use crate::persist::PersistError;
+
 /// Errors raised by index construction and query answering.
+///
+/// `#[non_exhaustive]`: new failure modes (e.g. future backend kinds)
+/// can be added without a breaking change; downstream matches need a
+/// wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FairRankError {
     /// The dataset's attribute count does not match what the index
     /// expects (e.g. a 2-D index over a 5-attribute dataset).
@@ -20,9 +27,9 @@ pub enum FairRankError {
     TooFewAttributes,
     /// The dataset is empty.
     EmptyDataset,
-    /// A persisted index could not be decoded (see
-    /// [`crate::persist::PersistError`] for the structured cause).
-    Persist(String),
+    /// A persisted index could not be decoded or written; the payload
+    /// carries the structured cause.
+    Persist(PersistError),
 }
 
 impl fmt::Display for FairRankError {
@@ -36,12 +43,21 @@ impl fmt::Display for FairRankError {
                 write!(f, "ranking needs at least two scoring attributes")
             }
             FairRankError::EmptyDataset => write!(f, "dataset is empty"),
-            FairRankError::Persist(msg) => write!(f, "index persistence: {msg}"),
+            // Same rendering as the pre-structured `Persist(String)`
+            // variant: "index persistence: <cause>".
+            FairRankError::Persist(e) => write!(f, "index persistence: {e}"),
         }
     }
 }
 
-impl std::error::Error for FairRankError {}
+impl std::error::Error for FairRankError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FairRankError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Validate a query weight vector against the expected dimensionality.
 ///
@@ -90,6 +106,18 @@ mod tests {
         assert!(matches!(
             validate_weights(&[0.0, 0.0], 2),
             Err(FairRankError::InvalidWeights(_))
+        ));
+    }
+
+    #[test]
+    fn persist_variant_is_structured_with_stable_display() {
+        let e = FairRankError::Persist(PersistError::ChecksumMismatch);
+        // Rendering matches the historical `Persist(String)` output.
+        assert_eq!(e.to_string(), "index persistence: index checksum mismatch");
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(matches!(
+            e,
+            FairRankError::Persist(PersistError::ChecksumMismatch)
         ));
     }
 

@@ -25,10 +25,14 @@
 //! | d ≥ 3, exact | [`md::sat_regions`] (SATREGIONS + AT⁺) | [`md::closest_satisfactory`] (MDBASELINE) | §4 |
 //! | d ≥ 3, approximate | [`approximate::ApproxIndex::build`] (CELLPLANE× + MARKCELL/ATC⁺ + CELLCOLORING) | [`approximate::ApproxIndex::lookup`] (MDONLINE), `O(log N)` with the Theorem 6 distance guarantee | §5 |
 //!
-//! [`FairRanker`] wraps all three behind one API; [`sampling`] scales
+//! [`FairRanker`] wraps all three behind one builder API over the
+//! pluggable [`backend::IndexBackend`] trait ([`backend::Strategy::Auto`]
+//! picks the algorithm per the table above); [`sampling`] scales
 //! preprocessing to millions of items by indexing a uniform sample
 //! (paper §5.4); [`pruning`] implements the §8 convex/dominance-layer
-//! top-k reduction.
+//! top-k reduction; [`persist`] round-trips individual artifacts *and*
+//! whole rankers ([`FairRanker::save`]/[`FairRanker::load`]) through
+//! storage for the offline→online hand-off.
 //!
 //! ## Quick example
 //!
@@ -43,7 +47,8 @@
 //! // Fair ⇔ at most half of the top-10 belong to group 0.
 //! let oracle = Proportionality::new(ds.type_attribute("group").unwrap(), 10)
 //!     .with_max_count(0, 5);
-//! let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+//! // Strategy::Auto (the default) picks 2DRAYSWEEP for d = 2.
+//! let ranker = FairRanker::builder(ds, Box::new(oracle)).build().unwrap();
 //! match ranker.suggest(&[1.0, 0.1]).unwrap() {
 //!     Suggestion::AlreadyFair => println!("keep your weights"),
 //!     Suggestion::Suggested { weights, distance } => {
@@ -54,6 +59,7 @@
 //! ```
 
 pub mod approximate;
+pub mod backend;
 pub mod error;
 pub mod md;
 pub mod persist;
@@ -63,8 +69,9 @@ pub mod ranker;
 pub mod sampling;
 pub mod twod;
 
+pub use backend::{BackendStats, IndexBackend, QueryCtx, Strategy};
 pub use error::FairRankError;
-pub use ranker::{FairRanker, Suggestion};
+pub use ranker::{FairRanker, FairRankerBuilder, Suggestion};
 
 // Re-export the companion crates so downstream users need one dependency.
 pub use fairrank_datasets as datasets;

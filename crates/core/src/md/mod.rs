@@ -1,6 +1,7 @@
 //! The multi-dimensional case (paper §4): ordering-exchange hyperplanes in
-//! angle coordinates, the arrangement of satisfactory regions, and the
-//! exact (baseline) online algorithm.
+//! angle coordinates, the arrangement of satisfactory regions, the exact
+//! (baseline) online algorithm — and [`ExactRegions`], the §4 artifact
+//! packaged as a serving backend.
 
 pub mod baseline;
 pub mod hyperpolar;
@@ -9,3 +10,108 @@ pub mod satregions;
 pub use baseline::{closest_satisfactory, closest_satisfactory_validated, ClosestResult};
 pub use hyperpolar::{exchange_hyperplane, exchange_hyperplanes};
 pub use satregions::{sat_regions, SatRegion, SatRegions, SatRegionsOptions};
+
+use fairrank_geometry::polar::to_polar;
+use fairrank_geometry::vector::norm;
+
+use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
+use crate::error::FairRankError;
+
+/// The §4 serving backend: the satisfactory regions of the exchange
+/// arrangement, answered by MDBASELINE (one NLP per region) with oracle
+/// re-validation — accurate but not interactive for large inputs; prefer
+/// [`crate::approximate::ApproxGrid`] at scale.
+///
+/// Unlike the 2-D intervals this backend does *not* decide fairness from
+/// the index: for `d > 3` the linearized exchange hyperplanes only
+/// approximate the true curved exchange surfaces, so region membership
+/// is not a trustworthy verdict and the oracle stays in the loop (both
+/// for the fairness pre-check and for validating suggestions).
+#[derive(Debug, Clone)]
+pub struct ExactRegions {
+    regions: Vec<SatRegion>,
+    /// Number of angle coordinates (`d − 1`).
+    dim: usize,
+}
+
+impl ExactRegions {
+    /// Wrap the satisfactory regions of a [`SatRegions`] result for a
+    /// `d`-attribute dataset (`d = angle_dim + 1`).
+    #[must_use]
+    pub fn new(regions: Vec<SatRegion>, angle_dim: usize) -> Self {
+        ExactRegions {
+            regions,
+            dim: angle_dim,
+        }
+    }
+
+    /// The satisfactory regions.
+    #[must_use]
+    pub fn regions(&self) -> &[SatRegion] {
+        &self.regions
+    }
+}
+
+impl IndexBackend for ExactRegions {
+    fn dim(&self) -> usize {
+        self.dim + 1
+    }
+
+    fn suggest_unfair(
+        &self,
+        weights: &[f64],
+        ctx: &QueryCtx<'_>,
+    ) -> Result<Suggestion, FairRankError> {
+        let r = norm(weights);
+        let (_, query_angles) = to_polar(weights);
+        match closest_satisfactory_validated(&self.regions, &query_angles, ctx.ds, ctx.oracle) {
+            None => Ok(Suggestion::Infeasible),
+            Some(res) => Ok(Suggestion::Suggested {
+                weights: crate::backend::suggestion_weights(&res.angles, r),
+                distance: res.distance,
+            }),
+        }
+    }
+
+    fn persist_tag(&self) -> u8 {
+        crate::persist::TAG_REGIONS
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        crate::persist::encode_regions(&self.regions, self.dim)
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            kind: "exact-regions",
+            artifacts: self.regions.len(),
+            functions: Some(self.regions.len()),
+            error_bound: Some(0.0),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrank_datasets::synthetic::generic;
+    use fairrank_fairness::FnOracle;
+
+    #[test]
+    fn backend_reports_weight_dimension() {
+        let ds = generic::uniform(12, 3, 0.5, 3);
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        let r = sat_regions(&ds, &o, &SatRegionsOptions::default()).unwrap();
+        let backend = ExactRegions::new(r.satisfactory, r.dim);
+        assert_eq!(backend.dim(), 3);
+        let s = backend.stats();
+        assert_eq!(s.kind, "exact-regions");
+        assert_eq!(s.artifacts, backend.regions().len());
+        assert_eq!(s.error_bound, Some(0.0));
+        assert!(backend.known_fairness(&[1.0, 1.0, 1.0]).is_none());
+    }
+}

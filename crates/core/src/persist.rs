@@ -1,10 +1,10 @@
-//! Binary persistence for offline index artifacts.
+//! Binary persistence for offline index artifacts and whole rankers.
 //!
 //! The paper's system splits work into an offline preprocessing phase and
 //! an interactive online phase; in a deployment those phases run in
 //! different processes (or machines), so the index must survive a
 //! round-trip through storage. This module provides a small, versioned,
-//! checksummed binary codec for the two index artifacts:
+//! checksummed binary codec for the three backend artifacts:
 //!
 //! * [`ApproxIndex`] — the §5 grid index (MDONLINE's input). The grid
 //!   itself is *not* serialized: construction is deterministic in
@@ -13,26 +13,56 @@
 //!   values to detect algorithm drift between writer and reader versions.
 //! * [`AngularIntervals`] — the 2-D satisfactory-interval index
 //!   (2DONLINE's input).
+//! * [`SatRegion`] lists — the §4 exact arrangement regions
+//!   (MDBASELINE's input): constraints plus validated witnesses.
+//!
+//! On top of the per-artifact codecs sits the **whole-ranker envelope**
+//! ([`encode_ranker`] / [`decode_ranker`], used by
+//! [`FairRanker::save`](crate::FairRanker::save) /
+//! [`load`](crate::FairRanker::load)): dataset dimensionality, the
+//! backend's [`persist_tag`](crate::backend::IndexBackend::persist_tag),
+//! and the backend's own sealed artifact, all inside one outer checksum —
+//! so a flipped bit anywhere in the envelope (header, tag, or embedded
+//! payload) is caught end-to-end. [`decode_backend`] dispatches a tag
+//! back to the matching concrete decoder, which is what lets
+//! `FairRanker::load` reassemble a backend without the caller naming its
+//! type.
 //!
 //! Format: magic `FRIX`, format version, artifact tag, payload,
 //! FNV-1a-64 checksum over everything before it. All integers are
-//! little-endian; floats are IEEE-754 bit patterns.
+//! little-endian; floats are IEEE-754 bit patterns. Decoders never
+//! panic on malformed input (fuzz-style property-tested in
+//! `tests/ranker_persistence.rs`).
 
 use bytes::{Buf, BufMut};
 
 use fairrank_geometry::grid::{AngleGrid, PartitionScheme};
 use fairrank_geometry::interval::AngularIntervals;
+use fairrank_lp::{Constraint, Rel};
 
-use crate::approximate::{ApproxIndex, BuildStats};
+use crate::approximate::{ApproxGrid, ApproxIndex, BuildStats};
+use crate::backend::IndexBackend;
 use crate::error::FairRankError;
+use crate::md::{ExactRegions, SatRegion};
+use crate::twod::TwoDIntervals;
 
 const MAGIC: &[u8; 4] = b"FRIX";
 const VERSION: u16 = 1;
-const TAG_APPROX: u8 = 1;
-const TAG_INTERVALS: u8 = 2;
+/// Artifact tag: [`ApproxIndex`] / [`ApproxGrid`].
+pub const TAG_APPROX: u8 = 1;
+/// Artifact tag: [`AngularIntervals`] / [`TwoDIntervals`].
+pub const TAG_INTERVALS: u8 = 2;
+/// Artifact tag: satisfactory-region lists / [`ExactRegions`].
+pub const TAG_REGIONS: u8 = 3;
+/// Envelope tag: a whole ranker (dim + backend tag + backend artifact).
+pub const TAG_RANKER: u8 = 4;
 
-/// Errors arising while decoding a persisted index.
+/// Errors arising while decoding or writing a persisted index.
+///
+/// `#[non_exhaustive]`: future artifact kinds may add variants without
+/// a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PersistError {
     /// Missing or wrong magic bytes.
     BadMagic,
@@ -52,6 +82,11 @@ pub enum PersistError {
     /// The deterministic grid rebuild disagrees with the saved parameters
     /// (the writer used a different partitioning algorithm version).
     GridDrift,
+    /// A whole-ranker envelope names a backend tag this library has no
+    /// decoder for.
+    UnknownBackend(u8),
+    /// Reading or writing the artifact file failed.
+    Io(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -72,6 +107,10 @@ impl std::fmt::Display for PersistError {
                     "grid rebuild mismatch: writer used a different partitioning"
                 )
             }
+            PersistError::UnknownBackend(tag) => {
+                write!(f, "no decoder for backend tag {tag}")
+            }
+            PersistError::Io(msg) => write!(f, "artifact i/o failed: {msg}"),
         }
     }
 }
@@ -80,7 +119,7 @@ impl std::error::Error for PersistError {}
 
 impl From<PersistError> for FairRankError {
     fn from(e: PersistError) -> FairRankError {
-        FairRankError::Persist(e.to_string())
+        FairRankError::Persist(e)
     }
 }
 
@@ -303,6 +342,159 @@ pub fn decode_intervals(bytes: &[u8]) -> Result<AngularIntervals, PersistError> 
         pairs.push((lo, hi));
     }
     Ok(AngularIntervals::from_pairs(pairs))
+}
+
+/// Serialize a §4 satisfactory-region list (`angle_dim` angle
+/// coordinates per point) to bytes.
+///
+/// # Panics
+/// If a region's constraint or witness arity disagrees with
+/// `angle_dim` — regions from [`crate::md::sat_regions`] are always
+/// consistent.
+#[must_use]
+pub fn encode_regions(regions: &[SatRegion], angle_dim: usize) -> Vec<u8> {
+    let mut out = header(TAG_REGIONS);
+    out.put_u32_le(u32::try_from(angle_dim).expect("small dim"));
+    out.put_u64_le(regions.len() as u64);
+    for region in regions {
+        assert_eq!(region.witness.len(), angle_dim, "witness arity");
+        out.put_u32_le(u32::try_from(region.constraints.len()).expect("constraints fit u32"));
+        for c in &region.constraints {
+            assert_eq!(c.a.len(), angle_dim, "constraint arity");
+            out.put_u8(match c.rel {
+                Rel::Le => 0,
+                Rel::Ge => 1,
+                Rel::Eq => 2,
+            });
+            out.put_f64_le(c.b);
+            put_f64_vec(&mut out, &c.a);
+        }
+        put_f64_vec(&mut out, &region.witness);
+    }
+    seal(out)
+}
+
+/// Deserialize a satisfactory-region list produced by
+/// [`encode_regions`]; returns the regions and their angle
+/// dimensionality.
+///
+/// # Errors
+/// Any [`PersistError`] on malformed, corrupted or incompatible input.
+pub fn decode_regions(bytes: &[u8]) -> Result<(Vec<SatRegion>, usize), PersistError> {
+    let body = unseal(bytes)?;
+    let mut buf = body;
+    check_header(&mut buf, TAG_REGIONS)?;
+    if buf.remaining() < 4 + 8 {
+        return Err(PersistError::Truncated);
+    }
+    let dim = buf.get_u32_le() as usize;
+    if dim == 0 {
+        return Err(PersistError::Truncated);
+    }
+    let n_regions = buf.get_u64_le() as usize;
+    let mut regions = Vec::with_capacity(n_regions.min(1 << 20));
+    for _ in 0..n_regions {
+        if buf.remaining() < 4 {
+            return Err(PersistError::Truncated);
+        }
+        let n_constraints = buf.get_u32_le() as usize;
+        let mut constraints = Vec::with_capacity(n_constraints.min(1 << 20));
+        for _ in 0..n_constraints {
+            if buf.remaining() < 1 + 8 {
+                return Err(PersistError::Truncated);
+            }
+            let rel = match buf.get_u8() {
+                0 => Rel::Le,
+                1 => Rel::Ge,
+                2 => Rel::Eq,
+                _ => return Err(PersistError::Truncated),
+            };
+            let b = buf.get_f64_le();
+            let a = get_f64_vec(&mut buf)?;
+            if !b.is_finite() || a.len() != dim || a.iter().any(|v| !v.is_finite()) {
+                return Err(PersistError::Truncated);
+            }
+            constraints.push(Constraint { a, rel, b });
+        }
+        let witness = get_f64_vec(&mut buf)?;
+        if witness.len() != dim || witness.iter().any(|v| !v.is_finite()) {
+            return Err(PersistError::Truncated);
+        }
+        regions.push(SatRegion {
+            constraints,
+            witness,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Truncated);
+    }
+    Ok((regions, dim))
+}
+
+/// Reassemble a backend from its artifact tag and sealed artifact bytes
+/// — the dispatch half of
+/// [`IndexBackend::persist_tag`] / [`IndexBackend::encode`].
+///
+/// # Errors
+/// [`PersistError::UnknownBackend`] for a tag with no decoder; any
+/// [`PersistError`] from the concrete artifact codec.
+pub fn decode_backend(tag: u8, bytes: &[u8]) -> Result<Box<dyn IndexBackend>, PersistError> {
+    match tag {
+        TAG_INTERVALS => Ok(Box::new(TwoDIntervals::new(decode_intervals(bytes)?))),
+        TAG_REGIONS => {
+            let (regions, dim) = decode_regions(bytes)?;
+            Ok(Box::new(ExactRegions::new(regions, dim)))
+        }
+        TAG_APPROX => Ok(Box::new(ApproxGrid::new(decode_approx_index(bytes)?))),
+        other => Err(PersistError::UnknownBackend(other)),
+    }
+}
+
+/// Serialize a whole ranker index: the dataset dimensionality, the
+/// backend's tag, and the backend's own sealed artifact, inside one
+/// outer checksummed envelope. Used by
+/// [`FairRanker::to_bytes`](crate::FairRanker::to_bytes).
+#[must_use]
+pub fn encode_ranker(dataset_dim: usize, backend: &dyn IndexBackend) -> Vec<u8> {
+    let payload = backend.encode();
+    let mut out = header(TAG_RANKER);
+    out.put_u32_le(u32::try_from(dataset_dim).expect("small dim"));
+    out.put_u8(backend.persist_tag());
+    out.put_u64_le(payload.len() as u64);
+    out.put_slice(&payload);
+    seal(out)
+}
+
+/// Decode a whole-ranker envelope produced by [`encode_ranker`]: the
+/// dataset dimensionality it was built over, and the reassembled
+/// backend.
+///
+/// The outer FNV-1a checksum covers the envelope end-to-end (header,
+/// dimensionality, tag, and the embedded artifact bytes), and the
+/// embedded artifact additionally carries its own seal — corruption is
+/// caught at whichever layer it lands in.
+///
+/// # Errors
+/// Any [`PersistError`] on malformed, corrupted, truncated or
+/// unknown-backend input.
+pub fn decode_ranker(bytes: &[u8]) -> Result<(usize, Box<dyn IndexBackend>), PersistError> {
+    let body = unseal(bytes)?;
+    let mut buf = body;
+    check_header(&mut buf, TAG_RANKER)?;
+    if buf.remaining() < 4 + 1 + 8 {
+        return Err(PersistError::Truncated);
+    }
+    let dim = buf.get_u32_le() as usize;
+    let tag = buf.get_u8();
+    let payload_len = usize::try_from(buf.get_u64_le()).map_err(|_| PersistError::Truncated)?;
+    if dim < 2 || buf.remaining() != payload_len {
+        return Err(PersistError::Truncated);
+    }
+    let backend = decode_backend(tag, buf)?;
+    if backend.dim() != dim {
+        return Err(PersistError::Truncated);
+    }
+    Ok((dim, backend))
 }
 
 #[cfg(test)]

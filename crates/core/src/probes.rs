@@ -86,7 +86,14 @@ where
             weights_of(i, &mut weights);
             flat.extend_from_slice(&ws.rank_with_bound(ds, &weights, bound)[..stride]);
         }
-        let rankings: Vec<&[u32]> = flat.chunks(stride).collect();
+        // `stride == 0` ⇔ the dataset is empty: every ranking is the
+        // empty permutation (`chunks(0)` would panic, and chunking an
+        // empty buffer would yield no rankings at all).
+        let rankings: Vec<&[u32]> = if stride == 0 {
+            vec![&[][..]; end - start]
+        } else {
+            flat.chunks(stride).collect()
+        };
         let chunk_verdicts = oracle.is_satisfactory_batch(&rankings);
         // The length contract is prose-only on a public trait; fail loudly
         // rather than silently misalign verdicts with candidates.
@@ -144,6 +151,21 @@ mod tests {
         let ds = generic::uniform(5, 2, 0.0, 1);
         let oracle = FnOracle::new("always", |_: &[u32]| true);
         assert!(batch_verdicts::<Vec<f64>>(&ds, &oracle, &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_matches_serial_probing() {
+        // An empty dataset is reachable through `subset(&[])`; the
+        // batched path must return the oracle's verdict on the empty
+        // ranking per candidate, exactly like serial probing.
+        let ds = generic::uniform(5, 2, 0.0, 1).subset(&[]);
+        assert_eq!(ds.len(), 0);
+        let oracle = FnOracle::new("empty is fine", |r: &[u32]| r.is_empty());
+        let candidates = [vec![0.3], vec![0.9], vec![1.2]];
+        assert_eq!(
+            batch_verdicts(&ds, &oracle, &candidates),
+            vec![true; candidates.len()]
+        );
     }
 
     #[test]

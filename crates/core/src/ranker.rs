@@ -1,82 +1,216 @@
 //! The top-level query-answering system: build an index offline, answer
 //! CLOSEST SATISFACTORY FUNCTION queries online.
+//!
+//! [`FairRanker`] is a thin serving shell around a pluggable
+//! [`IndexBackend`]: [`FairRanker::builder`] runs one of the paper's
+//! offline algorithms (chosen by [`Strategy`], including `Auto`
+//! selection), [`FairRanker::suggest`] / [`suggest_batch`] /
+//! [`suggest_batch_parallel`] answer queries against the shared backend,
+//! and [`FairRanker::save`] / [`load`] hand a complete ranker from an
+//! offline process to online replicas.
+//!
+//! [`suggest_batch`]: FairRanker::suggest_batch
+//! [`suggest_batch_parallel`]: FairRanker::suggest_batch_parallel
+//! [`load`]: FairRanker::load
+
+use std::path::Path;
+use std::sync::Arc;
 
 use fairrank_datasets::Dataset;
 use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::interval::AngularIntervals;
-use fairrank_geometry::polar::{to_cartesian, to_polar};
-use fairrank_geometry::vector::norm;
 
-use crate::approximate::{ApproxIndex, BuildOptions};
+use crate::approximate::{ApproxGrid, ApproxIndex, BuildOptions};
+use crate::backend::{BackendStats, IndexBackend, QueryCtx, Strategy};
 use crate::error::{validate_weights, FairRankError};
-use crate::md::{closest_satisfactory_validated, sat_regions, SatRegion, SatRegionsOptions};
-use crate::twod::{online_2d, ray_sweep, TwoDAnswer};
+use crate::md::{sat_regions, ExactRegions, SatRegionsOptions};
+use crate::persist::{decode_ranker, encode_ranker, PersistError};
+use crate::twod::{ray_sweep, TwoDIntervals};
 
-/// Answer to a closest-satisfactory-function query.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Suggestion {
-    /// The queried weights already produce a fair ranking.
-    AlreadyFair,
-    /// The closest satisfactory function found by the index.
-    Suggested {
-        /// Suggested weight vector (same Euclidean norm as the query, so
-        /// only the *direction* — the ranking — changes).
-        weights: Vec<f64>,
-        /// Angular distance from the query, in radians (`[0, π/2]`).
-        distance: f64,
-    },
-    /// No linear scoring function satisfies the oracle on this dataset.
-    Infeasible,
-}
-
-enum Index {
-    TwoD(AngularIntervals),
-    MdExact(Vec<SatRegion>),
-    // Boxed: an ApproxIndex (grid + assignments) is far larger than the
-    // other variants, and one pointer chase per query is noise next to
-    // the grid lookup itself.
-    MdApprox(Box<ApproxIndex>),
-}
+pub use crate::backend::Suggestion;
 
 /// The query-answering system of the paper: offline preprocessing behind
 /// an interactive suggestion API.
+///
+/// The ranker holds the dataset behind an [`Arc`] and the index behind a
+/// `Box<dyn IndexBackend>`, so it is `Send + Sync` and cheap to share
+/// across serving threads —
+/// [`suggest_batch_parallel`](FairRanker::suggest_batch_parallel) fans
+/// shards out over one instance.
 pub struct FairRanker {
-    ds: Dataset,
+    ds: Arc<Dataset>,
     oracle: Box<dyn FairnessOracle>,
-    index: Index,
+    backend: Box<dyn IndexBackend>,
+}
+
+/// Configures and runs the offline phase — the single entry point behind
+/// which all three paper algorithms live. Created by
+/// [`FairRanker::builder`].
+pub struct FairRankerBuilder {
+    ds: Arc<Dataset>,
+    oracle: Box<dyn FairnessOracle>,
+    strategy: Strategy,
+    sat_opts: SatRegionsOptions,
+    approx_opts: BuildOptions,
+}
+
+impl FairRankerBuilder {
+    /// Which offline algorithm to run. Default: [`Strategy::Auto`].
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Options for the exact multi-dimensional build (used when the
+    /// resolved strategy is [`Strategy::MdExact`]).
+    #[must_use]
+    pub fn sat_regions_options(mut self, opts: SatRegionsOptions) -> Self {
+        self.sat_opts = opts;
+        self
+    }
+
+    /// Options for the approximate grid build (used when the resolved
+    /// strategy is [`Strategy::MdApprox`]).
+    #[must_use]
+    pub fn approx_options(mut self, opts: BuildOptions) -> Self {
+        self.approx_opts = opts;
+        self
+    }
+
+    /// Run the offline phase and assemble the ranker.
+    ///
+    /// # Errors
+    /// [`FairRankError::DimensionMismatch`] when [`Strategy::TwoD`] is
+    /// requested over a non-2-D dataset;
+    /// [`FairRankError::TooFewAttributes`] for single-attribute
+    /// datasets.
+    pub fn build(self) -> Result<FairRanker, FairRankError> {
+        let FairRankerBuilder {
+            ds,
+            oracle,
+            strategy,
+            sat_opts,
+            approx_opts,
+        } = self;
+        let backend: Box<dyn IndexBackend> = match strategy.pick(&ds) {
+            Strategy::TwoD => {
+                let sweep = ray_sweep(&ds, oracle.as_ref())?;
+                Box::new(TwoDIntervals::new(sweep.intervals))
+            }
+            Strategy::MdExact => {
+                let regions = sat_regions(&ds, oracle.as_ref(), &sat_opts)?;
+                Box::new(ExactRegions::new(regions.satisfactory, regions.dim))
+            }
+            Strategy::MdApprox => Box::new(ApproxGrid::new(ApproxIndex::build(
+                &ds,
+                oracle.as_ref(),
+                &approx_opts,
+            )?)),
+            // `pick` resolves Auto (and any future variant added behind
+            // the non_exhaustive attribute must teach `pick` its rule).
+            other => unreachable!("Strategy::pick returned unresolved {other:?}"),
+        };
+        FairRanker::from_backend_arc(ds, oracle, backend)
+    }
+}
+
+impl std::fmt::Debug for FairRanker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FairRanker")
+            .field("items", &self.ds.len())
+            .field("dim", &self.ds.dim())
+            .field("oracle", &self.oracle.describe())
+            .field("backend", &self.backend.stats())
+            .finish()
+    }
 }
 
 impl FairRanker {
+    /// Start configuring a ranker over `ds` (anything convertible to
+    /// `Arc<Dataset>`: a `Dataset` by value, or an existing `Arc` —
+    /// shared without copying the data).
+    #[must_use]
+    pub fn builder(
+        ds: impl Into<Arc<Dataset>>,
+        oracle: Box<dyn FairnessOracle>,
+    ) -> FairRankerBuilder {
+        FairRankerBuilder {
+            ds: ds.into(),
+            oracle,
+            strategy: Strategy::Auto,
+            sat_opts: SatRegionsOptions::default(),
+            approx_opts: BuildOptions::default(),
+        }
+    }
+
+    /// Assemble a ranker from an already-built (or third-party) backend.
+    ///
+    /// This is the extension point the [`IndexBackend`] trait exists
+    /// for: any index structure answering closest-satisfactory-function
+    /// queries serves through the same `FairRanker` API as the built-in
+    /// three.
+    ///
+    /// # Errors
+    /// [`FairRankError::DimensionMismatch`] when the backend's expected
+    /// weight dimensionality differs from the dataset's.
+    pub fn from_backend(
+        ds: impl Into<Arc<Dataset>>,
+        oracle: Box<dyn FairnessOracle>,
+        backend: Box<dyn IndexBackend>,
+    ) -> Result<Self, FairRankError> {
+        Self::from_backend_arc(ds.into(), oracle, backend)
+    }
+
+    fn from_backend_arc(
+        ds: Arc<Dataset>,
+        oracle: Box<dyn FairnessOracle>,
+        backend: Box<dyn IndexBackend>,
+    ) -> Result<Self, FairRankError> {
+        if backend.dim() != ds.dim() {
+            return Err(FairRankError::DimensionMismatch {
+                expected: backend.dim(),
+                found: ds.dim(),
+            });
+        }
+        Ok(FairRanker {
+            ds,
+            oracle,
+            backend,
+        })
+    }
+
     /// Offline phase for two scoring attributes: 2DRAYSWEEP (paper §3).
     ///
     /// # Errors
     /// [`FairRankError::DimensionMismatch`] unless `ds.dim() == 2`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FairRanker::builder(ds, oracle).strategy(Strategy::TwoD).build()`"
+    )]
     pub fn build_2d(ds: &Dataset, oracle: Box<dyn FairnessOracle>) -> Result<Self, FairRankError> {
-        let sweep = ray_sweep(ds, oracle.as_ref())?;
-        Ok(FairRanker {
-            ds: ds.clone(),
-            oracle,
-            index: Index::TwoD(sweep.intervals),
-        })
+        FairRanker::builder(ds.clone(), oracle)
+            .strategy(Strategy::TwoD)
+            .build()
     }
 
     /// Offline phase, exact multi-dimensional: SATREGIONS (paper §4).
-    /// Queries run MDBASELINE per satisfactory region — accurate but not
-    /// interactive for large inputs; prefer [`FairRanker::build_md_approx`].
     ///
     /// # Errors
     /// [`FairRankError::TooFewAttributes`] for `ds.dim() < 2`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FairRanker::builder(ds, oracle).strategy(Strategy::MdExact).build()`"
+    )]
     pub fn build_md_exact(
         ds: &Dataset,
         oracle: Box<dyn FairnessOracle>,
         opts: &SatRegionsOptions,
     ) -> Result<Self, FairRankError> {
-        let regions = sat_regions(ds, oracle.as_ref(), opts)?;
-        Ok(FairRanker {
-            ds: ds.clone(),
-            oracle,
-            index: Index::MdExact(regions.satisfactory),
-        })
+        FairRanker::builder(ds.clone(), oracle)
+            .strategy(Strategy::MdExact)
+            .sat_regions_options(opts.clone())
+            .build()
     }
 
     /// Offline phase, approximate multi-dimensional: the §5 grid pipeline
@@ -84,23 +218,37 @@ impl FairRanker {
     ///
     /// # Errors
     /// [`FairRankError::TooFewAttributes`] for `ds.dim() < 2`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FairRanker::builder(ds, oracle).strategy(Strategy::MdApprox).build()`"
+    )]
     pub fn build_md_approx(
         ds: &Dataset,
         oracle: Box<dyn FairnessOracle>,
         opts: &BuildOptions,
     ) -> Result<Self, FairRankError> {
-        let index = ApproxIndex::build(ds, oracle.as_ref(), opts)?;
-        Ok(FairRanker {
-            ds: ds.clone(),
-            oracle,
-            index: Index::MdApprox(Box::new(index)),
-        })
+        FairRanker::builder(ds.clone(), oracle)
+            .strategy(Strategy::MdApprox)
+            .approx_options(opts.clone())
+            .build()
     }
 
     /// The dataset the index was built over.
     #[must_use]
     pub fn dataset(&self) -> &Dataset {
         &self.ds
+    }
+
+    /// The serving backend.
+    #[must_use]
+    pub fn backend(&self) -> &dyn IndexBackend {
+        self.backend.as_ref()
+    }
+
+    /// Backend-agnostic index statistics.
+    #[must_use]
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
     }
 
     /// Answer a query: is `weights` fair, and if not, what is the closest
@@ -118,7 +266,7 @@ impl FairRanker {
         if self.oracle.is_satisfactory(&self.ds.rank(weights)) {
             return Ok(Suggestion::AlreadyFair);
         }
-        self.suggest_unfair(weights)
+        self.backend.suggest_unfair(weights, &self.ctx())
     }
 
     /// Answer a batch of queries at once — the multi-query entry point
@@ -154,81 +302,200 @@ impl FairRanker {
                 if fair {
                     Ok(Suggestion::AlreadyFair)
                 } else {
-                    self.suggest_unfair(q)
+                    self.backend.suggest_unfair(q, &self.ctx())
                 }
             })
             .collect()
     }
 
-    /// The index half of a query, shared by [`FairRanker::suggest`] and
-    /// [`FairRanker::suggest_batch`] so both paths produce identical
-    /// answers for unfair queries.
-    fn suggest_unfair(&self, weights: &[f64]) -> Result<Suggestion, FairRankError> {
-        let r = norm(weights);
-        match &self.index {
-            Index::TwoD(intervals) => Ok(match online_2d(intervals, weights)? {
-                TwoDAnswer::AlreadyFair => Suggestion::AlreadyFair,
-                TwoDAnswer::Infeasible => Suggestion::Infeasible,
-                TwoDAnswer::Suggestion { weights, distance } => Suggestion::Suggested {
-                    weights: weights.to_vec(),
-                    distance,
-                },
-            }),
-            Index::MdExact(regions) => {
-                let (_, query_angles) = to_polar(weights);
-                match closest_satisfactory_validated(
-                    regions,
-                    &query_angles,
-                    &self.ds,
-                    self.oracle.as_ref(),
-                ) {
-                    None => Ok(Suggestion::Infeasible),
-                    Some(res) => Ok(Suggestion::Suggested {
-                        weights: scale_to(&to_cartesian(1.0, &res.angles), r),
-                        distance: res.distance,
-                    }),
-                }
-            }
-            Index::MdApprox(index) => {
-                let (_, query_angles) = to_polar(weights);
-                match index.lookup(&query_angles) {
-                    None => Ok(Suggestion::Infeasible),
-                    Some(angles) => {
-                        let distance =
-                            fairrank_geometry::polar::angular_distance(angles, &query_angles);
-                        Ok(Suggestion::Suggested {
-                            weights: scale_to(&to_cartesian(1.0, angles), r),
-                            distance,
-                        })
-                    }
-                }
-            }
+    /// The sharded serving entry point: split `queries` into up to
+    /// `shards` contiguous chunks and answer them on
+    /// [`std::thread::scope`] workers, each with its own
+    /// [`fairrank_datasets::RankWorkspace`]. Answers are element-wise
+    /// identical to [`FairRanker::suggest`] (property-tested) and come
+    /// back in query order.
+    ///
+    /// Two effects make this the high-throughput path:
+    ///
+    /// * **Index-decided fairness.** When the backend characterizes the
+    ///   satisfactory set exactly
+    ///   ([`IndexBackend::known_fairness`] — the 2-D intervals do), each
+    ///   worker answers the "is it already fair?" check in `O(log n)`
+    ///   from the index instead of ranking all `n` items for the
+    ///   oracle — a large constant-factor win per query even on one
+    ///   core. Backends that cannot decide fairness (the approximate
+    ///   grid, the `d > 3` exact regions) fall back to the same batched
+    ///   oracle pass [`FairRanker::suggest_batch`] uses, per shard.
+    /// * **Parallelism.** Shards run concurrently, so on a multi-core
+    ///   serving host throughput scales with cores on top of the
+    ///   index-decided win.
+    ///
+    /// `shards == 0` uses [`std::thread::available_parallelism`]; one
+    /// shard (or one query) runs inline without spawning.
+    ///
+    /// # Errors
+    /// [`FairRankError::InvalidWeights`] / `DimensionMismatch` if *any*
+    /// query is malformed (checked upfront; no partial answers).
+    pub fn suggest_batch_parallel(
+        &self,
+        queries: &[&[f64]],
+        shards: usize,
+    ) -> Result<Vec<Suggestion>, FairRankError> {
+        for q in queries {
+            validate_weights(q, self.ds.dim())?;
         }
+        let shards = match shards {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            s => s,
+        }
+        .clamp(1, queries.len().max(1));
+        if shards <= 1 || queries.len() <= 1 {
+            return self.serve_shard(queries);
+        }
+        let chunk_len = queries.len().div_ceil(shards);
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || self.serve_shard(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serving shard panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for shard in results {
+            out.extend(shard?);
+        }
+        Ok(out)
     }
 
-    /// Direct access to the 2-D satisfactory intervals (when built with
-    /// [`FairRanker::build_2d`]).
+    /// One shard's worth of serving: answer index-decidable queries
+    /// straight from the backend, batch the rest through one
+    /// workspace-backed oracle pass (the shard's private
+    /// [`fairrank_datasets::RankWorkspace`] lives inside
+    /// [`crate::probes::batch_verdicts_by`]).
+    fn serve_shard(&self, queries: &[&[f64]]) -> Result<Vec<Suggestion>, FairRankError> {
+        let ctx = self.ctx();
+        let mut out: Vec<Option<Suggestion>> = vec![None; queries.len()];
+        let mut oracle_needed: Vec<usize> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            out[i] = match self.backend.known_fairness(q) {
+                Some(true) => Some(Suggestion::AlreadyFair),
+                Some(false) => Some(self.backend.suggest_unfair(q, &ctx)?),
+                None => {
+                    oracle_needed.push(i);
+                    None
+                }
+            };
+        }
+        if !oracle_needed.is_empty() {
+            let verdicts = crate::probes::batch_verdicts_by(
+                &self.ds,
+                self.oracle.as_ref(),
+                oracle_needed.len(),
+                |j, buf| buf.extend_from_slice(queries[oracle_needed[j]]),
+            );
+            for (&i, fair) in oracle_needed.iter().zip(verdicts) {
+                out[i] = Some(if fair {
+                    Suggestion::AlreadyFair
+                } else {
+                    self.backend.suggest_unfair(queries[i], &ctx)?
+                });
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("every query answered"))
+            .collect())
+    }
+
+    /// Serialize the complete ranker index — backend tag plus artifact,
+    /// inside one checksummed envelope — for the offline→online
+    /// hand-off. The inverse is [`FairRanker::from_bytes`].
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode_ranker(self.ds.dim(), self.backend.as_ref())
+    }
+
+    /// Reassemble a ranker persisted with [`FairRanker::to_bytes`],
+    /// dispatching on the stored backend tag. The online replica supplies
+    /// the dataset and oracle (they are needed for the fairness
+    /// pre-check and for exact-backend answer validation); the expensive
+    /// index is what travels as bytes.
+    ///
+    /// # Errors
+    /// [`FairRankError::Persist`] on corrupted, truncated or
+    /// unknown-backend input; [`FairRankError::DimensionMismatch`] when
+    /// the saved index was built over a dataset of different
+    /// dimensionality.
+    pub fn from_bytes(
+        bytes: &[u8],
+        ds: impl Into<Arc<Dataset>>,
+        oracle: Box<dyn FairnessOracle>,
+    ) -> Result<Self, FairRankError> {
+        let ds = ds.into();
+        let (dim, backend) = decode_ranker(bytes)?;
+        if dim != ds.dim() {
+            return Err(FairRankError::DimensionMismatch {
+                expected: dim,
+                found: ds.dim(),
+            });
+        }
+        Self::from_backend_arc(ds, oracle, backend)
+    }
+
+    /// Write [`FairRanker::to_bytes`] to a file.
+    ///
+    /// # Errors
+    /// [`FairRankError::Persist`] wrapping the I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FairRankError> {
+        std::fs::write(path.as_ref(), self.to_bytes())
+            .map_err(|e| PersistError::Io(e.to_string()).into())
+    }
+
+    /// Read a file written by [`FairRanker::save`] and reassemble the
+    /// ranker — see [`FairRanker::from_bytes`].
+    ///
+    /// # Errors
+    /// [`FairRankError::Persist`] on I/O or decoding failures;
+    /// [`FairRankError::DimensionMismatch`] on a dataset of the wrong
+    /// dimensionality.
+    pub fn load(
+        path: impl AsRef<Path>,
+        ds: impl Into<Arc<Dataset>>,
+        oracle: Box<dyn FairnessOracle>,
+    ) -> Result<Self, FairRankError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| PersistError::Io(e.to_string()))?;
+        Self::from_bytes(&bytes, ds, oracle)
+    }
+
+    /// Direct access to the 2-D satisfactory intervals (when the backend
+    /// is [`TwoDIntervals`]).
     #[must_use]
     pub fn intervals(&self) -> Option<&AngularIntervals> {
-        match &self.index {
-            Index::TwoD(ivs) => Some(ivs),
-            _ => None,
-        }
+        self.backend
+            .as_any()
+            .downcast_ref::<TwoDIntervals>()
+            .map(TwoDIntervals::intervals)
     }
 
-    /// Direct access to the approximate index (when built with
-    /// [`FairRanker::build_md_approx`]).
+    /// Direct access to the approximate index (when the backend is
+    /// [`ApproxGrid`]).
     #[must_use]
     pub fn approx_index(&self) -> Option<&ApproxIndex> {
-        match &self.index {
-            Index::MdApprox(idx) => Some(idx.as_ref()),
-            _ => None,
+        self.backend
+            .as_any()
+            .downcast_ref::<ApproxGrid>()
+            .map(ApproxGrid::index)
+    }
+
+    fn ctx(&self) -> QueryCtx<'_> {
+        QueryCtx {
+            ds: &self.ds,
+            oracle: self.oracle.as_ref(),
         }
     }
-}
-
-fn scale_to(unit: &[f64], r: f64) -> Vec<f64> {
-    unit.iter().map(|v| v * r).collect()
 }
 
 #[cfg(test)]
@@ -244,10 +511,23 @@ mod tests {
         (ds, oracle)
     }
 
+    fn build_2d(ds: &Dataset, oracle: Box<dyn FairnessOracle>) -> FairRanker {
+        FairRanker::builder(ds.clone(), oracle)
+            .strategy(Strategy::TwoD)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ranker_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FairRanker>();
+    }
+
     #[test]
     fn two_d_end_to_end() {
         let (ds, oracle) = biased_2d();
-        let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
+        let ranker = build_2d(&ds, Box::new(oracle.clone()));
         // A strongly attribute-0-weighted query should be unfair (group 0
         // is concentrated at the top of that ranking)…
         let sug = ranker.suggest(&[1.0, 0.02]).unwrap();
@@ -268,10 +548,21 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_constructors_still_work() {
+        #![allow(deprecated)]
+        let (ds, oracle) = biased_2d();
+        let legacy = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
+        let new = build_2d(&ds, Box::new(oracle));
+        for q in [[1.0, 0.02], [0.3, 1.7], [1.0, 1.0]] {
+            assert_eq!(legacy.suggest(&q).unwrap(), new.suggest(&q).unwrap());
+        }
+    }
+
+    #[test]
     fn already_fair_short_circuits() {
         let ds = generic::uniform(30, 2, 0.0, 5);
         let o = FnOracle::new("always", |_: &[u32]| true);
-        let ranker = FairRanker::build_2d(&ds, Box::new(o)).unwrap();
+        let ranker = build_2d(&ds, Box::new(o));
         assert_eq!(
             ranker.suggest(&[1.0, 1.0]).unwrap(),
             Suggestion::AlreadyFair
@@ -282,7 +573,7 @@ mod tests {
     fn infeasible_propagates() {
         let ds = generic::uniform(30, 2, 0.0, 6);
         let o = FnOracle::new("never", |_: &[u32]| false);
-        let ranker = FairRanker::build_2d(&ds, Box::new(o)).unwrap();
+        let ranker = build_2d(&ds, Box::new(o));
         assert_eq!(ranker.suggest(&[1.0, 1.0]).unwrap(), Suggestion::Infeasible);
     }
 
@@ -291,15 +582,14 @@ mod tests {
         let ds = generic::uniform(25, 3, 0.9, 41);
         let attr = ds.type_attribute("group").unwrap();
         let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
-        let ranker = FairRanker::build_md_exact(
-            &ds,
-            Box::new(oracle.clone()),
-            &SatRegionsOptions {
+        let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+            .strategy(Strategy::MdExact)
+            .sat_regions_options(SatRegionsOptions {
                 max_hyperplanes: Some(60),
                 ..Default::default()
-            },
-        )
-        .unwrap();
+            })
+            .build()
+            .unwrap();
         let sug = ranker.suggest(&[1.0, 0.05, 0.05]).unwrap();
         if let Suggestion::Suggested { weights, .. } = &sug {
             use fairrank_fairness::FairnessOracle as _;
@@ -315,16 +605,15 @@ mod tests {
         let ds = generic::uniform(30, 3, 0.9, 43);
         let attr = ds.type_attribute("group").unwrap();
         let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
-        let ranker = FairRanker::build_md_approx(
-            &ds,
-            Box::new(oracle.clone()),
-            &BuildOptions {
+        let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+            .strategy(Strategy::MdApprox)
+            .approx_options(BuildOptions {
                 n_cells: 200,
                 max_hyperplanes: Some(100),
                 ..Default::default()
-            },
-        )
-        .unwrap();
+            })
+            .build()
+            .unwrap();
         let sug = ranker.suggest(&[1.0, 0.02, 0.02]).unwrap();
         match sug {
             Suggestion::Suggested { weights, .. } => {
@@ -340,9 +629,17 @@ mod tests {
     }
 
     #[test]
+    fn auto_strategy_picks_2d_backend() {
+        let (ds, oracle) = biased_2d();
+        let ranker = FairRanker::builder(ds, Box::new(oracle)).build().unwrap();
+        assert_eq!(ranker.backend_stats().kind, "2d-intervals");
+        assert!(ranker.intervals().is_some());
+    }
+
+    #[test]
     fn suggest_batch_matches_serial_2d() {
         let (ds, oracle) = biased_2d();
-        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        let ranker = build_2d(&ds, Box::new(oracle));
         let queries: Vec<Vec<f64>> = (0..80)
             .map(|i| {
                 let t = (i as f64 + 0.5) / 80.0 * fairrank_geometry::HALF_PI;
@@ -358,20 +655,39 @@ mod tests {
     }
 
     #[test]
+    fn suggest_batch_parallel_matches_serial_2d() {
+        let (ds, oracle) = biased_2d();
+        let ranker = build_2d(&ds, Box::new(oracle));
+        let queries: Vec<Vec<f64>> = (0..33)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / 33.0 * fairrank_geometry::HALF_PI;
+                vec![2.0 * t.cos(), 2.0 * t.sin()]
+            })
+            .collect();
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        for shards in [0, 1, 2, 4, 33, 100] {
+            let parallel = ranker.suggest_batch_parallel(&refs, shards).unwrap();
+            assert_eq!(parallel.len(), refs.len());
+            for (q, p) in refs.iter().zip(&parallel) {
+                assert_eq!(*p, ranker.suggest(q).unwrap(), "shards={shards} at {q:?}");
+            }
+        }
+    }
+
+    #[test]
     fn suggest_batch_matches_serial_md_approx() {
         let ds = generic::uniform(30, 3, 0.9, 43);
         let attr = ds.type_attribute("group").unwrap();
         let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
-        let ranker = FairRanker::build_md_approx(
-            &ds,
-            Box::new(oracle),
-            &BuildOptions {
+        let ranker = FairRanker::builder(ds, Box::new(oracle))
+            .strategy(Strategy::MdApprox)
+            .approx_options(BuildOptions {
                 n_cells: 150,
                 max_hyperplanes: Some(80),
                 ..Default::default()
-            },
-        )
-        .unwrap();
+            })
+            .build()
+            .unwrap();
         let queries: Vec<Vec<f64>> = (0..40)
             .map(|i| vec![1.0, 0.02 + 0.03 * i as f64, 0.5])
             .collect();
@@ -380,21 +696,25 @@ mod tests {
         for (q, b) in refs.iter().zip(&batch) {
             assert_eq!(*b, ranker.suggest(q).unwrap());
         }
+        let parallel = ranker.suggest_batch_parallel(&refs, 3).unwrap();
+        assert_eq!(parallel, batch);
     }
 
     #[test]
     fn suggest_batch_empty_and_invalid() {
         let (ds, oracle) = biased_2d();
-        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        let ranker = build_2d(&ds, Box::new(oracle));
         assert_eq!(ranker.suggest_batch(&[]).unwrap(), vec![]);
+        assert_eq!(ranker.suggest_batch_parallel(&[], 4).unwrap(), vec![]);
         let bad: Vec<&[f64]> = vec![&[1.0, 1.0], &[-1.0, 1.0]];
         assert!(ranker.suggest_batch(&bad).is_err());
+        assert!(ranker.suggest_batch_parallel(&bad, 4).is_err());
     }
 
     #[test]
     fn invalid_queries_rejected() {
         let (ds, oracle) = biased_2d();
-        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        let ranker = build_2d(&ds, Box::new(oracle));
         assert!(ranker.suggest(&[1.0]).is_err());
         assert!(ranker.suggest(&[-1.0, 1.0]).is_err());
         assert!(ranker.suggest(&[0.0, 0.0]).is_err());
@@ -404,9 +724,33 @@ mod tests {
     #[test]
     fn accessors() {
         let (ds, oracle) = biased_2d();
-        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        let ranker = build_2d(&ds, Box::new(oracle));
         assert!(ranker.intervals().is_some());
         assert!(ranker.approx_index().is_none());
         assert_eq!(ranker.dataset().len(), 50);
+        assert_eq!(ranker.backend().dim(), 2);
+    }
+
+    #[test]
+    fn from_backend_rejects_dimension_mismatch() {
+        let ds3 = generic::uniform(10, 3, 0.0, 9);
+        let backend = Box::new(TwoDIntervals::new(
+            fairrank_geometry::interval::AngularIntervals::new(),
+        ));
+        let o = FnOracle::new("always", |_: &[u32]| true);
+        assert!(matches!(
+            FairRanker::from_backend(ds3, Box::new(o), backend),
+            Err(FairRankError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arc_dataset_is_shared_not_cloned() {
+        let (ds, oracle) = biased_2d();
+        let shared = Arc::new(ds);
+        let ranker = FairRanker::builder(Arc::clone(&shared), Box::new(oracle))
+            .build()
+            .unwrap();
+        assert!(std::ptr::eq(ranker.dataset(), shared.as_ref()));
     }
 }

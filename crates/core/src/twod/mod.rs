@@ -1,8 +1,133 @@
 //! The two-dimensional case (paper §3): ray sweeping offline, binary
-//! search online.
+//! search online — plus [`TwoDIntervals`], the §3 artifact packaged as a
+//! serving backend.
 
 pub mod online;
 pub mod raysweep;
 
 pub use online::{online_2d, TwoDAnswer};
 pub use raysweep::{ray_sweep, ray_sweep_incremental, RaySweepResult};
+
+use fairrank_geometry::interval::AngularIntervals;
+use fairrank_geometry::HALF_PI;
+
+use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
+use crate::error::FairRankError;
+
+/// The §3 serving backend: sorted satisfactory angular intervals, the
+/// exact output of [`ray_sweep`], answered by [`online_2d`] in
+/// `O(log n)`.
+///
+/// Because 2DRAYSWEEP is exact — the intervals *are* the satisfactory
+/// set — this backend also decides fairness from the index alone
+/// ([`IndexBackend::known_fairness`]), which lets the sharded serving
+/// path skip the per-query oracle ranking entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoDIntervals {
+    intervals: AngularIntervals,
+}
+
+impl TwoDIntervals {
+    /// Wrap a satisfactory-interval index (typically
+    /// [`RaySweepResult::intervals`]).
+    #[must_use]
+    pub fn new(intervals: AngularIntervals) -> Self {
+        TwoDIntervals { intervals }
+    }
+
+    /// The underlying interval index.
+    #[must_use]
+    pub fn intervals(&self) -> &AngularIntervals {
+        &self.intervals
+    }
+
+    /// The query's angle in `[0, π/2]` (see [`online_2d`] for the
+    /// boundary clamp rationale).
+    fn theta(weights: &[f64]) -> f64 {
+        weights[1].atan2(weights[0]).clamp(0.0, HALF_PI)
+    }
+}
+
+impl IndexBackend for TwoDIntervals {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn suggest_unfair(
+        &self,
+        weights: &[f64],
+        _ctx: &QueryCtx<'_>,
+    ) -> Result<Suggestion, FairRankError> {
+        Ok(match online_2d(&self.intervals, weights)? {
+            TwoDAnswer::AlreadyFair => Suggestion::AlreadyFair,
+            TwoDAnswer::Infeasible => Suggestion::Infeasible,
+            TwoDAnswer::Suggestion { weights, distance } => Suggestion::Suggested {
+                weights: weights.to_vec(),
+                distance,
+            },
+        })
+    }
+
+    // The sweep enumerates *every* ordering-exchange angle and probes the
+    // oracle once per sector, so interval membership equals the oracle's
+    // verdict everywhere except exactly on an exchange angle (where the
+    // ranking ties and the oracle's own answer is tie-break-dependent).
+    fn known_fairness(&self, weights: &[f64]) -> Option<bool> {
+        Some(self.intervals.contains(Self::theta(weights)))
+    }
+
+    fn persist_tag(&self) -> u8 {
+        crate::persist::TAG_INTERVALS
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        crate::persist::encode_intervals(&self.intervals)
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            kind: "2d-intervals",
+            artifacts: self.intervals.len(),
+            functions: None,
+            error_bound: Some(0.0),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairrank_datasets::synthetic::generic;
+    use fairrank_fairness::{FairnessOracle as _, Proportionality};
+    use fairrank_geometry::polar::to_cartesian;
+
+    #[test]
+    fn known_fairness_matches_oracle_off_borders() {
+        let ds = generic::uniform(60, 2, 0.9, 11);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 12).with_max_count(0, 6);
+        let sweep = ray_sweep(&ds, &oracle).unwrap();
+        let backend = TwoDIntervals::new(sweep.intervals);
+        for i in 0..200 {
+            let t = (i as f64 + 0.5) / 200.0 * HALF_PI;
+            let w = to_cartesian(1.3, &[t]);
+            let from_index = backend.known_fairness(&w).unwrap();
+            let from_oracle = oracle.is_satisfactory(&ds.rank(&w));
+            assert_eq!(from_index, from_oracle, "divergence at θ = {t}");
+        }
+    }
+
+    #[test]
+    fn backend_stats_shape() {
+        let backend = TwoDIntervals::new(AngularIntervals::from_pairs([(0.1, 0.3), (0.8, 1.0)]));
+        let s = backend.stats();
+        assert_eq!(s.kind, "2d-intervals");
+        assert_eq!(s.artifacts, 2);
+        assert_eq!(s.error_bound, Some(0.0));
+        assert_eq!(backend.dim(), 2);
+    }
+}

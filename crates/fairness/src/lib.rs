@@ -23,7 +23,7 @@
 //! black box absorbing very different fairness semantics unchanged:
 //!
 //! * [`PrefixFairness`] — FA*IR-style ranked group fairness over *every
-//!   prefix* of the top-k (Zehlike et al., the paper's [32]);
+//!   prefix* of the top-k (Zehlike et al., the paper's \[32\]);
 //! * [`ExposureFairness`] — position-discounted exposure shares, where
 //!   *where* group members sit matters, not just how many make the cut.
 //!

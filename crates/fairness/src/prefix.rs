@@ -1,5 +1,5 @@
 //! Ranked group fairness over *every prefix* of the top-k, in the style
-//! of FA*IR (Zehlike et al., CIKM 2017) — cited by the paper as [32].
+//! of FA*IR (Zehlike et al., CIKM 2017) — cited by the paper as \[32\].
 //!
 //! FA*IR requires that the proportion of protected-group members "in
 //! every prefix of the ranking remains statistically above a given

@@ -10,8 +10,9 @@
 //! cargo run --release --example airline_diversity
 //! ```
 
-use fairrank::approximate::BuildOptions;
+use fairrank::approximate::{ApproxGrid, BuildOptions};
 use fairrank::sampling::{build_on_sample, validate_against};
+use fairrank::{FairRanker, Suggestion};
 use fairrank_datasets::synthetic::dot::{self, DotConfig};
 use fairrank_fairness::Proportionality;
 
@@ -80,18 +81,23 @@ fn main() {
         100.0 * report.success_rate()
     );
 
-    // Online: a query over (departure_delay, arrival_delay, taxi_in).
+    // Online: serve the *full* dataset through the sample-built index —
+    // `FairRanker::from_backend` mounts any `IndexBackend` (here the §5
+    // grid wrapped as `ApproxGrid`) behind the standard serving API.
+    let ranker = FairRanker::from_backend(
+        full,
+        Box::new(full_oracle),
+        Box::new(ApproxGrid::new(index)),
+    )
+    .unwrap();
     let query = [1.0, 1.0, 0.2];
-    let (_, angles) = fairrank::geometry::polar::to_polar(&query);
-    match index.lookup(&angles) {
-        Some(f) => {
-            let w = fairrank::geometry::polar::to_cartesian(1.0, f);
-            println!(
-                "query {query:?} → suggested carrier-diverse weights \
-                 [{:.3}, {:.3}, {:.3}]",
-                w[0], w[1], w[2]
-            );
-        }
-        None => println!("no satisfactory function found on the sample"),
+    match ranker.suggest(&query).unwrap() {
+        Suggestion::AlreadyFair => println!("query {query:?} is already carrier-diverse"),
+        Suggestion::Suggested { weights, .. } => println!(
+            "query {query:?} → suggested carrier-diverse weights \
+             [{:.3}, {:.3}, {:.3}]",
+            weights[0], weights[1], weights[2]
+        ),
+        Suggestion::Infeasible => println!("no satisfactory function found on the sample"),
     }
 }

@@ -67,7 +67,9 @@ fn main() {
         .count();
     println!("f = 0.5·sat + 0.5·gpa → {women} women in the top-{k} (need ≥ 200)");
 
-    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .build()
+        .unwrap();
     match ranker.suggest(&query).unwrap() {
         Suggestion::AlreadyFair => println!("the equal-weight function is already fair"),
         Suggestion::Suggested { weights, distance } => {

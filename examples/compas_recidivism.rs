@@ -8,7 +8,7 @@
 //! ```
 
 use fairrank::approximate::BuildOptions;
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, Strategy, Suggestion};
 use fairrank_datasets::synthetic::compas::{self, CompasConfig};
 use fairrank_fairness::{FairnessOracle, Proportionality};
 
@@ -34,15 +34,14 @@ fn main() {
     let oracle = Proportionality::new(race, k).with_max_share(0, 0.6);
     println!("constraint: {} (k = {k}, cap = 60%)", oracle.describe());
 
-    let ranker = FairRanker::build_md_approx(
-        &ds,
-        Box::new(oracle.clone()),
-        &BuildOptions {
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .strategy(Strategy::MdApprox)
+        .approx_options(BuildOptions {
             n_cells: 2_000,
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let stats = ranker.approx_index().unwrap().stats();
     println!(
         "offline: |H| = {}, {} cells ({} satisfied directly, {} colored), {:?} total",

@@ -44,7 +44,9 @@ fn main() {
     println!("— session 1: FM1 proportionality (≤ 22 of the top-40 from group 0) —");
     let oracle = Proportionality::new(group, 40).with_max_count(0, 22);
     let t = Instant::now();
-    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .build()
+        .unwrap();
     println!("offline preprocessing: {:?}", t.elapsed());
 
     // The designer iterates: start attribute-0 heavy, accept or nudge.
@@ -84,7 +86,9 @@ fn main() {
         },
     );
     let t = Instant::now();
-    let ranker2 = FairRanker::build_2d(&ds, Box::new(custom)).unwrap();
+    let ranker2 = FairRanker::builder(ds.clone(), Box::new(custom))
+        .build()
+        .unwrap();
     println!("offline preprocessing: {:?}", t.elapsed());
     for (round, q) in [[1.0, 0.02], [0.6, 0.8]].iter().enumerate() {
         let t = Instant::now();

@@ -1,6 +1,13 @@
-//! Offline → online hand-off: build an approximate index, persist it to
-//! disk, reload it in a fresh "online service", and answer queries —
-//! without the dataset or the oracle ever reaching the online side.
+//! Offline → online hand-off, both granularities:
+//!
+//! 1. **Whole ranker** — build with the unified builder, persist with
+//!    [`FairRanker::save`], reload in a fresh "online replica" with
+//!    [`FairRanker::load`] (the backend kind travels in the envelope;
+//!    the replica never names it), and serve a batch through the
+//!    sharded parallel path.
+//! 2. **Raw artifact** — the original byte-level codec for shipping an
+//!    [`fairrank::approximate::ApproxIndex`] alone, for online sides
+//!    that keep neither the dataset nor the oracle.
 //!
 //! ```sh
 //! cargo run --release --example index_persistence
@@ -10,6 +17,7 @@ use std::time::Instant;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::persist::{decode_approx_index, encode_approx_index};
+use fairrank::{FairRanker, Strategy};
 use fairrank_datasets::synthetic::compas;
 use fairrank_fairness::Proportionality;
 use fairrank_geometry::polar::{angular_distance, to_polar};
@@ -26,39 +34,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = Proportionality::new(race, k).with_max_share(0, 0.60);
 
     let t0 = Instant::now();
-    let index = ApproxIndex::build(
-        &ds,
-        &oracle,
-        &BuildOptions {
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .strategy(Strategy::MdApprox)
+        .approx_options(BuildOptions {
             n_cells: 800,
             max_hyperplanes: Some(8_000),
             ..Default::default()
-        },
-    )?;
+        })
+        .build()?;
     println!(
-        "offline: built index over {} cells ({} satisfactory functions) in {:.2?}",
-        index.grid().cell_count(),
-        index.functions().len(),
+        "offline: built {:?} in {:.2?}",
+        ranker.backend_stats(),
         t0.elapsed()
     );
 
-    let bytes = encode_approx_index(&index);
-    let path = std::env::temp_dir().join("fairrank_index.frix");
-    std::fs::write(&path, &bytes)?;
+    let path = std::env::temp_dir().join("fairrank_ranker.frix");
+    ranker.save(&path)?;
     println!(
-        "offline: persisted {} bytes to {}",
-        bytes.len(),
+        "offline: persisted whole ranker ({} bytes) to {}",
+        std::fs::metadata(&path)?.len(),
         path.display()
     );
 
-    // ---- online process (no dataset, no oracle) --------------------------
-    let loaded = decode_approx_index(&std::fs::read(&path)?)?;
+    // ---- online replica (whole-ranker load + sharded serving) -----------
+    let replica = FairRanker::load(&path, ds.clone(), Box::new(oracle))?;
+    let queries: Vec<Vec<f64>> = (0..32)
+        .map(|i| vec![1.0, 0.1 + 0.05 * f64::from(i), 0.4])
+        .collect();
+    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+    let t = Instant::now();
+    let answers = replica.suggest_batch_parallel(&refs, 4)?;
     println!(
-        "online:  loaded index ({} cells, error bound {:.4} rad)",
+        "online:  replica answered {} queries over 4 shards in {:.2?} \
+         (answers match the offline ranker: {})",
+        answers.len(),
+        t.elapsed(),
+        refs.iter()
+            .zip(&answers)
+            .all(|(q, a)| ranker.suggest(q).unwrap() == *a),
+    );
+
+    // ---- online process, artifact-only (no dataset, no oracle) ----------
+    let index = ranker.approx_index().expect("approx backend");
+    let bytes = encode_approx_index(index);
+    let loaded: ApproxIndex = decode_approx_index(&bytes)?;
+    println!(
+        "online:  artifact-only side loaded {} cells (error bound {:.4} rad)",
         loaded.grid().cell_count(),
         loaded.error_bound()
     );
-
     for weights in [[1.0, 1.0, 1.0], [1.0, 0.1, 0.1], [0.2, 0.4, 1.4]] {
         let (_, angles) = to_polar(&weights);
         let t = Instant::now();

@@ -25,8 +25,12 @@ fn main() {
     let oracle = Proportionality::new(group, 20).with_max_count(0, 10);
     println!("constraint: {}", oracle.describe());
 
-    // Offline phase: 2DRAYSWEEP indexes the satisfactory angular regions.
-    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    // Offline phase through the unified builder: `Strategy::Auto` (the
+    // default) picks 2DRAYSWEEP for two scoring attributes.
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .build()
+        .unwrap();
+    println!("backend: {:?}", ranker.backend_stats());
     let intervals = ranker.intervals().unwrap();
     println!(
         "satisfactory regions: {} interval(s), covering {:.1}% of the function space",

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::probes::batch_verdicts;
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, Strategy, Suggestion};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::RankWorkspace;
 use fairrank_fairness::{CountingOracle, FairnessOracle, Proportionality};
@@ -32,7 +32,9 @@ proptest! {
         let k = ((n as f64) * kfrac).round().max(2.0) as usize;
         let cap = ((k as f64) * cap_frac).round().max(1.0) as usize;
         let oracle = Proportionality::new(&attr, k).with_max_count(0, cap);
-        let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+        let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+            .build()
+            .unwrap();
 
         let mut queries: Vec<Vec<f64>> = (0..24)
             .map(|i| {
@@ -153,16 +155,15 @@ fn suggest_batch_equals_serial_md_approx() {
     let ds = generic::uniform(35, 3, 0.9, 101);
     let attr = ds.type_attribute("group").unwrap();
     let oracle = Proportionality::new(attr, 7).with_max_count(0, 3);
-    let ranker = FairRanker::build_md_approx(
-        &ds,
-        Box::new(oracle),
-        &BuildOptions {
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .strategy(Strategy::MdApprox)
+        .approx_options(BuildOptions {
             n_cells: 200,
             max_hyperplanes: Some(120),
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let queries: Vec<Vec<f64>> = (0..50)
         .map(|i| {
             vec![

@@ -91,7 +91,9 @@ fn ranker_suggestions_are_fair_and_norm_preserving() {
     let ds = generic::uniform(150, 2, 0.9, 1234);
     let group = ds.type_attribute("group").unwrap();
     let oracle = Proportionality::new(group, 30).with_max_count(0, 16);
-    let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .build()
+        .unwrap();
 
     let mut suggestions = 0;
     for step in 0..40 {
@@ -151,7 +153,9 @@ fn suggestion_distance_is_minimal_against_dense_scan() {
             ((1..=16).contains(&sat) && fan_has_unfair).then_some((ds, oracle))
         })
         .expect("some seed in 0..200 must yield a narrow satisfactory region");
-    let ranker = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .build()
+        .unwrap();
 
     // Dense truth: satisfactory angles.
     let mut sat_angles = Vec::new();

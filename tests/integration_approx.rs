@@ -2,7 +2,7 @@
 //! MARKCELL/ATC⁺ → CELLCOLORING → MDONLINE — against ground truth.
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, Strategy, Suggestion};
 use fairrank_datasets::synthetic::{compas, generic};
 use fairrank_fairness::{FairnessOracle, Proportionality};
 use fairrank_geometry::grid::PartitionScheme;
@@ -135,16 +135,15 @@ fn ranker_md_approx_face() {
     let ds = compas_d3(80);
     let race = ds.type_attribute("race").unwrap();
     let oracle = Proportionality::new(race, 24).with_max_share(0, 0.6);
-    let ranker = FairRanker::build_md_approx(
-        &ds,
-        Box::new(oracle.clone()),
-        &BuildOptions {
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .strategy(Strategy::MdApprox)
+        .approx_options(BuildOptions {
             n_cells: 500,
             max_hyperplanes: Some(400),
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
 
     let mut verdicts = (0, 0, 0);
     for step in 0..30 {

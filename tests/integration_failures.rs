@@ -19,7 +19,9 @@ fn unsatisfiable_constraint_reports_infeasible_everywhere() {
         .with_max_count(1, 2);
     assert!(!oracle.is_satisfiable_in_principle());
 
-    let ranker = FairRanker::build_2d(&ds, Box::new(oracle)).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
+        .build()
+        .unwrap();
     for q in [[1.0, 0.0], [1.0, 1.0], [0.0, 1.0]] {
         assert_eq!(ranker.suggest(&q).unwrap(), Suggestion::Infeasible);
     }
@@ -97,7 +99,9 @@ fn totally_ordered_dataset_has_no_exchanges() {
 fn malformed_queries_error_cleanly() {
     let ds = generic::uniform(30, 2, 0.5, 3);
     let o = FnOracle::new("always", |_: &[u32]| true);
-    let ranker = FairRanker::build_2d(&ds, Box::new(o)).unwrap();
+    let ranker = FairRanker::builder(ds.clone(), Box::new(o))
+        .build()
+        .unwrap();
     for bad in [
         vec![],
         vec![1.0],

@@ -2,7 +2,7 @@
 //! HYPERPOLAR → SATREGIONS (+ arrangement tree) → MDBASELINE.
 
 use fairrank::md::{closest_satisfactory_validated, sat_regions, SatRegionsOptions};
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, Strategy, Suggestion};
 use fairrank_datasets::synthetic::{compas, generic};
 use fairrank_fairness::{FairnessOracle, Proportionality};
 use fairrank_geometry::polar::{angular_distance, to_cartesian, to_polar};
@@ -94,15 +94,14 @@ fn md_exact_ranker_round_trip() {
     let ds = generic::uniform(20, 4, 0.9, 321);
     let group = ds.type_attribute("group").unwrap();
     let oracle = Proportionality::new(group, 5).with_max_count(0, 2);
-    let ranker = FairRanker::build_md_exact(
-        &ds,
-        Box::new(oracle.clone()),
-        &SatRegionsOptions {
+    let ranker = FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .strategy(Strategy::MdExact)
+        .sat_regions_options(SatRegionsOptions {
             max_hyperplanes: Some(40),
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
 
     for q in [
         vec![1.0, 0.1, 0.1, 0.1],

@@ -1,0 +1,227 @@
+//! Whole-ranker persistence: save/load round-trips across all three
+//! backends, corruption/truncation/wrong-tag rejection, and fuzz-style
+//! robustness of the decoders (no panics on arbitrary byte mutations).
+
+use proptest::prelude::*;
+
+use fairrank::approximate::BuildOptions;
+use fairrank::md::SatRegionsOptions;
+use fairrank::persist::{
+    decode_backend, decode_ranker, PersistError, TAG_APPROX, TAG_INTERVALS, TAG_RANKER, TAG_REGIONS,
+};
+use fairrank::{FairRankError, FairRanker, Strategy};
+use fairrank_datasets::synthetic::generic;
+use fairrank_datasets::Dataset;
+use fairrank_fairness::Proportionality;
+use fairrank_geometry::HALF_PI;
+
+fn biased(n: usize, d: usize, seed: u64) -> (Dataset, Proportionality) {
+    let ds = generic::uniform(n, d, 0.9, seed);
+    let attr = ds.type_attribute("group").unwrap();
+    let k = (n / 4).max(4);
+    let oracle = Proportionality::new(attr, k).with_max_count(0, k / 2);
+    (ds, oracle)
+}
+
+fn build(strategy: Strategy, ds: &Dataset, oracle: &Proportionality) -> FairRanker {
+    FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .strategy(strategy)
+        .sat_regions_options(SatRegionsOptions {
+            max_hyperplanes: Some(60),
+            ..Default::default()
+        })
+        .approx_options(BuildOptions {
+            n_cells: 150,
+            max_hyperplanes: Some(100),
+            ..Default::default()
+        })
+        .build()
+        .unwrap()
+}
+
+/// A fan of valid queries covering the positive orthant.
+fn query_fan(d: usize, count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| {
+            let t = (i as f64 + 0.5) / count as f64 * HALF_PI;
+            let mut q = vec![0.4 + t.sin(); d];
+            q[0] = 0.4 + t.cos();
+            q[i % d] += 0.7;
+            q
+        })
+        .collect()
+}
+
+/// Round-trip through bytes: the reloaded ranker answers a fixed query
+/// set identically to the in-memory original.
+fn assert_roundtrip(strategy: Strategy, n: usize, d: usize, seed: u64) {
+    let (ds, oracle) = biased(n, d, seed);
+    let ranker = build(strategy, &ds, &oracle);
+    let bytes = ranker.to_bytes();
+    let reloaded = FairRanker::from_bytes(&bytes, ds.clone(), Box::new(oracle)).unwrap();
+    assert_eq!(ranker.backend_stats(), reloaded.backend_stats());
+    for q in query_fan(d, 25) {
+        assert_eq!(
+            ranker.suggest(&q).unwrap(),
+            reloaded.suggest(&q).unwrap(),
+            "{strategy:?} diverged after reload at {q:?}"
+        );
+    }
+}
+
+#[test]
+fn roundtrip_twod() {
+    assert_roundtrip(Strategy::TwoD, 60, 2, 7);
+}
+
+#[test]
+fn roundtrip_md_exact() {
+    assert_roundtrip(Strategy::MdExact, 20, 3, 8);
+}
+
+#[test]
+fn roundtrip_md_approx() {
+    assert_roundtrip(Strategy::MdApprox, 40, 3, 9);
+}
+
+#[test]
+fn roundtrip_through_files() {
+    let (ds, oracle) = biased(50, 2, 21);
+    let ranker = build(Strategy::TwoD, &ds, &oracle);
+    let path = std::env::temp_dir().join(format!("fairrank_roundtrip_{}.frix", std::process::id()));
+    ranker.save(&path).unwrap();
+    let reloaded = FairRanker::load(&path, ds, Box::new(oracle)).unwrap();
+    for q in query_fan(2, 15) {
+        assert_eq!(ranker.suggest(&q).unwrap(), reloaded.suggest(&q).unwrap());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_missing_file_is_io_error() {
+    let (ds, oracle) = biased(20, 2, 3);
+    let err = FairRanker::load(
+        std::env::temp_dir().join("fairrank_does_not_exist.frix"),
+        ds,
+        Box::new(oracle),
+    )
+    .unwrap_err();
+    assert!(matches!(err, FairRankError::Persist(PersistError::Io(_))));
+}
+
+#[test]
+fn corrupted_byte_rejected() {
+    let (ds, oracle) = biased(40, 2, 11);
+    let ranker = build(Strategy::TwoD, &ds, &oracle);
+    let bytes = ranker.to_bytes();
+    // A flip anywhere — header, dimensionality, tag, embedded payload,
+    // checksum — must be caught: the outer seal covers the envelope
+    // end-to-end.
+    for pos in [
+        0,
+        4,
+        7,
+        8,
+        12,
+        bytes.len() / 2,
+        bytes.len() - 9,
+        bytes.len() - 1,
+    ] {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x40;
+        assert!(
+            FairRanker::from_bytes(&corrupt, ds.clone(), Box::new(oracle.clone())).is_err(),
+            "flip at byte {pos} went undetected"
+        );
+    }
+}
+
+#[test]
+fn wrong_tag_and_unknown_backend_rejected() {
+    let (ds, oracle) = biased(40, 2, 12);
+    let ranker = build(Strategy::TwoD, &ds, &oracle);
+    // A raw artifact is not a ranker envelope.
+    let artifact = ranker.backend().encode();
+    assert!(matches!(
+        decode_ranker(&artifact),
+        Err(PersistError::WrongArtifact {
+            expected: TAG_RANKER,
+            ..
+        })
+    ));
+    // A backend tag nobody registered.
+    for bogus in [0u8, 77, TAG_RANKER] {
+        assert!(matches!(
+            decode_backend(bogus, &artifact),
+            Err(PersistError::UnknownBackend(t)) if t == bogus
+        ));
+    }
+    // Valid tags over the wrong artifact bytes are rejected too.
+    for tag in [TAG_APPROX, TAG_REGIONS] {
+        assert!(decode_backend(tag, &artifact).is_err());
+    }
+    assert!(decode_backend(TAG_INTERVALS, &artifact).is_ok());
+}
+
+#[test]
+fn dimension_mismatch_on_load_rejected() {
+    let (ds2, oracle2) = biased(40, 2, 13);
+    let ranker = build(Strategy::TwoD, &ds2, &oracle2);
+    let bytes = ranker.to_bytes();
+    let (ds3, oracle3) = biased(30, 3, 14);
+    assert!(matches!(
+        FairRanker::from_bytes(&bytes, ds3, Box::new(oracle3)),
+        Err(FairRankError::DimensionMismatch {
+            expected: 2,
+            found: 3
+        })
+    ));
+}
+
+#[test]
+fn every_truncation_rejected_without_panic() {
+    for strategy in [Strategy::TwoD, Strategy::MdExact, Strategy::MdApprox] {
+        let d = if strategy == Strategy::TwoD { 2 } else { 3 };
+        let (ds, oracle) = biased(25, d, 15);
+        let bytes = build(strategy, &ds, &oracle).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_ranker(&bytes[..cut]).is_err(),
+                "{strategy:?}: accepted a {cut}-byte prefix of {}",
+                bytes.len()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fuzz-style robustness: arbitrary byte mutations of a valid
+    /// whole-ranker envelope never panic any decoder — they either fail
+    /// structurally or are caught by the checksum. (Runs the mutated
+    /// bytes through the ranker decoder *and* every per-backend
+    /// decoder.)
+    #[test]
+    fn mutated_envelopes_never_panic(
+        seed in 0u64..50,
+        positions in prop::collection::vec(0usize..10_000, 1..8),
+        xor in 1u8..=255,
+        cut in 0usize..10_000,
+    ) {
+        let (ds, oracle) = biased(30, 2, seed);
+        let ranker = build(Strategy::TwoD, &ds, &oracle);
+        let mut bytes = ranker.to_bytes();
+        for &p in &positions {
+            let len = bytes.len();
+            bytes[p % len] ^= xor;
+        }
+        bytes.truncate(cut.max(1).min(bytes.len()));
+        // Any outcome but a panic is acceptable; a (vanishingly
+        // unlikely) checksum collision would surface as Ok.
+        let _ = decode_ranker(&bytes);
+        for tag in [TAG_INTERVALS, TAG_REGIONS, TAG_APPROX] {
+            let _ = decode_backend(tag, &bytes);
+        }
+    }
+}

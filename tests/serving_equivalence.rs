@@ -1,0 +1,149 @@
+//! Sharded serving and strategy selection must be invisible in the
+//! answers: `suggest_batch_parallel` is element-wise identical to serial
+//! `suggest` on every backend and shard count, and `Strategy::Auto`
+//! answers bit-identically to the explicit strategy it resolves to.
+
+use proptest::prelude::*;
+
+use fairrank::approximate::BuildOptions;
+use fairrank::md::SatRegionsOptions;
+use fairrank::{FairRanker, Strategy, Suggestion};
+use fairrank_datasets::synthetic::generic;
+use fairrank_datasets::Dataset;
+use fairrank_fairness::Proportionality;
+use fairrank_geometry::HALF_PI;
+
+fn oracle_for(ds: &Dataset, kfrac: f64, cap_frac: f64) -> Proportionality {
+    let attr = ds.type_attribute("group").unwrap();
+    let k = ((ds.len() as f64) * kfrac).round().max(2.0) as usize;
+    let cap = ((k as f64) * cap_frac).round().max(1.0) as usize;
+    Proportionality::new(attr, k).with_max_count(0, cap)
+}
+
+fn builder_for(ds: &Dataset, oracle: &Proportionality) -> fairrank::FairRankerBuilder {
+    FairRanker::builder(ds.clone(), Box::new(oracle.clone()))
+        .sat_regions_options(SatRegionsOptions {
+            max_hyperplanes: Some(50),
+            ..Default::default()
+        })
+        .approx_options(BuildOptions {
+            n_cells: 120,
+            max_hyperplanes: Some(80),
+            ..Default::default()
+        })
+}
+
+/// Queries spanning the orthant, including axis-aligned boundaries.
+fn fan(d: usize, count: usize) -> Vec<Vec<f64>> {
+    let mut queries: Vec<Vec<f64>> = (0..count)
+        .map(|i| {
+            let t = (i as f64 + 0.5) / count as f64 * HALF_PI;
+            let mut q = vec![0.2 + 0.8 * t.sin(); d];
+            q[0] = 0.2 + 1.5 * t.cos();
+            q[i % d] += 0.9;
+            q
+        })
+        .collect();
+    let mut axis0 = vec![0.0; d];
+    axis0[0] = 1.0;
+    let mut axis1 = vec![0.0; d];
+    axis1[d - 1] = 2.0;
+    queries.push(axis0);
+    queries.push(axis1);
+    queries
+}
+
+fn assert_parallel_matches_serial(ranker: &FairRanker, queries: &[Vec<f64>]) {
+    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+    let serial: Vec<Suggestion> = refs.iter().map(|q| ranker.suggest(q).unwrap()).collect();
+    let batch = ranker.suggest_batch(&refs).unwrap();
+    assert_eq!(batch, serial, "suggest_batch diverged from serial");
+    for shards in [0, 1, 2, 3, 4, 9] {
+        let parallel = ranker.suggest_batch_parallel(&refs, shards).unwrap();
+        assert_eq!(
+            parallel, serial,
+            "suggest_batch_parallel diverged at {shards} shards"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 2-D backend: the sharded path (index-decided fairness + worker
+    /// threads) answers exactly like per-query `suggest`.
+    #[test]
+    fn parallel_equals_serial_twod(
+        seed in 0u64..400,
+        n in 20usize..70,
+        kfrac in 0.15f64..0.5,
+        cap_frac in 0.3f64..0.9,
+    ) {
+        let ds = generic::uniform(n, 2, 0.9, seed);
+        let oracle = oracle_for(&ds, kfrac, cap_frac);
+        let ranker = builder_for(&ds, &oracle)
+            .strategy(Strategy::TwoD)
+            .build()
+            .unwrap();
+        assert_parallel_matches_serial(&ranker, &fan(2, 40));
+    }
+
+    /// Exact m-D backend (oracle stays in the loop per shard).
+    #[test]
+    fn parallel_equals_serial_md_exact(
+        seed in 0u64..200,
+        n in 12usize..26,
+    ) {
+        let ds = generic::uniform(n, 3, 0.9, seed);
+        let oracle = oracle_for(&ds, 0.3, 0.5);
+        let ranker = builder_for(&ds, &oracle)
+            .strategy(Strategy::MdExact)
+            .build()
+            .unwrap();
+        assert_parallel_matches_serial(&ranker, &fan(3, 18));
+    }
+
+    /// Approximate grid backend.
+    #[test]
+    fn parallel_equals_serial_md_approx(
+        seed in 0u64..200,
+        n in 20usize..45,
+    ) {
+        let ds = generic::uniform(n, 3, 0.85, seed);
+        let oracle = oracle_for(&ds, 0.25, 0.5);
+        let ranker = builder_for(&ds, &oracle)
+            .strategy(Strategy::MdApprox)
+            .build()
+            .unwrap();
+        assert_parallel_matches_serial(&ranker, &fan(3, 24));
+    }
+
+    /// `Strategy::Auto` builds the same index — and therefore answers
+    /// bit-identically — as the explicit strategy it resolves to, on
+    /// datasets straddling every branch of the rule (d = 2, small m-D,
+    /// large m-D).
+    #[test]
+    fn auto_matches_explicit_strategy(
+        seed in 0u64..300,
+        shape in 0usize..3,
+    ) {
+        let (n, d) = match shape {
+            0 => (40, 2),                                        // → TwoD
+            1 => (fairrank::backend::AUTO_EXACT_MAX_ITEMS, 3),   // → MdExact
+            _ => (fairrank::backend::AUTO_EXACT_MAX_ITEMS + 8, 3), // → MdApprox
+        };
+        let ds = generic::uniform(n, d, 0.85, seed);
+        let oracle = oracle_for(&ds, 0.25, 0.6);
+        let picked = Strategy::Auto.pick(&ds);
+        let auto = builder_for(&ds, &oracle).build().unwrap();
+        let explicit = builder_for(&ds, &oracle).strategy(picked).build().unwrap();
+        prop_assert_eq!(auto.backend_stats(), explicit.backend_stats());
+        for q in fan(d, 16) {
+            prop_assert_eq!(
+                auto.suggest(&q).unwrap(),
+                explicit.suggest(&q).unwrap(),
+                "Auto ({:?}) diverged at {:?}", picked, q
+            );
+        }
+    }
+}
