@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::twod::ray_sweep;
-use fairrank::FairRanker;
+use fairrank::{DatasetUpdate, FairRanker, Strategy};
 use fairrank_bench::{compas_2d, compas_d, default_compas_oracle, query_fan, time, time_avg};
 use fairrank_datasets::RankWorkspace;
 use fairrank_fairness::FairnessOracle;
@@ -175,6 +175,89 @@ fn main() {
             })),
         );
     }
+
+    // --- update_throughput (live updates vs full rebuild) -----------
+    // The incremental-maintenance headline: one 2-D insert maintains the
+    // event list + reuses top-k-certified sector verdicts, against the
+    // O(n²) sweep a rebuild pays. Same COMPAS n = 1500 as the serving
+    // series; answers are property-tested identical to rebuilds.
+    let ds_upd = compas_2d(1500);
+    let oracle_upd = default_compas_oracle(&ds_upd);
+    let (mut live, rebuild_t) = time(|| {
+        FairRanker::builder(ds_upd.clone(), Box::new(oracle_upd))
+            .strategy(Strategy::TwoD)
+            .build()
+            .unwrap()
+    });
+    let rebuild_us = us(rebuild_t);
+    push("update.twod_full_rebuild_ms", rebuild_us / 1000.0);
+    // Mid-scoring inserts: the common case for live item churn.
+    let mut salt = 0u64;
+    let insert_t = us(time_avg(32, || {
+        salt += 1;
+        let s = (salt % 97) as f64 / 97.0;
+        live.update(DatasetUpdate::Insert {
+            scores: vec![0.25 + 0.5 * s, 0.75 - 0.5 * s],
+            groups: vec![(salt % 2) as u32, (salt % 3) as u32, 0, 1],
+        })
+        .unwrap()
+    }));
+    push("update.twod_insert_us", insert_t);
+    push(
+        "update.twod_insert_speedup_x",
+        (rebuild_us / insert_t * 100.0).round() / 100.0,
+    );
+    let mut item = 100u32;
+    push(
+        "update.twod_rescore_us",
+        us(time_avg(16, || {
+            item = (item * 31 + 7) % live.dataset().len() as u32;
+            let s = f64::from(item % 89) / 89.0;
+            live.update(DatasetUpdate::Rescore {
+                item,
+                scores: vec![0.2 + 0.6 * s, 0.8 - 0.6 * s],
+            })
+            .unwrap()
+        })),
+    );
+    push(
+        "update.twod_remove_us",
+        us(time_avg(16, || {
+            item = (item * 17 + 3) % live.dataset().len() as u32;
+            live.update(DatasetUpdate::Remove { item }).unwrap()
+        })),
+    );
+    // Approximate grid at reduced scale (no hyperplane cap: the capped
+    // config falls back to full rebuilds by design).
+    let ds_grid = compas_d(80, 3);
+    let oracle_grid = default_compas_oracle(&ds_grid);
+    let grid_opts = BuildOptions {
+        n_cells: 500,
+        max_hyperplanes: None,
+        ..Default::default()
+    };
+    let (mut grid_live, grid_build_t) = time(|| {
+        FairRanker::builder(ds_grid.clone(), Box::new(oracle_grid))
+            .strategy(Strategy::MdApprox)
+            .approx_options(grid_opts)
+            .build()
+            .unwrap()
+    });
+    push("update.approx_build_n80_ms", us(grid_build_t) / 1000.0);
+    let mut gsalt = 0u64;
+    push(
+        "update.approx_insert_ms",
+        us(time_avg(8, || {
+            gsalt += 1;
+            let s = (gsalt % 89) as f64 / 89.0;
+            grid_live
+                .update(DatasetUpdate::Insert {
+                    scores: vec![0.3 + 0.4 * s, 0.7 - 0.4 * s, 0.5],
+                    groups: vec![(gsalt % 2) as u32, (gsalt % 3) as u32, 0, 1],
+                })
+                .unwrap()
+        })) / 1000.0,
+    );
 
     // --- reduced experiments series (fig16-shaped 2-D pipeline) -----
     let ds_fig = compas_2d(1000);

@@ -9,10 +9,13 @@ use fairrank_geometry::grid::{AngleGrid, CellId, PartitionScheme};
 use fairrank_geometry::polar::to_cartesian_into;
 use fairrank_geometry::sphere::approx_error_bound;
 
+use fairrank_geometry::hyperplane::Hyperplane;
+
 use crate::approximate::{cellplane, coloring, markcell};
 use crate::error::FairRankError;
-use crate::md::hyperpolar::exchange_hyperplanes;
+use crate::md::hyperpolar::{exchange_hyperplane, exchange_hyperplanes};
 use crate::pruning;
+use crate::update::{DatasetUpdate, UpdateCtx};
 
 /// Options for [`ApproxIndex::build`].
 #[derive(Debug, Clone)]
@@ -91,12 +94,27 @@ impl BuildStats {
     }
 }
 
+/// One MARKCELL probe, remembered for incremental maintenance: where the
+/// oracle was asked, what it said, and the score of the ranked `k`-th
+/// item at that point (`NaN` when the oracle exposes no top-k bound).
+/// The threshold is the verdict-invariance certificate: an updated item
+/// scoring strictly below it cannot enter the inspected prefix, so the
+/// stored verdict provably survives the update.
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeRecord {
+    pub(crate) angles: Vec<f64>,
+    pub(crate) verdict: bool,
+    pub(crate) threshold: f64,
+}
+
 /// Per-worker probe state for MARKCELL: ranking workspace, reusable
-/// weight buffer, and the worker's oracle-call tally.
+/// weight buffer, the worker's oracle-call tally, and the probe log of
+/// the cell currently being searched.
 struct ProbeCtx {
     workspace: RankWorkspace,
     weights: Vec<f64>,
     calls: u64,
+    log: Vec<ProbeRecord>,
 }
 
 impl ProbeCtx {
@@ -105,6 +123,7 @@ impl ProbeCtx {
             workspace: RankWorkspace::with_capacity(ds.len()),
             weights: Vec::with_capacity(ds.dim()),
             calls: 0,
+            log: Vec::new(),
         }
     }
 }
@@ -121,6 +140,15 @@ pub struct ApproxIndex {
     /// against the real oracle during the build.
     pub(crate) functions: Vec<Vec<f64>>,
     pub(crate) stats: BuildStats,
+    /// The options the index was built with (reused by update rebuilds).
+    pub(crate) opts: BuildOptions,
+    /// Which cells MARKCELL satisfied directly (as opposed to coloring).
+    /// Maintenance state — empty on a decoded index.
+    pub(crate) satisfied: Vec<bool>,
+    /// Per-cell MARKCELL probe logs. Maintenance state — empty on a
+    /// decoded index (the first update then pays one full rebuild, which
+    /// re-seeds it).
+    pub(crate) probe_log: Vec<Vec<ProbeRecord>>,
 }
 
 impl ApproxIndex {
@@ -184,33 +212,21 @@ impl ApproxIndex {
             .min(grid.cell_count().max(1));
         let next_cell = std::sync::atomic::AtomicU32::new(0);
         let cell_count = grid.cell_count() as CellId;
-        let top_k = oracle.top_k_bound();
         let search_cell = |cell: CellId, ctx: &mut ProbeCtx| -> Option<Vec<f64>> {
             let cell_hc = &hc[cell as usize];
             let cell_hc = match opts.max_hyperplanes_per_cell {
                 Some(cap) if cell_hc.len() > cap => &cell_hc[..cap],
                 _ => cell_hc.as_slice(),
             };
-            let ProbeCtx {
-                workspace,
-                weights,
-                calls,
-            } = ctx;
-            let mut probe = |angles: &[f64]| {
-                *calls += 1;
-                to_cartesian_into(1.0, angles, weights);
-                oracle.is_satisfactory(workspace.rank_with_bound(ds, weights, top_k))
-            };
-            markcell::find_satisfactory(&grid, cell, cell_hc, &hyperplanes, &mut probe)
+            search_one_cell(ds, oracle, &grid, cell, cell_hc, &hyperplanes, ctx)
         };
-        let mut found: Vec<(CellId, Vec<f64>)> = Vec::new();
+        let mut found: Vec<(CellId, Option<Vec<f64>>, Vec<ProbeRecord>)> = Vec::new();
         let mut oracle_calls = 0u64;
         if n_threads <= 1 {
             let mut ctx = ProbeCtx::new(ds);
             for cell in 0..cell_count {
-                if let Some(f) = search_cell(cell, &mut ctx) {
-                    found.push((cell, f));
-                }
+                let f = search_cell(cell, &mut ctx);
+                found.push((cell, f, std::mem::take(&mut ctx.log)));
             }
             oracle_calls = ctx.calls;
         } else {
@@ -220,16 +236,16 @@ impl ApproxIndex {
                     let next_cell = &next_cell;
                     let search_cell = &search_cell;
                     handles.push(scope.spawn(move || {
-                        let mut local: Vec<(CellId, Vec<f64>)> = Vec::new();
+                        let mut local: Vec<(CellId, Option<Vec<f64>>, Vec<ProbeRecord>)> =
+                            Vec::new();
                         let mut ctx = ProbeCtx::new(ds);
                         loop {
                             let cell = next_cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if cell >= cell_count {
                                 break;
                             }
-                            if let Some(f) = search_cell(cell, &mut ctx) {
-                                local.push((cell, f));
-                            }
+                            let f = search_cell(cell, &mut ctx);
+                            local.push((cell, f, std::mem::take(&mut ctx.log)));
                         }
                         (local, ctx.calls)
                     }));
@@ -243,29 +259,157 @@ impl ApproxIndex {
                 oracle_calls += calls;
                 found.extend(local);
             }
-            found.sort_unstable_by_key(|(cell, _)| *cell);
+            found.sort_unstable_by_key(|&(cell, _, _)| cell);
         }
-        let mut assigned: Vec<Option<u32>> = vec![None; grid.cell_count()];
-        let mut functions: Vec<Vec<f64>> = Vec::with_capacity(found.len());
-        for (cell, f) in found {
-            assigned[cell as usize] = Some(functions.len() as u32);
-            functions.push(f);
-        }
-        stats.oracle_calls = oracle_calls;
-        stats.satisfied_cells = functions.len();
-        stats.markcell_time = t2.elapsed();
+        let mut index = assemble(grid, found, opts.clone());
+        index.stats = stats;
+        index.stats.oracle_calls = oracle_calls;
+        index.stats.satisfied_cells = index.functions.len();
+        index.stats.markcell_time = t2.elapsed();
 
         // Phase 4: CELLCOLORING.
         let t3 = Instant::now();
-        stats.colored_cells = coloring::color_cells(&grid, &mut assigned, &functions);
-        stats.coloring_time = t3.elapsed();
+        index.stats.colored_cells =
+            coloring::color_cells(&index.grid, &mut index.assigned, &index.functions);
+        index.stats.coloring_time = t3.elapsed();
 
-        Ok(ApproxIndex {
-            grid,
-            assigned,
-            functions,
-            stats,
-        })
+        Ok(index)
+    }
+
+    /// Whether this index carries the maintenance state (probe logs,
+    /// satisfied mask) the incremental update path needs. False for
+    /// decoded indexes until their first (rebuilding) update re-seeds it.
+    #[must_use]
+    pub fn is_maintainable(&self) -> bool {
+        self.probe_log.len() == self.grid.cell_count()
+            && self.opts.max_hyperplanes.is_none()
+            && !self.opts.prune_top_k
+    }
+
+    /// Incremental maintenance through one dataset update, bit-identical
+    /// to `ApproxIndex::build(ctx.ds, ctx.oracle, &self.opts)`:
+    ///
+    /// 1. **Delta marking.** Only the hyperplanes of pairs involving the
+    ///    updated item change; cells they cross (in the old or new
+    ///    configuration) are the only cells whose per-cell search inputs
+    ///    differ, so only they *must* be re-searched.
+    /// 2. **Certificates.** Every other cell replays its recorded probes:
+    ///    a probe whose threshold proves the updated item stays out of
+    ///    the oracle's inspected prefix keeps its verdict with zero
+    ///    oracle work; the rest are re-verified through one batched
+    ///    oracle pass ([`crate::probes`]).
+    /// 3. **Recoloring.** Cells whose verdicts all survived keep their
+    ///    MARKCELL outcome verbatim; changed cells re-run the per-cell
+    ///    search; CELLCOLORING then re-propagates — only the cells whose
+    ///    satisfaction verdict could change are ever re-searched.
+    ///
+    /// # Errors
+    /// None currently; signature reserves the right for rebuild-style
+    /// fallbacks to fail.
+    pub(crate) fn maintain(
+        &mut self,
+        update: &DatasetUpdate,
+        ctx: &UpdateCtx<'_>,
+    ) -> Result<(), FairRankError> {
+        let n_cells = self.grid.cell_count();
+
+        // 1. Delta hyperplanes → cells whose search inputs changed.
+        let mut delta: Vec<Hyperplane> = Vec::new();
+        {
+            let mut push_pairs = |ds: &Dataset, x: usize| {
+                for j in 0..ds.len() {
+                    if j != x {
+                        delta.extend(exchange_hyperplane(ds.item(j.min(x)), ds.item(j.max(x))));
+                    }
+                }
+            };
+            match update {
+                DatasetUpdate::Insert { .. } => push_pairs(ctx.ds, ctx.ds.len() - 1),
+                DatasetUpdate::Remove { item } => push_pairs(ctx.old, *item as usize),
+                DatasetUpdate::Rescore { item, .. } => {
+                    push_pairs(ctx.old, *item as usize);
+                    push_pairs(ctx.ds, *item as usize);
+                }
+            }
+        }
+        let delta_hc = cellplane::hyperplanes_per_cell(&self.grid, &delta);
+        let mut dirty: Vec<bool> = delta_hc.iter().map(|l| !l.is_empty()).collect();
+
+        // Fresh geometry for the re-searched cells (oracle-free).
+        let hyperplanes = exchange_hyperplanes(ctx.ds);
+        let hc = cellplane::hyperplanes_per_cell(&self.grid, &hyperplanes);
+
+        // 2. Replay unaffected cells: certificate or batched re-check.
+        let cert_k = ctx
+            .oracle
+            .top_k_bound()
+            .filter(|&k| k > 0 && k < ctx.ds.len() && k < ctx.old.len());
+        let mut recheck: Vec<(usize, usize)> = Vec::new();
+        let mut candidates: Vec<Vec<f64>> = Vec::new();
+        for (c, log) in self.probe_log.iter().enumerate() {
+            if dirty[c] {
+                continue;
+            }
+            for (pi, rec) in log.iter().enumerate() {
+                if !probe_certified(update, ctx, rec, cert_k.is_some()) {
+                    recheck.push((c, pi));
+                    candidates.push(rec.angles.clone());
+                }
+            }
+        }
+        let fresh = crate::probes::batch_verdicts_and_thresholds(ctx.ds, ctx.oracle, &candidates);
+        let mut oracle_calls = fresh.len() as u64;
+        for ((c, pi), (verdict, threshold)) in recheck.into_iter().zip(fresh) {
+            let rec = &mut self.probe_log[c][pi];
+            if rec.verdict != verdict {
+                dirty[c] = true;
+            }
+            rec.verdict = verdict;
+            rec.threshold = threshold;
+        }
+
+        // 3. Re-search changed cells, keep the rest, recolor.
+        let mut probe_ctx = ProbeCtx::new(ctx.ds);
+        let mut found: Vec<(CellId, Option<Vec<f64>>, Vec<ProbeRecord>)> =
+            Vec::with_capacity(n_cells);
+        for c in 0..n_cells {
+            if dirty[c] {
+                let cell_hc = &hc[c];
+                let cell_hc = match self.opts.max_hyperplanes_per_cell {
+                    Some(cap) if cell_hc.len() > cap => &cell_hc[..cap],
+                    _ => cell_hc.as_slice(),
+                };
+                let f = search_one_cell(
+                    ctx.ds,
+                    ctx.oracle,
+                    &self.grid,
+                    c as CellId,
+                    cell_hc,
+                    &hyperplanes,
+                    &mut probe_ctx,
+                );
+                found.push((c as CellId, f, std::mem::take(&mut probe_ctx.log)));
+            } else {
+                let f = self.satisfied[c].then(|| {
+                    let fi = self.assigned[c].expect("satisfied cells are assigned");
+                    self.functions[fi as usize].clone()
+                });
+                let log = std::mem::take(&mut self.probe_log[c]);
+                found.push((c as CellId, f, log));
+            }
+        }
+        oracle_calls += probe_ctx.calls;
+
+        let stats = self.stats.clone();
+        *self = assemble(self.grid.clone(), found, self.opts.clone());
+        self.stats = stats;
+        self.stats.hyperplane_count = hyperplanes.len();
+        self.stats.hc_histogram = cellplane::crossing_histogram(&hc);
+        self.stats.oracle_calls += oracle_calls;
+        self.stats.satisfied_cells = self.functions.len();
+        self.stats.colored_cells =
+            coloring::color_cells(&self.grid, &mut self.assigned, &self.functions);
+        Ok(())
     }
 
     /// MDONLINE's core: the satisfactory function assigned to the cell
@@ -306,6 +450,109 @@ impl ApproxIndex {
     #[must_use]
     pub fn error_bound(&self) -> f64 {
         approx_error_bound(self.grid.dim() + 1, self.grid.cell_count())
+    }
+}
+
+/// One cell's MARKCELL search, recording every probe into `ctx.log`
+/// (cleared first). The shared kernel of [`ApproxIndex::build`] and
+/// [`ApproxIndex::maintain`] — identical inputs produce identical
+/// outcomes *and* identical probe sequences, which is what makes replay
+/// sound.
+fn search_one_cell(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    grid: &AngleGrid,
+    cell: CellId,
+    cell_hc: &[u32],
+    hyperplanes: &[Hyperplane],
+    ctx: &mut ProbeCtx,
+) -> Option<Vec<f64>> {
+    let top_k = oracle.top_k_bound();
+    let kth = match top_k {
+        Some(k) if k > 0 && k <= ds.len() => k,
+        _ => 0,
+    };
+    let ProbeCtx {
+        workspace,
+        weights,
+        calls,
+        log,
+    } = ctx;
+    log.clear();
+    let mut probe = |angles: &[f64]| {
+        *calls += 1;
+        to_cartesian_into(1.0, angles, weights);
+        let ranking = workspace.rank_with_bound(ds, weights, top_k);
+        let threshold = if kth > 0 {
+            ds.score(weights, ranking[kth - 1] as usize)
+        } else {
+            f64::NAN
+        };
+        let verdict = oracle.is_satisfactory(ranking);
+        log.push(ProbeRecord {
+            angles: angles.to_vec(),
+            verdict,
+            threshold,
+        });
+        verdict
+    };
+    markcell::find_satisfactory(grid, cell, cell_hc, hyperplanes, &mut probe)
+}
+
+/// Assemble per-cell MARKCELL outcomes (in cell order) into the index
+/// arrays — the exact layout [`ApproxIndex::build`] has always produced:
+/// one function per directly-satisfied cell, pushed in cell order.
+fn assemble(
+    grid: AngleGrid,
+    found: Vec<(CellId, Option<Vec<f64>>, Vec<ProbeRecord>)>,
+    opts: BuildOptions,
+) -> ApproxIndex {
+    let n_cells = grid.cell_count();
+    let mut assigned: Vec<Option<u32>> = vec![None; n_cells];
+    let mut functions: Vec<Vec<f64>> = Vec::new();
+    let mut satisfied = vec![false; n_cells];
+    let mut probe_log: Vec<Vec<ProbeRecord>> = vec![Vec::new(); n_cells];
+    for (cell, f, log) in found {
+        probe_log[cell as usize] = log;
+        if let Some(f) = f {
+            satisfied[cell as usize] = true;
+            assigned[cell as usize] = Some(functions.len() as u32);
+            functions.push(f);
+        }
+    }
+    ApproxIndex {
+        grid,
+        assigned,
+        functions,
+        stats: BuildStats::default(),
+        opts,
+        satisfied,
+        probe_log,
+    }
+}
+
+/// Can this probe's stored verdict provably survive the update? True
+/// only when the updated item's score stays strictly outside the
+/// oracle's inspected top-k prefix at the probe point (ties resolved by
+/// the ranking's id tie-break: an inserted item carries the largest id,
+/// so a tie with the `k`-th score still lands below it).
+fn probe_certified(
+    update: &DatasetUpdate,
+    ctx: &UpdateCtx<'_>,
+    rec: &ProbeRecord,
+    k_stable: bool,
+) -> bool {
+    if !k_stable || !rec.threshold.is_finite() {
+        return false;
+    }
+    let w = fairrank_geometry::polar::to_cartesian(1.0, &rec.angles);
+    match update {
+        DatasetUpdate::Insert { .. } => ctx.ds.score(&w, ctx.ds.len() - 1) <= rec.threshold,
+        DatasetUpdate::Remove { item } => ctx.old.score(&w, *item as usize) < rec.threshold,
+        DatasetUpdate::Rescore { item, .. } => {
+            ctx.old.score(&w, *item as usize) < rec.threshold
+                && ctx.ds.score(&w, *item as usize) < rec.threshold
+        }
     }
 }
 

@@ -28,6 +28,7 @@ use fairrank_geometry::vector::norm;
 
 use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
 use crate::error::FairRankError;
+use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
 /// The §5 serving backend: [`ApproxIndex`] packaged for
 /// [`crate::FairRanker`] — `O(log N)` cell lookups under the Theorem 6
@@ -39,6 +40,8 @@ use crate::error::FairRankError;
 #[derive(Debug, Clone)]
 pub struct ApproxGrid {
     index: Box<ApproxIndex>,
+    updates: u64,
+    rebuilds: u64,
 }
 
 impl ApproxGrid {
@@ -47,6 +50,8 @@ impl ApproxGrid {
     pub fn new(index: ApproxIndex) -> Self {
         ApproxGrid {
             index: Box::new(index),
+            updates: 0,
+            rebuilds: 0,
         }
     }
 
@@ -78,6 +83,29 @@ impl IndexBackend for ApproxGrid {
         }
     }
 
+    // Incremental maintenance via [`ApproxIndex::maintain`]: only cells
+    // whose satisfaction verdict can change (crossed by the updated
+    // item's hyperplanes, or with a flipped probe verdict under the
+    // batched re-check) are re-searched and recolored. Falls back to one
+    // deterministic rebuild when the maintenance state is missing (a
+    // decoded index) or the build options truncate hyperplanes, which
+    // makes delta marking unsound.
+    fn apply(
+        &mut self,
+        update: &DatasetUpdate,
+        ctx: &UpdateCtx<'_>,
+    ) -> Result<UpdateOutcome, FairRankError> {
+        self.updates += 1;
+        if self.index.is_maintainable() {
+            self.index.maintain(update, ctx)?;
+            return Ok(UpdateOutcome::Incremental);
+        }
+        let opts = self.index.opts.clone();
+        *self.index = ApproxIndex::build(ctx.ds, ctx.oracle, &opts)?;
+        self.rebuilds += 1;
+        Ok(UpdateOutcome::Rebuilt)
+    }
+
     fn persist_tag(&self) -> u8 {
         crate::persist::TAG_APPROX
     }
@@ -92,6 +120,8 @@ impl IndexBackend for ApproxGrid {
             artifacts: self.index.grid().cell_count(),
             functions: Some(self.index.functions().len()),
             error_bound: Some(self.index.error_bound()),
+            updates: self.updates,
+            rebuilds: self.rebuilds,
         }
     }
 

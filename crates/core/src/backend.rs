@@ -48,6 +48,7 @@ use fairrank_datasets::Dataset;
 use fairrank_fairness::FairnessOracle;
 
 use crate::error::FairRankError;
+use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
 /// Answer to a closest-satisfactory-function query.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +97,13 @@ pub struct BackendStats {
     /// (`Some(0.0)` for exact backends, the Theorem 6 bound for the
     /// grid).
     pub error_bound: Option<f64>,
+    /// Dataset updates applied to this backend instance since it was
+    /// built or loaded (operational counter; not persisted).
+    pub updates: u64,
+    /// How many of those updates triggered a full index reconstruction
+    /// instead of in-place maintenance (operational counter; not
+    /// persisted).
+    pub rebuilds: u64,
 }
 
 /// An online index answering closest-satisfactory-function queries —
@@ -137,6 +145,49 @@ pub trait IndexBackend: Send + Sync {
     fn known_fairness(&self, weights: &[f64]) -> Option<bool> {
         let _ = weights;
         None
+    }
+
+    /// Maintain the index through one dataset update. `ctx` carries the
+    /// pre-update snapshot (for removal deltas), the post-update dataset,
+    /// and the re-bound oracle; the update has already been applied to
+    /// `ctx.ds` and validated.
+    ///
+    /// The contract: once the update (and any
+    /// [`Deferred`](UpdateOutcome::Deferred) coalescing window) has
+    /// settled, the backend must answer
+    /// [`suggest_unfair`](IndexBackend::suggest_unfair) /
+    /// [`known_fairness`](IndexBackend::known_fairness) identically to
+    /// the same backend rebuilt from scratch on `ctx.ds` — whether it
+    /// maintains in place, rebuilds, or defers is its own trade-off,
+    /// reported through the outcome.
+    ///
+    /// The default rejects with [`FairRankError::UpdateUnsupported`]:
+    /// third-party backends opt in explicitly.
+    ///
+    /// # Errors
+    /// [`FairRankError::UpdateUnsupported`] (the default), or any
+    /// backend-specific rebuild failure. On error the backend must be
+    /// left unchanged.
+    fn apply(
+        &mut self,
+        update: &DatasetUpdate,
+        ctx: &UpdateCtx<'_>,
+    ) -> Result<UpdateOutcome, FairRankError> {
+        let _ = (update, ctx);
+        Err(FairRankError::UpdateUnsupported(
+            self.stats().kind.to_string(),
+        ))
+    }
+
+    /// Force any [`Deferred`](UpdateOutcome::Deferred) updates to take
+    /// effect now (backends without a coalescing buffer return
+    /// [`UpdateOutcome::Noop`], the default).
+    ///
+    /// # Errors
+    /// Backend-specific rebuild failures.
+    fn flush(&mut self, ctx: &UpdateCtx<'_>) -> Result<UpdateOutcome, FairRankError> {
+        let _ = ctx;
+        Ok(UpdateOutcome::Noop)
     }
 
     /// One-byte artifact tag identifying this backend kind in the

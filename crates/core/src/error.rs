@@ -30,6 +30,12 @@ pub enum FairRankError {
     /// A persisted index could not be decoded or written; the payload
     /// carries the structured cause.
     Persist(PersistError),
+    /// A [`DatasetUpdate`](crate::update::DatasetUpdate) is malformed for
+    /// the dataset it targets (wrong arity, unknown item/group, …).
+    InvalidUpdate(String),
+    /// The serving backend does not implement live updates; rebuild the
+    /// ranker instead. Carries the backend kind.
+    UpdateUnsupported(String),
 }
 
 impl fmt::Display for FairRankError {
@@ -46,6 +52,10 @@ impl fmt::Display for FairRankError {
             // Same rendering as the pre-structured `Persist(String)`
             // variant: "index persistence: <cause>".
             FairRankError::Persist(e) => write!(f, "index persistence: {e}"),
+            FairRankError::InvalidUpdate(msg) => write!(f, "invalid dataset update: {msg}"),
+            FairRankError::UpdateUnsupported(kind) => {
+                write!(f, "backend {kind:?} does not support live updates")
+            }
         }
     }
 }

@@ -68,10 +68,12 @@ pub mod pruning;
 pub mod ranker;
 pub mod sampling;
 pub mod twod;
+pub mod update;
 
 pub use backend::{BackendStats, IndexBackend, QueryCtx, Strategy};
 pub use error::FairRankError;
 pub use ranker::{FairRanker, FairRankerBuilder, Suggestion};
+pub use update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
 // Re-export the companion crates so downstream users need one dependency.
 pub use fairrank_datasets as datasets;

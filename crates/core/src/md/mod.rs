@@ -16,6 +16,7 @@ use fairrank_geometry::vector::norm;
 
 use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
 use crate::error::FairRankError;
+use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
 /// The §4 serving backend: the satisfactory regions of the exchange
 /// arrangement, answered by MDBASELINE (one NLP per region) with oracle
@@ -32,23 +33,68 @@ pub struct ExactRegions {
     regions: Vec<SatRegion>,
     /// Number of angle coordinates (`d − 1`).
     dim: usize,
+    /// Options used when reconstructing the arrangement on updates.
+    opts: SatRegionsOptions,
+    /// Rebuild after this many coalesced updates (1 = immediately).
+    rebuild_every: usize,
+    /// Updates buffered since the last reconstruction.
+    pending: usize,
+    updates: u64,
+    rebuilds: u64,
 }
 
 impl ExactRegions {
     /// Wrap the satisfactory regions of a [`SatRegions`] result for a
-    /// `d`-attribute dataset (`d = angle_dim + 1`).
+    /// `d`-attribute dataset (`d = angle_dim + 1`). Updates rebuild
+    /// immediately with default [`SatRegionsOptions`]; see
+    /// [`ExactRegions::with_update_policy`].
     #[must_use]
     pub fn new(regions: Vec<SatRegion>, angle_dim: usize) -> Self {
         ExactRegions {
             regions,
             dim: angle_dim,
+            opts: SatRegionsOptions::default(),
+            rebuild_every: 1,
+            pending: 0,
+            updates: 0,
+            rebuilds: 0,
         }
+    }
+
+    /// Configure how updates reconstruct the arrangement: the
+    /// [`sat_regions`] options to rebuild with, and how many updates to
+    /// coalesce before paying one reconstruction (`O(n²)` hyperplanes).
+    /// While updates are deferred the region list is stale — answers are
+    /// still re-validated against the live oracle (so suggestions remain
+    /// *fair*), but may not be closest until the rebuild lands.
+    ///
+    /// `rebuild_every` is clamped to at least 1.
+    #[must_use]
+    pub fn with_update_policy(mut self, opts: SatRegionsOptions, rebuild_every: usize) -> Self {
+        self.opts = opts;
+        self.rebuild_every = rebuild_every.max(1);
+        self
+    }
+
+    /// Updates buffered behind the coalescing threshold.
+    #[must_use]
+    pub fn pending_updates(&self) -> usize {
+        self.pending
     }
 
     /// The satisfactory regions.
     #[must_use]
     pub fn regions(&self) -> &[SatRegion] {
         &self.regions
+    }
+
+    fn rebuild(&mut self, ctx: &UpdateCtx<'_>) -> Result<UpdateOutcome, FairRankError> {
+        let rebuilt = sat_regions(ctx.ds, ctx.oracle, &self.opts)?;
+        self.regions = rebuilt.satisfactory;
+        self.dim = rebuilt.dim;
+        self.pending = 0;
+        self.rebuilds += 1;
+        Ok(UpdateOutcome::Rebuilt)
     }
 }
 
@@ -73,6 +119,37 @@ impl IndexBackend for ExactRegions {
         }
     }
 
+    // The exact arrangement has no sound in-place maintenance (every
+    // region boundary can move), so updates coalesce behind a threshold
+    // and pay one deterministic reconstruction — identical to a
+    // from-scratch build by [`sat_regions`] determinism.
+    fn apply(
+        &mut self,
+        _update: &DatasetUpdate,
+        ctx: &UpdateCtx<'_>,
+    ) -> Result<UpdateOutcome, FairRankError> {
+        // Counters commit only on success ("on error the backend must be
+        // left unchanged"): `rebuild` mutates nothing until
+        // `sat_regions` has succeeded.
+        let outcome = if self.pending + 1 >= self.rebuild_every {
+            self.rebuild(ctx)?
+        } else {
+            self.pending += 1;
+            UpdateOutcome::Deferred {
+                pending: self.pending,
+            }
+        };
+        self.updates += 1;
+        Ok(outcome)
+    }
+
+    fn flush(&mut self, ctx: &UpdateCtx<'_>) -> Result<UpdateOutcome, FairRankError> {
+        if self.pending == 0 {
+            return Ok(UpdateOutcome::Noop);
+        }
+        self.rebuild(ctx)
+    }
+
     fn persist_tag(&self) -> u8 {
         crate::persist::TAG_REGIONS
     }
@@ -87,6 +164,8 @@ impl IndexBackend for ExactRegions {
             artifacts: self.regions.len(),
             functions: Some(self.regions.len()),
             error_bound: Some(0.0),
+            updates: self.updates,
+            rebuilds: self.rebuilds,
         }
     }
 

@@ -40,7 +40,7 @@ use fairrank_geometry::grid::{AngleGrid, PartitionScheme};
 use fairrank_geometry::interval::AngularIntervals;
 use fairrank_lp::{Constraint, Rel};
 
-use crate::approximate::{ApproxGrid, ApproxIndex, BuildStats};
+use crate::approximate::{ApproxGrid, ApproxIndex, BuildOptions, BuildStats};
 use crate::backend::IndexBackend;
 use crate::error::FairRankError;
 use crate::md::{ExactRegions, SatRegion};
@@ -48,6 +48,12 @@ use crate::twod::TwoDIntervals;
 
 const MAGIC: &[u8; 4] = b"FRIX";
 const VERSION: u16 = 1;
+/// Whole-ranker envelope format: version 2 appends the ranker's update
+/// counter (`FairRanker::version`) to the version-1 layout. Version-1
+/// envelopes remain decodable (their counter reads as 0); the embedded
+/// per-artifact payloads are unchanged in both directions, so artifact
+/// readers of either vintage still decode them.
+const RANKER_VERSION: u16 = 2;
 /// Artifact tag: [`ApproxIndex`] / [`ApproxGrid`].
 pub const TAG_APPROX: u8 = 1;
 /// Artifact tag: [`AngularIntervals`] / [`TwoDIntervals`].
@@ -151,15 +157,25 @@ fn get_f64_vec(buf: &mut &[u8]) -> Result<Vec<f64>, PersistError> {
     Ok((0..len).map(|_| buf.get_f64_le()).collect())
 }
 
-fn header(tag: u8) -> Vec<u8> {
+fn header_versioned(tag: u8, version: u16) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     out.put_slice(MAGIC);
-    out.put_u16_le(VERSION);
+    out.put_u16_le(version);
     out.put_u8(tag);
     out
 }
 
-fn check_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), PersistError> {
+fn header(tag: u8) -> Vec<u8> {
+    header_versioned(tag, VERSION)
+}
+
+/// Parse the magic/version/tag preamble; returns the stream's format
+/// version (≤ `max_version`).
+fn check_header_versioned(
+    buf: &mut &[u8],
+    expected_tag: u8,
+    max_version: u16,
+) -> Result<u16, PersistError> {
     if buf.remaining() < 7 {
         return Err(PersistError::BadMagic);
     }
@@ -169,7 +185,7 @@ fn check_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = buf.get_u16_le();
-    if version > VERSION {
+    if version > max_version {
         return Err(PersistError::UnsupportedVersion(version));
     }
     let tag = buf.get_u8();
@@ -179,7 +195,11 @@ fn check_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), PersistError> {
             expected: expected_tag,
         });
     }
-    Ok(())
+    Ok(version)
+}
+
+fn check_header(buf: &mut &[u8], expected_tag: u8) -> Result<(), PersistError> {
+    check_header_versioned(buf, expected_tag, VERSION).map(|_| ())
 }
 
 fn seal(mut payload: Vec<u8>) -> Vec<u8> {
@@ -297,11 +317,28 @@ pub fn decode_approx_index(bytes: &[u8]) -> Result<ApproxIndex, PersistError> {
         return Err(PersistError::Truncated);
     }
 
+    // The decoded index reconstructs its build parameters from the grid
+    // (`n_cells`, scheme) but carries no maintenance state (probe logs),
+    // and the TAG_APPROX payload does not record the hyperplane caps or
+    // pruning flags — those come back as library defaults. Its first
+    // live update therefore pays one full rebuild under those
+    // reconstructed options (re-seeding the maintenance state); replicas
+    // that must preserve a non-default cap configuration should rebuild
+    // from the dataset instead of updating a decoded index.
+    let opts = BuildOptions {
+        n_cells: grid.target_cells(),
+        scheme: grid.scheme(),
+        ..Default::default()
+    };
+    let cell_count = grid.cell_count();
     Ok(ApproxIndex {
         grid,
         assigned,
         functions,
         stats: BuildStats::default(),
+        opts,
+        satisfied: vec![false; cell_count],
+        probe_log: Vec::new(),
     })
 }
 
@@ -451,41 +488,58 @@ pub fn decode_backend(tag: u8, bytes: &[u8]) -> Result<Box<dyn IndexBackend>, Pe
 }
 
 /// Serialize a whole ranker index: the dataset dimensionality, the
-/// backend's tag, and the backend's own sealed artifact, inside one
-/// outer checksummed envelope. Used by
+/// backend's tag, the ranker's update counter, and the backend's own
+/// sealed artifact, inside one outer checksummed envelope. Used by
 /// [`FairRanker::to_bytes`](crate::FairRanker::to_bytes).
 #[must_use]
-pub fn encode_ranker(dataset_dim: usize, backend: &dyn IndexBackend) -> Vec<u8> {
+pub fn encode_ranker_versioned(
+    dataset_dim: usize,
+    update_version: u64,
+    backend: &dyn IndexBackend,
+) -> Vec<u8> {
     let payload = backend.encode();
-    let mut out = header(TAG_RANKER);
+    let mut out = header_versioned(TAG_RANKER, RANKER_VERSION);
     out.put_u32_le(u32::try_from(dataset_dim).expect("small dim"));
     out.put_u8(backend.persist_tag());
+    out.put_u64_le(update_version);
     out.put_u64_le(payload.len() as u64);
     out.put_slice(&payload);
     seal(out)
 }
 
-/// Decode a whole-ranker envelope produced by [`encode_ranker`]: the
-/// dataset dimensionality it was built over, and the reassembled
-/// backend.
+/// [`encode_ranker_versioned`] with an update counter of zero — the
+/// pre-live-updates signature, kept for callers that version elsewhere.
+#[must_use]
+pub fn encode_ranker(dataset_dim: usize, backend: &dyn IndexBackend) -> Vec<u8> {
+    encode_ranker_versioned(dataset_dim, 0, backend)
+}
+
+/// Decode a whole-ranker envelope produced by [`encode_ranker_versioned`]
+/// (or a version-1 envelope from before the update counter existed — its
+/// counter reads as 0): the dataset dimensionality the index was built
+/// over, the ranker's update counter, and the reassembled backend.
 ///
 /// The outer FNV-1a checksum covers the envelope end-to-end (header,
-/// dimensionality, tag, and the embedded artifact bytes), and the
-/// embedded artifact additionally carries its own seal — corruption is
-/// caught at whichever layer it lands in.
+/// dimensionality, tag, counter, and the embedded artifact bytes), and
+/// the embedded artifact additionally carries its own seal — corruption
+/// is caught at whichever layer it lands in.
 ///
 /// # Errors
 /// Any [`PersistError`] on malformed, corrupted, truncated or
 /// unknown-backend input.
-pub fn decode_ranker(bytes: &[u8]) -> Result<(usize, Box<dyn IndexBackend>), PersistError> {
+pub fn decode_ranker_versioned(
+    bytes: &[u8],
+) -> Result<(usize, u64, Box<dyn IndexBackend>), PersistError> {
     let body = unseal(bytes)?;
     let mut buf = body;
-    check_header(&mut buf, TAG_RANKER)?;
-    if buf.remaining() < 4 + 1 + 8 {
+    let version = check_header_versioned(&mut buf, TAG_RANKER, RANKER_VERSION)?;
+    let counter_len = if version >= 2 { 8 } else { 0 };
+    if buf.remaining() < 4 + 1 + counter_len + 8 {
         return Err(PersistError::Truncated);
     }
     let dim = buf.get_u32_le() as usize;
     let tag = buf.get_u8();
+    let update_version = if version >= 2 { buf.get_u64_le() } else { 0 };
     let payload_len = usize::try_from(buf.get_u64_le()).map_err(|_| PersistError::Truncated)?;
     if dim < 2 || buf.remaining() != payload_len {
         return Err(PersistError::Truncated);
@@ -494,7 +548,16 @@ pub fn decode_ranker(bytes: &[u8]) -> Result<(usize, Box<dyn IndexBackend>), Per
     if backend.dim() != dim {
         return Err(PersistError::Truncated);
     }
-    Ok((dim, backend))
+    Ok((dim, update_version, backend))
+}
+
+/// [`decode_ranker_versioned`] without the update counter.
+///
+/// # Errors
+/// Any [`PersistError`] on malformed, corrupted, truncated or
+/// unknown-backend input.
+pub fn decode_ranker(bytes: &[u8]) -> Result<(usize, Box<dyn IndexBackend>), PersistError> {
+    decode_ranker_versioned(bytes).map(|(dim, _, backend)| (dim, backend))
 }
 
 #[cfg(test)]

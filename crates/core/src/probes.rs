@@ -59,10 +59,28 @@ pub(crate) fn batch_verdicts_by<F>(
     ds: &Dataset,
     oracle: &dyn FairnessOracle,
     count: usize,
-    mut weights_of: F,
+    weights_of: F,
 ) -> Vec<bool>
 where
     F: FnMut(usize, &mut Vec<f64>),
+{
+    batch_verdicts_by_with(ds, oracle, count, weights_of, |_, _, _| {})
+}
+
+/// The kernel behind [`batch_verdicts_by`] and
+/// [`batch_verdicts_and_thresholds`]: `on_ranking(i, ranking, weights)`
+/// observes each candidate's (possibly top-k-partial) ranking as it is
+/// produced, before the chunk goes to the oracle.
+fn batch_verdicts_by_with<F, H>(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    count: usize,
+    mut weights_of: F,
+    mut on_ranking: H,
+) -> Vec<bool>
+where
+    F: FnMut(usize, &mut Vec<f64>),
+    H: FnMut(usize, &[u32], &[f64]),
 {
     let n = ds.len();
     let bound = oracle.top_k_bound();
@@ -84,7 +102,9 @@ where
         for i in start..end {
             weights.clear();
             weights_of(i, &mut weights);
-            flat.extend_from_slice(&ws.rank_with_bound(ds, &weights, bound)[..stride]);
+            let ranking = ws.rank_with_bound(ds, &weights, bound);
+            on_ranking(i, ranking, &weights);
+            flat.extend_from_slice(&ranking[..stride]);
         }
         // `stride == 0` ⇔ the dataset is empty: every ranking is the
         // empty permutation (`chunks(0)` would panic, and chunking an
@@ -107,6 +127,39 @@ where
         start = end;
     }
     verdicts
+}
+
+/// Like [`batch_verdicts`], but also reports each candidate's *top-k
+/// threshold score* — the score of the ranked `k`-th item under the
+/// candidate's weights (`NaN` when the oracle exposes no usable top-k
+/// bound). The incremental index-maintenance paths store the threshold
+/// next to the verdict: a later insert/remove whose item scores strictly
+/// below the threshold provably cannot change the verdict, so the probe
+/// is skipped entirely.
+pub(crate) fn batch_verdicts_and_thresholds<A: AsRef<[f64]>>(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    candidates: &[A],
+) -> Vec<(bool, f64)> {
+    let kth = match oracle.top_k_bound() {
+        Some(k) if k > 0 && k <= ds.len() => k,
+        _ => 0, // no usable bound → NaN thresholds
+    };
+    let mut thresholds = Vec::with_capacity(candidates.len());
+    let verdicts = batch_verdicts_by_with(
+        ds,
+        oracle,
+        candidates.len(),
+        |i, out| to_cartesian_into(1.0, candidates[i].as_ref(), out),
+        |_, ranking, weights| {
+            thresholds.push(if kth > 0 {
+                ds.score(weights, ranking[kth - 1] as usize)
+            } else {
+                f64::NAN
+            });
+        },
+    );
+    verdicts.into_iter().zip(thresholds).collect()
 }
 
 #[cfg(test)]
@@ -166,6 +219,38 @@ mod tests {
             batch_verdicts(&ds, &oracle, &candidates),
             vec![true; candidates.len()]
         );
+    }
+
+    #[test]
+    fn thresholds_match_direct_ranking() {
+        let ds = generic::uniform(30, 3, 0.8, 9);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
+        let candidates: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                vec![
+                    (i as f64 + 0.5) / 40.0 * fairrank_geometry::HALF_PI,
+                    ((i * 3) % 40) as f64 / 40.0 * fairrank_geometry::HALF_PI,
+                ]
+            })
+            .collect();
+        let got = batch_verdicts_and_thresholds(&ds, &oracle, &candidates);
+        let plain = batch_verdicts(&ds, &oracle, &candidates);
+        for ((c, &(v, t)), &pv) in candidates.iter().zip(&got).zip(&plain) {
+            assert_eq!(v, pv);
+            let w = to_cartesian(1.0, c);
+            let ranking = ds.rank(&w);
+            let want = ds.score(&w, ranking[oracle.k() - 1] as usize);
+            assert_eq!(t, want, "threshold mismatch at {c:?}");
+        }
+    }
+
+    #[test]
+    fn thresholds_nan_without_topk_bound() {
+        let ds = generic::uniform(10, 2, 0.0, 3);
+        let oracle = FnOracle::new("always", |_: &[u32]| true);
+        let got = batch_verdicts_and_thresholds(&ds, &oracle, &[vec![0.5], vec![1.0]]);
+        assert!(got.iter().all(|&(v, t)| v && t.is_nan()));
     }
 
     #[test]

@@ -24,8 +24,9 @@ use crate::approximate::{ApproxGrid, ApproxIndex, BuildOptions};
 use crate::backend::{BackendStats, IndexBackend, QueryCtx, Strategy};
 use crate::error::{validate_weights, FairRankError};
 use crate::md::{sat_regions, ExactRegions, SatRegionsOptions};
-use crate::persist::{decode_ranker, encode_ranker, PersistError};
-use crate::twod::{ray_sweep, TwoDIntervals};
+use crate::persist::{decode_ranker_versioned, encode_ranker_versioned, PersistError};
+use crate::twod::TwoDIntervals;
+use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
 pub use crate::backend::Suggestion;
 
@@ -41,6 +42,9 @@ pub struct FairRanker {
     ds: Arc<Dataset>,
     oracle: Box<dyn FairnessOracle>,
     backend: Box<dyn IndexBackend>,
+    /// Number of dataset updates applied since construction (or carried
+    /// over from a persisted envelope) — the dataset's serving epoch.
+    version: u64,
 }
 
 /// Configures and runs the offline phase — the single entry point behind
@@ -52,6 +56,7 @@ pub struct FairRankerBuilder {
     strategy: Strategy,
     sat_opts: SatRegionsOptions,
     approx_opts: BuildOptions,
+    exact_rebuild_every: usize,
 }
 
 impl FairRankerBuilder {
@@ -67,6 +72,17 @@ impl FairRankerBuilder {
     #[must_use]
     pub fn sat_regions_options(mut self, opts: SatRegionsOptions) -> Self {
         self.sat_opts = opts;
+        self
+    }
+
+    /// How many live updates the exact-regions backend coalesces before
+    /// paying one arrangement reconstruction (default 1 = rebuild
+    /// immediately, so answers never go stale). Only affects
+    /// [`Strategy::MdExact`]; see
+    /// [`ExactRegions::with_update_policy`].
+    #[must_use]
+    pub fn exact_rebuild_every(mut self, every: usize) -> Self {
+        self.exact_rebuild_every = every.max(1);
         self
     }
 
@@ -92,15 +108,20 @@ impl FairRankerBuilder {
             strategy,
             sat_opts,
             approx_opts,
+            exact_rebuild_every,
         } = self;
         let backend: Box<dyn IndexBackend> = match strategy.pick(&ds) {
             Strategy::TwoD => {
-                let sweep = ray_sweep(&ds, oracle.as_ref())?;
-                Box::new(TwoDIntervals::new(sweep.intervals))
+                // `build_maintained` keeps the sweep structure so live
+                // updates maintain the index incrementally.
+                Box::new(TwoDIntervals::build_maintained(&ds, oracle.as_ref())?)
             }
             Strategy::MdExact => {
                 let regions = sat_regions(&ds, oracle.as_ref(), &sat_opts)?;
-                Box::new(ExactRegions::new(regions.satisfactory, regions.dim))
+                Box::new(
+                    ExactRegions::new(regions.satisfactory, regions.dim)
+                        .with_update_policy(sat_opts, exact_rebuild_every),
+                )
             }
             Strategy::MdApprox => Box::new(ApproxGrid::new(ApproxIndex::build(
                 &ds,
@@ -141,6 +162,7 @@ impl FairRanker {
             strategy: Strategy::Auto,
             sat_opts: SatRegionsOptions::default(),
             approx_opts: BuildOptions::default(),
+            exact_rebuild_every: 1,
         }
     }
 
@@ -177,6 +199,7 @@ impl FairRanker {
             ds,
             oracle,
             backend,
+            version: 0,
         })
     }
 
@@ -410,12 +433,101 @@ impl FairRanker {
             .collect())
     }
 
-    /// Serialize the complete ranker index — backend tag plus artifact,
-    /// inside one checksummed envelope — for the offline→online
-    /// hand-off. The inverse is [`FairRanker::from_bytes`].
+    /// The ranker's dataset epoch: how many live updates have been
+    /// applied (carried through [`FairRanker::save`]/[`load`](FairRanker::load)
+    /// in the persistence envelope, so replicas can tell which snapshot
+    /// a handed-off index reflects).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Apply one live dataset update — the serving-time mutation front
+    /// door. The shared [`Arc<Dataset>`] is *versioned*, not mutated:
+    /// a fresh copy-on-write snapshot replaces it, so any clone handed
+    /// out earlier (replicas, in-flight readers) keeps serving the old
+    /// version untouched. The oracle is re-bound to the new dataset
+    /// ([`FairnessOracle::rebind`]) and the backend maintains its index
+    /// through [`IndexBackend::apply`] — incrementally where the backend
+    /// supports it.
+    ///
+    /// After the update (once any [`UpdateOutcome::Deferred`] window is
+    /// flushed), [`FairRanker::suggest`] answers exactly as a ranker
+    /// rebuilt from scratch on the updated dataset would — the
+    /// equivalence is property-tested per backend.
+    ///
+    /// # Errors
+    /// [`FairRankError::InvalidUpdate`] on a malformed update (nothing is
+    /// changed); [`FairRankError::UpdateUnsupported`] when a third-party
+    /// backend has no update surface; backend rebuild errors.
+    pub fn update(&mut self, update: DatasetUpdate) -> Result<UpdateOutcome, FairRankError> {
+        update.validate(&self.ds)?;
+        let old = Arc::clone(&self.ds);
+        let mut next = (*old).clone();
+        update
+            .apply_to(&mut next)
+            .map_err(|e| FairRankError::InvalidUpdate(e.to_string()))?;
+        let next = Arc::new(next);
+        // Stage the rebound oracle; dataset, oracle and version commit
+        // together only after the backend accepted the update.
+        let rebound = self.oracle.rebind(&next);
+        let ctx = UpdateCtx {
+            old: &old,
+            ds: &next,
+            oracle: rebound.as_deref().unwrap_or(self.oracle.as_ref()),
+        };
+        let outcome = self.backend.apply(&update, &ctx)?;
+        self.ds = next;
+        if let Some(oracle) = rebound {
+            self.oracle = oracle;
+        }
+        self.version += 1;
+        Ok(outcome)
+    }
+
+    /// Apply a sequence of updates in order, returning one
+    /// [`UpdateOutcome`] per update. Stops at (and returns) the first
+    /// error; updates before it have been applied.
+    ///
+    /// # Errors
+    /// As [`FairRanker::update`].
+    pub fn update_batch(
+        &mut self,
+        updates: impl IntoIterator<Item = DatasetUpdate>,
+    ) -> Result<Vec<UpdateOutcome>, FairRankError> {
+        updates.into_iter().map(|u| self.update(u)).collect()
+    }
+
+    /// Force any updates a coalescing backend deferred
+    /// ([`UpdateOutcome::Deferred`]) to take effect now. Backends without
+    /// a deferral buffer return [`UpdateOutcome::Noop`].
+    ///
+    /// # Errors
+    /// Backend rebuild errors.
+    pub fn flush_updates(&mut self) -> Result<UpdateOutcome, FairRankError> {
+        let ctx = UpdateCtx {
+            old: &self.ds,
+            ds: &self.ds,
+            oracle: self.oracle.as_ref(),
+        };
+        self.backend.flush(&ctx)
+    }
+
+    /// Serialize the complete ranker index — backend tag plus artifact
+    /// plus the update counter, inside one checksummed envelope — for
+    /// the offline→online hand-off. The inverse is
+    /// [`FairRanker::from_bytes`].
+    ///
+    /// Deferred updates are **not** part of the envelope: a coalescing
+    /// backend (exact regions behind
+    /// [`exact_rebuild_every`](FairRankerBuilder::exact_rebuild_every))
+    /// serializes its current — possibly stale — index and the loaded
+    /// replica has no pending buffer left to flush. Call
+    /// [`FairRanker::flush_updates`] before serializing a ranker that
+    /// may sit inside a deferral window.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        encode_ranker(self.ds.dim(), self.backend.as_ref())
+        encode_ranker_versioned(self.ds.dim(), self.version, self.backend.as_ref())
     }
 
     /// Reassemble a ranker persisted with [`FairRanker::to_bytes`],
@@ -435,14 +547,16 @@ impl FairRanker {
         oracle: Box<dyn FairnessOracle>,
     ) -> Result<Self, FairRankError> {
         let ds = ds.into();
-        let (dim, backend) = decode_ranker(bytes)?;
+        let (dim, version, backend) = decode_ranker_versioned(bytes)?;
         if dim != ds.dim() {
             return Err(FairRankError::DimensionMismatch {
                 expected: dim,
                 found: ds.dim(),
             });
         }
-        Self::from_backend_arc(ds, oracle, backend)
+        let mut ranker = Self::from_backend_arc(ds, oracle, backend)?;
+        ranker.version = version;
+        Ok(ranker)
     }
 
     /// Write [`FairRanker::to_bytes`] to a file.

@@ -21,8 +21,7 @@
 //! updates the verdict in `O(1)`.
 
 use fairrank_datasets::{Dataset, RankWorkspace};
-use fairrank_fairness::incremental::SweepState;
-use fairrank_fairness::{FairnessOracle, Proportionality};
+use fairrank_fairness::{Conjunction, FairnessOracle, Proportionality};
 use fairrank_geometry::dual::exchange_angle_2d;
 use fairrank_geometry::interval::AngularIntervals;
 use fairrank_geometry::HALF_PI;
@@ -47,21 +46,49 @@ pub struct RaySweepResult {
     pub rerank_events: u64,
 }
 
+/// The ordering-exchange event of one item pair, if it has an interior
+/// exchange. Exchanges at exactly 0 or π/2 are ties on an axis function;
+/// they do not flip the interior ordering.
+#[inline]
+fn pair_event(ds: &Dataset, i: u32, j: u32) -> Option<(f64, u32, u32)> {
+    let theta = exchange_angle_2d(ds.item(i as usize), ds.item(j as usize))?;
+    (theta > 1e-12 && theta < HALF_PI - 1e-12).then_some((theta, i, j))
+}
+
+/// The canonical event order: angle first, then the pair
+/// lexicographically. Because [`exchange_events`] generates pairs in
+/// lexicographic order and sorts *stably* by angle alone, sorting by
+/// this full key reproduces its output exactly — which is what lets the
+/// incremental index maintenance merge per-item events into a stored
+/// list and land bit-identically on the from-scratch event order.
+#[inline]
+pub(crate) fn event_cmp(a: &(f64, u32, u32), b: &(f64, u32, u32)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+}
+
 /// Exchange events sorted by angle, each carrying the swapping pair.
-fn exchange_events(ds: &Dataset) -> Vec<(f64, u32, u32)> {
+pub(crate) fn exchange_events(ds: &Dataset) -> Vec<(f64, u32, u32)> {
     let mut events = Vec::new();
-    for i in 0..ds.len() {
-        for j in i + 1..ds.len() {
-            if let Some(theta) = exchange_angle_2d(ds.item(i), ds.item(j)) {
-                // Exchanges at exactly 0 or π/2 are ties on an axis
-                // function; they do not flip the interior ordering.
-                if theta > 1e-12 && theta < HALF_PI - 1e-12 {
-                    events.push((theta, i as u32, j as u32));
-                }
-            }
+    for i in 0..ds.len() as u32 {
+        for j in i + 1..ds.len() as u32 {
+            events.extend(pair_event(ds, i, j));
         }
     }
     events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    events
+}
+
+/// The exchange events of one item `x` against every other item, in the
+/// canonical [`event_cmp`] order — the event *delta* of inserting,
+/// removing or re-scoring `x`.
+pub(crate) fn item_events(ds: &Dataset, x: u32) -> Vec<(f64, u32, u32)> {
+    let mut events = Vec::with_capacity(ds.len().saturating_sub(1));
+    for j in 0..ds.len() as u32 {
+        if j != x {
+            events.extend(pair_event(ds, j.min(x), j.max(x)));
+        }
+    }
+    events.sort_by(event_cmp);
     events
 }
 
@@ -83,30 +110,48 @@ fn weights_at(theta: f64) -> [f64; 2] {
     [theta.cos(), theta.sin()]
 }
 
-/// The black-box sweep: one oracle call per sector (paper Theorem 1).
+/// Raw output of one sector walk: the merged satisfactory intervals plus
+/// the per-sector verdict structure the incremental maintenance path
+/// stores (`boundaries[i]` is the angle where sector `i` ends;
+/// `verdicts` has one entry per sector, `boundaries.len() + 1` total).
+pub(crate) struct SweepOutput {
+    pub intervals: AngularIntervals,
+    pub boundaries: Vec<f64>,
+    pub verdicts: Vec<bool>,
+    pub sector_count: usize,
+    pub rerank_events: u64,
+}
+
+/// The sector walk shared by [`ray_sweep`] and the incremental index
+/// maintenance: seed the ranking strictly inside the first sector, ask
+/// `verdict(ranking, position, lo, hi, incremental_verdict)` once per
+/// sector, and apply each batch of swaps (re-ranking on degenerate ties,
+/// DESIGN.md F5).
 ///
-/// # Errors
-/// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
-/// scoring attributes.
-pub fn ray_sweep(
+/// When `inc_src` is given and its oracle supports incremental
+/// evaluation ([`FairnessOracle::incremental`]), an `O(1)`-per-swap
+/// verdict state is maintained in lockstep with the ranking and its
+/// verdict is handed to the closure — by the [`fairrank_fairness::IncrementalOracle`]
+/// contract it equals the black-box verdict on the current ranking, so
+/// callers may substitute it for an oracle call. `None` keeps the
+/// faithful black-box walk (paper Theorem 1 cost accounting).
+///
+/// The sweep needs the *full* ordering (swaps walk the whole
+/// permutation), so re-ranks are full sorts — but through one workspace
+/// and into the persistent `ranking` buffer, so degenerate re-rank
+/// events allocate nothing after the seed.
+pub(crate) fn sweep_events<F>(
     ds: &Dataset,
-    oracle: &dyn FairnessOracle,
-) -> Result<RaySweepResult, FairRankError> {
-    if ds.dim() != 2 {
-        return Err(FairRankError::DimensionMismatch {
-            expected: 2,
-            found: ds.dim(),
-        });
-    }
-    let events = exchange_events(ds);
-    let batches = batches(&events);
+    events: &[(f64, u32, u32)],
+    inc_src: Option<&dyn FairnessOracle>,
+    mut verdict: F,
+) -> SweepOutput
+where
+    F: FnMut(&[u32], &[u32], f64, f64, Option<bool>) -> bool,
+{
+    let batches = batches(events);
     let sector_count = batches.len() + 1;
 
-    // Current ranking, seeded strictly inside the first sector. The
-    // sweep needs the *full* ordering (swaps walk the whole permutation),
-    // so re-ranks are full sorts — but through one workspace and into the
-    // persistent `ranking` buffer, so degenerate re-rank events allocate
-    // nothing after the seed.
     let mut workspace = RankWorkspace::with_capacity(ds.len());
     let first_angle = batches.first().map_or(HALF_PI, |b| events[b.start].0);
     let mut ranking: Vec<u32> = Vec::with_capacity(ds.len());
@@ -115,24 +160,30 @@ pub fn ray_sweep(
     for (pos, &item) in ranking.iter().enumerate() {
         position[item as usize] = pos as u32;
     }
+    let mut inc = inc_src.and_then(|o| o.incremental(&ranking));
 
-    let mut oracle_calls = 0u64;
     let mut rerank_events = 0u64;
     let mut satisfactory_sectors: Vec<(f64, f64)> = Vec::new();
+    let mut boundaries = Vec::with_capacity(batches.len());
+    let mut verdicts = Vec::with_capacity(sector_count);
     let mut sector_lo = 0.0f64;
-
-    let record = |sat: bool, lo: f64, hi: f64, acc: &mut Vec<(f64, f64)>| {
-        if sat {
-            acc.push((lo, hi));
-        }
-    };
 
     for (bi, batch) in batches.iter().enumerate() {
         let theta = events[batch.start].0;
         // Verdict for the sector ending at this batch.
-        oracle_calls += 1;
-        let sat = oracle.is_satisfactory(&ranking);
-        record(sat, sector_lo, theta, &mut satisfactory_sectors);
+        let sat = verdict(
+            &ranking,
+            &position,
+            sector_lo,
+            theta,
+            inc.as_deref()
+                .map(fairrank_fairness::IncrementalOracle::is_satisfactory),
+        );
+        if sat {
+            satisfactory_sectors.push((sector_lo, theta));
+        }
+        verdicts.push(sat);
+        boundaries.push(theta);
         sector_lo = theta;
 
         // Apply the batch of swaps.
@@ -141,6 +192,10 @@ pub fn ray_sweep(
             let pa = position[a as usize] as usize;
             let pb = position[b as usize] as usize;
             if pa.abs_diff(pb) == 1 {
+                let (pos, top, bottom) = if pa < pb { (pa, a, b) } else { (pb, b, a) };
+                if let Some(state) = inc.as_deref_mut() {
+                    state.swap_adjacent_items(pos, top, bottom);
+                }
                 ranking.swap(pa, pb);
                 position.swap(a as usize, b as usize);
             } else {
@@ -161,19 +216,59 @@ pub fn ray_sweep(
             for (pos, &item) in ranking.iter().enumerate() {
                 position[item as usize] = pos as u32;
             }
+            inc = inc_src.and_then(|o| o.incremental(&ranking));
         }
     }
     // Final sector up to π/2.
-    oracle_calls += 1;
-    let sat = oracle.is_satisfactory(&ranking);
-    record(sat, sector_lo, HALF_PI, &mut satisfactory_sectors);
+    let sat = verdict(
+        &ranking,
+        &position,
+        sector_lo,
+        HALF_PI,
+        inc.as_deref()
+            .map(fairrank_fairness::IncrementalOracle::is_satisfactory),
+    );
+    if sat {
+        satisfactory_sectors.push((sector_lo, HALF_PI));
+    }
+    verdicts.push(sat);
 
-    Ok(RaySweepResult {
+    SweepOutput {
         intervals: AngularIntervals::from_pairs(satisfactory_sectors),
-        exchange_count: events.len(),
+        boundaries,
+        verdicts,
         sector_count,
-        oracle_calls,
         rerank_events,
+    }
+}
+
+/// The black-box sweep: one oracle call per sector (paper Theorem 1).
+///
+/// # Errors
+/// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
+/// scoring attributes.
+pub fn ray_sweep(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+) -> Result<RaySweepResult, FairRankError> {
+    if ds.dim() != 2 {
+        return Err(FairRankError::DimensionMismatch {
+            expected: 2,
+            found: ds.dim(),
+        });
+    }
+    let events = exchange_events(ds);
+    let mut oracle_calls = 0u64;
+    let out = sweep_events(ds, &events, None, |ranking, _, _, _, _| {
+        oracle_calls += 1;
+        oracle.is_satisfactory(ranking)
+    });
+    Ok(RaySweepResult {
+        intervals: out.intervals,
+        exchange_count: events.len(),
+        sector_count: out.sector_count,
+        oracle_calls,
+        rerank_events: out.rerank_events,
     })
 }
 
@@ -181,7 +276,10 @@ pub fn ray_sweep(
 /// no black-box oracle calls after seeding.
 ///
 /// Produces identical intervals to [`ray_sweep`] with the equivalent
-/// oracle (verified by tests and the property suite).
+/// oracle (verified by tests and the property suite). Runs on the same
+/// [`sweep_events`] walk as every other sweep driver, with the
+/// constraints bundled into a [`Conjunction`] whose incremental state
+/// the walk maintains swap by swap.
 ///
 /// # Errors
 /// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
@@ -196,59 +294,19 @@ pub fn ray_sweep_incremental(
             found: ds.dim(),
         });
     }
+    let conjunction = constraints
+        .iter()
+        .fold(Conjunction::new(), |c, p| c.and((*p).clone()));
     let events = exchange_events(ds);
-    let batches = batches(&events);
-    let sector_count = batches.len() + 1;
-
-    // SweepState owns its ranking, so seeding/re-ranks hand over a fresh
-    // Vec — but the sort itself still runs through one reused workspace.
-    let mut workspace = RankWorkspace::with_capacity(ds.len());
-    let first_angle = batches.first().map_or(HALF_PI, |b| events[b.start].0);
-    let mut sweep = SweepState::new(
-        workspace.rank(ds, &weights_at(first_angle / 2.0)).to_vec(),
-        constraints,
-    );
-
-    let mut rerank_events = 0u64;
-    let mut satisfactory_sectors: Vec<(f64, f64)> = Vec::new();
-    let mut sector_lo = 0.0f64;
-
-    for (bi, batch) in batches.iter().enumerate() {
-        let theta = events[batch.start].0;
-        if sweep.is_satisfactory() {
-            satisfactory_sectors.push((sector_lo, theta));
-        }
-        sector_lo = theta;
-
-        let mut degenerate = false;
-        for &(_, a, b) in &events[batch.clone()] {
-            if sweep.adjacent(a, b) {
-                sweep.swap_items(a, b);
-            } else {
-                degenerate = true;
-            }
-        }
-        if degenerate {
-            rerank_events += 1;
-            let next_theta = batches.get(bi + 1).map_or(HALF_PI, |nb| events[nb.start].0);
-            sweep = SweepState::new(
-                workspace
-                    .rank(ds, &weights_at(0.5 * (theta + next_theta)))
-                    .to_vec(),
-                constraints,
-            );
-        }
-    }
-    if sweep.is_satisfactory() {
-        satisfactory_sectors.push((sector_lo, HALF_PI));
-    }
-
+    let out = sweep_events(ds, &events, Some(&conjunction), |_, _, _, _, inc| {
+        inc.expect("proportionality conjunctions support incremental evaluation")
+    });
     Ok(RaySweepResult {
-        intervals: AngularIntervals::from_pairs(satisfactory_sectors),
+        intervals: out.intervals,
         exchange_count: events.len(),
-        sector_count,
+        sector_count: out.sector_count,
         oracle_calls: 0,
-        rerank_events,
+        rerank_events: out.rerank_events,
     })
 }
 

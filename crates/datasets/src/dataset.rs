@@ -270,6 +270,90 @@ impl Dataset {
         }
     }
 
+    /// Append one item: its scoring vector plus one group id per type
+    /// attribute (in [`Dataset::type_attributes`] order). Returns the new
+    /// item's id (`n − 1` after the insert) — existing ids are unchanged.
+    ///
+    /// # Errors
+    /// On wrong scoring arity, non-finite values, wrong `groups` arity, or
+    /// a group id outside an attribute's label set.
+    pub fn insert_row(&mut self, scores: &[f64], groups: &[u32]) -> Result<u32, DatasetError> {
+        if scores.len() != self.d {
+            return Err(DatasetError::RaggedRow {
+                row: self.n,
+                expected: self.d,
+                found: scores.len(),
+            });
+        }
+        if let Some(attr) = scores.iter().position(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFiniteValue { row: self.n, attr });
+        }
+        if groups.len() != self.types.len() {
+            return Err(DatasetError::MalformedTypeAttribute(format!(
+                "insert carries {} group ids for {} type attributes",
+                groups.len(),
+                self.types.len()
+            )));
+        }
+        for (t, &g) in self.types.iter().zip(groups) {
+            if g as usize >= t.labels.len() {
+                return Err(DatasetError::MalformedTypeAttribute(t.name.clone()));
+            }
+        }
+        self.scoring.extend_from_slice(scores);
+        for (t, &g) in self.types.iter_mut().zip(groups) {
+            t.values.push(g);
+        }
+        self.n += 1;
+        Ok((self.n - 1) as u32)
+    }
+
+    /// Remove item `i`. Items above `i` shift down by one id (the dense
+    /// `0..n` id space is an invariant every index relies on); type
+    /// attributes stay aligned.
+    ///
+    /// # Errors
+    /// If `i` is out of range, or the removal would empty the dataset
+    /// (a [`Dataset`] is never empty).
+    pub fn remove_row(&mut self, i: usize) -> Result<(), DatasetError> {
+        if i >= self.n {
+            return Err(DatasetError::UnknownAttribute(format!("item #{i}")));
+        }
+        if self.n == 1 {
+            return Err(DatasetError::Empty);
+        }
+        self.scoring.drain(i * self.d..(i + 1) * self.d);
+        for t in &mut self.types {
+            t.values.remove(i);
+        }
+        self.n -= 1;
+        Ok(())
+    }
+
+    /// Replace item `i`'s scoring vector in place (id and group
+    /// memberships unchanged).
+    ///
+    /// # Errors
+    /// If `i` is out of range, the arity is wrong, or a value is
+    /// non-finite.
+    pub fn rescore_row(&mut self, i: usize, scores: &[f64]) -> Result<(), DatasetError> {
+        if i >= self.n {
+            return Err(DatasetError::UnknownAttribute(format!("item #{i}")));
+        }
+        if scores.len() != self.d {
+            return Err(DatasetError::RaggedRow {
+                row: i,
+                expected: self.d,
+                found: scores.len(),
+            });
+        }
+        if let Some(attr) = scores.iter().position(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFiniteValue { row: i, attr });
+        }
+        self.scoring[i * self.d..(i + 1) * self.d].copy_from_slice(scores);
+        Ok(())
+    }
+
     /// Whether item `i` dominates item `j` (≥ everywhere, > somewhere).
     ///
     /// # Panics
@@ -553,6 +637,58 @@ mod tests {
             });
             assert!(found, "sampled row {row:?} not aligned");
         }
+    }
+
+    #[test]
+    fn insert_remove_rescore_rows() {
+        let mut ds = toy();
+        ds.add_type_attribute(
+            "color",
+            vec!["blue".into(), "orange".into()],
+            vec![0, 1, 0, 1, 0],
+        )
+        .unwrap();
+        let id = ds.insert_row(&[2.0, 2.0], &[1]).unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.item(5), &[2.0, 2.0]);
+        assert_eq!(ds.type_attribute("color").unwrap().values[5], 1);
+
+        ds.rescore_row(5, &[0.5, 0.5]).unwrap();
+        assert_eq!(ds.item(5), &[0.5, 0.5]);
+
+        // Remove in the middle: ids above shift down, groups stay aligned.
+        let before_item3 = ds.item(3).to_vec();
+        let before_group3 = ds.type_attribute("color").unwrap().values[3];
+        ds.remove_row(2).unwrap();
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.item(2), before_item3.as_slice());
+        assert_eq!(ds.type_attribute("color").unwrap().values[2], before_group3);
+    }
+
+    #[test]
+    fn row_mutation_validation() {
+        let mut ds = toy();
+        ds.add_type_attribute("c", vec!["a".into()], vec![0; 5])
+            .unwrap();
+        assert!(matches!(
+            ds.insert_row(&[1.0], &[0]),
+            Err(DatasetError::RaggedRow { .. })
+        ));
+        assert!(matches!(
+            ds.insert_row(&[1.0, f64::NAN], &[0]),
+            Err(DatasetError::NonFiniteValue { .. })
+        ));
+        assert!(ds.insert_row(&[1.0, 1.0], &[]).is_err());
+        assert!(ds.insert_row(&[1.0, 1.0], &[7]).is_err());
+        assert!(ds.remove_row(99).is_err());
+        assert!(ds.rescore_row(99, &[1.0, 1.0]).is_err());
+        assert!(ds.rescore_row(0, &[1.0]).is_err());
+        assert!(ds.rescore_row(0, &[f64::INFINITY, 1.0]).is_err());
+        // Cannot empty the dataset.
+        let mut single =
+            Dataset::from_rows(vec!["x".into(), "y".into()], &[vec![1.0, 1.0]]).unwrap();
+        assert_eq!(single.remove_row(0), Err(DatasetError::Empty));
     }
 
     #[test]

@@ -20,7 +20,22 @@ pub trait IncrementalOracle {
     /// May panic if `pos + 1` is out of range.
     fn swap_adjacent(&mut self, pos: usize);
 
-    /// Current verdict.
+    /// Swap the items at ranking positions `pos` and `pos + 1`, naming
+    /// the items involved: `top` currently sits at `pos`, `bottom` at
+    /// `pos + 1`. States that track per-item groups (proportionality)
+    /// need the ids; the default forwards to
+    /// [`swap_adjacent`](IncrementalOracle::swap_adjacent) for states
+    /// that do not. This is the entry point external sweep drivers (the
+    /// incremental index maintenance in `fairrank-core`) use.
+    fn swap_adjacent_items(&mut self, pos: usize, top: u32, bottom: u32) {
+        let _ = (top, bottom);
+        self.swap_adjacent(pos);
+    }
+
+    /// Current verdict. Must equal
+    /// [`FairnessOracle::is_satisfactory`](crate::FairnessOracle::is_satisfactory)
+    /// on the tracked ranking at every step — the indexing machinery
+    /// substitutes this for black-box calls.
     fn is_satisfactory(&self) -> bool;
 }
 
@@ -159,9 +174,13 @@ impl<'a> SweepState<'a> {
 impl IncrementalOracle for ProportionalityState<'_> {
     fn swap_adjacent(&mut self, _pos: usize) {
         unreachable!(
-            "ProportionalityState must be driven through SweepState, which \
-             knows the item groups at each position"
+            "ProportionalityState needs item ids: drive it through \
+             swap_adjacent_items (or SweepState)"
         );
+    }
+
+    fn swap_adjacent_items(&mut self, pos: usize, top: u32, bottom: u32) {
+        self.swap_with_groups(pos, self.oracle.group_of(top), self.oracle.group_of(bottom));
     }
 
     fn is_satisfactory(&self) -> bool {
@@ -184,7 +203,16 @@ impl<'a> ConjunctionState<'a> {
 
 impl IncrementalOracle for ConjunctionState<'_> {
     fn swap_adjacent(&mut self, _pos: usize) {
-        unreachable!("ConjunctionState must be driven through SweepState")
+        unreachable!(
+            "ConjunctionState needs item ids: drive it through \
+             swap_adjacent_items (or SweepState)"
+        )
+    }
+
+    fn swap_adjacent_items(&mut self, pos: usize, top: u32, bottom: u32) {
+        for s in &mut self.states {
+            s.swap_adjacent_items(pos, top, bottom);
+        }
     }
 
     fn is_satisfactory(&self) -> bool {
@@ -288,6 +316,51 @@ mod tests {
         let oracle = Proportionality::new(&t, 2).with_max_count(0, 1);
         let inc = oracle.incremental(&[0, 1, 2, 3]).unwrap();
         assert!(inc.is_satisfactory());
+    }
+
+    #[test]
+    fn swap_adjacent_items_matches_blackbox_via_trait_object() {
+        // External sweep drivers (the incremental index maintenance) hold
+        // a `Box<dyn IncrementalOracle>` and drive it item-wise; its
+        // verdict must track the black-box oracle exactly.
+        let values: Vec<u32> = (0..16).map(|i| (i * 5 % 3) as u32).collect();
+        let t = attr(values, 3);
+        let oracle = Proportionality::new(&t, 5).with_max_count(0, 2);
+        let mut ranking: Vec<u32> = (0..16).collect();
+        let mut inc = oracle.incremental(&ranking).unwrap();
+        let mut seed = 0xDEAD_BEEFu64;
+        for step in 0..300 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let pos = (seed % 15) as usize;
+            let (top, bottom) = (ranking[pos], ranking[pos + 1]);
+            inc.swap_adjacent_items(pos, top, bottom);
+            ranking.swap(pos, pos + 1);
+            assert_eq!(
+                inc.is_satisfactory(),
+                oracle.is_satisfactory(&ranking),
+                "trait-object divergence at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjunction_incremental_trait_object_tracks() {
+        use crate::proportionality::Conjunction;
+        let ta = attr(vec![0, 0, 1, 1, 0, 1], 2);
+        let tb = attr(vec![0, 1, 0, 1, 0, 1], 2);
+        let c = Conjunction::new()
+            .and(Proportionality::new(&ta, 3).with_max_count(0, 2))
+            .and(Proportionality::new(&tb, 2).with_max_count(0, 1));
+        let mut ranking: Vec<u32> = (0..6).collect();
+        let mut inc = c.incremental(&ranking).unwrap();
+        for pos in [0usize, 2, 1, 4, 3, 2, 0] {
+            let (top, bottom) = (ranking[pos], ranking[pos + 1]);
+            inc.swap_adjacent_items(pos, top, bottom);
+            ranking.swap(pos, pos + 1);
+            assert_eq!(inc.is_satisfactory(), c.is_satisfactory(&ranking));
+        }
     }
 
     #[test]

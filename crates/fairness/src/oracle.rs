@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fairrank_datasets::Dataset;
+
 use crate::incremental::IncrementalOracle;
 
 /// A fairness oracle `O : ordered(D) → {⊤, ⊥}` (paper §2).
@@ -45,6 +47,26 @@ pub trait FairnessOracle: Send + Sync {
     /// If the oracle provably only inspects the top-`k` prefix, the bound
     /// `k` — enabling the §8 convex-layers pruning. Default: unknown.
     fn top_k_bound(&self) -> Option<usize> {
+        None
+    }
+
+    /// Re-bind the oracle to an updated dataset (live insert/remove/
+    /// rescore), preserving the fairness *policy* while refreshing any
+    /// per-item state the oracle captured at construction (group ids,
+    /// discount tables sized to `n`, …).
+    ///
+    /// The contract the update machinery relies on: on a ranking of items
+    /// that exist in both the old and the new dataset, the rebound
+    /// oracle's verdict must equal the old oracle's verdict modulo the
+    /// id renumbering a removal performs (ids above the removed item
+    /// shift down by one).
+    ///
+    /// Default `None`: the oracle holds no per-item state (e.g. a pure
+    /// closure over ranking shape) and can keep serving as-is; oracles
+    /// that *do* capture per-item state and cannot re-bind make live
+    /// updates unsound, which is the caller's responsibility to avoid.
+    fn rebind(&self, ds: &Dataset) -> Option<Box<dyn FairnessOracle>> {
+        let _ = ds;
         None
     }
 }
@@ -153,6 +175,10 @@ impl<T: FairnessOracle + ?Sized> FairnessOracle for &T {
     fn top_k_bound(&self) -> Option<usize> {
         (**self).top_k_bound()
     }
+
+    fn rebind(&self, ds: &Dataset) -> Option<Box<dyn FairnessOracle>> {
+        (**self).rebind(ds)
+    }
 }
 
 impl FairnessOracle for Box<dyn FairnessOracle> {
@@ -174,6 +200,10 @@ impl FairnessOracle for Box<dyn FairnessOracle> {
 
     fn top_k_bound(&self) -> Option<usize> {
         (**self).top_k_bound()
+    }
+
+    fn rebind(&self, ds: &Dataset) -> Option<Box<dyn FairnessOracle>> {
+        (**self).rebind(ds)
     }
 }
 

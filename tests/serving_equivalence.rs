@@ -147,3 +147,52 @@ proptest! {
         }
     }
 }
+
+/// Shard-count clamping regressions: degenerate shard requests (0 =
+/// auto, more shards than queries, absurdly large counts) must clamp to
+/// the query count — never panic, never spawn empty workers, and always
+/// answer element-wise identically to serial `suggest`.
+#[test]
+fn degenerate_shard_counts_clamp() {
+    let ds = generic::uniform(30, 2, 0.9, 404);
+    let oracle = oracle_for(&ds, 0.25, 0.6);
+    let ranker = builder_for(&ds, &oracle)
+        .strategy(Strategy::TwoD)
+        .build()
+        .unwrap();
+    let queries = fan(2, 7);
+    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+    let serial: Vec<Suggestion> = refs.iter().map(|q| ranker.suggest(q).unwrap()).collect();
+    for shards in [0, 1, refs.len(), refs.len() + 1, 1000, usize::MAX] {
+        let parallel = ranker.suggest_batch_parallel(&refs, shards).unwrap();
+        assert_eq!(parallel, serial, "diverged at shards = {shards}");
+    }
+    // Empty batches under every degenerate shard count.
+    for shards in [0, 1, 5, usize::MAX] {
+        assert_eq!(ranker.suggest_batch_parallel(&[], shards).unwrap(), vec![]);
+    }
+    // A single query never spawns workers, whatever the shard request.
+    let one: Vec<&[f64]> = refs[..1].to_vec();
+    for shards in [0, 1, 64, usize::MAX] {
+        assert_eq!(
+            ranker.suggest_batch_parallel(&one, shards).unwrap(),
+            serial[..1].to_vec()
+        );
+    }
+}
+
+/// Invalid queries surface the error under degenerate shard counts too
+/// (checked upfront — no partial answers, no worker panics).
+#[test]
+fn degenerate_shard_counts_still_validate() {
+    let ds = generic::uniform(20, 2, 0.9, 405);
+    let oracle = oracle_for(&ds, 0.25, 0.6);
+    let ranker = builder_for(&ds, &oracle)
+        .strategy(Strategy::TwoD)
+        .build()
+        .unwrap();
+    let bad: Vec<&[f64]> = vec![&[1.0, 1.0], &[-1.0, 0.5], &[0.4, 0.4]];
+    for shards in [0, 2, 100, usize::MAX] {
+        assert!(ranker.suggest_batch_parallel(&bad, shards).is_err());
+    }
+}
