@@ -10,12 +10,12 @@
 //! * `oracle_serial` vs `oracle_batched` — FM1 verdicts for a batch of
 //!   rankings (the SATREGIONS / sampling-validation oracle pass).
 //! * `suggest_serial` vs `suggest_batch` — the full online multi-query
-//!   path.
+//!   path (through the unified `respond*` request/response API).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use fairrank::FairRanker;
+use fairrank::{FairRanker, SuggestRequest};
 use fairrank_bench::{compas_2d, default_compas_oracle, query_fan};
 use fairrank_datasets::RankWorkspace;
 use fairrank_fairness::FairnessOracle;
@@ -71,28 +71,27 @@ fn bench_suggest_batch(c: &mut Criterion) {
     let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
         .build()
         .unwrap();
-    let queries: Vec<Vec<f64>> = query_fan(1, 64)
+    let reqs: Vec<SuggestRequest> = query_fan(1, 64)
         .iter()
-        .map(|q| to_cartesian(1.0, q))
+        .map(|q| SuggestRequest::new(to_cartesian(1.0, q)))
         .collect();
-    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
 
     group.bench_function("suggest_serial", |b| {
         b.iter(|| {
-            let answers: Vec<_> = refs.iter().map(|q| ranker.suggest(q).unwrap()).collect();
+            let answers: Vec<_> = reqs.iter().map(|r| ranker.respond(r).unwrap()).collect();
             black_box(answers)
         });
     });
     group.bench_function("suggest_batch", |b| {
-        b.iter(|| black_box(ranker.suggest_batch(&refs).unwrap()));
+        b.iter(|| black_box(ranker.respond_batch(&reqs).unwrap()));
     });
     // The sharded serving path: index-decided fairness per shard (the
     // 2-D intervals answer the pre-check in O(log n)) plus worker
-    // threads. Answers are element-wise identical to `suggest`
+    // threads. Answers are element-wise identical to `respond`
     // (tests/serving_equivalence.rs).
     for shards in [1usize, 2, 4] {
         group.bench_function(format!("suggest_batch_parallel_{shards}shard"), |b| {
-            b.iter(|| black_box(ranker.suggest_batch_parallel(&refs, shards).unwrap()));
+            b.iter(|| black_box(ranker.respond_batch_parallel(&reqs, shards).unwrap()));
         });
     }
     group.finish();

@@ -1,11 +1,11 @@
 //! §6.3 (MD) + Figure 16 — MDONLINE lookups vs ordering the data, and
-//! the full `FairRanker::suggest` path the Figure 16 validation uses.
+//! the full `FairRanker::respond` path the Figure 16 validation uses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
-use fairrank::{FairRanker, Strategy};
+use fairrank::{FairRanker, Strategy, SuggestRequest};
 use fairrank_bench::{compas_d, default_compas_oracle, query_fan};
 use fairrank_geometry::polar::to_cartesian;
 
@@ -45,7 +45,7 @@ fn bench_lookup(c: &mut Criterion) {
 }
 
 fn bench_suggest(c: &mut Criterion) {
-    // Figure 16's unit of work: one full suggest() round trip, including
+    // Figure 16's unit of work: one full respond() round trip, including
     // the oracle check on the query itself.
     let mut group = c.benchmark_group("fig16_suggest");
     let d = 3usize;
@@ -56,15 +56,15 @@ fn bench_suggest(c: &mut Criterion) {
         .approx_options(build_options(d))
         .build()
         .unwrap();
-    let weights: Vec<Vec<f64>> = query_fan(d - 1, 64)
+    let reqs: Vec<SuggestRequest> = query_fan(d - 1, 64)
         .iter()
-        .map(|q| to_cartesian(1.0, q))
+        .map(|q| SuggestRequest::new(to_cartesian(1.0, q)))
         .collect();
     let mut qi = 0usize;
     group.bench_function("suggest_round_trip", |b| {
         b.iter(|| {
-            qi = (qi + 1) % weights.len();
-            black_box(ranker.suggest(&weights[qi]).unwrap())
+            qi = (qi + 1) % reqs.len();
+            black_box(ranker.respond(&reqs[qi]).unwrap())
         });
     });
     group.finish();

@@ -18,13 +18,14 @@ use std::time::Duration;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::twod::ray_sweep;
-use fairrank::{DatasetUpdate, FairRanker, Strategy};
+use fairrank::{DatasetUpdate, FairRanker, Strategy, SuggestRequest};
 use fairrank_bench::{compas_2d, compas_d, default_compas_oracle, query_fan, time, time_avg};
 use fairrank_datasets::RankWorkspace;
 use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::polar::to_cartesian;
 use fairrank_geometry::HALF_PI;
 use fairrank_lp::{chebyshev_center, feasible_point, seidel, simplex, Constraint, LinearProgram};
+use fairrank_serve::FairRankService;
 
 /// Deterministic half-space stack, mirroring the `lp_kernels` bench.
 fn region_constraints(count: usize, vars: usize) -> Vec<Constraint> {
@@ -145,35 +146,72 @@ fn main() {
             .unwrap()
     });
     push("experiments.raysweep_build_n1500_ms", us(sweep_t) / 1000.0);
-    let serve_queries: Vec<Vec<f64>> = query_fan(1, 64)
+    let serve_reqs: Vec<SuggestRequest> = query_fan(1, 64)
         .iter()
-        .map(|q| to_cartesian(1.0, q))
+        .map(|q| SuggestRequest::new(to_cartesian(1.0, q)))
         .collect();
-    let refs: Vec<&[f64]> = serve_queries.iter().map(Vec::as_slice).collect();
     push(
         "batch.suggest_serial_64q_us",
         us(time_avg(30, || {
-            refs.iter()
-                .map(|q| ranker.suggest(q).unwrap())
+            serve_reqs
+                .iter()
+                .map(|r| ranker.respond(r).unwrap())
                 .collect::<Vec<_>>()
         })),
     );
     push(
         "batch.suggest_batch_64q_us",
-        us(time_avg(30, || ranker.suggest_batch(&refs).unwrap())),
+        us(time_avg(30, || ranker.respond_batch(&serve_reqs).unwrap())),
     );
     // Sharded serving: the 2-D backend decides fairness from the index
     // (O(log n) per query instead of the O(n log n) oracle ranking), and
-    // shards run on scoped worker threads. Same answers as `suggest`
+    // shards run on scoped worker threads. Same answers as `respond`
     // (tests/serving_equivalence.rs); the 4-shard series is the
     // committed throughput reference against `batch.suggest_batch_64q_us`.
     for shards in [1usize, 2, 4] {
         push(
             &format!("batch.suggest_parallel_{shards}shard_64q_us"),
             us(time_avg(30, || {
-                ranker.suggest_batch_parallel(&refs, shards).unwrap()
+                ranker.respond_batch_parallel(&serve_reqs, shards).unwrap()
             })),
         );
+    }
+
+    // --- service_throughput (async micro-batched serving) -----------
+    // The FairRankService front door: requests/s sustained end to end —
+    // bounded-queue submission, micro-batch coalescing (size-triggered
+    // at `max_batch`), snapshot serving, one-shot completion — over the
+    // same COMPAS n = 1500 ranker and 64-query fan as the batch series.
+    // Answers are bit-identical to `respond_batch`
+    // (tests/service_equivalence.rs); this series tracks the pipeline
+    // overhead and its scaling across worker counts and batch sizes.
+    for workers in [1usize, 2, 4] {
+        for max_batch in [1usize, 16, 64] {
+            let service = FairRankService::builder(ranker.snapshot())
+                .workers(workers)
+                .max_batch(max_batch)
+                .max_delay(Duration::from_micros(100))
+                .queue_capacity(4096)
+                .build();
+            let total = 512usize;
+            let (_, elapsed) = time(|| {
+                let futures: Vec<_> = serve_reqs
+                    .iter()
+                    .cycle()
+                    .take(total)
+                    .map(|r| service.submit(r.clone()).unwrap())
+                    .collect();
+                for fut in futures {
+                    fut.wait().unwrap();
+                }
+            });
+            service.shutdown();
+            let rps = (total as f64 / elapsed.as_secs_f64()).round();
+            push(
+                &format!("service.throughput_{workers}w_{max_batch}b_rps"),
+                rps,
+            );
+        }
     }
 
     // --- update_throughput (live updates vs full rebuild) -----------

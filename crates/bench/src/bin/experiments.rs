@@ -21,7 +21,7 @@ use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::md::exchange_hyperplanes;
 use fairrank::sampling::{build_on_sample, validate_against};
 use fairrank::twod::{online_2d, ray_sweep};
-use fairrank::{FairRanker, Strategy, Suggestion};
+use fairrank::{FairRanker, KnownFairness, Strategy, SuggestRequest};
 use fairrank_bench::stats::{cumulative_at, loglog_slope, mean, median};
 use fairrank_bench::{
     compas_2d, compas_d, compas_d3, compas_full, default_compas_oracle, dot_flights, dot_oracle,
@@ -125,10 +125,13 @@ fn fig16(ctx: &Ctx) {
     let mut distances = Vec::new();
     for q in query_fan(2, 100) {
         let w = to_cartesian(1.0, &q);
-        match ranker.suggest(&w).expect("valid query") {
-            Suggestion::AlreadyFair => fair += 1,
-            Suggestion::Suggested { distance, .. } => distances.push(distance),
-            Suggestion::Infeasible => unreachable!("default model is satisfiable"),
+        let sug = ranker
+            .respond(&SuggestRequest::new(w))
+            .expect("valid query");
+        match sug.fairness {
+            KnownFairness::AlreadyFair => fair += 1,
+            KnownFairness::Suggested { distance } => distances.push(distance),
+            KnownFairness::Infeasible => unreachable!("default model is satisfiable"),
         }
     }
     let thresholds = [0.2, 0.4, 0.6, HALF_PI];

@@ -26,7 +26,7 @@ pub use index::{ApproxIndex, BuildOptions, BuildStats};
 use fairrank_geometry::polar::{angular_distance, to_polar};
 use fairrank_geometry::vector::norm;
 
-use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
+use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, SharedCounters};
 use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
@@ -40,8 +40,7 @@ use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 #[derive(Debug, Clone)]
 pub struct ApproxGrid {
     index: Box<ApproxIndex>,
-    updates: u64,
-    rebuilds: u64,
+    counters: SharedCounters,
 }
 
 impl ApproxGrid {
@@ -50,8 +49,7 @@ impl ApproxGrid {
     pub fn new(index: ApproxIndex) -> Self {
         ApproxGrid {
             index: Box::new(index),
-            updates: 0,
-            rebuilds: 0,
+            counters: SharedCounters::new(),
         }
     }
 
@@ -71,12 +69,12 @@ impl IndexBackend for ApproxGrid {
         &self,
         weights: &[f64],
         _ctx: &QueryCtx<'_>,
-    ) -> Result<Suggestion, FairRankError> {
+    ) -> Result<Answer, FairRankError> {
         let r = norm(weights);
         let (_, query_angles) = to_polar(weights);
         match self.index.lookup(&query_angles) {
-            None => Ok(Suggestion::Infeasible),
-            Some(angles) => Ok(Suggestion::Suggested {
+            None => Ok(Answer::Infeasible),
+            Some(angles) => Ok(Answer::Suggested {
                 weights: crate::backend::suggestion_weights(angles, r),
                 distance: angular_distance(angles, &query_angles),
             }),
@@ -95,15 +93,19 @@ impl IndexBackend for ApproxGrid {
         update: &DatasetUpdate,
         ctx: &UpdateCtx<'_>,
     ) -> Result<UpdateOutcome, FairRankError> {
-        self.updates += 1;
         if self.index.is_maintainable() {
             self.index.maintain(update, ctx)?;
+            self.counters.record(true, false);
             return Ok(UpdateOutcome::Incremental);
         }
         let opts = self.index.opts.clone();
         *self.index = ApproxIndex::build(ctx.ds, ctx.oracle, &opts)?;
-        self.rebuilds += 1;
+        self.counters.record(true, true);
         Ok(UpdateOutcome::Rebuilt)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn IndexBackend>> {
+        Some(Box::new(self.clone()))
     }
 
     fn persist_tag(&self) -> u8 {
@@ -115,13 +117,14 @@ impl IndexBackend for ApproxGrid {
     }
 
     fn stats(&self) -> BackendStats {
+        let (updates, rebuilds) = self.counters.snapshot();
         BackendStats {
             kind: "approx-grid",
             artifacts: self.index.grid().cell_count(),
             functions: Some(self.index.functions().len()),
             error_bound: Some(self.index.error_bound()),
-            updates: self.updates,
-            rebuilds: self.rebuilds,
+            updates,
+            rebuilds,
         }
     }
 

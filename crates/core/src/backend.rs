@@ -21,7 +21,7 @@
 //! [`suggest_unfair`](IndexBackend::suggest_unfair) receives weight
 //! vectors that are already validated and whose induced ranking the
 //! oracle has already rejected, and maps them to the closest
-//! satisfactory function (or [`Suggestion::Infeasible`]). The
+//! satisfactory function (or [`Answer::Infeasible`]). The
 //! [`QueryCtx`] hands the backend the dataset and oracle for backends
 //! that re-validate their answers (the exact m-D path does).
 //!
@@ -43,6 +43,7 @@
 //! possible without the caller naming the backend type.
 
 use std::any::Any;
+use std::sync::{Arc, Mutex};
 
 use fairrank_datasets::Dataset;
 use fairrank_fairness::FairnessOracle;
@@ -50,9 +51,14 @@ use fairrank_fairness::FairnessOracle;
 use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
-/// Answer to a closest-satisfactory-function query.
+/// The index's raw answer to a closest-satisfactory-function query —
+/// what [`IndexBackend::suggest_unfair`] returns and what the deprecated
+/// slice-based `FairRanker::suggest*` entry points surface. The unified
+/// request/response API wraps this into a full
+/// [`Suggestion`](crate::request::Suggestion) (weights + dataset version
+/// + serving stats); see [`crate::request`].
 #[derive(Debug, Clone, PartialEq)]
-pub enum Suggestion {
+pub enum Answer {
     /// The queried weights already produce a fair ranking.
     AlreadyFair,
     /// The closest satisfactory function found by the index.
@@ -65,6 +71,59 @@ pub enum Suggestion {
     },
     /// No linear scoring function satisfies the oracle on this dataset.
     Infeasible,
+}
+
+/// Shared update/rebuild counters behind every backend's
+/// [`BackendStats`] — one mutex, one consistent snapshot.
+///
+/// Two design constraints meet here:
+///
+/// * **Consistency under concurrent serving.** The counters used to be
+///   two plain `u64` fields incremented at different points of an update
+///   (`updates` on entry, `rebuilds` only once a reconstruction
+///   committed), so a stats reader racing an update could observe an
+///   `(updates, rebuilds)` pair no committed state ever had. Both
+///   counters now live under a single [`Mutex`] and every transition is
+///   recorded in **one** locked pass ([`SharedCounters::record`]), so a
+///   [`SharedCounters::snapshot`] is always some prefix of the committed
+///   history.
+/// * **Aggregation across copy-on-write forks.** A live update on a
+///   ranker with outstanding snapshots forks the backend
+///   ([`IndexBackend::clone_box`]); the `Arc` inside makes the fork
+///   *share* these counters, so operational totals keep accumulating in
+///   one place no matter how many snapshot generations serving has gone
+///   through.
+///
+/// Cloning shares the underlying counters; a decoded (persisted) backend
+/// starts a fresh pair — the counters are operational, not part of the
+/// index artifact, and are excluded from backend structural equality.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCounters {
+    inner: Arc<Mutex<(u64, u64)>>,
+}
+
+impl SharedCounters {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedCounters::default()
+    }
+
+    /// Record one settled transition: `update` counts a dataset update
+    /// applied through [`IndexBackend::apply`], `rebuild` counts a full
+    /// index reconstruction. Both increments land in the same locked
+    /// pass, so no reader can observe one without the other.
+    pub fn record(&self, update: bool, rebuild: bool) {
+        let mut inner = self.inner.lock().expect("counter lock poisoned");
+        inner.0 += u64::from(update);
+        inner.1 += u64::from(rebuild);
+    }
+
+    /// One consistent `(updates, rebuilds)` pair.
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, u64) {
+        *self.inner.lock().expect("counter lock poisoned")
+    }
 }
 
 /// Everything a backend may consult while answering one query: the
@@ -119,7 +178,7 @@ pub trait IndexBackend: Send + Sync {
 
     /// Answer a query whose weights are validated and whose ranking the
     /// oracle has rejected. May still return
-    /// [`Suggestion::AlreadyFair`] when the index disagrees at a region
+    /// [`Answer::AlreadyFair`] when the index disagrees at a region
     /// border (borders are ordering-exchange surfaces where rankings
     /// tie).
     ///
@@ -127,11 +186,7 @@ pub trait IndexBackend: Send + Sync {
     /// Backend-specific failures; the built-in backends only fail on
     /// malformed input, which [`FairRanker`](crate::FairRanker) has
     /// already excluded.
-    fn suggest_unfair(
-        &self,
-        weights: &[f64],
-        ctx: &QueryCtx<'_>,
-    ) -> Result<Suggestion, FairRankError>;
+    fn suggest_unfair(&self, weights: &[f64], ctx: &QueryCtx<'_>) -> Result<Answer, FairRankError>;
 
     /// The query's fairness verdict when the index itself decides it
     /// *exactly* — `None` when only the oracle can tell (the default).
@@ -188,6 +243,38 @@ pub trait IndexBackend: Send + Sync {
     fn flush(&mut self, ctx: &UpdateCtx<'_>) -> Result<UpdateOutcome, FairRankError> {
         let _ = ctx;
         Ok(UpdateOutcome::Noop)
+    }
+
+    /// Whether [`flush`](IndexBackend::flush) would do real work: `true`
+    /// iff updates are buffered behind a coalescing threshold. The
+    /// default (`false`) matches the default no-op `flush`. Lets
+    /// [`FairRanker::flush_updates`](crate::FairRanker::flush_updates)
+    /// skip the copy-on-write backend fork entirely on shared rankers
+    /// when there is nothing to flush.
+    fn has_pending_updates(&self) -> bool {
+        false
+    }
+
+    /// A deep copy of this backend as a fresh boxed instance — the hook
+    /// behind copy-on-write live updates on *shared* rankers.
+    ///
+    /// [`FairRanker::snapshot`](crate::FairRanker::snapshot) hands out
+    /// cheap `Arc`-shared clones of a ranker (the async serving tier
+    /// takes one per micro-batch); when
+    /// [`FairRanker::update`](crate::FairRanker::update) finds such
+    /// snapshots outstanding it cannot maintain the index in place, so
+    /// it forks the backend through this method, maintains the fork, and
+    /// swaps it in — in-flight snapshots keep serving the old index
+    /// untouched.
+    ///
+    /// The default returns `None`: third-party backends that don't opt
+    /// in simply reject updates while snapshots are outstanding
+    /// ([`FairRankError::CloneUnsupported`]); exclusive rankers are
+    /// still maintained in place without cloning. Implementations should
+    /// share their [`SharedCounters`] with the clone so operational
+    /// totals aggregate across forks.
+    fn clone_box(&self) -> Option<Box<dyn IndexBackend>> {
+        None
     }
 
     /// One-byte artifact tag identifying this backend kind in the

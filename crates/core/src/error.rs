@@ -36,6 +36,15 @@ pub enum FairRankError {
     /// The serving backend does not implement live updates; rebuild the
     /// ranker instead. Carries the backend kind.
     UpdateUnsupported(String),
+    /// A live update targeted a ranker whose index is shared with
+    /// outstanding [`snapshot`](crate::FairRanker::snapshot)s, and the
+    /// backend does not implement
+    /// [`IndexBackend::clone_box`](crate::backend::IndexBackend::clone_box),
+    /// so the copy-on-write fork that would keep those snapshots serving
+    /// is impossible. Carries the backend kind. (All built-in backends
+    /// implement `clone_box`; exclusive rankers are maintained in place
+    /// and never hit this.)
+    CloneUnsupported(String),
 }
 
 impl fmt::Display for FairRankError {
@@ -55,6 +64,13 @@ impl fmt::Display for FairRankError {
             FairRankError::InvalidUpdate(msg) => write!(f, "invalid dataset update: {msg}"),
             FairRankError::UpdateUnsupported(kind) => {
                 write!(f, "backend {kind:?} does not support live updates")
+            }
+            FairRankError::CloneUnsupported(kind) => {
+                write!(
+                    f,
+                    "backend {kind:?} cannot be forked for a copy-on-write \
+                     update while snapshots are outstanding"
+                )
             }
         }
     }

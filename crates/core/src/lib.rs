@@ -37,7 +37,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use fairrank::{FairRanker, Suggestion};
+//! use fairrank::{FairRanker, KnownFairness, SuggestRequest};
 //! use fairrank_datasets::synthetic::generic;
 //! use fairrank_fairness::Proportionality;
 //!
@@ -49,14 +49,19 @@
 //!     .with_max_count(0, 5);
 //! // Strategy::Auto (the default) picks 2DRAYSWEEP for d = 2.
 //! let ranker = FairRanker::builder(ds, Box::new(oracle)).build().unwrap();
-//! match ranker.suggest(&[1.0, 0.1]).unwrap() {
-//!     Suggestion::AlreadyFair => println!("keep your weights"),
-//!     Suggestion::Suggested { weights, distance } => {
-//!         println!("try {weights:?} ({distance:.3} rad away)")
+//! let answer = ranker.respond(&SuggestRequest::new([1.0, 0.1])).unwrap();
+//! match answer.fairness {
+//!     KnownFairness::AlreadyFair => println!("keep your weights"),
+//!     KnownFairness::Suggested { distance } => {
+//!         println!("try {:?} ({distance:.3} rad away)", answer.weights)
 //!     }
-//!     Suggestion::Infeasible => println!("no fair linear ranking exists"),
+//!     KnownFairness::Infeasible => println!("no fair linear ranking exists"),
 //! }
 //! ```
+//!
+//! For async serving — individual requests coalesced into micro-batches
+//! by a worker pool, with backpressure and live updates — see the
+//! `fairrank-serve` crate's `FairRankService`.
 
 pub mod approximate;
 pub mod backend;
@@ -66,13 +71,15 @@ pub mod persist;
 pub mod probes;
 pub mod pruning;
 pub mod ranker;
+pub mod request;
 pub mod sampling;
 pub mod twod;
 pub mod update;
 
-pub use backend::{BackendStats, IndexBackend, QueryCtx, Strategy};
+pub use backend::{Answer, BackendStats, IndexBackend, QueryCtx, SharedCounters, Strategy};
 pub use error::FairRankError;
-pub use ranker::{FairRanker, FairRankerBuilder, Suggestion};
+pub use ranker::{FairRanker, FairRankerBuilder};
+pub use request::{KnownFairness, SuggestOptions, SuggestRequest, SuggestStats, Suggestion};
 pub use update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
 // Re-export the companion crates so downstream users need one dependency.

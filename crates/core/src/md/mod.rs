@@ -14,7 +14,7 @@ pub use satregions::{sat_regions, SatRegion, SatRegions, SatRegionsOptions};
 use fairrank_geometry::polar::to_polar;
 use fairrank_geometry::vector::norm;
 
-use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
+use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, SharedCounters};
 use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
@@ -39,8 +39,7 @@ pub struct ExactRegions {
     rebuild_every: usize,
     /// Updates buffered since the last reconstruction.
     pending: usize,
-    updates: u64,
-    rebuilds: u64,
+    counters: SharedCounters,
 }
 
 impl ExactRegions {
@@ -56,8 +55,7 @@ impl ExactRegions {
             opts: SatRegionsOptions::default(),
             rebuild_every: 1,
             pending: 0,
-            updates: 0,
-            rebuilds: 0,
+            counters: SharedCounters::new(),
         }
     }
 
@@ -93,7 +91,6 @@ impl ExactRegions {
         self.regions = rebuilt.satisfactory;
         self.dim = rebuilt.dim;
         self.pending = 0;
-        self.rebuilds += 1;
         Ok(UpdateOutcome::Rebuilt)
     }
 }
@@ -103,16 +100,12 @@ impl IndexBackend for ExactRegions {
         self.dim + 1
     }
 
-    fn suggest_unfair(
-        &self,
-        weights: &[f64],
-        ctx: &QueryCtx<'_>,
-    ) -> Result<Suggestion, FairRankError> {
+    fn suggest_unfair(&self, weights: &[f64], ctx: &QueryCtx<'_>) -> Result<Answer, FairRankError> {
         let r = norm(weights);
         let (_, query_angles) = to_polar(weights);
         match closest_satisfactory_validated(&self.regions, &query_angles, ctx.ds, ctx.oracle) {
-            None => Ok(Suggestion::Infeasible),
-            Some(res) => Ok(Suggestion::Suggested {
+            None => Ok(Answer::Infeasible),
+            Some(res) => Ok(Answer::Suggested {
                 weights: crate::backend::suggestion_weights(&res.angles, r),
                 distance: res.distance,
             }),
@@ -130,7 +123,9 @@ impl IndexBackend for ExactRegions {
     ) -> Result<UpdateOutcome, FairRankError> {
         // Counters commit only on success ("on error the backend must be
         // left unchanged"): `rebuild` mutates nothing until
-        // `sat_regions` has succeeded.
+        // `sat_regions` has succeeded, and the update+rebuild pair lands
+        // in one locked pass so concurrent stats readers never see one
+        // half of the transition.
         let outcome = if self.pending + 1 >= self.rebuild_every {
             self.rebuild(ctx)?
         } else {
@@ -139,7 +134,8 @@ impl IndexBackend for ExactRegions {
                 pending: self.pending,
             }
         };
-        self.updates += 1;
+        self.counters
+            .record(true, outcome == UpdateOutcome::Rebuilt);
         Ok(outcome)
     }
 
@@ -147,7 +143,17 @@ impl IndexBackend for ExactRegions {
         if self.pending == 0 {
             return Ok(UpdateOutcome::Noop);
         }
-        self.rebuild(ctx)
+        let outcome = self.rebuild(ctx)?;
+        self.counters.record(false, true);
+        Ok(outcome)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn IndexBackend>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn has_pending_updates(&self) -> bool {
+        self.pending > 0
     }
 
     fn persist_tag(&self) -> u8 {
@@ -159,13 +165,14 @@ impl IndexBackend for ExactRegions {
     }
 
     fn stats(&self) -> BackendStats {
+        let (updates, rebuilds) = self.counters.snapshot();
         BackendStats {
             kind: "exact-regions",
             artifacts: self.regions.len(),
             functions: Some(self.regions.len()),
             error_bound: Some(0.0),
-            updates: self.updates,
-            rebuilds: self.rebuilds,
+            updates,
+            rebuilds,
         }
     }
 

@@ -4,47 +4,73 @@
 //! [`FairRanker`] is a thin serving shell around a pluggable
 //! [`IndexBackend`]: [`FairRanker::builder`] runs one of the paper's
 //! offline algorithms (chosen by [`Strategy`], including `Auto`
-//! selection), [`FairRanker::suggest`] / [`suggest_batch`] /
-//! [`suggest_batch_parallel`] answer queries against the shared backend,
-//! and [`FairRanker::save`] / [`load`] hand a complete ranker from an
-//! offline process to online replicas.
+//! selection), [`FairRanker::respond`] / [`respond_batch`] /
+//! [`respond_batch_parallel`] answer [`SuggestRequest`]s against the
+//! shared backend, and [`FairRanker::save`] / [`load`] hand a complete
+//! ranker from an offline process to online replicas.
 //!
-//! [`suggest_batch`]: FairRanker::suggest_batch
-//! [`suggest_batch_parallel`]: FairRanker::suggest_batch_parallel
+//! ## Snapshots and copy-on-write updates
+//!
+//! The ranker's entire serving state — dataset, oracle, backend,
+//! version — lives behind one [`Arc`], so [`FairRanker::snapshot`] is a
+//! pointer copy: the async serving tier (`fairrank-serve`) takes one
+//! snapshot per micro-batch and serves it lock-free. A live
+//! [`FairRanker::update`] on an *exclusively owned* ranker maintains the
+//! index in place exactly as before; on a ranker with outstanding
+//! snapshots it forks the backend ([`IndexBackend::clone_box`]),
+//! maintains the fork, and swaps it in — in-flight snapshots keep
+//! serving the old index and dataset version untouched.
+//!
+//! [`respond_batch`]: FairRanker::respond_batch
+//! [`respond_batch_parallel`]: FairRanker::respond_batch_parallel
 //! [`load`]: FairRanker::load
 
 use std::path::Path;
 use std::sync::Arc;
 
-use fairrank_datasets::Dataset;
+use fairrank_datasets::{Dataset, RankWorkspace};
 use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::interval::AngularIntervals;
 
 use crate::approximate::{ApproxGrid, ApproxIndex, BuildOptions};
-use crate::backend::{BackendStats, IndexBackend, QueryCtx, Strategy};
+use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, Strategy};
 use crate::error::{validate_weights, FairRankError};
 use crate::md::{sat_regions, ExactRegions, SatRegionsOptions};
 use crate::persist::{decode_ranker_versioned, encode_ranker_versioned, PersistError};
+use crate::request::{KnownFairness, SuggestRequest, SuggestStats, Suggestion};
 use crate::twod::TwoDIntervals;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
-pub use crate::backend::Suggestion;
-
-/// The query-answering system of the paper: offline preprocessing behind
-/// an interactive suggestion API.
-///
-/// The ranker holds the dataset behind an [`Arc`] and the index behind a
-/// `Box<dyn IndexBackend>`, so it is `Send + Sync` and cheap to share
-/// across serving threads —
-/// [`suggest_batch_parallel`](FairRanker::suggest_batch_parallel) fans
-/// shards out over one instance.
-pub struct FairRanker {
+/// The shared serving state: everything a query consults, in one
+/// allocation so snapshots are a pointer copy and updates can swap the
+/// whole generation atomically.
+struct RankerCore {
     ds: Arc<Dataset>,
-    oracle: Box<dyn FairnessOracle>,
+    oracle: Arc<dyn FairnessOracle>,
     backend: Box<dyn IndexBackend>,
     /// Number of dataset updates applied since construction (or carried
     /// over from a persisted envelope) — the dataset's serving epoch.
     version: u64,
+}
+
+/// Micro-batch threshold for the inline fast path of
+/// [`FairRanker::respond_batch_parallel`]: batches at or below this size
+/// whose requested shard count exceeds the batch run inline (each shard
+/// would hold ≤ 1 request, so thread-spawn overhead dominates any
+/// parallel win at this scale). Larger under-filled batches clamp the
+/// shard count to the batch size and still parallelize.
+pub const PARALLEL_INLINE_MAX: usize = 16;
+
+/// The query-answering system of the paper: offline preprocessing behind
+/// an interactive suggestion API.
+///
+/// The ranker holds its dataset, oracle and index behind one shared
+/// [`Arc`], so it is `Send + Sync`, [`FairRanker::snapshot`] is a
+/// pointer copy, and
+/// [`respond_batch_parallel`](FairRanker::respond_batch_parallel) fans
+/// shards out over one instance.
+pub struct FairRanker {
+    core: Arc<RankerCore>,
 }
 
 /// Configures and runs the offline phase — the single entry point behind
@@ -132,17 +158,18 @@ impl FairRankerBuilder {
             // the non_exhaustive attribute must teach `pick` its rule).
             other => unreachable!("Strategy::pick returned unresolved {other:?}"),
         };
-        FairRanker::from_backend_arc(ds, oracle, backend)
+        FairRanker::from_backend_arc(ds, oracle, backend, 0)
     }
 }
 
 impl std::fmt::Debug for FairRanker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FairRanker")
-            .field("items", &self.ds.len())
-            .field("dim", &self.ds.dim())
-            .field("oracle", &self.oracle.describe())
-            .field("backend", &self.backend.stats())
+            .field("items", &self.core.ds.len())
+            .field("dim", &self.core.ds.dim())
+            .field("version", &self.core.version)
+            .field("oracle", &self.core.oracle.describe())
+            .field("backend", &self.core.backend.stats())
             .finish()
     }
 }
@@ -181,13 +208,14 @@ impl FairRanker {
         oracle: Box<dyn FairnessOracle>,
         backend: Box<dyn IndexBackend>,
     ) -> Result<Self, FairRankError> {
-        Self::from_backend_arc(ds.into(), oracle, backend)
+        Self::from_backend_arc(ds.into(), oracle, backend, 0)
     }
 
     fn from_backend_arc(
         ds: Arc<Dataset>,
         oracle: Box<dyn FairnessOracle>,
         backend: Box<dyn IndexBackend>,
+        version: u64,
     ) -> Result<Self, FairRankError> {
         if backend.dim() != ds.dim() {
             return Err(FairRankError::DimensionMismatch {
@@ -196,147 +224,128 @@ impl FairRanker {
             });
         }
         Ok(FairRanker {
-            ds,
-            oracle,
-            backend,
-            version: 0,
+            core: Arc::new(RankerCore {
+                ds,
+                oracle: Arc::from(oracle),
+                backend,
+                version,
+            }),
         })
     }
 
-    /// Offline phase for two scoring attributes: 2DRAYSWEEP (paper §3).
+    /// A cheap shared handle onto this ranker's current serving state —
+    /// a pointer copy, no index duplication.
     ///
-    /// # Errors
-    /// [`FairRankError::DimensionMismatch`] unless `ds.dim() == 2`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `FairRanker::builder(ds, oracle).strategy(Strategy::TwoD).build()`"
-    )]
-    pub fn build_2d(ds: &Dataset, oracle: Box<dyn FairnessOracle>) -> Result<Self, FairRankError> {
-        FairRanker::builder(ds.clone(), oracle)
-            .strategy(Strategy::TwoD)
-            .build()
-    }
-
-    /// Offline phase, exact multi-dimensional: SATREGIONS (paper §4).
-    ///
-    /// # Errors
-    /// [`FairRankError::TooFewAttributes`] for `ds.dim() < 2`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `FairRanker::builder(ds, oracle).strategy(Strategy::MdExact).build()`"
-    )]
-    pub fn build_md_exact(
-        ds: &Dataset,
-        oracle: Box<dyn FairnessOracle>,
-        opts: &SatRegionsOptions,
-    ) -> Result<Self, FairRankError> {
-        FairRanker::builder(ds.clone(), oracle)
-            .strategy(Strategy::MdExact)
-            .sat_regions_options(opts.clone())
-            .build()
-    }
-
-    /// Offline phase, approximate multi-dimensional: the §5 grid pipeline
-    /// with the Theorem 6 distance guarantee and `O(log N)` queries.
-    ///
-    /// # Errors
-    /// [`FairRankError::TooFewAttributes`] for `ds.dim() < 2`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `FairRanker::builder(ds, oracle).strategy(Strategy::MdApprox).build()`"
-    )]
-    pub fn build_md_approx(
-        ds: &Dataset,
-        oracle: Box<dyn FairnessOracle>,
-        opts: &BuildOptions,
-    ) -> Result<Self, FairRankError> {
-        FairRanker::builder(ds.clone(), oracle)
-            .strategy(Strategy::MdApprox)
-            .approx_options(opts.clone())
-            .build()
+    /// Snapshots serve concurrently and independently: a later
+    /// [`FairRanker::update`] on the original (or any other handle)
+    /// copy-on-writes a *new* generation, so every outstanding snapshot
+    /// keeps answering from the dataset version it captured — the
+    /// foundation of the async serving tier's update-while-serving
+    /// guarantee.
+    #[must_use]
+    pub fn snapshot(&self) -> FairRanker {
+        FairRanker {
+            core: Arc::clone(&self.core),
+        }
     }
 
     /// The dataset the index was built over.
     #[must_use]
     pub fn dataset(&self) -> &Dataset {
-        &self.ds
+        &self.core.ds
     }
 
     /// The serving backend.
     #[must_use]
     pub fn backend(&self) -> &dyn IndexBackend {
-        self.backend.as_ref()
+        self.core.backend.as_ref()
     }
 
-    /// Backend-agnostic index statistics.
+    /// Backend-agnostic index statistics. The update/rebuild counters
+    /// are read in one consistent pass and aggregate across
+    /// copy-on-write generations (see
+    /// [`SharedCounters`](crate::backend::SharedCounters)).
     #[must_use]
     pub fn backend_stats(&self) -> BackendStats {
-        self.backend.stats()
+        self.core.backend.stats()
     }
 
-    /// Answer a query: is `weights` fair, and if not, what is the closest
-    /// satisfactory function?
+    /// Answer one [`SuggestRequest`]: is the query fair, and if not,
+    /// what is the closest satisfactory function?
     ///
     /// Matching the paper's algorithms (2DONLINE line 8, MDBASELINE
     /// line 1, MDONLINE line 1), the oracle is first consulted on the
-    /// query itself; only unfair queries hit the index.
+    /// query itself; only unfair queries hit the index. The response
+    /// carries the weights to serve with, the verdict, the dataset
+    /// [`version`](FairRanker::version) it reflects, and — when
+    /// [`SuggestRequest::k`] is set — the top-k ranking under the
+    /// answered weights.
     ///
     /// # Errors
     /// [`FairRankError::InvalidWeights`] / `DimensionMismatch` on
     /// malformed input.
-    pub fn suggest(&self, weights: &[f64]) -> Result<Suggestion, FairRankError> {
-        validate_weights(weights, self.ds.dim())?;
-        if self.oracle.is_satisfactory(&self.ds.rank(weights)) {
-            return Ok(Suggestion::AlreadyFair);
+    pub fn respond(&self, req: &SuggestRequest) -> Result<Suggestion, FairRankError> {
+        validate_weights(&req.query, self.core.ds.dim())?;
+        let mut ws = RankWorkspace::new();
+        if self
+            .core
+            .oracle
+            .is_satisfactory(&self.core.ds.rank(&req.query))
+        {
+            return Ok(self.finish(req, Answer::AlreadyFair, false, &mut ws));
         }
-        self.backend.suggest_unfair(weights, &self.ctx())
+        let answer = self.core.backend.suggest_unfair(&req.query, &self.ctx())?;
+        Ok(self.finish(req, answer, false, &mut ws))
     }
 
-    /// Answer a batch of queries at once — the multi-query entry point
-    /// for online serving.
+    /// Answer a batch of requests at once — the multi-query entry point
+    /// online serving (and the micro-batch executor of the async
+    /// `FairRankService`) drains into.
     ///
-    /// Element-wise identical to calling [`FairRanker::suggest`] per
-    /// query (property-tested), but amortized: the query rankings for the
-    /// paper's "is it already fair?" check (2DONLINE line 8 / MDBASELINE
-    /// line 1 / MDONLINE line 1) run through one reused
-    /// [`fairrank_datasets::RankWorkspace`] — partial top-k sorts when the oracle exposes a
-    /// bound, zero allocations on the steady path — and the oracle sees
-    /// them through its batched entry point, so per-call setup is paid
-    /// once per chunk instead of once per query. Only queries whose
-    /// ranking the oracle rejects proceed to the index.
+    /// Element-wise identical to calling [`FairRanker::respond`] per
+    /// request (property-tested), but amortized: the query rankings for
+    /// the paper's "is it already fair?" check (2DONLINE line 8 /
+    /// MDBASELINE line 1 / MDONLINE line 1) run through one reused
+    /// [`fairrank_datasets::RankWorkspace`] — partial top-k sorts when
+    /// the oracle exposes a bound, zero allocations on the steady
+    /// path — and the oracle sees them through its batched entry point,
+    /// so per-call setup is paid once per chunk instead of once per
+    /// query. Only queries whose ranking the oracle rejects proceed to
+    /// the index.
     ///
     /// # Errors
     /// [`FairRankError::InvalidWeights`] / `DimensionMismatch` if *any*
-    /// query is malformed (checked upfront; no partial answers).
-    pub fn suggest_batch(&self, queries: &[&[f64]]) -> Result<Vec<Suggestion>, FairRankError> {
-        for q in queries {
-            validate_weights(q, self.ds.dim())?;
+    /// request is malformed (checked upfront; no partial answers).
+    pub fn respond_batch(&self, reqs: &[SuggestRequest]) -> Result<Vec<Suggestion>, FairRankError> {
+        for req in reqs {
+            validate_weights(&req.query, self.core.ds.dim())?;
         }
         let verdicts = crate::probes::batch_verdicts_by(
-            &self.ds,
-            self.oracle.as_ref(),
-            queries.len(),
-            |i, out| out.extend_from_slice(queries[i]),
+            &self.core.ds,
+            self.core.oracle.as_ref(),
+            reqs.len(),
+            |i, out| out.extend_from_slice(&reqs[i].query),
         );
-        queries
-            .iter()
+        let mut ws = RankWorkspace::new();
+        reqs.iter()
             .zip(verdicts)
-            .map(|(q, fair)| {
+            .map(|(req, fair)| {
                 if fair {
-                    Ok(Suggestion::AlreadyFair)
+                    Ok(self.finish(req, Answer::AlreadyFair, false, &mut ws))
                 } else {
-                    self.backend.suggest_unfair(q, &self.ctx())
+                    let answer = self.core.backend.suggest_unfair(&req.query, &self.ctx())?;
+                    Ok(self.finish(req, answer, false, &mut ws))
                 }
             })
             .collect()
     }
 
-    /// The sharded serving entry point: split `queries` into up to
-    /// `shards` contiguous chunks and answer them on
-    /// [`std::thread::scope`] workers, each with its own
+    /// The sharded serving entry point: split `reqs` into up to `shards`
+    /// contiguous chunks and answer them on [`std::thread::scope`]
+    /// workers, each with its own
     /// [`fairrank_datasets::RankWorkspace`]. Answers are element-wise
-    /// identical to [`FairRanker::suggest`] (property-tested) and come
-    /// back in query order.
+    /// identical to [`FairRanker::respond`] (property-tested) and come
+    /// back in request order.
     ///
     /// Two effects make this the high-throughput path:
     ///
@@ -346,38 +355,57 @@ impl FairRanker {
     ///   worker answers the "is it already fair?" check in `O(log n)`
     ///   from the index instead of ranking all `n` items for the
     ///   oracle — a large constant-factor win per query even on one
-    ///   core. Backends that cannot decide fairness (the approximate
-    ///   grid, the `d > 3` exact regions) fall back to the same batched
-    ///   oracle pass [`FairRanker::suggest_batch`] uses, per shard.
+    ///   core. Requests that opt out
+    ///   ([`SuggestOptions::index_fastpath`](crate::SuggestOptions::index_fastpath)
+    ///   = `false`) and backends that cannot decide fairness (the
+    ///   approximate grid, the `d > 3` exact regions) fall back to the
+    ///   same batched oracle pass [`FairRanker::respond_batch`] uses,
+    ///   per shard.
     /// * **Parallelism.** Shards run concurrently, so on a multi-core
     ///   serving host throughput scales with cores on top of the
     ///   index-decided win.
     ///
-    /// `shards == 0` uses [`std::thread::available_parallelism`]; one
-    /// shard (or one query) runs inline without spawning.
+    /// `shards == 0` uses [`std::thread::available_parallelism`]. One
+    /// shard — or a micro-batch (≤ [`PARALLEL_INLINE_MAX`] requests)
+    /// smaller than the shard count, the shape micro-batching services
+    /// produce constantly — runs inline without touching
+    /// [`std::thread::scope`] at all, so small batches pay zero spawn
+    /// overhead; larger batches that under-fill the requested shard
+    /// count clamp the shard count to the batch size and parallelize.
     ///
     /// # Errors
     /// [`FairRankError::InvalidWeights`] / `DimensionMismatch` if *any*
-    /// query is malformed (checked upfront; no partial answers).
-    pub fn suggest_batch_parallel(
+    /// request is malformed (checked upfront; no partial answers).
+    pub fn respond_batch_parallel(
         &self,
-        queries: &[&[f64]],
+        reqs: &[SuggestRequest],
         shards: usize,
     ) -> Result<Vec<Suggestion>, FairRankError> {
-        for q in queries {
-            validate_weights(q, self.ds.dim())?;
+        for req in reqs {
+            validate_weights(&req.query, self.core.ds.dim())?;
         }
         let shards = match shards {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             s => s,
+        };
+        // Inline fast path: one shard, or a *micro-batch* smaller than
+        // the shard count (each shard would hold ≤ 1 request — all spawn
+        // overhead, no parallel win at that size; micro-batch callers
+        // wiring this entry point pay zero thread spawns). Mid-size
+        // batches that merely under-fill the requested shard count still
+        // parallelize: the shard count clamps to the batch size instead,
+        // because for expensive oracle-bound queries one thread per
+        // request beats running them serially.
+        if shards <= 1
+            || reqs.len() <= 1
+            || (reqs.len() < shards && reqs.len() <= PARALLEL_INLINE_MAX)
+        {
+            return self.serve_shard(reqs);
         }
-        .clamp(1, queries.len().max(1));
-        if shards <= 1 || queries.len() <= 1 {
-            return self.serve_shard(queries);
-        }
-        let chunk_len = queries.len().div_ceil(shards);
+        let shards = shards.min(reqs.len());
+        let chunk_len = reqs.len().div_ceil(shards);
         let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
+            let handles: Vec<_> = reqs
                 .chunks(chunk_len)
                 .map(|chunk| scope.spawn(move || self.serve_shard(chunk)))
                 .collect();
@@ -386,26 +414,35 @@ impl FairRanker {
                 .map(|h| h.join().expect("serving shard panicked"))
                 .collect::<Vec<_>>()
         });
-        let mut out = Vec::with_capacity(queries.len());
+        let mut out = Vec::with_capacity(reqs.len());
         for shard in results {
             out.extend(shard?);
         }
         Ok(out)
     }
 
-    /// One shard's worth of serving: answer index-decidable queries
+    /// One shard's worth of serving: answer index-decidable requests
     /// straight from the backend, batch the rest through one
     /// workspace-backed oracle pass (the shard's private
     /// [`fairrank_datasets::RankWorkspace`] lives inside
     /// [`crate::probes::batch_verdicts_by`]).
-    fn serve_shard(&self, queries: &[&[f64]]) -> Result<Vec<Suggestion>, FairRankError> {
+    fn serve_shard(&self, reqs: &[SuggestRequest]) -> Result<Vec<Suggestion>, FairRankError> {
         let ctx = self.ctx();
-        let mut out: Vec<Option<Suggestion>> = vec![None; queries.len()];
+        let mut ws = RankWorkspace::new();
+        let mut out: Vec<Option<Suggestion>> = vec![None; reqs.len()];
         let mut oracle_needed: Vec<usize> = Vec::new();
-        for (i, q) in queries.iter().enumerate() {
-            out[i] = match self.backend.known_fairness(q) {
-                Some(true) => Some(Suggestion::AlreadyFair),
-                Some(false) => Some(self.backend.suggest_unfair(q, &ctx)?),
+        for (i, req) in reqs.iter().enumerate() {
+            let index_verdict = if req.options.index_fastpath {
+                self.core.backend.known_fairness(&req.query)
+            } else {
+                None
+            };
+            out[i] = match index_verdict {
+                Some(true) => Some(self.finish(req, Answer::AlreadyFair, true, &mut ws)),
+                Some(false) => {
+                    let answer = self.core.backend.suggest_unfair(&req.query, &ctx)?;
+                    Some(self.finish(req, answer, true, &mut ws))
+                }
                 None => {
                     oracle_needed.push(i);
                     None
@@ -414,55 +451,152 @@ impl FairRanker {
         }
         if !oracle_needed.is_empty() {
             let verdicts = crate::probes::batch_verdicts_by(
-                &self.ds,
-                self.oracle.as_ref(),
+                &self.core.ds,
+                self.core.oracle.as_ref(),
                 oracle_needed.len(),
-                |j, buf| buf.extend_from_slice(queries[oracle_needed[j]]),
+                |j, buf| buf.extend_from_slice(&reqs[oracle_needed[j]].query),
             );
             for (&i, fair) in oracle_needed.iter().zip(verdicts) {
                 out[i] = Some(if fair {
-                    Suggestion::AlreadyFair
+                    self.finish(&reqs[i], Answer::AlreadyFair, false, &mut ws)
                 } else {
-                    self.backend.suggest_unfair(queries[i], &ctx)?
+                    let answer = self.core.backend.suggest_unfair(&reqs[i].query, &ctx)?;
+                    self.finish(&reqs[i], answer, false, &mut ws)
                 });
             }
         }
         Ok(out
             .into_iter()
-            .map(|s| s.expect("every query answered"))
+            .map(|s| s.expect("every request answered"))
+            .collect())
+    }
+
+    /// Assemble the response envelope for one answered request: hoist
+    /// the served weights, stamp the dataset version, and materialize
+    /// the top-k ranking when asked — through the caller's reused
+    /// [`RankWorkspace`], so a batch of top-k requests allocates once.
+    fn finish(
+        &self,
+        req: &SuggestRequest,
+        answer: Answer,
+        index_decided: bool,
+        ws: &mut RankWorkspace,
+    ) -> Suggestion {
+        let (weights, fairness) = match answer {
+            Answer::AlreadyFair => (req.query.clone(), KnownFairness::AlreadyFair),
+            Answer::Suggested { weights, distance } => {
+                (weights, KnownFairness::Suggested { distance })
+            }
+            Answer::Infeasible => (req.query.clone(), KnownFairness::Infeasible),
+        };
+        let top_k = req.k.map(|k| {
+            // Partial top-k (`select_nth_unstable` + prefix sort) rather
+            // than a full O(n log n) ranking: identical prefix to
+            // `Dataset::rank` (property-tested in batch_equivalence).
+            let mut ranking = ws
+                .rank_with_bound(&self.core.ds, &weights, Some(k))
+                .to_vec();
+            ranking.truncate(k);
+            ranking
+        });
+        Suggestion {
+            weights,
+            version: self.core.version,
+            fairness,
+            stats: SuggestStats {
+                index_decided,
+                top_k,
+            },
+        }
+    }
+
+    /// Answer a single bare weight vector.
+    ///
+    /// # Errors
+    /// As [`FairRanker::respond`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `respond(&SuggestRequest::new(weights))` — the unified request/response API"
+    )]
+    pub fn suggest(&self, weights: &[f64]) -> Result<Answer, FairRankError> {
+        self.respond(&SuggestRequest::new(weights))
+            .map(Suggestion::into_answer)
+    }
+
+    /// Answer a batch of bare weight vectors.
+    ///
+    /// # Errors
+    /// As [`FairRanker::respond_batch`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `respond_batch` with `SuggestRequest`s — the unified request/response API"
+    )]
+    pub fn suggest_batch(&self, queries: &[&[f64]]) -> Result<Vec<Answer>, FairRankError> {
+        let reqs: Vec<SuggestRequest> = queries.iter().map(|q| SuggestRequest::new(*q)).collect();
+        Ok(self
+            .respond_batch(&reqs)?
+            .into_iter()
+            .map(Suggestion::into_answer)
+            .collect())
+    }
+
+    /// Answer a batch of bare weight vectors on up to `shards` workers.
+    ///
+    /// # Errors
+    /// As [`FairRanker::respond_batch_parallel`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `respond_batch_parallel` with `SuggestRequest`s — the unified request/response API"
+    )]
+    pub fn suggest_batch_parallel(
+        &self,
+        queries: &[&[f64]],
+        shards: usize,
+    ) -> Result<Vec<Answer>, FairRankError> {
+        let reqs: Vec<SuggestRequest> = queries.iter().map(|q| SuggestRequest::new(*q)).collect();
+        Ok(self
+            .respond_batch_parallel(&reqs, shards)?
+            .into_iter()
+            .map(Suggestion::into_answer)
             .collect())
     }
 
     /// The ranker's dataset epoch: how many live updates have been
     /// applied (carried through [`FairRanker::save`]/[`load`](FairRanker::load)
     /// in the persistence envelope, so replicas can tell which snapshot
-    /// a handed-off index reflects).
+    /// a handed-off index reflects). Every [`Suggestion`] stamps the
+    /// version it was answered from.
     #[must_use]
     pub fn version(&self) -> u64 {
-        self.version
+        self.core.version
     }
 
     /// Apply one live dataset update — the serving-time mutation front
-    /// door. The shared [`Arc<Dataset>`] is *versioned*, not mutated:
-    /// a fresh copy-on-write snapshot replaces it, so any clone handed
-    /// out earlier (replicas, in-flight readers) keeps serving the old
-    /// version untouched. The oracle is re-bound to the new dataset
-    /// ([`FairnessOracle::rebind`]) and the backend maintains its index
-    /// through [`IndexBackend::apply`] — incrementally where the backend
-    /// supports it.
+    /// door. The shared state is *versioned*, not mutated in place under
+    /// readers: on an exclusively owned ranker the index is maintained
+    /// in place (incrementally where the backend supports it); on a
+    /// ranker with outstanding [`snapshot`](FairRanker::snapshot)s the
+    /// backend is forked ([`IndexBackend::clone_box`]), the fork is
+    /// maintained, and a new generation is swapped in — every snapshot
+    /// handed out earlier (replicas, in-flight micro-batches) keeps
+    /// serving its old copy-on-write `Arc<Dataset>` generation
+    /// untouched while the version advances. The oracle is re-bound to
+    /// the new dataset ([`FairnessOracle::rebind`]).
     ///
     /// After the update (once any [`UpdateOutcome::Deferred`] window is
-    /// flushed), [`FairRanker::suggest`] answers exactly as a ranker
+    /// flushed), [`FairRanker::respond`] answers exactly as a ranker
     /// rebuilt from scratch on the updated dataset would — the
     /// equivalence is property-tested per backend.
     ///
     /// # Errors
     /// [`FairRankError::InvalidUpdate`] on a malformed update (nothing is
     /// changed); [`FairRankError::UpdateUnsupported`] when a third-party
-    /// backend has no update surface; backend rebuild errors.
+    /// backend has no update surface; [`FairRankError::CloneUnsupported`]
+    /// when snapshots are outstanding and the backend cannot fork;
+    /// backend rebuild errors.
     pub fn update(&mut self, update: DatasetUpdate) -> Result<UpdateOutcome, FairRankError> {
-        update.validate(&self.ds)?;
-        let old = Arc::clone(&self.ds);
+        update.validate(&self.core.ds)?;
+        let old = Arc::clone(&self.core.ds);
         let mut next = (*old).clone();
         update
             .apply_to(&mut next)
@@ -470,18 +604,58 @@ impl FairRanker {
         let next = Arc::new(next);
         // Stage the rebound oracle; dataset, oracle and version commit
         // together only after the backend accepted the update.
-        let rebound = self.oracle.rebind(&next);
-        let ctx = UpdateCtx {
-            old: &old,
-            ds: &next,
-            oracle: rebound.as_deref().unwrap_or(self.oracle.as_ref()),
-        };
-        let outcome = self.backend.apply(&update, &ctx)?;
-        self.ds = next;
-        if let Some(oracle) = rebound {
-            self.oracle = oracle;
+        let rebound = self.core.oracle.rebind(&next);
+        if Arc::get_mut(&mut self.core).is_none() {
+            return self.update_forked(&update, &old, next, rebound);
         }
-        self.version += 1;
+        let core = Arc::get_mut(&mut self.core).expect("checked exclusive above");
+        let outcome = {
+            let ctx = UpdateCtx {
+                old: &old,
+                ds: &next,
+                oracle: rebound.as_deref().unwrap_or(core.oracle.as_ref()),
+            };
+            core.backend.apply(&update, &ctx)?
+        };
+        core.ds = next;
+        if let Some(oracle) = rebound {
+            core.oracle = Arc::from(oracle);
+        }
+        core.version += 1;
+        Ok(outcome)
+    }
+
+    /// The copy-on-write half of [`FairRanker::update`]: snapshots share
+    /// the current core, so maintain a backend fork and swap in a fresh
+    /// generation. On any error the current generation is untouched.
+    fn update_forked(
+        &mut self,
+        update: &DatasetUpdate,
+        old: &Arc<Dataset>,
+        next: Arc<Dataset>,
+        rebound: Option<Box<dyn FairnessOracle>>,
+    ) -> Result<UpdateOutcome, FairRankError> {
+        let mut backend = self.core.backend.clone_box().ok_or_else(|| {
+            FairRankError::CloneUnsupported(self.core.backend.stats().kind.to_string())
+        })?;
+        let oracle: Arc<dyn FairnessOracle> = match rebound {
+            Some(o) => Arc::from(o),
+            None => Arc::clone(&self.core.oracle),
+        };
+        let outcome = {
+            let ctx = UpdateCtx {
+                old,
+                ds: &next,
+                oracle: oracle.as_ref(),
+            };
+            backend.apply(update, &ctx)?
+        };
+        self.core = Arc::new(RankerCore {
+            ds: next,
+            oracle,
+            backend,
+            version: self.core.version + 1,
+        });
         Ok(outcome)
     }
 
@@ -500,17 +674,50 @@ impl FairRanker {
 
     /// Force any updates a coalescing backend deferred
     /// ([`UpdateOutcome::Deferred`]) to take effect now. Backends without
-    /// a deferral buffer return [`UpdateOutcome::Noop`].
+    /// a deferral buffer return [`UpdateOutcome::Noop`]. Like
+    /// [`FairRanker::update`], this copy-on-writes a fresh generation
+    /// when snapshots are outstanding.
     ///
     /// # Errors
-    /// Backend rebuild errors.
+    /// Backend rebuild errors; [`FairRankError::CloneUnsupported`] when
+    /// snapshots are outstanding and the backend cannot fork.
     pub fn flush_updates(&mut self) -> Result<UpdateOutcome, FairRankError> {
+        if Arc::get_mut(&mut self.core).is_none() {
+            // Probe before forking: a flush with nothing buffered is a
+            // Noop, and deep-copying the whole index just to discover
+            // that would make every idle flush on a shared ranker (the
+            // service's slot is always shared) pay a full index clone.
+            if !self.core.backend.has_pending_updates() {
+                return Ok(UpdateOutcome::Noop);
+            }
+            let mut backend = self.core.backend.clone_box().ok_or_else(|| {
+                FairRankError::CloneUnsupported(self.core.backend.stats().kind.to_string())
+            })?;
+            let outcome = {
+                let ctx = UpdateCtx {
+                    old: &self.core.ds,
+                    ds: &self.core.ds,
+                    oracle: self.core.oracle.as_ref(),
+                };
+                backend.flush(&ctx)?
+            };
+            if outcome != UpdateOutcome::Noop {
+                self.core = Arc::new(RankerCore {
+                    ds: Arc::clone(&self.core.ds),
+                    oracle: Arc::clone(&self.core.oracle),
+                    backend,
+                    version: self.core.version,
+                });
+            }
+            return Ok(outcome);
+        }
+        let core = Arc::get_mut(&mut self.core).expect("checked exclusive above");
         let ctx = UpdateCtx {
-            old: &self.ds,
-            ds: &self.ds,
-            oracle: self.oracle.as_ref(),
+            old: &core.ds,
+            ds: &core.ds,
+            oracle: core.oracle.as_ref(),
         };
-        self.backend.flush(&ctx)
+        core.backend.flush(&ctx)
     }
 
     /// Serialize the complete ranker index — backend tag plus artifact
@@ -527,7 +734,11 @@ impl FairRanker {
     /// may sit inside a deferral window.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        encode_ranker_versioned(self.ds.dim(), self.version, self.backend.as_ref())
+        encode_ranker_versioned(
+            self.core.ds.dim(),
+            self.core.version,
+            self.core.backend.as_ref(),
+        )
     }
 
     /// Reassemble a ranker persisted with [`FairRanker::to_bytes`],
@@ -554,9 +765,7 @@ impl FairRanker {
                 found: ds.dim(),
             });
         }
-        let mut ranker = Self::from_backend_arc(ds, oracle, backend)?;
-        ranker.version = version;
-        Ok(ranker)
+        Self::from_backend_arc(ds, oracle, backend, version)
     }
 
     /// Write [`FairRanker::to_bytes`] to a file.
@@ -588,7 +797,8 @@ impl FairRanker {
     /// is [`TwoDIntervals`]).
     #[must_use]
     pub fn intervals(&self) -> Option<&AngularIntervals> {
-        self.backend
+        self.core
+            .backend
             .as_any()
             .downcast_ref::<TwoDIntervals>()
             .map(TwoDIntervals::intervals)
@@ -598,7 +808,8 @@ impl FairRanker {
     /// [`ApproxGrid`]).
     #[must_use]
     pub fn approx_index(&self) -> Option<&ApproxIndex> {
-        self.backend
+        self.core
+            .backend
             .as_any()
             .downcast_ref::<ApproxGrid>()
             .map(ApproxGrid::index)
@@ -606,8 +817,8 @@ impl FairRanker {
 
     fn ctx(&self) -> QueryCtx<'_> {
         QueryCtx {
-            ds: &self.ds,
-            oracle: self.oracle.as_ref(),
+            ds: &self.core.ds,
+            oracle: self.core.oracle.as_ref(),
         }
     }
 }
@@ -632,6 +843,10 @@ mod tests {
             .unwrap()
     }
 
+    fn req(weights: &[f64]) -> SuggestRequest {
+        SuggestRequest::new(weights)
+    }
+
     #[test]
     fn ranker_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
@@ -644,32 +859,47 @@ mod tests {
         let ranker = build_2d(&ds, Box::new(oracle.clone()));
         // A strongly attribute-0-weighted query should be unfair (group 0
         // is concentrated at the top of that ranking)…
-        let sug = ranker.suggest(&[1.0, 0.02]).unwrap();
-        match sug {
-            Suggestion::Suggested { weights, distance } => {
+        let sug = ranker.respond(&req(&[1.0, 0.02])).unwrap();
+        match sug.fairness {
+            KnownFairness::Suggested { distance } => {
                 use fairrank_fairness::FairnessOracle as _;
                 assert!(distance > 0.0);
                 assert!(
-                    oracle.is_satisfactory(&ds.rank(&weights)),
+                    oracle.is_satisfactory(&ds.rank(&sug.weights)),
                     "suggested weights must be fair"
                 );
                 // Norm preserved.
-                let r: f64 = weights.iter().map(|w| w * w).sum::<f64>().sqrt();
+                let r: f64 = sug.weights.iter().map(|w| w * w).sum::<f64>().sqrt();
                 assert!((r - (1.0f64 + 0.02 * 0.02).sqrt()).abs() < 1e-9);
             }
             other => panic!("expected a suggestion, got {other:?}"),
         }
+        assert_eq!(sug.version, 0);
+        assert!(!sug.stats.index_decided, "respond() is the oracle path");
     }
 
     #[test]
-    fn deprecated_constructors_still_work() {
+    fn deprecated_suggest_wrappers_match_respond() {
         #![allow(deprecated)]
         let (ds, oracle) = biased_2d();
-        let legacy = FairRanker::build_2d(&ds, Box::new(oracle.clone())).unwrap();
-        let new = build_2d(&ds, Box::new(oracle));
-        for q in [[1.0, 0.02], [0.3, 1.7], [1.0, 1.0]] {
-            assert_eq!(legacy.suggest(&q).unwrap(), new.suggest(&q).unwrap());
+        let ranker = build_2d(&ds, Box::new(oracle));
+        let queries = [[1.0, 0.02], [0.3, 1.7], [1.0, 1.0]];
+        for q in &queries {
+            assert_eq!(
+                ranker.suggest(q).unwrap(),
+                ranker.respond(&req(q)).unwrap().into_answer()
+            );
         }
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let reqs: Vec<SuggestRequest> = queries.iter().map(|q| req(q)).collect();
+        let new_batch: Vec<Answer> = ranker
+            .respond_batch(&reqs)
+            .unwrap()
+            .into_iter()
+            .map(Suggestion::into_answer)
+            .collect();
+        assert_eq!(ranker.suggest_batch(&refs).unwrap(), new_batch);
+        assert_eq!(ranker.suggest_batch_parallel(&refs, 2).unwrap(), new_batch);
     }
 
     #[test]
@@ -677,10 +907,9 @@ mod tests {
         let ds = generic::uniform(30, 2, 0.0, 5);
         let o = FnOracle::new("always", |_: &[u32]| true);
         let ranker = build_2d(&ds, Box::new(o));
-        assert_eq!(
-            ranker.suggest(&[1.0, 1.0]).unwrap(),
-            Suggestion::AlreadyFair
-        );
+        let sug = ranker.respond(&req(&[1.0, 1.0])).unwrap();
+        assert_eq!(sug.fairness, KnownFairness::AlreadyFair);
+        assert_eq!(sug.weights, vec![1.0, 1.0], "fair queries echo the query");
     }
 
     #[test]
@@ -688,7 +917,28 @@ mod tests {
         let ds = generic::uniform(30, 2, 0.0, 6);
         let o = FnOracle::new("never", |_: &[u32]| false);
         let ranker = build_2d(&ds, Box::new(o));
-        assert_eq!(ranker.suggest(&[1.0, 1.0]).unwrap(), Suggestion::Infeasible);
+        let sug = ranker.respond(&req(&[1.0, 1.0])).unwrap();
+        assert!(sug.is_infeasible());
+        assert_eq!(sug.weights, vec![1.0, 1.0], "infeasible echoes the query");
+    }
+
+    #[test]
+    fn top_k_materialization_matches_direct_ranking() {
+        let (ds, oracle) = biased_2d();
+        let ranker = build_2d(&ds, Box::new(oracle));
+        let sug = ranker.respond(&req(&[1.0, 0.02]).with_top_k(5)).unwrap();
+        let top = sug.stats.top_k.as_deref().expect("k requested");
+        assert_eq!(top.len(), 5);
+        assert_eq!(top, &ds.rank(&sug.weights)[..5]);
+        // k larger than n clamps to the full ranking; no k → no list.
+        let all = ranker.respond(&req(&[1.0, 0.02]).with_top_k(999)).unwrap();
+        assert_eq!(all.stats.top_k.unwrap().len(), ds.len());
+        assert!(ranker
+            .respond(&req(&[1.0, 0.02]))
+            .unwrap()
+            .stats
+            .top_k
+            .is_none());
     }
 
     #[test]
@@ -704,11 +954,11 @@ mod tests {
             })
             .build()
             .unwrap();
-        let sug = ranker.suggest(&[1.0, 0.05, 0.05]).unwrap();
-        if let Suggestion::Suggested { weights, .. } = &sug {
+        let sug = ranker.respond(&req(&[1.0, 0.05, 0.05])).unwrap();
+        if let KnownFairness::Suggested { .. } = &sug.fairness {
             use fairrank_fairness::FairnessOracle as _;
             assert!(
-                oracle.is_satisfactory(&ds.rank(weights)),
+                oracle.is_satisfactory(&ds.rank(&sug.weights)),
                 "exact suggestion must be fair"
             );
         }
@@ -728,17 +978,17 @@ mod tests {
             })
             .build()
             .unwrap();
-        let sug = ranker.suggest(&[1.0, 0.02, 0.02]).unwrap();
-        match sug {
-            Suggestion::Suggested { weights, .. } => {
+        let sug = ranker.respond(&req(&[1.0, 0.02, 0.02])).unwrap();
+        match sug.fairness {
+            KnownFairness::Suggested { .. } => {
                 use fairrank_fairness::FairnessOracle as _;
                 assert!(
-                    oracle.is_satisfactory(&ds.rank(&weights)),
+                    oracle.is_satisfactory(&ds.rank(&sug.weights)),
                     "approx suggestion must be fair (functions are validated)"
                 );
             }
-            Suggestion::AlreadyFair => {} // possible if the query is fair
-            Suggestion::Infeasible => panic!("satisfiable setup reported infeasible"),
+            KnownFairness::AlreadyFair => {} // possible if the query is fair
+            KnownFairness::Infeasible => panic!("satisfiable setup reported infeasible"),
         }
     }
 
@@ -751,88 +1001,85 @@ mod tests {
     }
 
     #[test]
-    fn suggest_batch_matches_serial_2d() {
+    fn respond_batch_matches_serial_2d() {
         let (ds, oracle) = biased_2d();
         let ranker = build_2d(&ds, Box::new(oracle));
-        let queries: Vec<Vec<f64>> = (0..80)
+        let reqs: Vec<SuggestRequest> = (0..80)
             .map(|i| {
                 let t = (i as f64 + 0.5) / 80.0 * fairrank_geometry::HALF_PI;
-                vec![2.0 * t.cos(), 2.0 * t.sin()]
+                SuggestRequest::new(vec![2.0 * t.cos(), 2.0 * t.sin()])
             })
             .collect();
-        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
-        let batch = ranker.suggest_batch(&refs).unwrap();
-        assert_eq!(batch.len(), queries.len());
-        for (q, b) in refs.iter().zip(&batch) {
-            assert_eq!(*b, ranker.suggest(q).unwrap(), "mismatch at {q:?}");
+        let batch = ranker.respond_batch(&reqs).unwrap();
+        assert_eq!(batch.len(), reqs.len());
+        for (r, b) in reqs.iter().zip(&batch) {
+            assert_eq!(*b, ranker.respond(r).unwrap(), "mismatch at {r:?}");
         }
     }
 
     #[test]
-    fn suggest_batch_parallel_matches_serial_2d() {
+    fn respond_batch_parallel_matches_serial_2d() {
         let (ds, oracle) = biased_2d();
         let ranker = build_2d(&ds, Box::new(oracle));
-        let queries: Vec<Vec<f64>> = (0..33)
+        let reqs: Vec<SuggestRequest> = (0..33)
             .map(|i| {
                 let t = (i as f64 + 0.5) / 33.0 * fairrank_geometry::HALF_PI;
-                vec![2.0 * t.cos(), 2.0 * t.sin()]
+                SuggestRequest::new(vec![2.0 * t.cos(), 2.0 * t.sin()])
             })
             .collect();
-        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
         for shards in [0, 1, 2, 4, 33, 100] {
-            let parallel = ranker.suggest_batch_parallel(&refs, shards).unwrap();
-            assert_eq!(parallel.len(), refs.len());
-            for (q, p) in refs.iter().zip(&parallel) {
-                assert_eq!(*p, ranker.suggest(q).unwrap(), "shards={shards} at {q:?}");
+            let parallel = ranker.respond_batch_parallel(&reqs, shards).unwrap();
+            assert_eq!(parallel.len(), reqs.len());
+            for (r, p) in reqs.iter().zip(&parallel) {
+                // The parallel path may decide fairness from the index
+                // (`index_decided` differs); the answers must agree.
+                let serial = ranker.respond(r).unwrap();
+                assert_eq!(p.weights, serial.weights, "shards={shards} at {r:?}");
+                assert_eq!(p.fairness, serial.fairness, "shards={shards} at {r:?}");
             }
         }
     }
 
     #[test]
-    fn suggest_batch_matches_serial_md_approx() {
-        let ds = generic::uniform(30, 3, 0.9, 43);
-        let attr = ds.type_attribute("group").unwrap();
-        let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
-        let ranker = FairRanker::builder(ds, Box::new(oracle))
-            .strategy(Strategy::MdApprox)
-            .approx_options(BuildOptions {
-                n_cells: 150,
-                max_hyperplanes: Some(80),
-                ..Default::default()
+    fn fastpath_opt_out_forces_oracle() {
+        let (ds, oracle) = biased_2d();
+        let ranker = build_2d(&ds, Box::new(oracle));
+        let no_fastpath: Vec<SuggestRequest> = (0..12)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / 12.0 * fairrank_geometry::HALF_PI;
+                SuggestRequest::new(vec![2.0 * t.cos(), 2.0 * t.sin()]).with_options(
+                    crate::request::SuggestOptions {
+                        index_fastpath: false,
+                    },
+                )
             })
-            .build()
-            .unwrap();
-        let queries: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![1.0, 0.02 + 0.03 * i as f64, 0.5])
             .collect();
-        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
-        let batch = ranker.suggest_batch(&refs).unwrap();
-        for (q, b) in refs.iter().zip(&batch) {
-            assert_eq!(*b, ranker.suggest(q).unwrap());
+        let answers = ranker.respond_batch_parallel(&no_fastpath, 3).unwrap();
+        for (r, a) in no_fastpath.iter().zip(&answers) {
+            assert!(!a.stats.index_decided, "opt-out must use the oracle");
+            assert_eq!(*a, ranker.respond(r).unwrap());
         }
-        let parallel = ranker.suggest_batch_parallel(&refs, 3).unwrap();
-        assert_eq!(parallel, batch);
     }
 
     #[test]
-    fn suggest_batch_empty_and_invalid() {
+    fn respond_batch_empty_and_invalid() {
         let (ds, oracle) = biased_2d();
         let ranker = build_2d(&ds, Box::new(oracle));
-        assert_eq!(ranker.suggest_batch(&[]).unwrap(), vec![]);
-        assert_eq!(ranker.suggest_batch_parallel(&[], 4).unwrap(), vec![]);
-        let bad: Vec<&[f64]> = vec![&[1.0, 1.0], &[-1.0, 1.0]];
-        assert!(ranker.suggest_batch(&bad).is_err());
-        assert!(ranker.suggest_batch_parallel(&bad, 4).is_err());
+        assert_eq!(ranker.respond_batch(&[]).unwrap(), vec![]);
+        assert_eq!(ranker.respond_batch_parallel(&[], 4).unwrap(), vec![]);
+        let bad = vec![req(&[1.0, 1.0]), req(&[-1.0, 1.0])];
+        assert!(ranker.respond_batch(&bad).is_err());
+        assert!(ranker.respond_batch_parallel(&bad, 4).is_err());
     }
 
     #[test]
     fn invalid_queries_rejected() {
         let (ds, oracle) = biased_2d();
         let ranker = build_2d(&ds, Box::new(oracle));
-        assert!(ranker.suggest(&[1.0]).is_err());
-        assert!(ranker.suggest(&[-1.0, 1.0]).is_err());
-        assert!(ranker.suggest(&[0.0, 0.0]).is_err());
-        assert!(ranker.suggest(&[f64::INFINITY, 1.0]).is_err());
+        assert!(ranker.respond(&req(&[1.0])).is_err());
+        assert!(ranker.respond(&req(&[-1.0, 1.0])).is_err());
+        assert!(ranker.respond(&req(&[0.0, 0.0])).is_err());
+        assert!(ranker.respond(&req(&[f64::INFINITY, 1.0])).is_err());
     }
 
     #[test]
@@ -866,5 +1113,85 @@ mod tests {
             .build()
             .unwrap();
         assert!(std::ptr::eq(ranker.dataset(), shared.as_ref()));
+    }
+
+    #[test]
+    fn snapshot_is_a_pointer_copy() {
+        let (ds, oracle) = biased_2d();
+        let ranker = build_2d(&ds, Box::new(oracle));
+        let snap = ranker.snapshot();
+        assert!(std::ptr::eq(ranker.dataset(), snap.dataset()));
+        assert_eq!(ranker.version(), snap.version());
+    }
+
+    #[test]
+    fn update_on_shared_ranker_preserves_snapshots() {
+        let (ds, oracle) = biased_2d();
+        let mut ranker = build_2d(&ds, Box::new(oracle));
+        let snap = ranker.snapshot();
+        let q = req(&[1.0, 0.02]);
+        let before = snap.respond(&q).unwrap();
+        ranker
+            .update(DatasetUpdate::Insert {
+                scores: vec![0.9, 0.9],
+                groups: vec![0],
+            })
+            .unwrap();
+        // The updated ranker advanced; the snapshot is frozen at v0 with
+        // its original dataset and bit-identical answers.
+        assert_eq!(ranker.version(), 1);
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.dataset().len(), 50);
+        assert_eq!(ranker.dataset().len(), 51);
+        assert_eq!(snap.respond(&q).unwrap(), before);
+        assert_eq!(ranker.respond(&q).unwrap().version, 1);
+    }
+
+    #[test]
+    fn forked_update_matches_exclusive_update() {
+        let (ds, oracle) = biased_2d();
+        let updates = vec![
+            DatasetUpdate::Insert {
+                scores: vec![0.4, 0.8],
+                groups: vec![1],
+            },
+            DatasetUpdate::Rescore {
+                item: 3,
+                scores: vec![0.7, 0.1],
+            },
+            DatasetUpdate::Remove { item: 11 },
+        ];
+        let mut exclusive = build_2d(&ds, Box::new(oracle.clone()));
+        let mut shared = build_2d(&ds, Box::new(oracle));
+        let _pins: Vec<FairRanker> = (0..3).map(|_| shared.snapshot()).collect();
+        for u in updates {
+            exclusive.update(u.clone()).unwrap();
+            shared.update(u).unwrap();
+        }
+        for i in 0..20 {
+            let t = (i as f64 + 0.5) / 20.0 * fairrank_geometry::HALF_PI;
+            let q = req(&[1.4 * t.cos(), 1.4 * t.sin()]);
+            assert_eq!(exclusive.respond(&q).unwrap(), shared.respond(&q).unwrap());
+        }
+        assert_eq!(exclusive.version(), shared.version());
+    }
+
+    #[test]
+    fn shared_counters_aggregate_across_forks() {
+        let (ds, oracle) = biased_2d();
+        let mut ranker = build_2d(&ds, Box::new(oracle));
+        let snap = ranker.snapshot();
+        for i in 0..3 {
+            ranker
+                .update(DatasetUpdate::Rescore {
+                    item: i,
+                    scores: vec![0.5, 0.5],
+                })
+                .unwrap();
+        }
+        // The counters are shared across copy-on-write generations: both
+        // the live ranker and the frozen snapshot report the same totals.
+        assert_eq!(ranker.backend_stats().updates, 3);
+        assert_eq!(snap.backend_stats().updates, 3);
     }
 }

@@ -13,7 +13,7 @@ use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::interval::AngularIntervals;
 use fairrank_geometry::HALF_PI;
 
-use crate::backend::{BackendStats, IndexBackend, QueryCtx, Suggestion};
+use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, SharedCounters};
 use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 use raysweep::{event_cmp, exchange_events, item_events, sweep_events};
@@ -58,12 +58,20 @@ impl SweepMaint {
 /// persisted artifact) it has no sweep structure and the first update
 /// falls back to one full resweep, after which it is maintained
 /// incrementally too.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TwoDIntervals {
     intervals: AngularIntervals,
     maint: Option<SweepMaint>,
-    updates: u64,
-    rebuilds: u64,
+    counters: SharedCounters,
+}
+
+/// Structural equality covers the index artifact (intervals + sweep
+/// state); the [`SharedCounters`] are operational metadata shared across
+/// copy-on-write forks and deliberately excluded.
+impl PartialEq for TwoDIntervals {
+    fn eq(&self, other: &Self) -> bool {
+        self.intervals == other.intervals && self.maint == other.maint
+    }
 }
 
 impl TwoDIntervals {
@@ -74,8 +82,7 @@ impl TwoDIntervals {
         TwoDIntervals {
             intervals,
             maint: None,
-            updates: 0,
-            rebuilds: 0,
+            counters: SharedCounters::new(),
         }
     }
 
@@ -117,8 +124,7 @@ impl TwoDIntervals {
                 boundaries: out.boundaries,
                 verdicts: out.verdicts,
             }),
-            updates: 0,
-            rebuilds: 0,
+            counters: SharedCounters::new(),
         })
     }
 
@@ -240,11 +246,11 @@ impl IndexBackend for TwoDIntervals {
         &self,
         weights: &[f64],
         _ctx: &QueryCtx<'_>,
-    ) -> Result<Suggestion, FairRankError> {
+    ) -> Result<Answer, FairRankError> {
         Ok(match online_2d(&self.intervals, weights)? {
-            TwoDAnswer::AlreadyFair => Suggestion::AlreadyFair,
-            TwoDAnswer::Infeasible => Suggestion::Infeasible,
-            TwoDAnswer::Suggestion { weights, distance } => Suggestion::Suggested {
+            TwoDAnswer::AlreadyFair => Answer::AlreadyFair,
+            TwoDAnswer::Infeasible => Answer::Infeasible,
+            TwoDAnswer::Suggestion { weights, distance } => Answer::Suggested {
                 weights: weights.to_vec(),
                 distance,
             },
@@ -272,15 +278,14 @@ impl IndexBackend for TwoDIntervals {
         update: &DatasetUpdate,
         ctx: &UpdateCtx<'_>,
     ) -> Result<UpdateOutcome, FairRankError> {
-        self.updates += 1;
         if self.maint.is_none() {
             // Bare intervals (persisted artifact): one full resweep seeds
             // the maintenance state; subsequent updates are incremental.
             *self = TwoDIntervals {
-                updates: self.updates,
-                rebuilds: self.rebuilds + 1,
+                counters: self.counters.clone(),
                 ..Self::build_maintained(ctx.ds, ctx.oracle)?
             };
+            self.counters.record(true, true);
             return Ok(UpdateOutcome::Rebuilt);
         }
         // A sector verdict can only be reused when the oracle provably
@@ -337,7 +342,12 @@ impl IndexBackend for TwoDIntervals {
                 });
             }
         }
+        self.counters.record(true, false);
         Ok(UpdateOutcome::Incremental)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn IndexBackend>> {
+        Some(Box::new(self.clone()))
     }
 
     fn persist_tag(&self) -> u8 {
@@ -349,13 +359,14 @@ impl IndexBackend for TwoDIntervals {
     }
 
     fn stats(&self) -> BackendStats {
+        let (updates, rebuilds) = self.counters.snapshot();
         BackendStats {
             kind: "2d-intervals",
             artifacts: self.intervals.len(),
             functions: None,
             error_bound: Some(0.0),
-            updates: self.updates,
-            rebuilds: self.rebuilds,
+            updates,
+            rebuilds,
         }
     }
 

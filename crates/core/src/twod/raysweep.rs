@@ -277,7 +277,7 @@ pub fn ray_sweep(
 ///
 /// Produces identical intervals to [`ray_sweep`] with the equivalent
 /// oracle (verified by tests and the property suite). Runs on the same
-/// [`sweep_events`] walk as every other sweep driver, with the
+/// `sweep_events` walk as every other sweep driver, with the
 /// constraints bundled into a [`Conjunction`] whose incremental state
 /// the walk maintains swap by swap.
 ///

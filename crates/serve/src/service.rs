@@ -1,0 +1,561 @@
+//! [`FairRankService`]: the async-first serving tier.
+//!
+//! The synchronous [`FairRanker`] API answers pre-assembled batches; a
+//! production front door sees *individual* requests arriving
+//! continuously and concurrently with item updates. The service bridges
+//! the two shapes:
+//!
+//! ```text
+//!  callers ──try_suggest/submit──▶ bounded MPSC queue ──▶ worker pool
+//!     ▲                                                      │
+//!     │           one-shot future per request                │
+//!     ╰──────────────◀── Suggestion ◀── respond_batch(micro-batch)
+//! ```
+//!
+//! * **Micro-batching.** Workers drain the queue into batches, triggered
+//!   by size ([`ServiceBuilder::max_batch`]) or deadline
+//!   ([`ServiceBuilder::max_delay`]) — whichever comes first — and
+//!   execute them through [`FairRanker::respond_batch`], so the
+//!   amortized oracle/workspace machinery built for batch serving now
+//!   benefits independent submitters.
+//! * **Backpressure.** The queue is bounded
+//!   ([`ServiceBuilder::queue_capacity`]):
+//!   [`try_suggest`](FairRankService::try_suggest) fails fast with
+//!   [`ServiceError::Overloaded`], while
+//!   [`submit`](FairRankService::submit) blocks until space frees.
+//! * **Updates while serving.** [`update`](FairRankService::update) is a
+//!   serialized writer path: it forks the ranker copy-on-write
+//!   ([`FairRanker::snapshot`] + [`FairRanker::update`]) and swaps the
+//!   serving slot, so in-flight micro-batches keep answering from the
+//!   `Arc<Dataset>` snapshot they captured — readers are never blocked
+//!   behind index maintenance.
+//! * **Graceful shutdown.** [`shutdown`](FairRankService::shutdown)
+//!   (and `Drop`) closes the queue, drains every already-queued request
+//!   to completion, and joins the workers.
+//!
+//! Answers are **bit-identical** to calling
+//! [`FairRanker::respond_batch`] directly on the same dataset version —
+//! gated by `tests/service_equivalence.rs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fairrank::error::validate_weights;
+use fairrank::{
+    BackendStats, DatasetUpdate, FairRanker, SuggestRequest, Suggestion, UpdateOutcome,
+};
+
+use crate::error::ServiceError;
+use crate::runtime::{oneshot, Deadline};
+
+/// Configures and launches a [`FairRankService`]. Created by
+/// [`FairRankService::builder`].
+#[must_use]
+pub struct ServiceBuilder {
+    ranker: FairRanker,
+    workers: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    queue_capacity: usize,
+}
+
+impl ServiceBuilder {
+    /// Number of worker threads draining the queue. `0` (the default)
+    /// uses [`std::thread::available_parallelism`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Micro-batch size trigger: a worker executes as soon as it holds
+    /// this many requests (clamped to at least 1; default 16).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Micro-batch deadline trigger: a worker holding a partial batch
+    /// executes once this long has passed since it picked up the batch's
+    /// first request (default 200 µs; [`Duration::ZERO`] disables
+    /// coalescing waits entirely — every drain executes immediately).
+    pub fn max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Bounded submission-queue capacity — the backpressure threshold
+    /// (clamped to at least 1; default 1024).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Launch the worker pool and start serving.
+    pub fn build(self) -> FairRankService {
+        let workers = match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            w => w,
+        };
+        let shared = Arc::new(Shared {
+            dim: self.ranker.dataset().dim(),
+            max_batch: self.max_batch,
+            max_delay: self.max_delay,
+            capacity: self.queue_capacity,
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            slot: RwLock::new(self.ranker),
+            writer: Mutex::new(()),
+            metrics: Metrics::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fairrank-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        FairRankService {
+            shared,
+            workers: handles,
+        }
+    }
+}
+
+/// One queued request: the submission plus the one-shot completion.
+struct Pending {
+    req: SuggestRequest,
+    tx: oneshot::Sender<Result<Suggestion, ServiceError>>,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    rejected: AtomicU64,
+}
+
+struct Shared {
+    dim: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    capacity: usize,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// The serving slot: the current ranker generation. Readers hold the
+    /// read lock only long enough to clone the inner `Arc`
+    /// ([`FairRanker::snapshot`]); the update path swaps a fully
+    /// prepared fork in under a momentary write lock.
+    slot: RwLock<FairRanker>,
+    /// Serializes writers: updates fork-and-swap one at a time, outside
+    /// the slot lock, so index maintenance never blocks readers.
+    writer: Mutex<()>,
+    metrics: Metrics,
+}
+
+/// Operational counters for dashboards and load shedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Requests currently waiting in the submission queue.
+    pub queued: usize,
+    /// Requests accepted into the queue since launch.
+    pub submitted: u64,
+    /// Requests answered (futures completed) since launch.
+    pub completed: u64,
+    /// Micro-batches executed since launch.
+    pub batches: u64,
+    /// Submissions rejected with [`ServiceError::Overloaded`].
+    pub rejected: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+/// An awaitable [`Suggestion`]: resolves when a worker completes the
+/// request. Runtime-agnostic — `.await` it from any executor, drive it
+/// with [`crate::runtime::block_on`], or block with
+/// [`SuggestionFuture::wait`].
+pub struct SuggestionFuture {
+    rx: oneshot::Receiver<Result<Suggestion, ServiceError>>,
+}
+
+impl SuggestionFuture {
+    /// Block the current thread until the answer arrives.
+    ///
+    /// # Errors
+    /// [`ServiceError`] from the serving pipeline, or
+    /// [`ServiceError::Closed`] if the worker vanished without
+    /// answering.
+    pub fn wait(self) -> Result<Suggestion, ServiceError> {
+        self.rx.wait().unwrap_or(Err(ServiceError::Closed))
+    }
+}
+
+impl std::future::Future for SuggestionFuture {
+    type Output = Result<Suggestion, ServiceError>;
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.rx)
+            .poll(cx)
+            .map(|r| r.unwrap_or(Err(ServiceError::Closed)))
+    }
+}
+
+/// The async-first serving front door: submit individual
+/// [`SuggestRequest`]s, await [`Suggestion`]s; a worker pool coalesces
+/// submissions into micro-batches over the synchronous
+/// [`FairRanker`] machinery. See the crate docs for the pipeline shape
+/// and guarantees.
+pub struct FairRankService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FairRankService {
+    /// Start configuring a service over an already-built ranker.
+    pub fn builder(ranker: FairRanker) -> ServiceBuilder {
+        ServiceBuilder {
+            ranker,
+            workers: 0,
+            max_batch: 16,
+            max_delay: Duration::from_micros(200),
+            queue_capacity: 1024,
+        }
+    }
+
+    /// Submit without blocking: fails fast with
+    /// [`ServiceError::Overloaded`] when the bounded queue is full — the
+    /// caller's backpressure signal.
+    ///
+    /// # Errors
+    /// [`ServiceError::Overloaded`] (queue full), [`ServiceError::Closed`]
+    /// (after shutdown), [`ServiceError::Rank`] (malformed request —
+    /// validated here, so queued batches never fail collectively).
+    pub fn try_suggest(&self, req: SuggestRequest) -> Result<SuggestionFuture, ServiceError> {
+        self.enqueue(req, false)
+    }
+
+    /// Submit with blocking backpressure: waits for queue space instead
+    /// of failing. Prefer [`try_suggest`](FairRankService::try_suggest)
+    /// on latency-sensitive paths.
+    ///
+    /// # Errors
+    /// [`ServiceError::Closed`], [`ServiceError::Rank`].
+    pub fn submit(&self, req: SuggestRequest) -> Result<SuggestionFuture, ServiceError> {
+        self.enqueue(req, true)
+    }
+
+    /// Submit and block until the answer arrives — the synchronous
+    /// convenience wrapper around [`submit`](FairRankService::submit).
+    ///
+    /// # Errors
+    /// As [`FairRankService::submit`], plus any serving-side error.
+    pub fn suggest(&self, req: SuggestRequest) -> Result<Suggestion, ServiceError> {
+        self.submit(req)?.wait()
+    }
+
+    fn enqueue(&self, req: SuggestRequest, block: bool) -> Result<SuggestionFuture, ServiceError> {
+        // Validate before queueing: a malformed request fails its caller
+        // alone, never the micro-batch it would have joined.
+        validate_weights(&req.query, self.shared.dim).map_err(ServiceError::Rank)?;
+        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+        loop {
+            if queue.closed {
+                return Err(ServiceError::Closed);
+            }
+            if queue.pending.len() < self.shared.capacity {
+                break;
+            }
+            if !block {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded {
+                    capacity: self.shared.capacity,
+                });
+            }
+            queue = self
+                .shared
+                .not_full
+                .wait(queue)
+                .expect("queue lock poisoned");
+        }
+        let (tx, rx) = oneshot::channel();
+        queue.pending.push_back(Pending { req, tx });
+        drop(queue);
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(SuggestionFuture { rx })
+    }
+
+    /// Apply one live dataset update — the service's serialized writer
+    /// path.
+    ///
+    /// The update runs on a copy-on-write fork *outside* the serving
+    /// slot's lock (writers queue up on a dedicated mutex), then swaps
+    /// the new generation in under a momentary write lock. In-flight
+    /// micro-batches keep serving the snapshot they captured; requests
+    /// picked up after the swap see the new version — every
+    /// [`Suggestion`] carries the version it was answered from.
+    ///
+    /// # Errors
+    /// [`ServiceError::Rank`] wrapping any
+    /// [`FairRankError`](fairrank::FairRankError) the update raises;
+    /// nothing is swapped on error.
+    pub fn update(&self, update: DatasetUpdate) -> Result<UpdateOutcome, ServiceError> {
+        let _writer = self.shared.writer.lock().expect("writer lock poisoned");
+        let mut fork = self
+            .shared
+            .slot
+            .read()
+            .expect("slot lock poisoned")
+            .snapshot();
+        // The slot still holds the same generation, so `fork` is shared
+        // and FairRanker::update takes its copy-on-write path: the old
+        // index keeps serving until the swap below.
+        let outcome = fork.update(update).map_err(ServiceError::Rank)?;
+        *self.shared.slot.write().expect("slot lock poisoned") = fork;
+        Ok(outcome)
+    }
+
+    /// Force any deferred (coalesced) backend updates to take effect
+    /// now — the service twin of [`FairRanker::flush_updates`].
+    ///
+    /// # Errors
+    /// As [`FairRankService::update`].
+    pub fn flush_updates(&self) -> Result<UpdateOutcome, ServiceError> {
+        let _writer = self.shared.writer.lock().expect("writer lock poisoned");
+        let mut fork = self
+            .shared
+            .slot
+            .read()
+            .expect("slot lock poisoned")
+            .snapshot();
+        let outcome = fork.flush_updates().map_err(ServiceError::Rank)?;
+        if outcome != UpdateOutcome::Noop {
+            *self.shared.slot.write().expect("slot lock poisoned") = fork;
+        }
+        Ok(outcome)
+    }
+
+    /// The current dataset epoch (see [`FairRanker::version`]).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.shared
+            .slot
+            .read()
+            .expect("slot lock poisoned")
+            .version()
+    }
+
+    /// A point-in-time [`FairRanker::snapshot`] of the serving state —
+    /// what the next micro-batch would answer from. Useful for replica
+    /// hand-off and for equivalence testing against the direct API.
+    #[must_use]
+    pub fn snapshot(&self) -> FairRanker {
+        self.shared
+            .slot
+            .read()
+            .expect("slot lock poisoned")
+            .snapshot()
+    }
+
+    /// Backend statistics of the current generation; the update/rebuild
+    /// counters aggregate across copy-on-write generations (see
+    /// [`fairrank::SharedCounters`]).
+    #[must_use]
+    pub fn backend_stats(&self) -> BackendStats {
+        self.shared
+            .slot
+            .read()
+            .expect("slot lock poisoned")
+            .backend_stats()
+    }
+
+    /// Operational counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let queued = self
+            .shared
+            .queue
+            .lock()
+            .expect("queue lock poisoned")
+            .pending
+            .len();
+        ServiceStats {
+            queued,
+            submitted: self.shared.metrics.submitted.load(Ordering::Relaxed),
+            completed: self.shared.metrics.completed.load(Ordering::Relaxed),
+            batches: self.shared.metrics.batches.load(Ordering::Relaxed),
+            rejected: self.shared.metrics.rejected.load(Ordering::Relaxed),
+            workers: self.workers.len(),
+        }
+    }
+
+    /// Stop accepting new submissions without tearing the pool down:
+    /// subsequent [`try_suggest`](FairRankService::try_suggest)/
+    /// [`submit`](FairRankService::submit) calls (and submitters blocked
+    /// on backpressure) observe [`ServiceError::Closed`], while workers
+    /// keep draining — and answering — everything already queued.
+    /// [`shutdown`](FairRankService::shutdown) closes and then joins.
+    pub fn close(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            queue.closed = true;
+        }
+        // Wake every waiter: idle workers exit once the queue drains,
+        // blocked submitters observe `Closed`.
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// Graceful shutdown: stop accepting submissions, drain and answer
+    /// every request already queued, and join the worker pool. Dropping
+    /// the service does the same.
+    pub fn shutdown(mut self) {
+        self.close_and_join(true);
+    }
+
+    fn close_and_join(&mut self, propagate_panics: bool) {
+        self.close();
+        for handle in self.workers.drain(..) {
+            if let Err(panic) = handle.join() {
+                if propagate_panics {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FairRankService {
+    fn drop(&mut self) {
+        // Never propagate worker panics out of Drop (aborts during
+        // unwinding); `shutdown()` is the loud path.
+        self.close_and_join(false);
+    }
+}
+
+impl std::fmt::Debug for FairRankService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FairRankService")
+            .field("stats", &self.stats())
+            .field("version", &self.version())
+            .field("max_batch", &self.shared.max_batch)
+            .field("max_delay", &self.shared.max_delay)
+            .field("queue_capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+/// One worker: collect a micro-batch (size- or deadline-triggered),
+/// serve it on a point-in-time snapshot, complete the one-shots, repeat
+/// until the queue is closed *and* drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = match collect_batch(shared) {
+            Some(batch) => batch,
+            None => return,
+        };
+        // Serve outside every lock, on a snapshot pinned for exactly
+        // this batch: a concurrent update advances the slot without
+        // touching the generation we're answering from.
+        let ranker = shared.slot.read().expect("slot lock poisoned").snapshot();
+        let (reqs, txs): (Vec<SuggestRequest>, Vec<_>) =
+            batch.into_iter().map(|p| (p.req, p.tx)).unzip();
+        let result = ranker.respond_batch(&reqs);
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(answers) => {
+                // Count before completing the one-shots: a caller must
+                // never observe its answer while the counters miss it —
+                // and only genuinely answered requests count.
+                shared
+                    .metrics
+                    .completed
+                    .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                for (tx, answer) in txs.into_iter().zip(answers) {
+                    // A dropped receiver just means the caller stopped
+                    // caring; serving the rest of the batch is unaffected.
+                    let _ = tx.send(Ok(answer));
+                }
+            }
+            Err(e) => {
+                // Unreachable for queue-validated requests; defensively
+                // fail the batch's callers rather than the worker.
+                let e = ServiceError::Rank(e);
+                for tx in txs {
+                    let _ = tx.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Block until at least one request is available (or return `None` on
+/// closed-and-drained), then coalesce up to `max_batch` requests,
+/// waiting at most `max_delay` past the first pickup. A closed queue
+/// stops the coalescing wait immediately so shutdown drains fast.
+fn collect_batch(shared: &Shared) -> Option<Vec<Pending>> {
+    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    loop {
+        loop {
+            if !queue.pending.is_empty() {
+                break;
+            }
+            if queue.closed {
+                return None;
+            }
+            queue = shared.not_empty.wait(queue).expect("queue lock poisoned");
+        }
+        if shared.max_batch > 1 && !shared.max_delay.is_zero() {
+            let deadline = Deadline::after(shared.max_delay);
+            while queue.pending.len() < shared.max_batch && !queue.closed {
+                let remaining = deadline.remaining();
+                if remaining.is_zero() {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .not_empty
+                    .wait_timeout(queue, remaining)
+                    .expect("queue lock poisoned");
+                queue = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let take = queue.pending.len().min(shared.max_batch);
+        if take == 0 {
+            // Another worker drained the item(s) that woke us while we
+            // sat in the coalescing wait — go back to sleep rather than
+            // executing a phantom batch.
+            continue;
+        }
+        let batch = queue.pending.drain(..take).collect();
+        drop(queue);
+        // Capacity frees at *drain* time, not when the batch finishes
+        // serving: release blocked submitters immediately.
+        shared.not_full.notify_all();
+        return Some(batch);
+    }
+}

@@ -12,7 +12,7 @@
 
 use fairrank::approximate::{ApproxGrid, BuildOptions};
 use fairrank::sampling::{build_on_sample, validate_against};
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, KnownFairness, SuggestRequest};
 use fairrank_datasets::synthetic::dot::{self, DotConfig};
 use fairrank_fairness::Proportionality;
 
@@ -91,13 +91,14 @@ fn main() {
     )
     .unwrap();
     let query = [1.0, 1.0, 0.2];
-    match ranker.suggest(&query).unwrap() {
-        Suggestion::AlreadyFair => println!("query {query:?} is already carrier-diverse"),
-        Suggestion::Suggested { weights, .. } => println!(
+    let answer = ranker.respond(&SuggestRequest::new(query)).unwrap();
+    match answer.fairness {
+        KnownFairness::AlreadyFair => println!("query {query:?} is already carrier-diverse"),
+        KnownFairness::Suggested { .. } => println!(
             "query {query:?} → suggested carrier-diverse weights \
              [{:.3}, {:.3}, {:.3}]",
-            weights[0], weights[1], weights[2]
+            answer.weights[0], answer.weights[1], answer.weights[2]
         ),
-        Suggestion::Infeasible => println!("no satisfactory function found on the sample"),
+        KnownFairness::Infeasible => println!("no satisfactory function found on the sample"),
     }
 }

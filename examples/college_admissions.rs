@@ -6,7 +6,7 @@
 //! cargo run --release --example college_admissions
 //! ```
 
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, KnownFairness, SuggestRequest};
 use fairrank_datasets::distributions::{categorical, clamped_normal};
 use fairrank_datasets::Dataset;
 use fairrank_fairness::Proportionality;
@@ -70,9 +70,11 @@ fn main() {
     let ranker = FairRanker::builder(ds.clone(), Box::new(oracle))
         .build()
         .unwrap();
-    match ranker.suggest(&query).unwrap() {
-        Suggestion::AlreadyFair => println!("the equal-weight function is already fair"),
-        Suggestion::Suggested { weights, distance } => {
+    let answer = ranker.respond(&SuggestRequest::new(query)).unwrap();
+    match answer.fairness {
+        KnownFairness::AlreadyFair => println!("the equal-weight function is already fair"),
+        KnownFairness::Suggested { distance } => {
+            let weights = &answer.weights;
             // Renormalize to unit weight-sum for readability, like the
             // paper's f'(t) = 0.45·sat + 0.55·gpa.
             let s = weights[0] + weights[1];
@@ -82,14 +84,14 @@ fn main() {
                 weights[1] / s,
                 distance
             );
-            let top = ds.top_k(&weights, k);
+            let top = ds.top_k(weights, k);
             let women = top
                 .iter()
                 .filter(|&&i| gender.values[i as usize] == 1)
                 .count();
             println!("under f': {women} women in the top-{k} — constraint met");
         }
-        Suggestion::Infeasible => {
+        KnownFairness::Infeasible => {
             println!("no linear scoring function admits 200 women in the top-{k}");
         }
     }

@@ -8,7 +8,7 @@
 //! ```
 
 use fairrank::approximate::BuildOptions;
-use fairrank::{FairRanker, Strategy, Suggestion};
+use fairrank::{FairRanker, KnownFairness, Strategy, SuggestRequest};
 use fairrank_datasets::synthetic::compas::{self, CompasConfig};
 use fairrank_fairness::{FairnessOracle, Proportionality};
 
@@ -60,10 +60,12 @@ fn main() {
         [0.1, 0.1, 1.0],
     ];
     for q in queries {
-        match ranker.suggest(&q).unwrap() {
-            Suggestion::AlreadyFair => println!("w = {q:?}: fair as-is"),
-            Suggestion::Suggested { weights, distance } => {
-                let top = ds.top_k(&weights, k);
+        let answer = ranker.respond(&SuggestRequest::new(q)).unwrap();
+        match answer.fairness {
+            KnownFairness::AlreadyFair => println!("w = {q:?}: fair as-is"),
+            KnownFairness::Suggested { distance } => {
+                let weights = &answer.weights;
+                let top = ds.top_k(weights, k);
                 let aa = top
                     .iter()
                     .filter(|&&i| race.values[i as usize] == 0)
@@ -77,7 +79,7 @@ fn main() {
                     (0.6 * k as f64).floor()
                 );
             }
-            Suggestion::Infeasible => println!("w = {q:?}: constraint unsatisfiable"),
+            KnownFairness::Infeasible => println!("w = {q:?}: constraint unsatisfiable"),
         }
     }
 }

@@ -14,23 +14,27 @@
 
 use std::time::Instant;
 
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, KnownFairness, SuggestRequest, Suggestion};
 use fairrank_datasets::synthetic::generic;
 use fairrank_fairness::{FnOracle, Proportionality};
 
 fn report(round: usize, query: &[f64], suggestion: &Suggestion, micros: u128) {
-    match suggestion {
-        Suggestion::AlreadyFair => {
+    match &suggestion.fairness {
+        KnownFairness::AlreadyFair => {
             println!("round {round}: {query:?} accepted ({micros} µs)");
         }
-        Suggestion::Suggested { weights, distance } => {
-            let pretty: Vec<String> = weights.iter().map(|w| format!("{w:.3}")).collect();
+        KnownFairness::Suggested { distance } => {
+            let pretty: Vec<String> = suggestion
+                .weights
+                .iter()
+                .map(|w| format!("{w:.3}"))
+                .collect();
             println!(
                 "round {round}: {query:?} rejected → counter-proposal [{}] at {distance:.4} rad ({micros} µs)",
                 pretty.join(", ")
             );
         }
-        Suggestion::Infeasible => {
+        KnownFairness::Infeasible => {
             println!("round {round}: {query:?} — constraint unsatisfiable ({micros} µs)");
         }
     }
@@ -53,16 +57,18 @@ fn main() {
     let mut proposal = vec![1.0, 0.05];
     for round in 1..=4 {
         let t = Instant::now();
-        let suggestion = ranker.suggest(&proposal).unwrap();
+        let suggestion = ranker
+            .respond(&SuggestRequest::new(proposal.clone()))
+            .unwrap();
         let micros = t.elapsed().as_micros();
         report(round, &proposal, &suggestion, micros);
-        match suggestion {
-            Suggestion::Suggested { weights, .. } => {
+        match suggestion.fairness {
+            KnownFairness::Suggested { .. } => {
                 // The designer accepts half the correction and tries again
                 // (the "manual adjust and re-invoke" loop of §2.1).
                 proposal = proposal
                     .iter()
-                    .zip(&weights)
+                    .zip(&suggestion.weights)
                     .map(|(p, w)| 0.5 * (p + w))
                     .collect();
             }
@@ -92,7 +98,7 @@ fn main() {
     println!("offline preprocessing: {:?}", t.elapsed());
     for (round, q) in [[1.0, 0.02], [0.6, 0.8]].iter().enumerate() {
         let t = Instant::now();
-        let suggestion = ranker2.suggest(q).unwrap();
+        let suggestion = ranker2.respond(&SuggestRequest::new(*q)).unwrap();
         report(round + 1, q, &suggestion, t.elapsed().as_micros());
     }
 }

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::persist::{decode_approx_index, encode_approx_index};
-use fairrank::{FairRanker, Strategy};
+use fairrank::{FairRanker, Strategy, SuggestRequest};
 use fairrank_datasets::synthetic::compas;
 use fairrank_fairness::Proportionality;
 use fairrank_geometry::polar::{angular_distance, to_polar};
@@ -58,20 +58,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- online replica (whole-ranker load + sharded serving) -----------
     let replica = FairRanker::load(&path, ds.clone(), Box::new(oracle))?;
-    let queries: Vec<Vec<f64>> = (0..32)
-        .map(|i| vec![1.0, 0.1 + 0.05 * f64::from(i), 0.4])
+    let reqs: Vec<SuggestRequest> = (0..32)
+        .map(|i| SuggestRequest::new(vec![1.0, 0.1 + 0.05 * f64::from(i), 0.4]))
         .collect();
-    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
     let t = Instant::now();
-    let answers = replica.suggest_batch_parallel(&refs, 4)?;
+    let answers = replica.respond_batch_parallel(&reqs, 4)?;
     println!(
         "online:  replica answered {} queries over 4 shards in {:.2?} \
          (answers match the offline ranker: {})",
         answers.len(),
         t.elapsed(),
-        refs.iter()
+        reqs.iter()
             .zip(&answers)
-            .all(|(q, a)| ranker.suggest(q).unwrap() == *a),
+            .all(|(q, a)| ranker.respond(q).unwrap() == *a),
     );
 
     // ---- online process, artifact-only (no dataset, no oracle) ----------

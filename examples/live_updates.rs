@@ -19,20 +19,20 @@
 
 use std::sync::Arc;
 
-use fairrank::{DatasetUpdate, FairRanker, Strategy, Suggestion};
+use fairrank::{DatasetUpdate, FairRanker, KnownFairness, Strategy, SuggestRequest, Suggestion};
 use fairrank_datasets::synthetic::generic;
 use fairrank_fairness::Proportionality;
 
 fn describe(sug: &Suggestion) -> String {
-    match sug {
-        Suggestion::AlreadyFair => "already fair".into(),
-        Suggestion::Suggested { weights, distance } => {
+    match &sug.fairness {
+        KnownFairness::AlreadyFair => "already fair".into(),
+        KnownFairness::Suggested { distance } => {
             format!(
                 "try w = [{:.3}, {:.3}] ({distance:.4} rad away)",
-                weights[0], weights[1]
+                sug.weights[0], sug.weights[1]
             )
         }
-        Suggestion::Infeasible => "no fair linear ranking exists".into(),
+        KnownFairness::Infeasible => "no fair linear ranking exists".into(),
     }
 }
 
@@ -47,11 +47,11 @@ fn main() {
         .strategy(Strategy::TwoD)
         .build()
         .expect("2-D build");
-    let query = [1.0, 0.15];
+    let query = SuggestRequest::new([1.0, 0.15]);
     println!(
         "epoch {} | {}",
         ranker.version(),
-        describe(&ranker.suggest(&query).unwrap())
+        describe(&ranker.respond(&query).unwrap())
     );
 
     // --- live churn -----------------------------------------------------
@@ -76,7 +76,7 @@ fn main() {
             "epoch {} | {outcome:?} | n = {} | {}",
             ranker.version(),
             ranker.dataset().len(),
-            describe(&ranker.suggest(&query).unwrap())
+            describe(&ranker.respond(&query).unwrap())
         );
     }
     let stats = ranker.backend_stats();
@@ -102,9 +102,13 @@ fn main() {
         .strategy(Strategy::TwoD)
         .build()
         .expect("scratch build");
+    let (live_ans, scratch_ans) = (
+        ranker.respond(&query).unwrap(),
+        scratch.respond(&query).unwrap(),
+    );
     assert_eq!(
-        ranker.suggest(&query).unwrap(),
-        scratch.suggest(&query).unwrap(),
+        (live_ans.weights, live_ans.fairness),
+        (scratch_ans.weights, scratch_ans.fairness),
         "incremental maintenance must be invisible in the answers"
     );
     println!("maintained index matches a from-scratch rebuild bit for bit");

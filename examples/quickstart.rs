@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, KnownFairness, SuggestRequest};
 use fairrank_datasets::synthetic::generic;
 use fairrank_fairness::{FairnessOracle, Proportionality};
 
@@ -40,18 +40,19 @@ fn main() {
 
     // Online phase: propose weights, get a fair alternative when needed.
     for query in [[1.0, 1.0], [1.0, 0.1], [0.1, 1.0]] {
-        match ranker.suggest(&query).unwrap() {
-            Suggestion::AlreadyFair => {
+        let answer = ranker.respond(&SuggestRequest::new(query)).unwrap();
+        match answer.fairness {
+            KnownFairness::AlreadyFair => {
                 println!("w = {query:?}: already fair — keep it");
             }
-            Suggestion::Suggested { weights, distance } => {
+            KnownFairness::Suggested { distance } => {
                 println!(
                     "w = {query:?}: unfair; closest fair function is \
                      [{:.3}, {:.3}] ({distance:.4} rad away)",
-                    weights[0], weights[1]
+                    answer.weights[0], answer.weights[1]
                 );
             }
-            Suggestion::Infeasible => {
+            KnownFairness::Infeasible => {
                 println!("w = {query:?}: no linear function satisfies the constraint");
             }
         }

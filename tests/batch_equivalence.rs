@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::probes::batch_verdicts;
-use fairrank::{FairRanker, Strategy, Suggestion};
+use fairrank::{FairRanker, KnownFairness, Strategy, SuggestRequest};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::RankWorkspace;
 use fairrank_fairness::{CountingOracle, FairnessOracle, Proportionality};
@@ -44,18 +44,18 @@ proptest! {
             .collect();
         queries.push(vec![1.0, 0.0]); // axis-aligned boundary queries
         queries.push(vec![0.0, 1.0]);
-        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let reqs: Vec<SuggestRequest> = queries.into_iter().map(SuggestRequest::new).collect();
 
-        let batch = ranker.suggest_batch(&refs).unwrap();
-        prop_assert_eq!(batch.len(), refs.len());
-        for (q, b) in refs.iter().zip(&batch) {
-            let serial = ranker.suggest(q).unwrap();
+        let batch = ranker.respond_batch(&reqs).unwrap();
+        prop_assert_eq!(batch.len(), reqs.len());
+        for (q, b) in reqs.iter().zip(&batch) {
+            let serial = ranker.respond(q).unwrap();
             prop_assert_eq!(b, &serial, "batch/serial diverged at query {:?}", q);
             // Boundary hardening: any suggestion is itself a valid query
             // inside the domain.
-            if let Suggestion::Suggested { weights, distance } = b {
-                prop_assert!(ranker.suggest(weights).is_ok());
-                prop_assert!((0.0..=HALF_PI + 1e-9).contains(distance));
+            if let KnownFairness::Suggested { distance } = b.fairness {
+                prop_assert!(ranker.respond(&SuggestRequest::new(b.weights.clone())).is_ok());
+                prop_assert!((0.0..=HALF_PI + 1e-9).contains(&distance));
             }
         }
     }
@@ -173,14 +173,14 @@ fn suggest_batch_equals_serial_md_approx() {
             ]
         })
         .collect();
-    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
-    let batch = ranker.suggest_batch(&refs).unwrap();
+    let reqs: Vec<SuggestRequest> = queries.into_iter().map(SuggestRequest::new).collect();
+    let batch = ranker.respond_batch(&reqs).unwrap();
     let mut fair = 0usize;
-    for (q, b) in refs.iter().zip(&batch) {
-        assert_eq!(b, &ranker.suggest(q).unwrap());
-        if matches!(b, Suggestion::AlreadyFair) {
+    for (q, b) in reqs.iter().zip(&batch) {
+        assert_eq!(b, &ranker.respond(q).unwrap());
+        if b.is_already_fair() {
             fair += 1;
         }
     }
-    assert!(fair < refs.len(), "bias should leave some queries unfair");
+    assert!(fair < reqs.len(), "bias should leave some queries unfair");
 }

@@ -1,6 +1,6 @@
 //! Incremental-vs-rebuild equivalence: for random update sequences
 //! (insert / remove / rescore) against all three backends, a ranker
-//! maintained through [`FairRanker::update`] answers `suggest` queries
+//! maintained through [`FairRanker::update`] answers `respond` queries
 //! **element-wise identically** to a ranker rebuilt from scratch on the
 //! final dataset — bit-identical weights and distances, not just "close".
 //!
@@ -11,7 +11,9 @@ use proptest::prelude::*;
 
 use fairrank::approximate::BuildOptions;
 use fairrank::md::SatRegionsOptions;
-use fairrank::{DatasetUpdate, FairRanker, Strategy, Suggestion, UpdateOutcome};
+use fairrank::{
+    DatasetUpdate, FairRanker, KnownFairness, Strategy, SuggestRequest, Suggestion, UpdateOutcome,
+};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::Proportionality;
@@ -82,9 +84,16 @@ fn assert_equivalent(
     live.flush_updates().expect("flush applies");
     let scratch = rebuild(live.dataset().clone());
     for q in query_fan(d, 40) {
-        let a = live.suggest(&q).unwrap();
-        let b = scratch.suggest(&q).unwrap();
-        assert_eq!(a, b, "divergence at {q:?} after {specs:?}");
+        let req = SuggestRequest::new(q.clone());
+        let a = live.respond(&req).unwrap();
+        let b = scratch.respond(&req).unwrap();
+        // The live ranker's version counts its updates; the scratch build
+        // starts at 0 — compare the served answers, not the epoch stamp.
+        assert_eq!(a.weights, b.weights, "divergence at {q:?} after {specs:?}");
+        assert_eq!(
+            a.fairness, b.fairness,
+            "divergence at {q:?} after {specs:?}"
+        );
     }
 }
 
@@ -243,7 +252,12 @@ fn twod_loaded_ranker_heals_on_first_update() {
         .build()
         .unwrap();
     for q in query_fan(2, 25) {
-        assert_eq!(reloaded.suggest(&q).unwrap(), scratch.suggest(&q).unwrap());
+        let req = SuggestRequest::new(q);
+        let (a, b) = (
+            reloaded.respond(&req).unwrap(),
+            scratch.respond(&req).unwrap(),
+        );
+        assert_eq!((a.weights, a.fairness), (b.weights, b.fairness));
     }
 }
 
@@ -264,17 +278,25 @@ fn md_exact_coalesces_and_flushes() {
         scores: vec![s, 1.0 - s, 0.5],
         groups: vec![1],
     };
+    assert!(!ranker.backend().has_pending_updates());
     assert_eq!(
         ranker.update(insert(0.3)).unwrap(),
         UpdateOutcome::Deferred { pending: 1 }
     );
+    assert!(ranker.backend().has_pending_updates());
     assert_eq!(
         ranker.update(insert(0.6)).unwrap(),
         UpdateOutcome::Deferred { pending: 2 }
     );
     // Third update crosses the threshold: one rebuild lands all three.
     assert_eq!(ranker.update(insert(0.8)).unwrap(), UpdateOutcome::Rebuilt);
+    assert!(!ranker.backend().has_pending_updates());
     assert_eq!(ranker.flush_updates().unwrap(), UpdateOutcome::Noop);
+    // A *shared* ranker (snapshots outstanding) with nothing pending
+    // reports Noop without forking the backend.
+    let _pin = ranker.snapshot();
+    assert_eq!(ranker.flush_updates().unwrap(), UpdateOutcome::Noop);
+    drop(_pin);
 
     // A deferred tail flushes on demand and then matches scratch.
     assert_eq!(
@@ -289,7 +311,12 @@ fn md_exact_coalesces_and_flushes() {
         .build()
         .unwrap();
     for q in query_fan(3, 25) {
-        assert_eq!(ranker.suggest(&q).unwrap(), scratch.suggest(&q).unwrap());
+        let req = SuggestRequest::new(q);
+        let (a, b) = (
+            ranker.respond(&req).unwrap(),
+            scratch.respond(&req).unwrap(),
+        );
+        assert_eq!((a.weights, a.fairness), (b.weights, b.fairness));
     }
 }
 
@@ -324,7 +351,12 @@ fn approx_truncated_build_falls_back_to_rebuild() {
         .build()
         .unwrap();
     for q in query_fan(3, 25) {
-        assert_eq!(ranker.suggest(&q).unwrap(), scratch.suggest(&q).unwrap());
+        let req = SuggestRequest::new(q);
+        let (a, b) = (
+            ranker.respond(&req).unwrap(),
+            scratch.respond(&req).unwrap(),
+        );
+        assert_eq!((a.weights, a.fairness), (b.weights, b.fairness));
     }
 }
 
@@ -336,8 +368,8 @@ fn invalid_updates_leave_ranker_untouched() {
         .build()
         .unwrap();
     let before: Vec<Suggestion> = query_fan(2, 10)
-        .iter()
-        .map(|q| ranker.suggest(q).unwrap())
+        .into_iter()
+        .map(|q| ranker.respond(&SuggestRequest::new(q)).unwrap())
         .collect();
     for bad in [
         DatasetUpdate::Insert {
@@ -358,8 +390,8 @@ fn invalid_updates_leave_ranker_untouched() {
     }
     assert_eq!(ranker.version(), 0);
     assert_eq!(ranker.dataset().len(), 25);
-    for (q, want) in query_fan(2, 10).iter().zip(before) {
-        assert_eq!(ranker.suggest(q).unwrap(), want);
+    for (q, want) in query_fan(2, 10).into_iter().zip(before) {
+        assert_eq!(ranker.respond(&SuggestRequest::new(q)).unwrap(), want);
     }
 }
 
@@ -385,9 +417,10 @@ fn oracle_rebinds_to_updated_population() {
     }
     let fresh_oracle = oracle_for(ranker.dataset(), 6, 3);
     for q in query_fan(2, 20) {
-        if let Suggestion::Suggested { weights, .. } = ranker.suggest(&q).unwrap() {
+        let sug = ranker.respond(&SuggestRequest::new(q.clone())).unwrap();
+        if let KnownFairness::Suggested { .. } = sug.fairness {
             assert!(
-                fresh_oracle.is_satisfactory(&ranker.dataset().rank(&weights)),
+                fresh_oracle.is_satisfactory(&ranker.dataset().rank(&sug.weights)),
                 "suggestion unfair on updated dataset at {q:?}"
             );
         }

@@ -2,7 +2,7 @@
 //! (paper §3 pipeline).
 
 use fairrank::twod::{online_2d, ray_sweep, ray_sweep_incremental, TwoDAnswer};
-use fairrank::{FairRanker, Suggestion};
+use fairrank::{FairRanker, KnownFairness, SuggestRequest};
 use fairrank_datasets::synthetic::{compas, generic};
 use fairrank_fairness::{FairnessOracle, Proportionality};
 use fairrank_geometry::HALF_PI;
@@ -100,19 +100,20 @@ fn ranker_suggestions_are_fair_and_norm_preserving() {
         let theta = (step as f64 + 0.5) / 40.0 * HALF_PI;
         let scale = 1.0 + step as f64 * 0.25;
         let q = [scale * theta.cos(), scale * theta.sin()];
-        match ranker.suggest(&q).unwrap() {
-            Suggestion::AlreadyFair => {
+        let sug = ranker.respond(&SuggestRequest::new(q)).unwrap();
+        match sug.fairness {
+            KnownFairness::AlreadyFair => {
                 assert!(oracle.is_satisfactory(&ds.rank(&q)));
             }
-            Suggestion::Suggested { weights, distance } => {
+            KnownFairness::Suggested { distance } => {
                 suggestions += 1;
-                assert!(oracle.is_satisfactory(&ds.rank(&weights)));
+                assert!(oracle.is_satisfactory(&ds.rank(&sug.weights)));
                 let rq: f64 = q.iter().map(|v| v * v).sum::<f64>().sqrt();
-                let rw: f64 = weights.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let rw: f64 = sug.weights.iter().map(|v| v * v).sum::<f64>().sqrt();
                 assert!((rq - rw).abs() < 1e-9, "norm must be preserved");
                 assert!(distance > 0.0);
             }
-            Suggestion::Infeasible => panic!("this setup has satisfactory regions"),
+            KnownFairness::Infeasible => panic!("this setup has satisfactory regions"),
         }
     }
     assert!(suggestions > 0, "bias should make some queries unfair");
@@ -170,9 +171,9 @@ fn suggestion_distance_is_minimal_against_dense_scan() {
     let mut suggested = 0usize;
     for q_theta in QUERY_FAN {
         let q = [q_theta.cos(), q_theta.sin()];
-        match ranker.suggest(&q).unwrap() {
-            Suggestion::AlreadyFair => {}
-            Suggestion::Suggested { distance, .. } => {
+        match ranker.respond(&SuggestRequest::new(q)).unwrap().fairness {
+            KnownFairness::AlreadyFair => {}
+            KnownFairness::Suggested { distance } => {
                 suggested += 1;
                 let optimal = sat_angles
                     .iter()
@@ -184,7 +185,7 @@ fn suggestion_distance_is_minimal_against_dense_scan() {
                     "query θ={q_theta}: suggested {distance} vs dense optimum {optimal}"
                 );
             }
-            Suggestion::Infeasible => panic!("satisfiable"),
+            KnownFairness::Infeasible => panic!("satisfiable"),
         }
     }
     // The scan required an unfair fan query, so the minimality branch

@@ -2,7 +2,7 @@
 //! MARKCELL/ATC⁺ → CELLCOLORING → MDONLINE — against ground truth.
 
 use fairrank::approximate::{ApproxIndex, BuildOptions};
-use fairrank::{FairRanker, Strategy, Suggestion};
+use fairrank::{FairRanker, KnownFairness, Strategy, SuggestRequest};
 use fairrank_datasets::synthetic::{compas, generic};
 use fairrank_fairness::{FairnessOracle, Proportionality};
 use fairrank_geometry::grid::PartitionScheme;
@@ -149,13 +149,14 @@ fn ranker_md_approx_face() {
     for step in 0..30 {
         let a = 0.05 + 0.9 * (step as f64 / 29.0);
         let q = vec![a, 1.0 - a, 0.3 + 0.02 * step as f64];
-        match ranker.suggest(&q).unwrap() {
-            Suggestion::AlreadyFair => verdicts.0 += 1,
-            Suggestion::Suggested { weights, .. } => {
+        let sug = ranker.respond(&SuggestRequest::new(q)).unwrap();
+        match sug.fairness {
+            KnownFairness::AlreadyFair => verdicts.0 += 1,
+            KnownFairness::Suggested { .. } => {
                 verdicts.1 += 1;
-                assert!(oracle.is_satisfactory(&ds.rank(&weights)));
+                assert!(oracle.is_satisfactory(&ds.rank(&sug.weights)));
             }
-            Suggestion::Infeasible => verdicts.2 += 1,
+            KnownFairness::Infeasible => verdicts.2 += 1,
         }
     }
     // With a satisfiable index, Infeasible must never be reported.

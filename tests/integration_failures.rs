@@ -4,7 +4,7 @@
 use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::md::{sat_regions, SatRegionsOptions};
 use fairrank::twod::ray_sweep;
-use fairrank::{FairRankError, FairRanker, Suggestion};
+use fairrank::{FairRankError, FairRanker, SuggestRequest};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::{FnOracle, Proportionality};
@@ -23,7 +23,8 @@ fn unsatisfiable_constraint_reports_infeasible_everywhere() {
         .build()
         .unwrap();
     for q in [[1.0, 0.0], [1.0, 1.0], [0.0, 1.0]] {
-        assert_eq!(ranker.suggest(&q).unwrap(), Suggestion::Infeasible);
+        let sug = ranker.respond(&SuggestRequest::new(q)).unwrap();
+        assert!(sug.is_infeasible(), "{q:?} must report infeasible");
     }
 }
 
@@ -113,7 +114,7 @@ fn malformed_queries_error_cleanly() {
     ] {
         assert!(
             matches!(
-                ranker.suggest(&bad),
+                ranker.respond(&SuggestRequest::new(bad.clone())),
                 Err(FairRankError::InvalidWeights(_))
                     | Err(FairRankError::DimensionMismatch { .. })
             ),

@@ -2,7 +2,7 @@
 //! HYPERPOLAR → SATREGIONS (+ arrangement tree) → MDBASELINE.
 
 use fairrank::md::{closest_satisfactory_validated, sat_regions, SatRegionsOptions};
-use fairrank::{FairRanker, Strategy, Suggestion};
+use fairrank::{FairRanker, KnownFairness, Strategy, SuggestRequest};
 use fairrank_datasets::synthetic::{compas, generic};
 use fairrank_fairness::{FairnessOracle, Proportionality};
 use fairrank_geometry::polar::{angular_distance, to_cartesian, to_polar};
@@ -108,14 +108,15 @@ fn md_exact_ranker_round_trip() {
         vec![0.3, 0.9, 0.5, 0.2],
         vec![0.25, 0.25, 0.25, 0.25],
     ] {
-        match ranker.suggest(&q).unwrap() {
-            Suggestion::AlreadyFair => {
+        let sug = ranker.respond(&SuggestRequest::new(q.clone())).unwrap();
+        match sug.fairness {
+            KnownFairness::AlreadyFair => {
                 assert!(oracle.is_satisfactory(&ds.rank(&q)));
             }
-            Suggestion::Suggested { weights, .. } => {
-                assert!(oracle.is_satisfactory(&ds.rank(&weights)));
+            KnownFairness::Suggested { .. } => {
+                assert!(oracle.is_satisfactory(&ds.rank(&sug.weights)));
             }
-            Suggestion::Infeasible => {
+            KnownFairness::Infeasible => {
                 // Legal only if nothing satisfies — spot-check a fan.
                 let mut any = false;
                 for i in 0..10 {

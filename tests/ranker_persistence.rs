@@ -10,7 +10,7 @@ use fairrank::persist::{
     decode_backend, decode_ranker, decode_ranker_versioned, PersistError, TAG_APPROX,
     TAG_INTERVALS, TAG_RANKER, TAG_REGIONS,
 };
-use fairrank::{DatasetUpdate, FairRankError, FairRanker, Strategy};
+use fairrank::{DatasetUpdate, FairRankError, FairRanker, Strategy, SuggestRequest};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::Proportionality;
@@ -62,9 +62,10 @@ fn assert_roundtrip(strategy: Strategy, n: usize, d: usize, seed: u64) {
     let reloaded = FairRanker::from_bytes(&bytes, ds.clone(), Box::new(oracle)).unwrap();
     assert_eq!(ranker.backend_stats(), reloaded.backend_stats());
     for q in query_fan(d, 25) {
+        let req = SuggestRequest::new(q.clone());
         assert_eq!(
-            ranker.suggest(&q).unwrap(),
-            reloaded.suggest(&q).unwrap(),
+            ranker.respond(&req).unwrap(),
+            reloaded.respond(&req).unwrap(),
             "{strategy:?} diverged after reload at {q:?}"
         );
     }
@@ -93,7 +94,11 @@ fn roundtrip_through_files() {
     ranker.save(&path).unwrap();
     let reloaded = FairRanker::load(&path, ds, Box::new(oracle)).unwrap();
     for q in query_fan(2, 15) {
-        assert_eq!(ranker.suggest(&q).unwrap(), reloaded.suggest(&q).unwrap());
+        let req = SuggestRequest::new(q);
+        assert_eq!(
+            ranker.respond(&req).unwrap(),
+            reloaded.respond(&req).unwrap()
+        );
     }
     std::fs::remove_file(&path).ok();
 }
@@ -185,7 +190,11 @@ fn update_counter_round_trips_through_envelope() {
         FairRanker::from_bytes(&bytes, ranker.dataset().clone(), Box::new(oracle)).unwrap();
     assert_eq!(reloaded.version(), 3, "epoch must survive the hand-off");
     for q in query_fan(2, 15) {
-        assert_eq!(ranker.suggest(&q).unwrap(), reloaded.suggest(&q).unwrap());
+        let req = SuggestRequest::new(q);
+        assert_eq!(
+            ranker.respond(&req).unwrap(),
+            reloaded.respond(&req).unwrap()
+        );
     }
 }
 

@@ -1,0 +1,353 @@
+//! The async serving tier must be invisible in the answers: a
+//! [`FairRankService`] serving concurrently submitted requests answers
+//! **bit-identically** to the direct synchronous
+//! [`FairRanker::respond_batch`] path on every backend — including while
+//! live updates advance the dataset version (snapshot semantics), and
+//! through a shutdown that drains pending requests. Also the regression
+//! gate for consistent [`BackendStats`](fairrank::BackendStats) counter
+//! snapshots under the service's worker pool.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use fairrank::approximate::BuildOptions;
+use fairrank::md::SatRegionsOptions;
+use fairrank::{DatasetUpdate, FairRanker, Strategy, SuggestRequest, UpdateOutcome};
+use fairrank_datasets::synthetic::generic;
+use fairrank_datasets::Dataset;
+use fairrank_fairness::Proportionality;
+use fairrank_geometry::HALF_PI;
+use fairrank_serve::{runtime, FairRankService, ServiceError};
+
+fn oracle_for(ds: &Dataset, kfrac: f64, cap_frac: f64) -> Proportionality {
+    let attr = ds.type_attribute("group").unwrap();
+    let k = ((ds.len() as f64) * kfrac).round().max(2.0) as usize;
+    let cap = ((k as f64) * cap_frac).round().max(1.0) as usize;
+    Proportionality::new(attr, k).with_max_count(0, cap)
+}
+
+fn build(ds: &Dataset, strategy: Strategy) -> FairRanker {
+    let oracle = oracle_for(ds, 0.25, 0.6);
+    FairRanker::builder(ds.clone(), Box::new(oracle))
+        .strategy(strategy)
+        .sat_regions_options(SatRegionsOptions {
+            max_hyperplanes: Some(50),
+            ..Default::default()
+        })
+        .approx_options(BuildOptions {
+            n_cells: 120,
+            max_hyperplanes: Some(80),
+            ..Default::default()
+        })
+        .build()
+        .unwrap()
+}
+
+/// Queries spanning the orthant, including axis-aligned boundaries.
+fn fan(d: usize, count: usize) -> Vec<SuggestRequest> {
+    let mut queries: Vec<Vec<f64>> = (0..count)
+        .map(|i| {
+            let t = (i as f64 + 0.5) / count as f64 * HALF_PI;
+            let mut q = vec![0.2 + 0.8 * t.sin(); d];
+            q[0] = 0.2 + 1.5 * t.cos();
+            q[i % d] += 0.9;
+            q
+        })
+        .collect();
+    let mut axis0 = vec![0.0; d];
+    axis0[0] = 1.0;
+    let mut axis1 = vec![0.0; d];
+    axis1[d - 1] = 2.0;
+    queries.push(axis0);
+    queries.push(axis1);
+    queries.into_iter().map(SuggestRequest::new).collect()
+}
+
+/// Concurrently submitted service answers must equal the direct
+/// synchronous batch path, field for field (weights, verdict, version,
+/// stats) — on every backend.
+fn assert_service_matches_direct(ranker: FairRanker, reqs: &[SuggestRequest]) {
+    let direct = ranker.snapshot().respond_batch(reqs).unwrap();
+    let service = FairRankService::builder(ranker)
+        .workers(3)
+        .max_batch(8)
+        .max_delay(Duration::from_micros(200))
+        .build();
+    std::thread::scope(|scope| {
+        let chunk = reqs.len().div_ceil(4).max(1);
+        for (c, expected) in reqs.chunks(chunk).zip(direct.chunks(chunk)) {
+            let service = &service;
+            scope.spawn(move || {
+                // Mix the async future path and the blocking path.
+                let futures: Vec<_> = c
+                    .iter()
+                    .map(|r| service.submit(r.clone()).unwrap())
+                    .collect();
+                for ((req, fut), want) in c.iter().zip(futures).zip(expected) {
+                    let got = runtime::block_on(fut).unwrap();
+                    assert_eq!(&got, want, "service diverged from direct at {req:?}");
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.submitted, reqs.len() as u64);
+    assert_eq!(stats.completed, reqs.len() as u64);
+    service.shutdown();
+}
+
+#[test]
+fn service_matches_direct_twod() {
+    let ds = generic::uniform(45, 2, 0.9, 71);
+    assert_service_matches_direct(build(&ds, Strategy::TwoD), &fan(2, 40));
+}
+
+#[test]
+fn service_matches_direct_md_exact() {
+    let ds = generic::uniform(16, 3, 0.9, 72);
+    assert_service_matches_direct(build(&ds, Strategy::MdExact), &fan(3, 18));
+}
+
+#[test]
+fn service_matches_direct_md_approx() {
+    let ds = generic::uniform(30, 3, 0.85, 73);
+    assert_service_matches_direct(build(&ds, Strategy::MdApprox), &fan(3, 24));
+}
+
+/// Interleaved updates, deterministic half: after each update the
+/// service's answers are bit-identical to a direct ranker at the same
+/// version, and pre-update snapshots stay frozen.
+#[test]
+fn interleaved_updates_match_per_version_references() {
+    let ds = generic::uniform(40, 2, 0.9, 81);
+    let ranker = build(&ds, Strategy::TwoD);
+    let service = FairRankService::builder(ranker)
+        .workers(2)
+        .max_batch(4)
+        .max_delay(Duration::from_micros(100))
+        .build();
+    let reqs = fan(2, 16);
+    let updates = vec![
+        DatasetUpdate::Insert {
+            scores: vec![0.55, 0.8],
+            groups: vec![0],
+        },
+        DatasetUpdate::Rescore {
+            item: 5,
+            scores: vec![0.3, 0.9],
+        },
+        DatasetUpdate::Remove { item: 17 },
+    ];
+    let mut references: HashMap<u64, FairRanker> = HashMap::new();
+    references.insert(0, service.snapshot());
+    for (round, update) in updates.into_iter().enumerate() {
+        for req in &reqs {
+            let got = service.suggest(req.clone()).unwrap();
+            assert_eq!(got.version, round as u64);
+            let want = references[&got.version].respond(req).unwrap();
+            assert_eq!(got, want, "diverged at version {} {req:?}", got.version);
+        }
+        service.update(update).unwrap();
+        references.insert(service.version(), service.snapshot());
+    }
+    // Old references still answer from their frozen generation: the
+    // copy-on-write swap never mutated them.
+    assert_eq!(references[&0].dataset().len(), 40);
+    assert_eq!(references[&0].version(), 0);
+    let final_version = service.version();
+    for req in &reqs {
+        let got = service.suggest(req.clone()).unwrap();
+        assert_eq!(got.version, final_version);
+        assert_eq!(got, references[&final_version].respond(req).unwrap());
+    }
+    service.shutdown();
+}
+
+/// Interleaved updates, concurrent half: submitters race a live updater;
+/// whatever generation served each request, the answer must match the
+/// per-version reference exactly — no torn reads, no blocking.
+#[test]
+fn concurrent_updates_preserve_snapshot_semantics() {
+    let ds = generic::uniform(35, 2, 0.9, 83);
+    let ranker = build(&ds, Strategy::TwoD);
+    let service = FairRankService::builder(ranker)
+        .workers(2)
+        .max_batch(4)
+        .max_delay(Duration::from_micros(100))
+        .build();
+    let rounds = 6u64;
+    // Pre-compute nothing: collect per-version references as the updater
+    // publishes them (version → frozen snapshot).
+    let references = std::sync::Mutex::new(HashMap::from([(0u64, service.snapshot())]));
+    let reqs = fan(2, 12);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let references = &references;
+        let updater = scope.spawn(move || {
+            for i in 0..rounds {
+                let outcome = service
+                    .update(DatasetUpdate::Insert {
+                        scores: vec![0.3 + 0.05 * i as f64, 0.7],
+                        groups: vec![(i % 2) as u32],
+                    })
+                    .unwrap();
+                assert_ne!(outcome, UpdateOutcome::Noop);
+                references
+                    .lock()
+                    .unwrap()
+                    .insert(service.version(), service.snapshot());
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+        for _ in 0..3 {
+            let reqs = reqs.clone();
+            scope.spawn(move || {
+                for req in reqs.iter().cycle().take(60) {
+                    let got = service.suggest(req.clone()).unwrap();
+                    // The updater publishes the reference right after the
+                    // swap; a request served in that window waits it out.
+                    let reference = loop {
+                        if let Some(r) = references.lock().unwrap().get(&got.version) {
+                            break r.snapshot();
+                        }
+                        std::thread::yield_now();
+                    };
+                    assert_eq!(got, reference.respond(req).unwrap());
+                }
+            });
+        }
+        updater.join().unwrap();
+    });
+    assert_eq!(service.version(), rounds);
+    service.shutdown();
+}
+
+/// Shutdown with requests still queued: every accepted request is
+/// answered (correctly) before the pool exits; the batching deadline is
+/// not waited out.
+#[test]
+fn shutdown_drains_and_answers_pending_requests() {
+    let ds = generic::uniform(30, 2, 0.9, 85);
+    let ranker = build(&ds, Strategy::TwoD);
+    let reference = ranker.snapshot();
+    let service = FairRankService::builder(ranker)
+        .workers(1)
+        .max_batch(128)
+        .max_delay(Duration::from_secs(30))
+        .build();
+    let reqs = fan(2, 20);
+    let futures: Vec<_> = reqs
+        .iter()
+        .map(|r| service.submit(r.clone()).unwrap())
+        .collect();
+    let start = std::time::Instant::now();
+    service.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "drain must not wait out the 30 s batching deadline"
+    );
+    for (req, fut) in reqs.iter().zip(futures) {
+        let got = fut.wait().expect("drained request must be answered");
+        assert_eq!(got, reference.respond(req).unwrap());
+    }
+}
+
+/// Overload backpressure is the signal — and accepted requests still
+/// answer identically to the direct path.
+#[test]
+fn overloaded_submissions_shed_accepted_ones_answer() {
+    let ds = generic::uniform(30, 2, 0.9, 87);
+    let ranker = build(&ds, Strategy::TwoD);
+    let reference = ranker.snapshot();
+    let service = FairRankService::builder(ranker)
+        .workers(1)
+        .max_batch(256)
+        .max_delay(Duration::from_millis(100))
+        .queue_capacity(3)
+        .build();
+    let reqs = fan(2, 40);
+    let mut accepted = Vec::new();
+    let mut shed = 0usize;
+    for req in &reqs {
+        match service.try_suggest(req.clone()) {
+            Ok(fut) => accepted.push((req.clone(), fut)),
+            Err(ServiceError::Overloaded { capacity: 3 }) => shed += 1,
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert!(
+        shed > 0,
+        "capacity-3 queue must shed some of 40 submissions"
+    );
+    assert_eq!(service.stats().rejected, shed as u64);
+    for (req, fut) in accepted {
+        assert_eq!(fut.wait().unwrap(), reference.respond(&req).unwrap());
+    }
+    service.shutdown();
+}
+
+/// Regression (PR 5 bugfix): `BackendStats` update/rebuild counters are
+/// snapshotted in one consistent pass. With the exact-regions backend at
+/// `rebuild_every = 1` every update commits `updates += 1` and
+/// `rebuilds += 1` *atomically together*, so a stats reader racing the
+/// writer through the service's worker pool must never observe a pair
+/// where the two counters disagree — the exact interleaving the old
+/// two-plain-fields implementation allowed.
+#[test]
+fn backend_stats_snapshots_are_consistent_under_concurrent_serving() {
+    let ds = generic::uniform(14, 3, 0.9, 91);
+    let ranker = build(&ds, Strategy::MdExact);
+    let service = FairRankService::builder(ranker)
+        .workers(2)
+        .max_batch(4)
+        .max_delay(Duration::from_micros(100))
+        .build();
+    let reqs = fan(3, 8);
+    let rounds = 8u64;
+    std::thread::scope(|scope| {
+        let service = &service;
+        let updater = scope.spawn(move || {
+            for i in 0..rounds {
+                service
+                    .update(DatasetUpdate::Rescore {
+                        item: (i % 10) as u32,
+                        scores: vec![0.2 + 0.07 * i as f64, 0.6, 0.5],
+                    })
+                    .unwrap();
+            }
+        });
+        // Stats pollers race the updater; every snapshot must be a
+        // committed (updates == rebuilds) pair, monotonically advancing.
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut last = (0u64, 0u64);
+                while !updater_done(service, rounds) {
+                    let stats = service.backend_stats();
+                    assert_eq!(
+                        stats.updates, stats.rebuilds,
+                        "torn counter snapshot: every exact-backend update \
+                         rebuilds, so the pair must always agree"
+                    );
+                    assert!(
+                        (stats.updates, stats.rebuilds) >= last,
+                        "counters went backwards"
+                    );
+                    last = (stats.updates, stats.rebuilds);
+                }
+            });
+        }
+        // Keep the worker pool busy while the counters churn.
+        for req in reqs.iter().cycle().take(40) {
+            let _ = service.suggest(req.clone()).unwrap();
+        }
+        updater.join().unwrap();
+    });
+    let final_stats = service.backend_stats();
+    assert_eq!(final_stats.updates, rounds);
+    assert_eq!(final_stats.rebuilds, rounds);
+    service.shutdown();
+}
+
+fn updater_done(service: &FairRankService, rounds: u64) -> bool {
+    service.backend_stats().updates >= rounds
+}

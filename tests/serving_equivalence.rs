@@ -1,13 +1,13 @@
 //! Sharded serving and strategy selection must be invisible in the
-//! answers: `suggest_batch_parallel` is element-wise identical to serial
-//! `suggest` on every backend and shard count, and `Strategy::Auto`
+//! answers: `respond_batch_parallel` is element-wise identical to serial
+//! `respond` on every backend and shard count, and `Strategy::Auto`
 //! answers bit-identically to the explicit strategy it resolves to.
 
 use proptest::prelude::*;
 
 use fairrank::approximate::BuildOptions;
 use fairrank::md::SatRegionsOptions;
-use fairrank::{FairRanker, Strategy, Suggestion};
+use fairrank::{FairRanker, Strategy, SuggestRequest, Suggestion};
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::Proportionality;
@@ -54,16 +54,22 @@ fn fan(d: usize, count: usize) -> Vec<Vec<f64>> {
 }
 
 fn assert_parallel_matches_serial(ranker: &FairRanker, queries: &[Vec<f64>]) {
-    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
-    let serial: Vec<Suggestion> = refs.iter().map(|q| ranker.suggest(q).unwrap()).collect();
-    let batch = ranker.suggest_batch(&refs).unwrap();
-    assert_eq!(batch, serial, "suggest_batch diverged from serial");
+    let reqs: Vec<SuggestRequest> = queries.iter().cloned().map(SuggestRequest::new).collect();
+    let serial: Vec<Suggestion> = reqs.iter().map(|r| ranker.respond(r).unwrap()).collect();
+    let batch = ranker.respond_batch(&reqs).unwrap();
+    assert_eq!(batch, serial, "respond_batch diverged from serial");
     for shards in [0, 1, 2, 3, 4, 9] {
-        let parallel = ranker.suggest_batch_parallel(&refs, shards).unwrap();
-        assert_eq!(
-            parallel, serial,
-            "suggest_batch_parallel diverged at {shards} shards"
-        );
+        let parallel = ranker.respond_batch_parallel(&reqs, shards).unwrap();
+        // The sharded path may answer the fairness pre-check from the
+        // index (`stats.index_decided`); weights and verdicts must agree
+        // with the serial oracle path on every query.
+        for ((r, p), s) in reqs.iter().zip(&parallel).zip(&serial) {
+            assert_eq!(
+                (&p.weights, &p.fairness, p.version),
+                (&s.weights, &s.fairness, s.version),
+                "respond_batch_parallel diverged at {shards} shards on {r:?}"
+            );
+        }
     }
 }
 
@@ -139,9 +145,10 @@ proptest! {
         let explicit = builder_for(&ds, &oracle).strategy(picked).build().unwrap();
         prop_assert_eq!(auto.backend_stats(), explicit.backend_stats());
         for q in fan(d, 16) {
+            let req = SuggestRequest::new(q.clone());
             prop_assert_eq!(
-                auto.suggest(&q).unwrap(),
-                explicit.suggest(&q).unwrap(),
+                auto.respond(&req).unwrap(),
+                explicit.respond(&req).unwrap(),
                 "Auto ({:?}) diverged at {:?}", picked, q
             );
         }
@@ -160,24 +167,24 @@ fn degenerate_shard_counts_clamp() {
         .strategy(Strategy::TwoD)
         .build()
         .unwrap();
-    let queries = fan(2, 7);
-    let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
-    let serial: Vec<Suggestion> = refs.iter().map(|q| ranker.suggest(q).unwrap()).collect();
-    for shards in [0, 1, refs.len(), refs.len() + 1, 1000, usize::MAX] {
-        let parallel = ranker.suggest_batch_parallel(&refs, shards).unwrap();
-        assert_eq!(parallel, serial, "diverged at shards = {shards}");
+    let reqs: Vec<SuggestRequest> = fan(2, 7).into_iter().map(SuggestRequest::new).collect();
+    let serial: Vec<Suggestion> = reqs.iter().map(|r| ranker.respond(r).unwrap()).collect();
+    for shards in [0, 1, reqs.len(), reqs.len() + 1, 1000, usize::MAX] {
+        let parallel = ranker.respond_batch_parallel(&reqs, shards).unwrap();
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.weights, s.weights, "diverged at shards = {shards}");
+            assert_eq!(p.fairness, s.fairness, "diverged at shards = {shards}");
+        }
     }
     // Empty batches under every degenerate shard count.
     for shards in [0, 1, 5, usize::MAX] {
-        assert_eq!(ranker.suggest_batch_parallel(&[], shards).unwrap(), vec![]);
+        assert_eq!(ranker.respond_batch_parallel(&[], shards).unwrap(), vec![]);
     }
-    // A single query never spawns workers, whatever the shard request.
-    let one: Vec<&[f64]> = refs[..1].to_vec();
+    // A single request never spawns workers, whatever the shard request.
     for shards in [0, 1, 64, usize::MAX] {
-        assert_eq!(
-            ranker.suggest_batch_parallel(&one, shards).unwrap(),
-            serial[..1].to_vec()
-        );
+        let one = ranker.respond_batch_parallel(&reqs[..1], shards).unwrap();
+        assert_eq!(one[0].weights, serial[0].weights);
+        assert_eq!(one[0].fairness, serial[0].fairness);
     }
 }
 
@@ -191,8 +198,12 @@ fn degenerate_shard_counts_still_validate() {
         .strategy(Strategy::TwoD)
         .build()
         .unwrap();
-    let bad: Vec<&[f64]> = vec![&[1.0, 1.0], &[-1.0, 0.5], &[0.4, 0.4]];
+    let bad: Vec<SuggestRequest> = vec![
+        SuggestRequest::new(vec![1.0, 1.0]),
+        SuggestRequest::new(vec![-1.0, 0.5]),
+        SuggestRequest::new(vec![0.4, 0.4]),
+    ];
     for shards in [0, 2, 100, usize::MAX] {
-        assert!(ranker.suggest_batch_parallel(&bad, shards).is_err());
+        assert!(ranker.respond_batch_parallel(&bad, shards).is_err());
     }
 }
