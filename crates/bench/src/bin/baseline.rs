@@ -185,6 +185,9 @@ fn main() {
     // Answers are bit-identical to `respond_batch`
     // (tests/service_equivalence.rs); this series tracks the pipeline
     // overhead and its scaling across worker counts and batch sizes.
+    // The answer cache is disabled here so the series keeps measuring
+    // the raw pipeline (and doubles as the reference arm for the cached
+    // series below).
     for workers in [1usize, 2, 4] {
         for max_batch in [1usize, 16, 64] {
             let service = FairRankService::builder(ranker.snapshot())
@@ -192,6 +195,7 @@ fn main() {
                 .max_batch(max_batch)
                 .max_delay(Duration::from_micros(100))
                 .queue_capacity(4096)
+                .cache(false)
                 .build();
             let total = 512usize;
             let (_, elapsed) = time(|| {
@@ -212,6 +216,48 @@ fn main() {
                 rps,
             );
         }
+    }
+
+    // --- cached serving (region-identity answer cache) --------------
+    // The same front door with the verdict cache enabled (the default):
+    // the 64-query fan lands in a handful of weight-space regions, so
+    // steady-state traffic replays cached verdicts and skips the
+    // per-query oracle ranking pass — the `service.throughput_4w_64b_rps`
+    // series above (cache disabled) is the reference arm. Answers stay
+    // bit-identical (tests/cache_equivalence.rs).
+    {
+        let service = FairRankService::builder(ranker.snapshot())
+            .workers(4)
+            .max_batch(64)
+            .max_delay(Duration::from_micros(100))
+            .queue_capacity(4096)
+            .build();
+        // One warm-up pass seeds every region the fan touches.
+        for req in &serve_reqs {
+            service.suggest(req.clone()).unwrap();
+        }
+        let total = 4096usize;
+        let (_, elapsed) = time(|| {
+            let futures: Vec<_> = serve_reqs
+                .iter()
+                .cycle()
+                .take(total)
+                .map(|r| service.submit(r.clone()).unwrap())
+                .collect();
+            for fut in futures {
+                fut.wait().unwrap();
+            }
+        });
+        let cache_stats = service.stats().cache.expect("cache enabled by default");
+        service.shutdown();
+        push(
+            "service.throughput_cached_rps",
+            (total as f64 / elapsed.as_secs_f64()).round(),
+        );
+        push(
+            "service.cache_hit_rate",
+            (cache_stats.hit_rate() * 1000.0).round() / 1000.0,
+        );
     }
 
     // --- update_throughput (live updates vs full rebuild) -----------

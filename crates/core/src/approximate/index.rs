@@ -149,6 +149,12 @@ pub struct ApproxIndex {
     /// decoded index (the first update then pays one full rebuild, which
     /// re-seeds it).
     pub(crate) probe_log: Vec<Vec<ProbeRecord>>,
+    /// Per cell: whether the MARKCELL search saw the cell's *complete*
+    /// hyperplane list (i.e. `max_hyperplanes_per_cell` did not truncate
+    /// it), so an unsatisfied verdict covers every sub-region of the
+    /// cell. Region-identity state — empty on a decoded index (no key
+    /// is then certified for any cell).
+    pub(crate) decided: Vec<bool>,
 }
 
 impl ApproxIndex {
@@ -262,6 +268,7 @@ impl ApproxIndex {
             found.sort_unstable_by_key(|&(cell, _, _)| cell);
         }
         let mut index = assemble(grid, found, opts.clone());
+        index.decided = decided_mask(&hc, opts.max_hyperplanes_per_cell);
         index.stats = stats;
         index.stats.oracle_calls = oracle_calls;
         index.stats.satisfied_cells = index.functions.len();
@@ -402,6 +409,7 @@ impl ApproxIndex {
 
         let stats = self.stats.clone();
         *self = assemble(self.grid.clone(), found, self.opts.clone());
+        self.decided = decided_mask(&hc, self.opts.max_hyperplanes_per_cell);
         self.stats = stats;
         self.stats.hyperplane_count = hyperplanes.len();
         self.stats.hc_histogram = cellplane::crossing_histogram(&hc);
@@ -528,7 +536,18 @@ fn assemble(
         opts,
         satisfied,
         probe_log,
+        decided: Vec::new(),
     }
+}
+
+/// The per-cell completeness mask behind region identity: `true` iff the
+/// cell's hyperplane list survived the `max_hyperplanes_per_cell` cap
+/// intact, so its MARKCELL verdict speaks for the whole cell. Recomputed
+/// after every (re)assembly from the same `hc` the search consumed.
+fn decided_mask(hc: &[Vec<u32>], cap: Option<usize>) -> Vec<bool> {
+    hc.iter()
+        .map(|cell_hc| cap.is_none_or(|cap| cell_hc.len() <= cap))
+        .collect()
 }
 
 /// Can this probe's stored verdict provably survive the update? True

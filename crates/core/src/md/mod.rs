@@ -14,9 +14,13 @@ pub use satregions::{sat_regions, SatRegion, SatRegions, SatRegionsOptions};
 use fairrank_geometry::polar::to_polar;
 use fairrank_geometry::vector::norm;
 
-use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, SharedCounters};
+use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, RegionKey, SharedCounters};
 use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
+
+/// [`RegionKey`] kind discriminant for a satisfactory arrangement
+/// region (the only region family this backend can certify).
+const REGION_MD_FAIR: u8 = 0;
 
 /// The §4 serving backend: the satisfactory regions of the exchange
 /// arrangement, answered by MDBASELINE (one NLP per region) with oracle
@@ -110,6 +114,39 @@ impl IndexBackend for ExactRegions {
                 distance: res.distance,
             }),
         }
+    }
+
+    // Region identity is certified only for *satisfactory* regions, and
+    // only when the stored arrangement is trustworthy: `d ≤ 3` (beyond
+    // that the linearized hyperplanes merely approximate the curved
+    // exchange surfaces — the same reason `known_fairness` stays
+    // `None`), no deferred updates pending (the region list would be
+    // stale), and no hyperplane truncation or top-k pruning (a capped
+    // or pruned arrangement under-splits, so one stored region can span
+    // different verdicts). Unfair queries get no key: their NLP answers
+    // vary continuously across a region, so there is nothing
+    // region-constant to certify beyond what a fair-region hit gives.
+    fn region_of(&self, weights: &[f64]) -> Option<RegionKey> {
+        if self.dim() > 3
+            || self.pending > 0
+            || self.opts.max_hyperplanes.is_some()
+            || self.opts.prune_top_k
+        {
+            return None;
+        }
+        let (_, query_angles) = to_polar(weights);
+        // First containing region, with the same containment predicate
+        // (and tolerance) as `closest_satisfactory`'s distance-zero quick
+        // exit — the two must agree on what "inside" means.
+        self.regions
+            .iter()
+            .position(|region| {
+                region
+                    .constraints
+                    .iter()
+                    .all(|c| c.satisfied(&query_angles, 1e-9))
+            })
+            .map(|i| RegionKey::new(REGION_MD_FAIR, i as u64))
     }
 
     // The exact arrangement has no sound in-place maintenance (every

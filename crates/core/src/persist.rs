@@ -339,6 +339,7 @@ pub fn decode_approx_index(bytes: &[u8]) -> Result<ApproxIndex, PersistError> {
         opts,
         satisfied: vec![false; cell_count],
         probe_log: Vec::new(),
+        decided: Vec::new(),
     })
 }
 

@@ -298,6 +298,50 @@ impl FairRanker {
         Ok(self.finish(req, answer, false, &mut ws))
     }
 
+    /// Answer one request with the oracle's fairness verdict supplied by
+    /// the caller, skipping the `O(n log n)` rank-and-ask pass — the
+    /// serve-tier answer cache's hit path.
+    ///
+    /// `fair` must be the verdict the oracle *would* reach for
+    /// `req.query` on this snapshot; the caller certifies this through
+    /// [`IndexBackend::region_of`] identity with a previously answered
+    /// query at the same [`version`](FairRanker::version). Everything
+    /// query-dependent — suggested weights, distance, echoed query,
+    /// top-k ranking — is still computed here through the same
+    /// [`IndexBackend::suggest_unfair`]/`finish` code the uncached
+    /// [`FairRanker::respond`] path runs, so a hit is bit-identical to a
+    /// miss by construction.
+    ///
+    /// # Errors
+    /// [`FairRankError::InvalidWeights`] / `DimensionMismatch` on
+    /// malformed input; backend failures as [`FairRanker::respond`].
+    pub fn respond_with_verdict(
+        &self,
+        req: &SuggestRequest,
+        fair: bool,
+    ) -> Result<Suggestion, FairRankError> {
+        validate_weights(&req.query, self.core.ds.dim())?;
+        let mut ws = RankWorkspace::new();
+        if fair {
+            return Ok(self.finish(req, Answer::AlreadyFair, false, &mut ws));
+        }
+        let answer = self.core.backend.suggest_unfair(&req.query, &self.ctx())?;
+        Ok(self.finish(req, answer, false, &mut ws))
+    }
+
+    /// The backend's region identity for `weights`, when it can certify
+    /// one — the convenience forwarding of
+    /// [`IndexBackend::region_of`]. Returns `None` for malformed
+    /// weights as well as for backends (or queries) without a certified
+    /// region, so cache layers can call it unconditionally.
+    #[must_use]
+    pub fn region_of(&self, weights: &[f64]) -> Option<crate::backend::RegionKey> {
+        if validate_weights(weights, self.core.ds.dim()).is_err() {
+            return None;
+        }
+        self.core.backend.region_of(weights)
+    }
+
     /// Answer a batch of requests at once — the multi-query entry point
     /// online serving (and the micro-batch executor of the async
     /// `FairRankService`) drains into.

@@ -101,7 +101,7 @@ impl From<&[f64]> for SuggestRequest {
 /// `#[non_exhaustive]`: future knobs (answer validation level, distance
 /// budget, …) can be added without breaking constructors — start from
 /// `SuggestOptions::default()` and override fields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub struct SuggestOptions {
     /// Allow the sharded serving path to answer the "is it already

@@ -10,13 +10,22 @@ pub use raysweep::{ray_sweep, ray_sweep_incremental, RaySweepResult};
 
 use fairrank_datasets::Dataset;
 use fairrank_fairness::FairnessOracle;
-use fairrank_geometry::interval::AngularIntervals;
+use fairrank_geometry::interval::{AngularIntervals, NearestId};
 use fairrank_geometry::HALF_PI;
 
-use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, SharedCounters};
+use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, RegionKey, SharedCounters};
 use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 use raysweep::{event_cmp, exchange_events, item_events, sweep_events};
+
+/// [`RegionKey`] kind discriminants for the 2-D backend: a satisfactory
+/// interval, the two sides of an unsatisfactory gap (split by which
+/// endpoint [`AngularIntervals::nearest`] snaps to), and the single
+/// all-unfair region of an empty index.
+const REGION_2D_FAIR: u8 = 0;
+const REGION_2D_GAP_START: u8 = 1;
+const REGION_2D_GAP_END: u8 = 2;
+const REGION_2D_INFEASIBLE: u8 = 3;
 
 /// The sweep structure behind incremental maintenance: the full sorted
 /// ordering-exchange event list plus the per-sector oracle verdicts the
@@ -197,8 +206,18 @@ fn rank_steps(ds: &Dataset, events: &[(f64, u32, u32)], x: u32) -> (Vec<f64>, Ve
         let rank = (0..ds.len())
             .filter(|&j| j != x as usize)
             .filter(|&j| {
+                // Item j ranks ahead of x under exactly the ranking
+                // comparator `Dataset::rank` uses: descending
+                // `total_cmp` score, ascending id on ties. A raw
+                // `>`/`==` pair diverges from it on signed zeros (and
+                // NaN), which would misplace x's rank step function and
+                // fabricate a verdict-reuse certificate.
                 let sj = ds.score(&w, j);
-                sj > sx || (sj == sx && (j as u32) < x)
+                match sj.total_cmp(&sx) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => (j as u32) < x,
+                    std::cmp::Ordering::Less => false,
+                }
             })
             .count();
         ranks.push(rank);
@@ -263,6 +282,23 @@ impl IndexBackend for TwoDIntervals {
     // ranking ties and the oracle's own answer is tie-break-dependent).
     fn known_fairness(&self, weights: &[f64]) -> Option<bool> {
         Some(self.intervals.contains(Self::theta(weights)))
+    }
+
+    // The intervals characterize the satisfactory set exactly, so every
+    // query gets a region: a fair interval, a gap side (split by which
+    // endpoint `nearest` snaps to, so the suggested angle is constant
+    // per key too, not just the verdict), or the single infeasible
+    // region of an empty index. Exactness caveats are the same as
+    // `known_fairness`: borders only.
+    fn region_of(&self, weights: &[f64]) -> Option<RegionKey> {
+        if self.intervals.is_empty() {
+            return Some(RegionKey::new(REGION_2D_INFEASIBLE, 0));
+        }
+        match self.intervals.nearest_id(Self::theta(weights))? {
+            NearestId::Inside(i) => Some(RegionKey::new(REGION_2D_FAIR, i as u64)),
+            NearestId::Start(i) => Some(RegionKey::new(REGION_2D_GAP_START, i as u64)),
+            NearestId::End(i) => Some(RegionKey::new(REGION_2D_GAP_END, i as u64)),
+        }
     }
 
     // True incremental maintenance (the headline of the update design):

@@ -98,6 +98,14 @@ where
     let mut x = start.to_vec();
     let mut grad = vec![0.0; n];
     let mut value = f(&x);
+    // `f` is contractually finite on the feasible set; a NaN/infinite
+    // objective at the (feasible) start point — e.g. a degenerate
+    // zero-norm direction fed into an angular-distance objective —
+    // would otherwise poison every gradient, comparator, and line
+    // search downstream. Fail structurally instead.
+    if !value.is_finite() {
+        return None;
+    }
     let mut gap = f64::INFINITY;
     let mut iters = 0;
     // Active atoms: x is always Σ αᵢ aᵢ with αᵢ ≥ 0, Σ αᵢ = 1. The start
@@ -131,11 +139,12 @@ where
                 .iter()
                 .enumerate()
                 .filter(|(_, a)| a.weight > 1e-15)
-                .max_by(|(_, a), (_, b)| {
-                    dot(&grad, &a.point)
-                        .partial_cmp(&dot(&grad, &b.point))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                // `total_cmp`, not `partial_cmp().unwrap_or(Equal)`: a
+                // NaN gradient dot product (degenerate objective near
+                // the boundary) must not silently misorder the scan —
+                // under the total order NaN sorts deterministically
+                // instead of equating with everything.
+                .max_by(|(_, a), (_, b)| dot(&grad, &a.point).total_cmp(&dot(&grad, &b.point)))
                 .map(|(i, _)| i)
         } else {
             None
@@ -318,6 +327,63 @@ mod tests {
                 .zip(target)
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn degenerate_objective_fails_structurally() {
+        // An angular-distance-style objective is NaN at the zero-norm
+        // direction. Started there, the solver must return None instead
+        // of panicking or silently iterating on NaN gradients.
+        let angle_to = |x: &[f64]| {
+            let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            (x[0] / norm).acos()
+        };
+        for away_steps in [false, true] {
+            let r = minimize_over_polytope(
+                angle_to,
+                &[],
+                0.0,
+                1.0,
+                &[0.0, 0.0],
+                &FwOptions {
+                    away_steps,
+                    ..FwOptions::default()
+                },
+            );
+            assert!(r.is_none(), "NaN start objective must fail structurally");
+        }
+    }
+
+    #[test]
+    fn nan_inducing_objective_mid_run_terminates() {
+        // The objective goes NaN away from the feasible region's face
+        // (norm can vanish along probe directions). The comparator's
+        // total order must keep the away-atom scan deterministic and the
+        // solver terminating.
+        let partial_nan = |x: &[f64]| {
+            let s = x[0] + x[1];
+            if s < 0.05 {
+                f64::NAN
+            } else {
+                (x[0] - 0.8) * (x[0] - 0.8) + (x[1] - 0.2) * (x[1] - 0.2)
+            }
+        };
+        let r = minimize_over_polytope(
+            partial_nan,
+            &[],
+            0.0,
+            1.0,
+            &[0.5, 0.5],
+            &FwOptions {
+                away_steps: true,
+                ..FwOptions::default()
+            },
+        );
+        // Whatever the outcome, it must be reached without panicking and
+        // any returned iterate must be feasible.
+        if let Some(r) = r {
+            assert!(r.x.iter().all(|v| (0.0..=1.0).contains(v)));
         }
     }
 

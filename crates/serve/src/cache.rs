@@ -1,0 +1,340 @@
+//! [`SuggestionCache`]: the region-identity answer cache behind the
+//! service's repeated-traffic fast path.
+//!
+//! The paper's central geometric fact — answers are piecewise-constant
+//! over regions of weight space — means two near-identical queries
+//! landing in the same region pay the same `O(n log n)` oracle ranking
+//! pass for the same verdict. The cache memoizes exactly that verdict,
+//! keyed on the backend's certified region identity
+//! ([`fairrank::IndexBackend::region_of`]) plus everything else that
+//! could change the answer: the requested top-k, the per-request
+//! options, and the dataset version.
+//!
+//! Deliberately, the cache does **not** store [`Suggestion`]s: suggested
+//! weights scale with the query's norm and the distance varies across a
+//! region, so caching full answers would either serve wrong values or
+//! need per-query post-processing that re-derives what the backend
+//! already computes. Storing only the verdict keeps hits bit-identical
+//! to misses by construction — the hit path
+//! ([`fairrank::FairRanker::respond_with_verdict`]) runs the same
+//! `suggest_unfair`/`finish` code as the miss path and skips only the
+//! oracle pass.
+//!
+//! [`Suggestion`]: fairrank::Suggestion
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fairrank::{RegionKey, SuggestOptions};
+
+/// The full identity of a cacheable verdict: the backend's region key
+/// plus every request parameter (and the dataset version) that could
+/// change the answer. Two requests with equal `CacheKey`s receive the
+/// same oracle verdict — the soundness property
+/// [`fairrank::IndexBackend::region_of`] contracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The certified weight-space region.
+    pub region: RegionKey,
+    /// The request's top-k materialization parameter.
+    pub k: Option<usize>,
+    /// The request's serving options.
+    pub options: SuggestOptions,
+    /// The dataset epoch ([`fairrank::FairRanker::version`]) the verdict
+    /// was computed on. Region keys are meaningless across versions, so
+    /// the version rides in the key: entries from superseded generations
+    /// become unreachable the instant the serving slot swaps, even
+    /// before the purge lands.
+    pub version: u64,
+}
+
+/// One cached entry: the oracle's fairness verdict for the region, plus
+/// the CLOCK reference bit.
+struct Slot {
+    fair: bool,
+    referenced: bool,
+}
+
+/// One lock's worth of the cache: a verdict map plus the CLOCK ring
+/// driving bounded eviction (second-chance: a referenced entry survives
+/// one sweep, an unreferenced one is evicted).
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Slot>,
+    clock: VecDeque<CacheKey>,
+}
+
+/// Point-in-time cache counters, surfaced through
+/// `FairRankService::stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the full serving path (including
+    /// requests whose backend certified no region).
+    pub misses: u64,
+    /// Verdicts inserted.
+    pub insertions: u64,
+    /// Entries evicted by the CLOCK sweep at capacity.
+    pub evictions: u64,
+    /// Whole-cache purges (one per live update).
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (`0.0` when no
+    /// lookup has happened yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, bounded verdict cache keyed on region identity — see the
+/// module docs for what is (and deliberately is not) stored.
+///
+/// Concurrency: lookups and insertions take one shard mutex each
+/// (requests spread across shards by key hash), counters are lock-free
+/// atomics, and [`purge`](SuggestionCache::purge) sweeps the shards in
+/// order — callers needing purge atomicity against readers (the
+/// service's update path) serialize externally, and the version-in-key
+/// design makes even unpurged stale entries unreachable.
+pub struct SuggestionCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard capacity (total capacity split evenly, at least 1).
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl SuggestionCache {
+    /// A cache holding at most (approximately) `capacity` verdicts,
+    /// spread over `shards` independently locked shards. Both are
+    /// clamped to at least 1; capacity rounds up to a multiple of the
+    /// shard count.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.max(1).div_ceil(shards);
+        SuggestionCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// The cached verdict for `key`, marking the entry recently used.
+    /// Counts a hit or a miss.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<bool> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        match shard.map.get_mut(key) {
+            Some(slot) => {
+                slot.referenced = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.fair)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record a lookup that never reached the map because the backend
+    /// certified no region — kept separate from [`Self::get`] so the hit-rate
+    /// denominator still covers every request.
+    pub fn note_uncacheable(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert (or refresh) the verdict for `key`, evicting via one CLOCK
+    /// sweep when the shard is at capacity.
+    pub fn insert(&self, key: CacheKey, fair: bool) {
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if let Some(slot) = shard.map.get_mut(&key) {
+            // Concurrent workers racing the same region: keep one entry.
+            slot.fair = fair;
+            slot.referenced = true;
+            return;
+        }
+        while shard.map.len() >= self.shard_capacity {
+            let Some(candidate) = shard.clock.pop_front() else {
+                break;
+            };
+            match shard.map.get_mut(&candidate) {
+                Some(slot) if slot.referenced => {
+                    // Second chance: clear the bit, rotate to the back.
+                    slot.referenced = false;
+                    shard.clock.push_back(candidate);
+                }
+                Some(_) => {
+                    shard.map.remove(&candidate);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {} // stale ring entry from a purge race; drop it
+            }
+        }
+        shard.map.insert(
+            key,
+            Slot {
+                fair,
+                referenced: false,
+            },
+        );
+        shard.clock.push_back(key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every entry — the update path's invalidation. Counted once
+    /// per call.
+    pub fn purge(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.clock.clear();
+        }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time counters. The entry count walks the shards, so a
+    /// snapshot under concurrent serving is approximate the same way
+    /// queue depth is.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+impl std::fmt::Debug for SuggestionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuggestionCache")
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(region_index: u64, version: u64) -> CacheKey {
+        CacheKey {
+            region: RegionKey::new(0, region_index),
+            k: None,
+            options: SuggestOptions::default(),
+            version,
+        }
+    }
+
+    #[test]
+    fn get_insert_round_trip_and_counters() {
+        let cache = SuggestionCache::new(8, 2);
+        assert_eq!(cache.get(&key(1, 0)), None);
+        cache.insert(key(1, 0), true);
+        cache.insert(key(2, 0), false);
+        assert_eq!(cache.get(&key(1, 0)), Some(true));
+        assert_eq!(cache.get(&key(2, 0)), Some(false));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.entries, 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn version_is_part_of_the_key() {
+        let cache = SuggestionCache::new(8, 1);
+        cache.insert(key(1, 0), true);
+        assert_eq!(cache.get(&key(1, 1)), None, "new version, new key");
+        assert_eq!(cache.get(&key(1, 0)), Some(true));
+    }
+
+    #[test]
+    fn clock_eviction_bounds_each_shard() {
+        let cache = SuggestionCache::new(4, 1);
+        for i in 0..32 {
+            cache.insert(key(i, 0), i % 2 == 0);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= 4,
+            "entries {} exceed capacity",
+            stats.entries
+        );
+        assert_eq!(stats.evictions, stats.insertions - stats.entries as u64);
+    }
+
+    #[test]
+    fn referenced_entries_get_a_second_chance() {
+        let cache = SuggestionCache::new(2, 1);
+        cache.insert(key(1, 0), true);
+        cache.insert(key(2, 0), false);
+        // Touch key 1: the next eviction sweep must spare it.
+        assert_eq!(cache.get(&key(1, 0)), Some(true));
+        cache.insert(key(3, 0), true);
+        assert_eq!(cache.get(&key(1, 0)), Some(true), "hot entry survives");
+        assert_eq!(cache.get(&key(2, 0)), None, "cold entry evicted");
+    }
+
+    #[test]
+    fn purge_empties_and_counts() {
+        let cache = SuggestionCache::new(8, 4);
+        for i in 0..6 {
+            cache.insert(key(i, 0), true);
+        }
+        cache.purge();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(cache.get(&key(0, 0)), None);
+    }
+
+    #[test]
+    fn insert_same_key_keeps_one_entry() {
+        let cache = SuggestionCache::new(8, 1);
+        cache.insert(key(1, 0), true);
+        cache.insert(key(1, 0), false);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.get(&key(1, 0)), Some(false));
+    }
+}

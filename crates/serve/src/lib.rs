@@ -29,20 +29,27 @@
 //! coalesces requests into micro-batches (size- or deadline-triggered),
 //! executes them through [`FairRanker::respond_batch`] on a
 //! point-in-time [`FairRanker::snapshot`], and completes per-request
-//! one-shot futures. [`FairRankService::try_suggest`] surfaces
-//! backpressure as [`ServiceError::Overloaded`];
-//! [`FairRankService::update`] serializes writers and swaps generations
-//! copy-on-write so readers never block behind index maintenance. The
-//! whole pipeline is dependency-free: the tiny executor machinery lives
-//! in [`runtime`].
+//! one-shot futures. Repeated traffic takes a fast path: a
+//! [`SuggestionCache`] memoizes the oracle's fairness verdict per
+//! certified weight-space region
+//! ([`fairrank::IndexBackend::region_of`]), so a hit skips the
+//! `O(n log n)` ranking pass while producing bit-identical answers.
+//! [`FairRankService::try_suggest`] surfaces backpressure as
+//! [`ServiceError::Overloaded`]; [`FairRankService::update`] serializes
+//! writers, swaps generations copy-on-write so readers never block
+//! behind index maintenance, and purges the cache atomically with the
+//! swap. The whole pipeline is dependency-free: the tiny executor
+//! machinery lives in [`runtime`].
 //!
 //! [`FairRanker::respond_batch`]: fairrank::FairRanker::respond_batch
 //! [`FairRanker::snapshot`]: fairrank::FairRanker::snapshot
 
+mod cache;
 mod error;
 pub mod runtime;
 mod service;
 
+pub use cache::{CacheKey, CacheStats, SuggestionCache};
 pub use error::ServiceError;
 pub use service::{FairRankService, ServiceBuilder, ServiceStats, SuggestionFuture};
 

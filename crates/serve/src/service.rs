@@ -48,6 +48,7 @@ use fairrank::{
     BackendStats, DatasetUpdate, FairRanker, SuggestRequest, Suggestion, UpdateOutcome,
 };
 
+use crate::cache::{CacheKey, CacheStats, SuggestionCache};
 use crate::error::ServiceError;
 use crate::runtime::{oneshot, Deadline};
 
@@ -60,6 +61,8 @@ pub struct ServiceBuilder {
     max_batch: usize,
     max_delay: Duration,
     queue_capacity: usize,
+    cache_enabled: bool,
+    cache_capacity: usize,
 }
 
 impl ServiceBuilder {
@@ -93,12 +96,32 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enable or disable the region-identity answer cache
+    /// ([`SuggestionCache`]; default enabled). Disabled, every request
+    /// takes the full [`FairRanker::respond_batch`] path — useful as the
+    /// reference arm in equivalence tests and benchmarks.
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Maximum number of cached region verdicts (clamped to at least 1;
+    /// default 4096). Entries are tiny — a packed key plus one bool — so
+    /// generous capacities are cheap.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
     /// Launch the worker pool and start serving.
     pub fn build(self) -> FairRankService {
         let workers = match self.workers {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             w => w,
         };
+        let cache = self
+            .cache_enabled
+            .then(|| SuggestionCache::new(self.cache_capacity, workers.clamp(1, 16)));
         let shared = Arc::new(Shared {
             dim: self.ranker.dataset().dim(),
             max_batch: self.max_batch,
@@ -113,6 +136,7 @@ impl ServiceBuilder {
             slot: RwLock::new(self.ranker),
             writer: Mutex::new(()),
             metrics: Metrics::default(),
+            cache,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -166,6 +190,12 @@ struct Shared {
     /// the slot lock, so index maintenance never blocks readers.
     writer: Mutex<()>,
     metrics: Metrics,
+    /// The region-identity verdict cache ([`SuggestionCache`]), `None`
+    /// when disabled via [`ServiceBuilder::cache`]. Purged under the
+    /// slot's write lock on every generation swap, and keys carry the
+    /// generation's version besides, so a hit can never replay a verdict
+    /// from a superseded snapshot.
+    cache: Option<SuggestionCache>,
 }
 
 /// Operational counters for dashboards and load shedding.
@@ -184,6 +214,9 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Region-identity cache counters; `None` when the cache is disabled
+    /// ([`ServiceBuilder::cache`]).
+    pub cache: Option<CacheStats>,
 }
 
 /// An awaitable [`Suggestion`]: resolves when a worker completes the
@@ -238,6 +271,8 @@ impl FairRankService {
             max_batch: 16,
             max_delay: Duration::from_micros(200),
             queue_capacity: 1024,
+            cache_enabled: true,
+            cache_capacity: 4096,
         }
     }
 
@@ -333,7 +368,19 @@ impl FairRankService {
         // and FairRanker::update takes its copy-on-write path: the old
         // index keeps serving until the swap below.
         let outcome = fork.update(update).map_err(ServiceError::Rank)?;
-        *self.shared.slot.write().expect("slot lock poisoned") = fork;
+        {
+            // Purge while holding the write lock: the swap and the cache
+            // invalidation are atomic with respect to workers, which read
+            // the slot before consulting the cache — no worker can pair
+            // the new generation with a pre-purge entry. (Keys carry the
+            // version too, so even a missed purge could only waste
+            // memory, never correctness.)
+            let mut slot = self.shared.slot.write().expect("slot lock poisoned");
+            *slot = fork;
+            if let Some(cache) = &self.shared.cache {
+                cache.purge();
+            }
+        }
         Ok(outcome)
     }
 
@@ -352,7 +399,12 @@ impl FairRankService {
             .snapshot();
         let outcome = fork.flush_updates().map_err(ServiceError::Rank)?;
         if outcome != UpdateOutcome::Noop {
-            *self.shared.slot.write().expect("slot lock poisoned") = fork;
+            // Same swap-and-purge critical section as `update`.
+            let mut slot = self.shared.slot.write().expect("slot lock poisoned");
+            *slot = fork;
+            if let Some(cache) = &self.shared.cache {
+                cache.purge();
+            }
         }
         Ok(outcome)
     }
@@ -408,7 +460,16 @@ impl FairRankService {
             batches: self.shared.metrics.batches.load(Ordering::Relaxed),
             rejected: self.shared.metrics.rejected.load(Ordering::Relaxed),
             workers: self.workers.len(),
+            cache: self.shared.cache.as_ref().map(SuggestionCache::stats),
         }
+    }
+
+    /// Region-identity cache counters alone (a cheaper subset of
+    /// [`stats`](FairRankService::stats)); `None` when the cache is
+    /// disabled.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.cache.as_ref().map(SuggestionCache::stats)
     }
 
     /// Stop accepting new submissions without tearing the pool down:
@@ -468,8 +529,10 @@ impl std::fmt::Debug for FairRankService {
 }
 
 /// One worker: collect a micro-batch (size- or deadline-triggered),
-/// serve it on a point-in-time snapshot, complete the one-shots, repeat
-/// until the queue is closed *and* drained.
+/// serve it on a point-in-time snapshot — region-cache hits through the
+/// verdict fast path, everything else through [`FairRanker::respond_batch`]
+/// — complete the one-shots, repeat until the queue is closed *and*
+/// drained.
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = match collect_batch(shared) {
@@ -480,33 +543,103 @@ fn worker_loop(shared: &Shared) {
         // this batch: a concurrent update advances the slot without
         // touching the generation we're answering from.
         let ranker = shared.slot.read().expect("slot lock poisoned").snapshot();
-        let (reqs, txs): (Vec<SuggestRequest>, Vec<_>) =
-            batch.into_iter().map(|p| (p.req, p.tx)).unzip();
-        let result = ranker.respond_batch(&reqs);
+        let version = ranker.version();
+        let cache = shared.cache.as_ref();
+
+        // Route each request. A cached region verdict skips the oracle
+        // ranking pass entirely ([`FairRanker::respond_with_verdict`]
+        // runs the same suggestion/finish code as the batch path, so
+        // answers stay bit-identical); the rest flow through one
+        // `respond_batch` call and seed the cache on the way out.
+        let mut txs = Vec::with_capacity(batch.len());
+        let mut answers: Vec<Option<Result<Suggestion, ServiceError>>> =
+            Vec::with_capacity(batch.len());
+        let mut miss_reqs: Vec<SuggestRequest> = Vec::new();
+        let mut miss_slots: Vec<(usize, Option<CacheKey>)> = Vec::new();
+        for pending in batch {
+            let key = cache.and_then(|cache| match ranker.region_of(&pending.req.query) {
+                Some(region) => Some(CacheKey {
+                    region,
+                    k: pending.req.k,
+                    options: pending.req.options,
+                    version,
+                }),
+                None => {
+                    // Uncertified queries still count in the hit-rate
+                    // denominator — a backend that certifies nothing
+                    // must read as 0% hits, not as no traffic.
+                    cache.note_uncacheable();
+                    None
+                }
+            });
+            let hit = match (&key, cache) {
+                (Some(key), Some(cache)) => cache.get(key),
+                _ => None,
+            };
+            match hit {
+                Some(fair) => {
+                    // Version coherence: the key embeds the snapshot's
+                    // version, so a hit replays a verdict from exactly
+                    // the generation answering this batch.
+                    debug_assert_eq!(key.map(|k| k.version), Some(version));
+                    let answer = ranker
+                        .respond_with_verdict(&pending.req, fair)
+                        .map_err(ServiceError::Rank);
+                    if let Ok(suggestion) = &answer {
+                        debug_assert_eq!(
+                            suggestion.version, version,
+                            "cache hit answered from a different generation"
+                        );
+                    }
+                    answers.push(Some(answer));
+                }
+                None => {
+                    miss_slots.push((answers.len(), key));
+                    answers.push(None);
+                    miss_reqs.push(pending.req);
+                }
+            }
+            txs.push(pending.tx);
+        }
+
+        if !miss_reqs.is_empty() {
+            match ranker.respond_batch(&miss_reqs) {
+                Ok(batch_answers) => {
+                    for ((slot, key), answer) in miss_slots.into_iter().zip(batch_answers) {
+                        if let (Some(cache), Some(key)) = (cache, key) {
+                            // `AlreadyFair` is exactly the oracle-fair
+                            // verdict the fast path needs; Suggested and
+                            // Infeasible both replay through
+                            // `suggest_unfair`.
+                            cache.insert(key, answer.is_already_fair());
+                        }
+                        answers[slot] = Some(Ok(answer));
+                    }
+                }
+                Err(e) => {
+                    // Unreachable for queue-validated requests;
+                    // defensively fail the batch's callers rather than
+                    // the worker.
+                    let e = ServiceError::Rank(e);
+                    for (slot, _) in miss_slots {
+                        answers[slot] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
         shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
-        match result {
-            Ok(answers) => {
-                // Count before completing the one-shots: a caller must
-                // never observe its answer while the counters miss it —
-                // and only genuinely answered requests count.
-                shared
-                    .metrics
-                    .completed
-                    .fetch_add(reqs.len() as u64, Ordering::Relaxed);
-                for (tx, answer) in txs.into_iter().zip(answers) {
-                    // A dropped receiver just means the caller stopped
-                    // caring; serving the rest of the batch is unaffected.
-                    let _ = tx.send(Ok(answer));
-                }
-            }
-            Err(e) => {
-                // Unreachable for queue-validated requests; defensively
-                // fail the batch's callers rather than the worker.
-                let e = ServiceError::Rank(e);
-                for tx in txs {
-                    let _ = tx.send(Err(e.clone()));
-                }
-            }
+        // Count before completing the one-shots: a caller must never
+        // observe its answer while the counters miss it — and only
+        // genuinely answered requests count.
+        let completed = answers.iter().filter(|a| matches!(a, Some(Ok(_)))).count() as u64;
+        shared
+            .metrics
+            .completed
+            .fetch_add(completed, Ordering::Relaxed);
+        for (tx, answer) in txs.into_iter().zip(answers) {
+            // A dropped receiver just means the caller stopped caring;
+            // serving the rest of the batch is unaffected.
+            let _ = tx.send(answer.expect("every routed request has an answer"));
         }
     }
 }

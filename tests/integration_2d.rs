@@ -192,3 +192,121 @@ fn suggestion_distance_is_minimal_against_dense_scan() {
     // genuinely ran.
     assert!(suggested >= 1, "no query exercised the suggestion path");
 }
+
+/// Tie-break regression (duplicated scores straddling k): every ranking
+/// path — the full sort ([`Dataset::rank`]), the partial top-k selection
+/// ([`RankWorkspace::rank_with_bound`]), and the sweep/maintenance paths
+/// that update rankings incrementally across crossing events — must
+/// resolve score ties identically (descending `total_cmp`, then
+/// ascending item id). The dataset puts an exact 3-way tie at ranks 3–5
+/// with k = 4, so the tie *straddles* the top-k boundary at every angle
+/// and any comparator disagreement changes top-k membership.
+#[test]
+fn tied_scores_straddling_k_agree_across_ranking_paths() {
+    use fairrank_datasets::{Dataset, RankWorkspace};
+    use fairrank_fairness::FnOracle;
+
+    let rows = vec![
+        vec![0.9, 0.9],   // 0: top everywhere
+        vec![0.6, 0.6],   // 1 ┐
+        vec![0.6, 0.6],   // 2 ├ exact 3-way tie straddling k = 4
+        vec![0.6, 0.6],   // 3 ┘
+        vec![0.65, 0.52], // 4: crosses the tied block mid-sweep
+        vec![0.52, 0.65], // 5: its mirror
+        vec![0.2, 0.2],   // 6
+        vec![0.1, 0.4],   // 7
+    ];
+    let ds = Dataset::from_rows(vec!["x".into(), "y".into()], &rows).unwrap();
+    let k = 4;
+
+    // Path 1 vs path 2: the partial top-k prefix equals the full sort's
+    // prefix at every angle, for every bound around the tied block.
+    let mut ws = RankWorkspace::new();
+    for step in 0..48 {
+        let theta = (step as f64 + 0.5) / 48.0 * HALF_PI;
+        let w = [theta.cos(), theta.sin()];
+        let full = ds.rank(&w);
+        for bound in [1usize, 3, 4, 5, 8] {
+            let partial = ws.rank_with_bound(&ds, &w, Some(bound));
+            assert_eq!(
+                &partial[..bound],
+                &full[..bound],
+                "partial top-{bound} diverged from full sort at θ = {theta}"
+            );
+        }
+    }
+
+    // Path 3: the sweep's incrementally maintained ranking. The oracle's
+    // verdict depends on exactly which tied ids make the top-k cut, so a
+    // single mis-resolved tie flips intervals. Compare against direct
+    // (full-sort) evaluation across the fan.
+    let oracle = FnOracle::new("tie-sensitive", move |ranking: &[u32]| {
+        let top = &ranking[..k];
+        top.contains(&1) && top.contains(&4)
+    });
+    let sweep = ray_sweep(&ds, &oracle).unwrap();
+    for step in 0..96 {
+        let theta = (step as f64 + 0.5) / 96.0 * HALF_PI;
+        let w = [theta.cos(), theta.sin()];
+        let truth = oracle.is_satisfactory(&ds.rank(&w));
+        let near_boundary = sweep
+            .intervals
+            .as_slice()
+            .iter()
+            .any(|&(s, e)| (theta - s).abs() < 1e-6 || (theta - e).abs() < 1e-6);
+        if !near_boundary {
+            assert_eq!(
+                sweep.intervals.contains(theta),
+                truth,
+                "sweep diverged from full-sort evaluation at θ = {theta}"
+            );
+        }
+    }
+    assert!(
+        !sweep.intervals.is_empty() && sweep.intervals.measure() < HALF_PI - 1e-6,
+        "the tie-sensitive oracle must produce a non-trivial region layout"
+    );
+
+    // Path 3, incremental-maintenance half: inserting an item that joins
+    // the tied block exercises the maintenance ranking walk
+    // (`rank_steps`) right at the tie. The maintained index must answer
+    // exactly like an index rebuilt from scratch on the updated dataset.
+    let mut ds_grouped = ds.clone();
+    ds_grouped
+        .add_type_attribute(
+            "group",
+            vec!["a".into(), "b".into()],
+            vec![0, 0, 1, 0, 1, 1, 0, 1],
+        )
+        .unwrap();
+    let attr = ds_grouped.type_attribute("group").unwrap().clone();
+    let build = |ds: &Dataset| {
+        FairRanker::builder(
+            ds.clone(),
+            Box::new(Proportionality::new(&attr, k).with_max_count(0, 2)),
+        )
+        .strategy(fairrank::Strategy::TwoD)
+        .build()
+        .unwrap()
+    };
+    let mut maintained = build(&ds_grouped);
+    let outcome = maintained
+        .update(fairrank::DatasetUpdate::Insert {
+            scores: vec![0.6, 0.6], // a fourth member of the tied block
+            groups: vec![1],
+        })
+        .unwrap();
+    assert_eq!(outcome, fairrank::UpdateOutcome::Incremental);
+    let rebuilt = build(maintained.dataset());
+    for step in 0..48 {
+        let theta = (step as f64 + 0.5) / 48.0 * HALF_PI;
+        let req = SuggestRequest::new(vec![theta.cos(), theta.sin()]);
+        let got = maintained.respond(&req).unwrap();
+        let want = rebuilt.respond(&req).unwrap();
+        assert_eq!(
+            (&got.weights, &got.fairness),
+            (&want.weights, &want.fairness),
+            "maintained index diverged from rebuild at θ = {theta}"
+        );
+    }
+}

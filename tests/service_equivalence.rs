@@ -351,3 +351,45 @@ fn backend_stats_snapshots_are_consistent_under_concurrent_serving() {
 fn updater_done(service: &FairRankService, rounds: u64) -> bool {
     service.backend_stats().updates >= rounds
 }
+
+/// The region-identity answer cache (enabled by default) must be
+/// invisible in the answers on every backend: serving the same repeated
+/// request stream through a cache-enabled and a cache-disabled service
+/// yields bit-identical suggestions. The deeper cached-path gates
+/// (certified builds, updates, races) live in `cache_equivalence.rs` —
+/// this one pins the default service configuration used everywhere else
+/// in this suite.
+#[test]
+fn cached_and_uncached_services_answer_bit_identically() {
+    let cases = [
+        (Strategy::TwoD, generic::uniform(45, 2, 0.9, 95), 2),
+        (Strategy::MdExact, generic::uniform(16, 3, 0.9, 96), 3),
+        (Strategy::MdApprox, generic::uniform(30, 3, 0.85, 97), 3),
+    ];
+    for (strategy, ds, d) in cases {
+        let ranker = build(&ds, strategy);
+        let reqs = fan(d, 16);
+        let cached = FairRankService::builder(ranker.snapshot())
+            .workers(2)
+            .max_batch(4)
+            .max_delay(Duration::from_micros(100))
+            .build();
+        let uncached = FairRankService::builder(ranker)
+            .workers(2)
+            .max_batch(4)
+            .max_delay(Duration::from_micros(100))
+            .cache(false)
+            .build();
+        for req in reqs.iter().cycle().take(reqs.len() * 3) {
+            assert_eq!(
+                cached.suggest(req.clone()).unwrap(),
+                uncached.suggest(req.clone()).unwrap(),
+                "cache changed the answer for {strategy:?} at {req:?}"
+            );
+        }
+        assert!(cached.stats().cache.is_some());
+        assert!(uncached.stats().cache.is_none());
+        cached.shutdown();
+        uncached.shutdown();
+    }
+}
