@@ -26,10 +26,10 @@ fn bench_pair_kernel(c: &mut Criterion) {
         // A fixed non-dominating pair per dimension.
         let pair = (0..ds.len())
             .flat_map(|i| (i + 1..ds.len()).map(move |j| (i, j)))
-            .find(|&(i, j)| exchange_hyperplane(ds.item(i), ds.item(j)).is_some())
+            .find(|&(i, j)| exchange_hyperplane(&ds.row(i), &ds.row(j)).is_some())
             .expect("some non-dominating pair exists");
         group.bench_with_input(BenchmarkId::new("single_pair", d), &d, |b, _| {
-            b.iter(|| black_box(exchange_hyperplane(ds.item(pair.0), ds.item(pair.1))));
+            b.iter(|| black_box(exchange_hyperplane(&ds.row(pair.0), &ds.row(pair.1))));
         });
     }
     group.finish();

@@ -20,6 +20,7 @@ use fairrank::approximate::{ApproxIndex, BuildOptions};
 use fairrank::twod::ray_sweep;
 use fairrank::{DatasetUpdate, FairRanker, Strategy, SuggestRequest};
 use fairrank_bench::{compas_2d, compas_d, default_compas_oracle, query_fan, time, time_avg};
+use fairrank_datasets::kernels;
 use fairrank_datasets::RankWorkspace;
 use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::polar::to_cartesian;
@@ -135,6 +136,78 @@ fn main() {
         "batch.rank_workspace_topk_n6889_us",
         us(time_avg(500, || {
             ws_topk.rank_with_bound(&ds2, &w, top_k).len()
+        })),
+    );
+
+    // --- columnar scoring kernels vs the row-major reference arm ----
+    // `kernel.score_all_rowmajor_*` re-implements the pre-columnar hot
+    // loop (one scalar dot product per item over a flat row-major
+    // buffer); `kernel.score_all_columnar_*` is `kernels::score_all_into`
+    // over the same data — bit-identical output
+    // (tests/columnar_equivalence.rs), so the ratio is pure layout +
+    // vectorization. d = 7 is COMPAS' full scoring width.
+    let ds7 = compas_d(6889, 7);
+    let w7: Vec<f64> = (0..7).map(|j| 0.15 + j as f64 * 0.11).collect();
+    let flat7 = ds7.to_row_major();
+    let mut out_ref = vec![0.0f64; ds7.len()];
+    push(
+        "kernel.score_all_rowmajor_n6889_d7_us",
+        us(time_avg(500, || {
+            for (i, o) in out_ref.iter_mut().enumerate() {
+                *o = flat7[i * 7..(i + 1) * 7]
+                    .iter()
+                    .zip(&w7)
+                    .map(|(x, b)| x * b)
+                    .sum();
+            }
+            out_ref[6888]
+        })),
+    );
+    let mut out_col: Vec<f64> = Vec::new();
+    push(
+        "kernel.score_all_columnar_n6889_d7_us",
+        us(time_avg(500, || {
+            kernels::score_all_into(&ds7, &w7, &mut out_col);
+            out_col[6888]
+        })),
+    );
+    // Full rank through the legacy semantics (fresh score + order
+    // allocations, full sort over row-major scalar scores) vs the
+    // columnar workspace path — the end-to-end ranking arm of the same
+    // comparison. The sort is common to both, so the gap here is the
+    // scoring pass plus the allocations.
+    let flat2 = ds2.to_row_major();
+    push(
+        "batch.rank_rowmajor_n6889_us",
+        us(time_avg(500, || {
+            let scores: Vec<f64> = (0..ds2.len())
+                .map(|i| {
+                    flat2[i * 2..(i + 1) * 2]
+                        .iter()
+                        .zip(&w)
+                        .map(|(x, b)| x * b)
+                        .sum()
+                })
+                .collect();
+            let mut order: Vec<u32> = (0..ds2.len() as u32).collect();
+            order.sort_unstable_by(|a, b| {
+                scores[*b as usize]
+                    .total_cmp(&scores[*a as usize])
+                    .then(a.cmp(b))
+            });
+            order
+        })),
+    );
+    let mut ws_col = RankWorkspace::with_capacity(ds2.len());
+    push(
+        "batch.rank_columnar_n6889_us",
+        us(time_avg(500, || ws_col.rank(&ds2, &w).len())),
+    );
+    let mut ws_col_topk = RankWorkspace::with_capacity(ds2.len());
+    push(
+        "batch.rank_columnar_topk_n6889_us",
+        us(time_avg(500, || {
+            ws_col_topk.rank_with_bound(&ds2, &w, top_k).len()
         })),
     );
 

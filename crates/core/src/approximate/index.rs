@@ -323,10 +323,14 @@ impl ApproxIndex {
         // 1. Delta hyperplanes → cells whose search inputs changed.
         let mut delta: Vec<Hyperplane> = Vec::new();
         {
+            let mut lo = Vec::new();
+            let mut hi = Vec::new();
             let mut push_pairs = |ds: &Dataset, x: usize| {
                 for j in 0..ds.len() {
                     if j != x {
-                        delta.extend(exchange_hyperplane(ds.item(j.min(x)), ds.item(j.max(x))));
+                        ds.row_into(j.min(x), &mut lo);
+                        ds.row_into(j.max(x), &mut hi);
+                        delta.extend(exchange_hyperplane(&lo, &hi));
                     }
                 }
             };

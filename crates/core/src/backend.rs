@@ -29,7 +29,7 @@
 //! index alone via [`known_fairness`](IndexBackend::known_fairness) —
 //! the 2-D interval index characterizes the satisfactory angles
 //! *exactly*, so the sharded serving path
-//! ([`FairRanker::suggest_batch_parallel`](crate::FairRanker::suggest_batch_parallel))
+//! ([`FairRanker::respond_batch_parallel`](crate::FairRanker::respond_batch_parallel))
 //! skips the `O(n log n)` rank-and-ask pass entirely for it, answering
 //! in `O(log n)` per query.
 //!
@@ -52,8 +52,7 @@ use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
 
 /// The index's raw answer to a closest-satisfactory-function query —
-/// what [`IndexBackend::suggest_unfair`] returns and what the deprecated
-/// slice-based `FairRanker::suggest*` entry points surface. The unified
+/// what [`IndexBackend::suggest_unfair`] returns. The unified
 /// request/response API wraps this into a full
 /// [`Suggestion`](crate::request::Suggestion) (weights + dataset version
 /// + serving stats); see [`crate::request`].

@@ -113,10 +113,16 @@ pub fn exchange_hyperplane(ti: &[f64], tj: &[f64]) -> Option<Hyperplane> {
 /// major.
 #[must_use]
 pub fn exchange_hyperplanes(ds: &Dataset) -> Vec<Hyperplane> {
+    // One row-major gather up front: the O(n²) pair loop then reads
+    // contiguous row slices instead of gathering across columns per pair.
+    let flat = ds.to_row_major();
+    let d = ds.dim();
     let mut out = Vec::new();
     for i in 0..ds.len() {
         for j in i + 1..ds.len() {
-            if let Some(h) = exchange_hyperplane(ds.item(i), ds.item(j)) {
+            if let Some(h) =
+                exchange_hyperplane(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
+            {
                 out.push(h);
             }
         }

@@ -36,6 +36,7 @@
 
 use bytes::{Buf, BufMut};
 
+use fairrank_datasets::Dataset;
 use fairrank_geometry::grid::{AngleGrid, PartitionScheme};
 use fairrank_geometry::interval::AngularIntervals;
 use fairrank_lp::{Constraint, Rel};
@@ -62,6 +63,15 @@ pub const TAG_INTERVALS: u8 = 2;
 pub const TAG_REGIONS: u8 = 3;
 /// Envelope tag: a whole ranker (dim + backend tag + backend artifact).
 pub const TAG_RANKER: u8 = 4;
+/// Artifact tag: a whole [`Dataset`] (scoring columns + type attributes).
+pub const TAG_DATASET: u8 = 5;
+/// Dataset payload format. Version 2 stores the scoring attributes
+/// **column-major**, matching the in-memory columnar layout, so encoding
+/// is a straight per-column copy and decoding fills each column
+/// sequentially. Version-1 streams — row-major, the layout of the
+/// pre-columnar `Dataset` — still decode ([`encode_dataset_row_major`]
+/// writes one, which is also the bench suite's reference arm).
+const DATASET_VERSION: u16 = 2;
 
 /// Errors arising while decoding or writing a persisted index.
 ///
@@ -561,6 +571,147 @@ pub fn decode_ranker(bytes: &[u8]) -> Result<(usize, Box<dyn IndexBackend>), Per
     decode_ranker_versioned(bytes).map(|(dim, _, backend)| (dim, backend))
 }
 
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(u32::try_from(s.len()).expect("string fits u32"));
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(PersistError::Truncated);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| PersistError::Truncated)
+}
+
+fn put_dataset_types(out: &mut Vec<u8>, ds: &Dataset) {
+    out.put_u32_le(u32::try_from(ds.type_attributes().len()).expect("few type attrs"));
+    for t in ds.type_attributes() {
+        put_str(out, &t.name);
+        out.put_u32_le(u32::try_from(t.labels.len()).expect("few labels"));
+        for l in &t.labels {
+            put_str(out, l);
+        }
+        for &v in &t.values {
+            out.put_u32_le(v);
+        }
+    }
+}
+
+fn get_dataset_types(buf: &mut &[u8], ds: &mut Dataset) -> Result<(), PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let n_types = buf.get_u32_le() as usize;
+    for _ in 0..n_types {
+        let name = get_str(buf)?;
+        if buf.remaining() < 4 {
+            return Err(PersistError::Truncated);
+        }
+        let n_labels = buf.get_u32_le() as usize;
+        let mut labels = Vec::with_capacity(n_labels.min(1 << 16));
+        for _ in 0..n_labels {
+            labels.push(get_str(buf)?);
+        }
+        if buf.remaining() < ds.len() * 4 {
+            return Err(PersistError::Truncated);
+        }
+        let values: Vec<u32> = (0..ds.len()).map(|_| buf.get_u32_le()).collect();
+        ds.add_type_attribute(name, labels, values)
+            .map_err(|_| PersistError::Truncated)?;
+    }
+    Ok(())
+}
+
+/// Serialize a [`Dataset`] in the columnar version-2 layout: item count,
+/// dimensionality, attribute names, one f64 column per scoring attribute
+/// (a straight copy of the in-memory columns), then the type attributes.
+#[must_use]
+pub fn encode_dataset(ds: &Dataset) -> Vec<u8> {
+    let mut out = header_versioned(TAG_DATASET, DATASET_VERSION);
+    out.put_u64_le(ds.len() as u64);
+    out.put_u32_le(u32::try_from(ds.dim()).expect("small dim"));
+    for name in ds.attr_names() {
+        put_str(&mut out, name);
+    }
+    for j in 0..ds.dim() {
+        put_f64_vec(&mut out, ds.column(j));
+    }
+    put_dataset_types(&mut out, ds);
+    seal(out)
+}
+
+/// Serialize a [`Dataset`] in the **legacy row-major version-1 layout**
+/// (one flat `n × d` f64 vector, item-major) — the wire format of the
+/// pre-columnar `Dataset`. Kept so the v1 decode path stays exercised;
+/// also the row-major reference arm of the persistence benchmarks.
+#[must_use]
+pub fn encode_dataset_row_major(ds: &Dataset) -> Vec<u8> {
+    let mut out = header_versioned(TAG_DATASET, 1);
+    out.put_u64_le(ds.len() as u64);
+    out.put_u32_le(u32::try_from(ds.dim()).expect("small dim"));
+    for name in ds.attr_names() {
+        put_str(&mut out, name);
+    }
+    put_f64_vec(&mut out, &ds.to_row_major());
+    put_dataset_types(&mut out, ds);
+    seal(out)
+}
+
+/// Decode a [`Dataset`] from either payload version: columnar v2 streams
+/// and legacy row-major v1 streams both reconstruct the same columnar
+/// in-memory dataset, bit-identically.
+///
+/// # Errors
+/// [`PersistError`] on corrupted, truncated, or foreign input.
+pub fn decode_dataset(bytes: &[u8]) -> Result<Dataset, PersistError> {
+    let mut buf = unseal(bytes)?;
+    let version = check_header_versioned(&mut buf, TAG_DATASET, DATASET_VERSION)?;
+    if buf.remaining() < 12 {
+        return Err(PersistError::Truncated);
+    }
+    let n = buf.get_u64_le() as usize;
+    let d = buf.get_u32_le() as usize;
+    if n == 0 || d == 0 || n.checked_mul(d).is_none_or(|nd| nd > (1 << 32)) {
+        return Err(PersistError::Truncated);
+    }
+    let mut names = Vec::with_capacity(d);
+    for _ in 0..d {
+        names.push(get_str(&mut buf)?);
+    }
+    let mut rows = vec![vec![0.0f64; d]; n];
+    if version >= 2 {
+        for j in 0..d {
+            let col = get_f64_vec(&mut buf)?;
+            if col.len() != n {
+                return Err(PersistError::Truncated);
+            }
+            for (row, v) in rows.iter_mut().zip(col) {
+                row[j] = v;
+            }
+        }
+    } else {
+        let flat = get_f64_vec(&mut buf)?;
+        if flat.len() != n * d {
+            return Err(PersistError::Truncated);
+        }
+        for (i, chunk) in flat.chunks_exact(d).enumerate() {
+            rows[i].copy_from_slice(chunk);
+        }
+    }
+    let mut ds = Dataset::from_rows(names, &rows).map_err(|_| PersistError::Truncated)?;
+    get_dataset_types(&mut buf, &mut ds)?;
+    if buf.has_remaining() {
+        return Err(PersistError::Truncated);
+    }
+    Ok(ds)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +812,67 @@ mod tests {
         let sum = super::fnv1a(&fake);
         fake.extend_from_slice(&sum.to_le_bytes());
         assert_eq!(decode_intervals(&fake), Err(PersistError::BadMagic));
+    }
+
+    fn sample_dataset() -> fairrank_datasets::Dataset {
+        let mut ds = fairrank_datasets::Dataset::from_rows(
+            vec!["gpa".into(), "sat".into()],
+            &[
+                vec![3.9, 0.71],
+                vec![3.2, 0.99],
+                vec![2.8, 0.42],
+                vec![3.9, 0.42],
+            ],
+        )
+        .unwrap();
+        ds.add_type_attribute("gender", vec!["f".into(), "m".into()], vec![0, 1, 0, 1])
+            .unwrap();
+        ds
+    }
+
+    #[test]
+    fn dataset_columnar_round_trip() {
+        let ds = sample_dataset();
+        let back = decode_dataset(&encode_dataset(&ds)).unwrap();
+        assert_eq!(back, ds);
+        for j in 0..ds.dim() {
+            for i in 0..ds.len() {
+                assert_eq!(back.value(i, j).to_bits(), ds.value(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_row_major_v1_still_decodes() {
+        let ds = sample_dataset();
+        let v1 = encode_dataset_row_major(&ds);
+        let v2 = encode_dataset(&ds);
+        assert_ne!(v1, v2, "v1 and v2 are distinct wire layouts");
+        assert_eq!(decode_dataset(&v1).unwrap(), ds);
+        assert_eq!(decode_dataset(&v1).unwrap(), decode_dataset(&v2).unwrap());
+    }
+
+    #[test]
+    fn dataset_corruption_and_truncation_detected() {
+        let ds = sample_dataset();
+        for bytes in [encode_dataset(&ds), encode_dataset_row_major(&ds)] {
+            let mut bad = bytes.clone();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0xFF;
+            assert!(decode_dataset(&bad).is_err());
+            for cut in [0usize, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+                assert!(decode_dataset(&bytes[..cut]).is_err(), "{cut}-byte prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_wrong_artifact_rejected() {
+        let ivs = AngularIntervals::from_pairs([(0.1, 0.4)]);
+        assert!(matches!(
+            decode_dataset(&encode_intervals(&ivs)),
+            Err(PersistError::WrongArtifact { .. })
+        ));
     }
 
     #[test]

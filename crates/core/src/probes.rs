@@ -48,7 +48,7 @@ pub fn batch_verdicts<A: AsRef<[f64]>>(
 
 /// The shared batched-probe pipeline: `weights_of(i, out)` appends the
 /// weight vector of candidate `i` to `out`. Used by [`batch_verdicts`]
-/// (angle candidates) and `FairRanker::suggest_batch` (weight queries)
+/// (angle candidates) and `FairRanker::respond_batch` (weight queries)
 /// so the chunking/prefix logic exists once.
 ///
 /// A top-k-bounded oracle only inspects the first `k` positions by

@@ -21,7 +21,7 @@ use fairrank_geometry::layers::{convex_layers_2d, dominance_layers, top_k_candid
 /// non-negative linear scoring function.
 #[must_use]
 pub fn top_k_candidate_items(ds: &Dataset, k: usize) -> Vec<usize> {
-    let items: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.item(i).to_vec()).collect();
+    let items: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.row(i)).collect();
     let layers = if ds.dim() == 2 {
         convex_layers_2d(&items)
     } else {

@@ -554,57 +554,6 @@ impl FairRanker {
         }
     }
 
-    /// Answer a single bare weight vector.
-    ///
-    /// # Errors
-    /// As [`FairRanker::respond`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `respond(&SuggestRequest::new(weights))` — the unified request/response API"
-    )]
-    pub fn suggest(&self, weights: &[f64]) -> Result<Answer, FairRankError> {
-        self.respond(&SuggestRequest::new(weights))
-            .map(Suggestion::into_answer)
-    }
-
-    /// Answer a batch of bare weight vectors.
-    ///
-    /// # Errors
-    /// As [`FairRanker::respond_batch`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `respond_batch` with `SuggestRequest`s — the unified request/response API"
-    )]
-    pub fn suggest_batch(&self, queries: &[&[f64]]) -> Result<Vec<Answer>, FairRankError> {
-        let reqs: Vec<SuggestRequest> = queries.iter().map(|q| SuggestRequest::new(*q)).collect();
-        Ok(self
-            .respond_batch(&reqs)?
-            .into_iter()
-            .map(Suggestion::into_answer)
-            .collect())
-    }
-
-    /// Answer a batch of bare weight vectors on up to `shards` workers.
-    ///
-    /// # Errors
-    /// As [`FairRanker::respond_batch_parallel`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `respond_batch_parallel` with `SuggestRequest`s — the unified request/response API"
-    )]
-    pub fn suggest_batch_parallel(
-        &self,
-        queries: &[&[f64]],
-        shards: usize,
-    ) -> Result<Vec<Answer>, FairRankError> {
-        let reqs: Vec<SuggestRequest> = queries.iter().map(|q| SuggestRequest::new(*q)).collect();
-        Ok(self
-            .respond_batch_parallel(&reqs, shards)?
-            .into_iter()
-            .map(Suggestion::into_answer)
-            .collect())
-    }
-
     /// The ranker's dataset epoch: how many live updates have been
     /// applied (carried through [`FairRanker::save`]/[`load`](FairRanker::load)
     /// in the persistence envelope, so replicas can tell which snapshot
@@ -923,27 +872,29 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_suggest_wrappers_match_respond() {
-        #![allow(deprecated)]
+    fn respond_batch_variants_agree_elementwise() {
         let (ds, oracle) = biased_2d();
         let ranker = build_2d(&ds, Box::new(oracle));
         let queries = [[1.0, 0.02], [0.3, 1.7], [1.0, 1.0]];
-        for q in &queries {
+        let reqs: Vec<SuggestRequest> = queries.iter().map(|q| req(q)).collect();
+        let batch = ranker.respond_batch(&reqs).unwrap();
+        let parallel = ranker.respond_batch_parallel(&reqs, 2).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let single = ranker.respond(&req(q)).unwrap();
+            assert_eq!(batch[i], single, "batch diverges on query {i}");
+            // The sharded path may decide fairness from the index alone
+            // (stats.index_decided), so compare the served answer.
             assert_eq!(
-                ranker.suggest(q).unwrap(),
-                ranker.respond(&req(q)).unwrap().into_answer()
+                (
+                    &parallel[i].weights,
+                    &parallel[i].fairness,
+                    parallel[i].version
+                ),
+                (&single.weights, &single.fairness, single.version),
+                "parallel batch diverges on query {i}"
             );
         }
-        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
-        let reqs: Vec<SuggestRequest> = queries.iter().map(|q| req(q)).collect();
-        let new_batch: Vec<Answer> = ranker
-            .respond_batch(&reqs)
-            .unwrap()
-            .into_iter()
-            .map(Suggestion::into_answer)
-            .collect();
-        assert_eq!(ranker.suggest_batch(&refs).unwrap(), new_batch);
-        assert_eq!(ranker.suggest_batch_parallel(&refs, 2).unwrap(), new_batch);
     }
 
     #[test]

@@ -12,21 +12,17 @@
 //! ([`SuggestStats`]).
 //!
 //! This replaces the bare `&[f64]` slices and enum-only returns of the
-//! original `FairRanker::suggest*` methods: a structured request is what
-//! an async submission queue can own and coalesce, and a structured
-//! response is what a caller can route without re-deriving which weights
-//! to rank with. The old method *signatures* stay callable as
-//! `#[deprecated]` wrappers for two PR cycles (mirroring the builder
-//! migration), but note they now return the raw index
-//! [`Answer`] — the enum previously named `Suggestion` — so match sites
-//! on the old enum need the one-word rename even before migrating to
-//! [`FairRanker::respond`](crate::FairRanker::respond).
+//! original `FairRanker::suggest*` methods (removed after their
+//! two-PR deprecation window): a structured request is what an async
+//! submission queue can own and coalesce, and a structured response is
+//! what a caller can route without re-deriving which weights to rank
+//! with. The raw index verdict survives as
+//! [`Answer`](crate::backend::Answer) — the enum previously named `Suggestion` — which backends
+//! still return and [`Suggestion::fairness`] wraps.
 //!
 //! [`FairRanker::respond`]: crate::FairRanker::respond
 //! [`FairRanker::respond_batch`]: crate::FairRanker::respond_batch
 //! [`FairRanker::respond_batch_parallel`]: crate::FairRanker::respond_batch_parallel
-
-use crate::backend::Answer;
 
 /// One closest-satisfactory-function query, as submitted to the serving
 /// API: the proposed weight vector plus per-request options.
@@ -134,7 +130,7 @@ impl Default for SuggestOptions {
 }
 
 /// The fairness verdict inside a [`Suggestion`] — the
-/// [`Answer`] shape with the weights hoisted
+/// [`Answer`](crate::backend::Answer) shape with the weights hoisted
 /// into the response envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub enum KnownFairness {
@@ -184,21 +180,6 @@ pub struct Suggestion {
 }
 
 impl Suggestion {
-    /// Collapse back to the raw index [`Answer`] — the deprecated
-    /// slice-based `suggest*` wrappers are defined by this mapping, so
-    /// old and new API are bit-identical by construction.
-    #[must_use]
-    pub fn into_answer(self) -> Answer {
-        match self.fairness {
-            KnownFairness::AlreadyFair => Answer::AlreadyFair,
-            KnownFairness::Suggested { distance } => Answer::Suggested {
-                weights: self.weights,
-                distance,
-            },
-            KnownFairness::Infeasible => Answer::Infeasible,
-        }
-    }
-
     /// Whether the verdict was [`KnownFairness::AlreadyFair`].
     #[must_use]
     pub fn is_already_fair(&self) -> bool {
@@ -229,34 +210,6 @@ mod tests {
         let from_slice: SuggestRequest = [1.0, 2.0].as_slice().into();
         let from_vec: SuggestRequest = vec![1.0, 2.0].into();
         assert_eq!(from_slice, from_vec);
-    }
-
-    #[test]
-    fn into_answer_round_trips_all_verdicts() {
-        let base = |fairness| Suggestion {
-            weights: vec![0.6, 0.8],
-            version: 7,
-            fairness,
-            stats: SuggestStats {
-                index_decided: false,
-                top_k: None,
-            },
-        };
-        assert_eq!(
-            base(KnownFairness::AlreadyFair).into_answer(),
-            Answer::AlreadyFair
-        );
-        assert_eq!(
-            base(KnownFairness::Suggested { distance: 0.25 }).into_answer(),
-            Answer::Suggested {
-                weights: vec![0.6, 0.8],
-                distance: 0.25
-            }
-        );
-        assert_eq!(
-            base(KnownFairness::Infeasible).into_answer(),
-            Answer::Infeasible
-        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod raysweep;
 pub use online::{online_2d, TwoDAnswer};
 pub use raysweep::{ray_sweep, ray_sweep_incremental, RaySweepResult};
 
+use fairrank_datasets::kernels;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::interval::{AngularIntervals, NearestId};
@@ -194,6 +195,8 @@ fn rank_steps(ds: &Dataset, events: &[(f64, u32, u32)], x: u32) -> (Vec<f64>, Ve
         .map(|&(theta, _, _)| theta)
         .collect();
     let mut ranks = Vec::with_capacity(bounds.len() + 1);
+    let mut scores = Vec::new();
+    let mut sides = Vec::new();
     for i in 0..=bounds.len() {
         let lo = if i == 0 { 0.0 } else { bounds[i - 1] };
         let hi = if i == bounds.len() {
@@ -202,23 +205,20 @@ fn rank_steps(ds: &Dataset, events: &[(f64, u32, u32)], x: u32) -> (Vec<f64>, Ve
             bounds[i]
         };
         let w = [f64::cos(0.5 * (lo + hi)), f64::sin(0.5 * (lo + hi))];
-        let sx = ds.score(&w, x as usize);
-        let rank = (0..ds.len())
-            .filter(|&j| j != x as usize)
-            .filter(|&j| {
-                // Item j ranks ahead of x under exactly the ranking
-                // comparator `Dataset::rank` uses: descending
-                // `total_cmp` score, ascending id on ties. A raw
-                // `>`/`==` pair diverges from it on signed zeros (and
-                // NaN), which would misplace x's rank step function and
-                // fabricate a verdict-reuse certificate.
-                let sj = ds.score(&w, j);
-                match sj.total_cmp(&sx) {
-                    std::cmp::Ordering::Greater => true,
-                    std::cmp::Ordering::Equal => (j as u32) < x,
-                    std::cmp::Ordering::Less => false,
-                }
-            })
+        // Score the whole column once per segment, then classify every
+        // item against x's score with the batch sign kernel. The kernel's
+        // `total_cmp` signs match exactly the ranking comparator
+        // `Dataset::rank` uses (descending `total_cmp` score, ascending
+        // id on ties); a raw `>`/`==` pair would diverge on signed zeros
+        // (and NaN), misplacing x's rank step function and fabricating a
+        // verdict-reuse certificate.
+        kernels::score_all_into(ds, &w, &mut scores);
+        let sx = scores[x as usize];
+        kernels::side_test_batch(&scores, sx, &mut sides);
+        let rank = sides
+            .iter()
+            .enumerate()
+            .filter(|&(j, &s)| j != x as usize && (s > 0 || (s == 0 && (j as u32) < x)))
             .count();
         ranks.push(rank);
     }

@@ -50,8 +50,9 @@ pub struct RaySweepResult {
 /// exchange. Exchanges at exactly 0 or π/2 are ties on an axis function;
 /// they do not flip the interior ordering.
 #[inline]
-fn pair_event(ds: &Dataset, i: u32, j: u32) -> Option<(f64, u32, u32)> {
-    let theta = exchange_angle_2d(ds.item(i as usize), ds.item(j as usize))?;
+fn pair_event(x: &[f64], y: &[f64], i: u32, j: u32) -> Option<(f64, u32, u32)> {
+    let (a, b) = (i as usize, j as usize);
+    let theta = exchange_angle_2d(&[x[a], y[a]], &[x[b], y[b]])?;
     (theta > 1e-12 && theta < HALF_PI - 1e-12).then_some((theta, i, j))
 }
 
@@ -68,10 +69,11 @@ pub(crate) fn event_cmp(a: &(f64, u32, u32), b: &(f64, u32, u32)) -> std::cmp::O
 
 /// Exchange events sorted by angle, each carrying the swapping pair.
 pub(crate) fn exchange_events(ds: &Dataset) -> Vec<(f64, u32, u32)> {
+    let (x, y) = (ds.column(0), ds.column(1));
     let mut events = Vec::new();
     for i in 0..ds.len() as u32 {
         for j in i + 1..ds.len() as u32 {
-            events.extend(pair_event(ds, i, j));
+            events.extend(pair_event(x, y, i, j));
         }
     }
     events.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -82,10 +84,11 @@ pub(crate) fn exchange_events(ds: &Dataset) -> Vec<(f64, u32, u32)> {
 /// canonical [`event_cmp`] order — the event *delta* of inserting,
 /// removing or re-scoring `x`.
 pub(crate) fn item_events(ds: &Dataset, x: u32) -> Vec<(f64, u32, u32)> {
+    let (cx, cy) = (ds.column(0), ds.column(1));
     let mut events = Vec::with_capacity(ds.len().saturating_sub(1));
     for j in 0..ds.len() as u32 {
         if j != x {
-            events.extend(pair_event(ds, j.min(x), j.max(x)));
+            events.extend(pair_event(cx, cy, j.min(x), j.max(x)));
         }
     }
     events.sort_by(event_cmp);

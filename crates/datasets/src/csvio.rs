@@ -208,7 +208,7 @@ pub fn to_csv(ds: &Dataset) -> String {
     );
     out.push('\n');
     for i in 0..ds.len() {
-        let mut fields: Vec<String> = ds.item(i).iter().map(|v| format!("{v}")).collect();
+        let mut fields: Vec<String> = ds.row(i).iter().map(|v| format!("{v}")).collect();
         for t in ds.type_attributes() {
             fields.push(quote_field(&t.labels[t.values[i] as usize]));
         }
@@ -247,7 +247,7 @@ mod tests {
         let text = to_csv(&ds);
         let back = parse_csv(&text, &["gpa", "sat"], &["gender"]).unwrap();
         assert_eq!(back.len(), 3);
-        assert_eq!(back.item(1), &[3.9, 1400.0]);
+        assert_eq!(back.row(1), [3.9, 1400.0]);
         let g = back.type_attribute("gender").unwrap();
         assert_eq!(g.labels, vec!["f".to_string(), "m".to_string()]);
         assert_eq!(g.values, vec![0, 1, 0]);
@@ -277,7 +277,7 @@ mod tests {
         let text = "a,b,c\n1,2,x\n3,4,y\n";
         let ds = parse_csv(text, &["b", "a"], &["c"]).unwrap();
         assert_eq!(ds.attr_names(), &["b".to_string(), "a".to_string()]);
-        assert_eq!(ds.item(0), &[2.0, 1.0]);
+        assert_eq!(ds.row(0), [2.0, 1.0]);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::kernels::{self, AlignedCol};
+
 /// A categorical *type attribute* (protected feature): one small-cardinality
 /// group id per item, with human-readable labels (paper §2, fairness model).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,13 +95,19 @@ impl std::error::Error for DatasetError {}
 /// An `n × d` dataset of scalar scoring attributes plus categorical type
 /// attributes (paper §2: data model).
 ///
-/// Scoring attributes are stored row-major for cache-friendly scoring.
+/// Scoring attributes are stored **columnar** (struct-of-arrays): one
+/// 64-byte-aligned [`AlignedCol`] per attribute, so whole-dataset
+/// scoring is `d` streaming multiply-accumulate passes the compiler
+/// vectorizes (see [`crate::kernels`]). Row access is a gather
+/// ([`Dataset::row`] / [`Dataset::row_into`] / [`Dataset::value`]);
+/// every ranking path consumes columns through the kernels instead.
 /// After [`Dataset::normalize_min_max`], all values are in `[0, 1]` and
 /// larger is better, matching the paper's preliminaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     attr_names: Vec<String>,
-    scoring: Vec<f64>,
+    /// `d` columns of `n` values each.
+    cols: Vec<AlignedCol>,
     n: usize,
     d: usize,
     types: Vec<TypeAttribute>,
@@ -115,7 +123,9 @@ impl Dataset {
             return Err(DatasetError::Empty);
         }
         let d = attr_names.len();
-        let mut scoring = Vec::with_capacity(rows.len() * d);
+        let mut cols: Vec<AlignedCol> = (0..d)
+            .map(|_| AlignedCol::with_capacity(rows.len()))
+            .collect();
         for (i, row) in rows.iter().enumerate() {
             if row.len() != d {
                 return Err(DatasetError::RaggedRow {
@@ -128,14 +138,14 @@ impl Dataset {
                 if !v.is_finite() {
                     return Err(DatasetError::NonFiniteValue { row: i, attr: j });
                 }
-                scoring.push(v);
+                cols[j].push(v);
             }
         }
         Ok(Dataset {
             attr_names,
             n: rows.len(),
             d,
-            scoring,
+            cols,
             types: Vec::new(),
         })
     }
@@ -186,14 +196,62 @@ impl Dataset {
         &self.attr_names
     }
 
-    /// The scoring vector of one item.
+    /// One scoring value: attribute `j` of item `i`.
+    ///
+    /// # Panics
+    /// If `i >= len()` or `j >= dim()`.
+    #[inline]
+    #[must_use]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.cols[j].as_slice()[i]
+    }
+
+    /// The full column of scoring attribute `j`, as a contiguous
+    /// 64-byte-aligned slice of `len()` values — the input the
+    /// [`crate::kernels`] primitives stream over.
+    ///
+    /// # Panics
+    /// If `j >= dim()`.
+    #[inline]
+    #[must_use]
+    pub fn column(&self, j: usize) -> &[f64] {
+        self.cols[j].as_slice()
+    }
+
+    /// The scoring vector of one item, gathered from the columns into a
+    /// fresh `Vec`. For repeated row access, [`Dataset::row_into`]
+    /// reuses a caller buffer.
     ///
     /// # Panics
     /// If `i >= len()`.
-    #[inline]
     #[must_use]
-    pub fn item(&self, i: usize) -> &[f64] {
-        &self.scoring[i * self.d..(i + 1) * self.d]
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.d);
+        self.row_into(i, &mut out);
+        out
+    }
+
+    /// Gather item `i`'s scoring vector into `out` (cleared and
+    /// refilled).
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn row_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.cols.iter().map(|c| c.as_slice()[i]));
+    }
+
+    /// The whole scoring matrix gathered into a row-major flat buffer
+    /// (`n * d` values, row `i` at `i*d..(i+1)*d`) — the pre-columnar
+    /// layout. Used by the `O(n²)` pairwise hyperplane loops (which are
+    /// row-shaped by nature) and the persist codec's legacy arm.
+    #[must_use]
+    pub fn to_row_major(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n * self.d);
+        for i in 0..self.n {
+            out.extend(self.cols.iter().map(|c| c.as_slice()[i]));
+        }
+        out
     }
 
     /// All type attributes.
@@ -210,35 +268,60 @@ impl Dataset {
 
     /// Score of item `i` under weight vector `w` (`f_w(t) = Σ w_j t[j]`).
     ///
+    /// The single-item scalar reference: attribute products accumulated
+    /// in ascending `j` order from `0.0`, the exact operation sequence
+    /// [`crate::kernels::score_all_into`] reproduces per item — so
+    /// kernel scores are bit-identical to this, by construction.
+    ///
     /// # Panics
     /// If `w.len() != dim()`.
     #[inline]
     #[must_use]
     pub fn score(&self, w: &[f64], i: usize) -> f64 {
         assert_eq!(w.len(), self.d);
-        self.item(i).iter().zip(w).map(|(a, b)| a * b).sum()
+        self.cols
+            .iter()
+            .zip(w)
+            .map(|(c, b)| c.as_slice()[i] * b)
+            .sum()
     }
 
     /// Rank all items by descending score under `w`; ties broken by item id
     /// ascending, so rankings are total orders and reproducible.
+    ///
+    /// Scores through the kernel/workspace path via a thread-local
+    /// [`crate::RankWorkspace`], so the score buffer is reused across
+    /// calls — the only allocation is the returned permutation itself.
     #[must_use]
     pub fn rank(&self, w: &[f64]) -> Vec<u32> {
-        let mut order: Vec<u32> = (0..self.n as u32).collect();
-        let scores: Vec<f64> = (0..self.n).map(|i| self.score(w, i)).collect();
-        order.sort_by(|&a, &b| {
-            scores[b as usize]
-                .total_cmp(&scores[a as usize])
-                .then(a.cmp(&b))
-        });
-        order
+        self.rank_bounded(w, None)
     }
 
-    /// The top-`k` item ids under `w` (`k` clamped to `n`).
+    /// The top-`k` item ids under `w` (`k` clamped to `n`): the exact
+    /// `k`-prefix of [`Dataset::rank`], placed via partial selection
+    /// (`O(n + k log k)`) instead of a full sort.
     #[must_use]
     pub fn top_k(&self, w: &[f64], k: usize) -> Vec<u32> {
-        let mut r = self.rank(w);
+        let mut r = self.rank_bounded(w, Some(k));
         r.truncate(k.min(self.n));
         r
+    }
+
+    /// Shared allocation-light ranking entry point: score through the
+    /// columnar kernels into a thread-local workspace buffer, then
+    /// select/sort into the returned permutation.
+    fn rank_bounded(&self, w: &[f64], bound: Option<usize>) -> Vec<u32> {
+        use std::cell::RefCell;
+        thread_local! {
+            static SCORES: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+        }
+        let mut out = Vec::new();
+        SCORES.with(|s| {
+            let mut scores = s.borrow_mut();
+            kernels::score_all_into(self, w, &mut scores);
+            kernels::top_k_select_into(&scores, bound, &mut out);
+        });
+        out
     }
 
     /// Min–max normalize every scoring attribute to `[0, 1]`
@@ -247,18 +330,16 @@ impl Dataset {
     /// (`(max − v)/(max − min)`) so that *larger normalized values are
     /// always better* — the paper does this for `age`.
     pub fn normalize_min_max(&mut self, invert: &[usize]) {
-        for j in 0..self.d {
+        for (j, col) in self.cols.iter_mut().enumerate() {
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
-            for i in 0..self.n {
-                let v = self.scoring[i * self.d + j];
+            for &v in col.as_slice() {
                 lo = lo.min(v);
                 hi = hi.max(v);
             }
             let span = hi - lo;
             let flip = invert.contains(&j);
-            for i in 0..self.n {
-                let v = &mut self.scoring[i * self.d + j];
+            for v in col.as_mut_slice() {
                 *v = if span <= f64::EPSILON {
                     0.0
                 } else if flip {
@@ -300,7 +381,9 @@ impl Dataset {
                 return Err(DatasetError::MalformedTypeAttribute(t.name.clone()));
             }
         }
-        self.scoring.extend_from_slice(scores);
+        for (col, &v) in self.cols.iter_mut().zip(scores) {
+            col.push(v);
+        }
         for (t, &g) in self.types.iter_mut().zip(groups) {
             t.values.push(g);
         }
@@ -322,7 +405,9 @@ impl Dataset {
         if self.n == 1 {
             return Err(DatasetError::Empty);
         }
-        self.scoring.drain(i * self.d..(i + 1) * self.d);
+        for col in &mut self.cols {
+            col.remove(i);
+        }
         for t in &mut self.types {
             t.values.remove(i);
         }
@@ -350,7 +435,9 @@ impl Dataset {
         if let Some(attr) = scores.iter().position(|v| !v.is_finite()) {
             return Err(DatasetError::NonFiniteValue { row: i, attr });
         }
-        self.scoring[i * self.d..(i + 1) * self.d].copy_from_slice(scores);
+        for (col, &v) in self.cols.iter_mut().zip(scores) {
+            col.as_mut_slice()[i] = v;
+        }
         Ok(())
     }
 
@@ -360,9 +447,9 @@ impl Dataset {
     /// If either index is out of range.
     #[must_use]
     pub fn dominates(&self, i: usize, j: usize) -> bool {
-        let (a, b) = (self.item(i), self.item(j));
         let mut strict = false;
-        for (&x, &y) in a.iter().zip(b) {
+        for col in &self.cols {
+            let (x, y) = (col.as_slice()[i], col.as_slice()[j]);
             if x < y {
                 return false;
             }
@@ -404,16 +491,13 @@ impl Dataset {
                 return Err(DatasetError::UnknownAttribute(format!("#{a}")));
             }
         }
-        let mut scoring = Vec::with_capacity(self.n * attrs.len());
-        for i in 0..self.n {
-            let row = self.item(i);
-            scoring.extend(attrs.iter().map(|&a| row[a]));
-        }
+        // Columnar projection is a column clone — no per-row gather.
+        let cols: Vec<AlignedCol> = attrs.iter().map(|&a| self.cols[a].clone()).collect();
         Ok(Dataset {
             attr_names: attrs.iter().map(|&a| self.attr_names[a].clone()).collect(),
             n: self.n,
             d: attrs.len(),
-            scoring,
+            cols,
             types: self.types.clone(),
         })
     }
@@ -439,10 +523,14 @@ impl Dataset {
     /// If any index is out of range.
     #[must_use]
     pub fn subset(&self, idx: &[usize]) -> Dataset {
-        let mut scoring = Vec::with_capacity(idx.len() * self.d);
-        for &i in idx {
-            scoring.extend_from_slice(self.item(i));
-        }
+        let cols: Vec<AlignedCol> = self
+            .cols
+            .iter()
+            .map(|c| {
+                let src = c.as_slice();
+                idx.iter().map(|&i| src[i]).collect()
+            })
+            .collect();
         let types = self
             .types
             .iter()
@@ -456,7 +544,7 @@ impl Dataset {
             attr_names: self.attr_names.clone(),
             n: idx.len(),
             d: self.d,
-            scoring,
+            cols,
             types,
         }
     }
@@ -577,16 +665,16 @@ mod tests {
         .unwrap();
         ds.normalize_min_max(&[1]);
         // v: min-max normalized ascending; age inverted (youngest → 1).
-        assert_eq!(ds.item(0), &[0.0, 1.0]);
-        assert_eq!(ds.item(1), &[1.0, 0.0]);
-        assert_eq!(ds.item(2), &[0.5, 0.5]);
+        assert_eq!(ds.row(0), &[0.0, 1.0]);
+        assert_eq!(ds.row(1), &[1.0, 0.0]);
+        assert_eq!(ds.row(2), &[0.5, 0.5]);
     }
 
     #[test]
     fn normalization_constant_column() {
         let mut ds = Dataset::from_rows(vec!["c".into()], &[vec![5.0], vec![5.0]]).unwrap();
         ds.normalize_min_max(&[]);
-        assert_eq!(ds.item(0), &[0.0]);
+        assert_eq!(ds.row(0), &[0.0]);
     }
 
     #[test]
@@ -609,7 +697,7 @@ mod tests {
         let ds = toy();
         let p = ds.project(&[1]).unwrap();
         assert_eq!(p.dim(), 1);
-        assert_eq!(p.item(0), &[3.5]);
+        assert_eq!(p.row(0), &[3.5]);
         assert_eq!(p.attr_names(), &["y".to_string()]);
         assert!(ds.project(&[]).is_err());
         assert!(ds.project(&[7]).is_err());
@@ -631,9 +719,9 @@ mod tests {
         assert_eq!(t.values.len(), 3);
         // Every sampled row matches an original row with the same group.
         for i in 0..3 {
-            let row = s.item(i);
+            let row = s.row(i);
             let found = (0..ds.len()).any(|j| {
-                ds.item(j) == row && ds.type_attribute("color").unwrap().values[j] == t.values[i]
+                ds.row(j) == row && ds.type_attribute("color").unwrap().values[j] == t.values[i]
             });
             assert!(found, "sampled row {row:?} not aligned");
         }
@@ -651,18 +739,18 @@ mod tests {
         let id = ds.insert_row(&[2.0, 2.0], &[1]).unwrap();
         assert_eq!(id, 5);
         assert_eq!(ds.len(), 6);
-        assert_eq!(ds.item(5), &[2.0, 2.0]);
+        assert_eq!(ds.row(5), &[2.0, 2.0]);
         assert_eq!(ds.type_attribute("color").unwrap().values[5], 1);
 
         ds.rescore_row(5, &[0.5, 0.5]).unwrap();
-        assert_eq!(ds.item(5), &[0.5, 0.5]);
+        assert_eq!(ds.row(5), &[0.5, 0.5]);
 
         // Remove in the middle: ids above shift down, groups stay aligned.
-        let before_item3 = ds.item(3).to_vec();
+        let before_item3 = ds.row(3).to_vec();
         let before_group3 = ds.type_attribute("color").unwrap().values[3];
         ds.remove_row(2).unwrap();
         assert_eq!(ds.len(), 5);
-        assert_eq!(ds.item(2), before_item3.as_slice());
+        assert_eq!(ds.row(2), before_item3.as_slice());
         assert_eq!(ds.type_attribute("color").unwrap().values[2], before_group3);
     }
 

@@ -30,6 +30,7 @@
 pub mod csvio;
 pub mod dataset;
 pub mod distributions;
+pub mod kernels;
 pub mod rank;
 pub mod synthetic;
 

@@ -26,6 +26,7 @@
 //! [`top_k_bound`]: https://docs.rs/fairrank-fairness (FairnessOracle::top_k_bound)
 
 use crate::dataset::Dataset;
+use crate::kernels;
 
 /// Reusable buffers for repeated rankings of one (or more) datasets.
 ///
@@ -86,29 +87,13 @@ impl RankWorkspace {
     /// # Panics
     /// If `w.len() != ds.dim()`.
     pub fn rank_into(&mut self, ds: &Dataset, w: &[f64], bound: Option<usize>, out: &mut Vec<u32>) {
-        let n = ds.len();
-        assert_eq!(w.len(), ds.dim(), "weight arity mismatch");
-        self.scores.clear();
-        self.scores.extend((0..n).map(|i| ds.score(w, i)));
-        out.clear();
-        out.extend(0..n as u32);
-        let scores = &self.scores;
-        let cmp = |a: &u32, b: &u32| {
-            scores[*b as usize]
-                .total_cmp(&scores[*a as usize])
-                .then(a.cmp(b))
-        };
-        match bound {
-            // k = 0 would mean "the oracle inspects nothing"; rank fully
-            // so the output stays identical to Dataset::rank.
-            Some(k) if k > 0 && k < n => {
-                // The comparator is a total order (ties broken by id), so
-                // the selected prefix equals the full sort's prefix.
-                out.select_nth_unstable_by(k - 1, cmp);
-                out[..k].sort_unstable_by(cmp);
-            }
-            _ => out.sort_unstable_by(cmp),
-        }
+        // The columnar scoring kernel fills the reused score buffer in
+        // one vectorized multiply-accumulate sweep (bit-identical to
+        // per-item `Dataset::score` — tests/columnar_equivalence.rs),
+        // then the select kernel ranks by it. Both buffers are reused;
+        // the steady state performs zero allocations.
+        kernels::score_all_into(ds, w, &mut self.scores);
+        kernels::top_k_select_into(&self.scores, bound, out);
     }
 }
 

@@ -217,7 +217,7 @@ mod tests {
             ..CompasConfig::default()
         });
         for i in 0..ds.len() {
-            for &v in ds.item(i) {
+            for v in ds.row(i) {
                 assert!((0.0..=1.0).contains(&v), "value {v} out of range");
             }
         }
@@ -229,12 +229,12 @@ mod tests {
             ..CompasConfig::default()
         });
         let youngest = (0..raw.len())
-            .min_by(|&a, &b| raw.item(a)[AGE_ATTR].total_cmp(&raw.item(b)[AGE_ATTR]))
+            .min_by(|&a, &b| raw.value(a, AGE_ATTR).total_cmp(&raw.value(b, AGE_ATTR)))
             .unwrap();
         let max_norm_age = (0..ds.len())
-            .map(|i| ds.item(i)[AGE_ATTR])
+            .map(|i| ds.value(i, AGE_ATTR))
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!((ds.item(youngest)[AGE_ATTR] - max_norm_age).abs() < 1e-12);
+        assert!((ds.value(youngest, AGE_ATTR) - max_norm_age).abs() < 1e-12);
     }
 
     #[test]

@@ -179,12 +179,12 @@ mod tests {
         });
         // The most-delayed raw departure gets the lowest normalized score.
         let worst = (0..raw.len())
-            .max_by(|&a, &b| raw.item(a)[0].total_cmp(&raw.item(b)[0]))
+            .max_by(|&a, &b| raw.value(a, 0).total_cmp(&raw.value(b, 0)))
             .unwrap();
         let min_norm = (0..norm.len())
-            .map(|i| norm.item(i)[0])
+            .map(|i| norm.value(i, 0))
             .fold(f64::INFINITY, f64::min);
-        assert!((norm.item(worst)[0] - min_norm).abs() < 1e-12);
+        assert!((norm.value(worst, 0) - min_norm).abs() < 1e-12);
     }
 
     #[test]

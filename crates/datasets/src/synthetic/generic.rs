@@ -103,7 +103,7 @@ mod tests {
         assert_eq!(ds.len(), 500);
         assert_eq!(ds.dim(), 3);
         for i in 0..ds.len() {
-            assert!(ds.item(i).iter().all(|v| (0.0..=1.0).contains(v)));
+            assert!(ds.row(i).iter().all(|v| (0.0..=1.0).contains(v)));
         }
         assert!(ds.type_attribute("group").is_some());
     }

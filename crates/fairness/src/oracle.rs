@@ -21,11 +21,11 @@ pub trait FairnessOracle: Send + Sync {
     /// ranking, so every oracle is batchable for free. Concrete oracles
     /// override this to amortize per-call setup across the batch —
     /// scratch counters, discount tables — which is what the offline
-    /// probe pipelines and [`suggest_batch`] feed on. Overrides must
+    /// probe pipelines and [`respond_batch`] feed on. Overrides must
     /// return verdicts identical to the serial path: the indexing
     /// machinery treats batch evaluation as a pure optimization.
     ///
-    /// [`suggest_batch`]: https://docs.rs/fairrank (FairRanker::suggest_batch)
+    /// [`respond_batch`]: https://docs.rs/fairrank (FairRanker::respond_batch)
     fn is_satisfactory_batch(&self, rankings: &[&[u32]]) -> Vec<bool> {
         rankings.iter().map(|r| self.is_satisfactory(r)).collect()
     }

@@ -124,7 +124,7 @@ fn assert_datasets_equal(a: &Dataset, b: &Dataset) {
     assert_eq!(a.dim(), b.dim());
     assert_eq!(a.attr_names(), b.attr_names());
     for i in 0..a.len() {
-        assert_eq!(a.item(i), b.item(i), "row {i} differs");
+        assert_eq!(a.row(i), b.row(i), "row {i} differs");
     }
     assert_eq!(a.type_attributes().len(), b.type_attributes().len());
     for (ta, tb) in a.type_attributes().iter().zip(b.type_attributes()) {
