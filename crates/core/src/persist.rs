@@ -65,6 +65,9 @@ pub const TAG_REGIONS: u8 = 3;
 pub const TAG_RANKER: u8 = 4;
 /// Artifact tag: a whole [`Dataset`] (scoring columns + type attributes).
 pub const TAG_DATASET: u8 = 5;
+/// Artifact tag: a versioned [`DatasetUpdate`](crate::DatasetUpdate) log frame — the
+/// replication wire format ([`encode_update_log`] / [`decode_update_log`]).
+pub const TAG_UPDATE_LOG: u8 = 6;
 /// Dataset payload format. Version 2 stores the scoring attributes
 /// **column-major**, matching the in-memory columnar layout, so encoding
 /// is a straight per-column copy and decoding fills each column
@@ -712,6 +715,121 @@ pub fn decode_dataset(bytes: &[u8]) -> Result<Dataset, PersistError> {
     Ok(ds)
 }
 
+fn get_u32_vec(buf: &mut &[u8]) -> Result<Vec<u32>, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len * 4 {
+        return Err(PersistError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_u32_le()).collect())
+}
+
+/// Serialize a versioned [`DatasetUpdate`](crate::DatasetUpdate) log frame: the dataset
+/// version the frame applies on top of (`base_version`), followed by the
+/// updates in application order. Applying the frame advances a replica
+/// from `base_version` to `base_version + updates.len()` — each
+/// [`FairRanker::update`](crate::FairRanker::update) bumps the counter
+/// by one — which is the convergence check replicas run before applying.
+///
+/// This is the wire format a replicating writer ships over its update
+/// stream; the ranker snapshot that seeds a replica travels separately
+/// as a [`TAG_RANKER`] envelope.
+#[must_use]
+pub fn encode_update_log(base_version: u64, updates: &[crate::DatasetUpdate]) -> Vec<u8> {
+    use crate::DatasetUpdate;
+    let mut out = header(TAG_UPDATE_LOG);
+    out.put_u64_le(base_version);
+    out.put_u32_le(u32::try_from(updates.len()).expect("frame fits u32"));
+    for update in updates {
+        match update {
+            DatasetUpdate::Insert { scores, groups } => {
+                out.put_u8(0);
+                put_f64_vec(&mut out, scores);
+                out.put_u32_le(u32::try_from(groups.len()).expect("few type attrs"));
+                for &g in groups {
+                    out.put_u32_le(g);
+                }
+            }
+            DatasetUpdate::Remove { item } => {
+                out.put_u8(1);
+                out.put_u32_le(*item);
+            }
+            DatasetUpdate::Rescore { item, scores } => {
+                out.put_u8(2);
+                out.put_u32_le(*item);
+                put_f64_vec(&mut out, scores);
+            }
+        }
+    }
+    seal(out)
+}
+
+/// Decode an update-log frame produced by [`encode_update_log`]:
+/// `(base_version, updates)`.
+///
+/// Structural validity only — scores must be finite (a non-finite score
+/// can never come from a validated update), but arity and id-range
+/// checks belong to [`DatasetUpdate::validate`](crate::DatasetUpdate::validate)
+/// against the dataset the frame is applied to.
+///
+/// # Errors
+/// Any [`PersistError`] on malformed, corrupted or truncated input;
+/// never panics.
+pub fn decode_update_log(bytes: &[u8]) -> Result<(u64, Vec<crate::DatasetUpdate>), PersistError> {
+    use crate::DatasetUpdate;
+    let body = unseal(bytes)?;
+    let mut buf = body;
+    check_header(&mut buf, TAG_UPDATE_LOG)?;
+    if buf.remaining() < 8 + 4 {
+        return Err(PersistError::Truncated);
+    }
+    let base_version = buf.get_u64_le();
+    let n_updates = buf.get_u32_le() as usize;
+    let mut updates = Vec::with_capacity(n_updates.min(1 << 20));
+    for _ in 0..n_updates {
+        if buf.remaining() < 1 {
+            return Err(PersistError::Truncated);
+        }
+        let update = match buf.get_u8() {
+            0 => {
+                let scores = get_f64_vec(&mut buf)?;
+                if scores.iter().any(|v| !v.is_finite()) {
+                    return Err(PersistError::Truncated);
+                }
+                let groups = get_u32_vec(&mut buf)?;
+                DatasetUpdate::Insert { scores, groups }
+            }
+            1 => {
+                if buf.remaining() < 4 {
+                    return Err(PersistError::Truncated);
+                }
+                DatasetUpdate::Remove {
+                    item: buf.get_u32_le(),
+                }
+            }
+            2 => {
+                if buf.remaining() < 4 {
+                    return Err(PersistError::Truncated);
+                }
+                let item = buf.get_u32_le();
+                let scores = get_f64_vec(&mut buf)?;
+                if scores.iter().any(|v| !v.is_finite()) {
+                    return Err(PersistError::Truncated);
+                }
+                DatasetUpdate::Rescore { item, scores }
+            }
+            _ => return Err(PersistError::Truncated),
+        };
+        updates.push(update);
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Truncated);
+    }
+    Ok((base_version, updates))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -871,6 +989,60 @@ mod tests {
         let ivs = AngularIntervals::from_pairs([(0.1, 0.4)]);
         assert!(matches!(
             decode_dataset(&encode_intervals(&ivs)),
+            Err(PersistError::WrongArtifact { .. })
+        ));
+    }
+
+    #[test]
+    fn update_log_round_trip() {
+        let updates = vec![
+            crate::DatasetUpdate::Insert {
+                scores: vec![0.5, 0.25],
+                groups: vec![1],
+            },
+            crate::DatasetUpdate::Remove { item: 3 },
+            crate::DatasetUpdate::Rescore {
+                item: 0,
+                scores: vec![0.125, 0.875],
+            },
+        ];
+        let bytes = encode_update_log(42, &updates);
+        let (base, back) = decode_update_log(&bytes).unwrap();
+        assert_eq!(base, 42);
+        assert_eq!(back, updates);
+    }
+
+    #[test]
+    fn empty_update_log_round_trip() {
+        let (base, back) = decode_update_log(&encode_update_log(0, &[])).unwrap();
+        assert_eq!(base, 0);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn update_log_corruption_and_truncation_detected() {
+        let updates = vec![crate::DatasetUpdate::Rescore {
+            item: 7,
+            scores: vec![0.5, 0.5, 0.5],
+        }];
+        let bytes = encode_update_log(9, &updates);
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(decode_update_log(&bad).is_err());
+        for cut in [0usize, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_update_log(&bytes[..cut]).is_err(),
+                "{cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn update_log_wrong_artifact_rejected() {
+        let ivs = AngularIntervals::from_pairs([(0.1, 0.4)]);
+        assert!(matches!(
+            decode_update_log(&encode_intervals(&ivs)),
             Err(PersistError::WrongArtifact { .. })
         ));
     }

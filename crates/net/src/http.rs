@@ -1,0 +1,342 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what the serving front end
+//! needs, and nothing it doesn't.
+//!
+//! Supported: request line + headers + fixed-length bodies
+//! (`Content-Length`), keep-alive (HTTP/1.1 default; `Connection`
+//! header respected both ways). Deliberately unsupported: chunked
+//! transfer encoding (rejected with 411 — the protocol's bodies are
+//! small JSON documents with known length), multi-line header folding
+//! (rejected with 400; obsolete per RFC 7230), and anything above
+//! HTTP/1.1.
+//!
+//! The parser is a **pure function** over a byte buffer
+//! ([`parse_request`]): it either needs more bytes, yields a complete
+//! request plus the number of bytes it consumed, or rejects with an
+//! [`HttpError`] that maps 1:1 onto a 4xx status. No I/O, no state —
+//! which is what makes it directly fuzzable (`tests/net_fuzz.rs` feeds
+//! it truncations, byte mutations, and oversized inputs and asserts it
+//! never panics).
+
+use std::fmt;
+
+/// Reject request heads (request line + headers) larger than this: 431.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Reject declared bodies larger than this: 413. Generous for the
+/// protocol's JSON documents (a 4 MiB batch is ~100k queries).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A structurally invalid or unsupported request. Each variant maps to
+/// one 4xx status ([`HttpError::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or `Content-Length` value → 400.
+    BadRequest(&'static str),
+    /// The head exceeds [`MAX_HEAD_BYTES`] → 431.
+    HeadersTooLarge,
+    /// The declared body exceeds [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// Chunked (or otherwise non-fixed-length) transfer encoding → 411:
+    /// this server requires a `Content-Length`.
+    LengthRequired,
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    #[must_use]
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequest(_) => (400, "Bad Request"),
+            HttpError::HeadersTooLarge => (431, "Request Header Fields Too Large"),
+            HttpError::BodyTooLarge => (413, "Payload Too Large"),
+            HttpError::LengthRequired => (411, "Length Required"),
+        }
+    }
+
+    /// A short human-readable description for the error body.
+    #[must_use]
+    pub fn message(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(msg) => msg,
+            HttpError::HeadersTooLarge => "request head exceeds 8 KiB",
+            HttpError::BodyTooLarge => "request body exceeds 4 MiB",
+            HttpError::LengthRequired => "fixed-length body required (no chunked encoding)",
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (code, reason) = self.status();
+        write!(f, "{code} {reason}: {}", self.message())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, verbatim (e.g. `GET`, `POST`).
+    pub method: String,
+    /// The request target, verbatim (e.g. `/suggest`).
+    pub path: String,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 defaults to yes, HTTP/1.0 to no; a `Connection` header
+    /// overrides either way).
+    pub keep_alive: bool,
+    /// The fixed-length body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Try to parse one request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds an incomplete request (read
+/// more bytes and retry), or `Ok(Some((request, consumed)))` — the
+/// caller drains `consumed` bytes and may find a pipelined successor
+/// behind them.
+///
+/// # Errors
+/// [`HttpError`] on structurally invalid or unsupported input; the
+/// connection should answer with [`HttpError::status`] and close.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_len - 4])
+        .map_err(|_| HttpError::BadRequest("request head is not valid utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(HttpError::BadRequest("malformed request line")),
+    };
+    let mut keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadRequest("unsupported http version")),
+    };
+
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(HttpError::BadRequest("obsolete header folding"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest("malformed header"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let len: usize = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest("invalid content-length"))?;
+            // Duplicate Content-Length headers with differing values are
+            // a smuggling vector; reject unless they agree.
+            if content_length.is_some_and(|prev| prev != len) {
+                return Err(HttpError::BadRequest("conflicting content-length"));
+            }
+            content_length = Some(len);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::LengthRequired);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    if body_len > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let total = head_len + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            keep_alive,
+            body: buf[head_len..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// Byte offset just past the `\r\n\r\n` head terminator, if present
+/// within the scan window.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let window = &buf[..buf.len().min(MAX_HEAD_BYTES + 3)];
+    window
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+}
+
+/// Serialize one response (status line, headers, `Content-Length`,
+/// `Connection`, body) into `out`.
+pub fn write_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) {
+    use std::io::Write as _;
+    let _ = write!(out, "HTTP/1.1 {status} {reason}\r\n");
+    let _ = write!(out, "content-length: {}\r\n", body.len());
+    let _ = write!(
+        out,
+        "connection: {}\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(out, "{name}: {value}\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<Option<(Request, usize)>, HttpError> {
+        parse_request(s.as_bytes())
+    }
+
+    #[test]
+    fn complete_request_parses() {
+        let (req, consumed) =
+            parse_str("POST /suggest HTTP/1.1\r\ncontent-length: 4\r\n\r\nbodyEXTRA")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/suggest");
+        assert!(req.keep_alive);
+        assert_eq!(req.body, b"body");
+        assert_eq!(
+            consumed,
+            "POST /suggest HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody".len()
+        );
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more() {
+        assert_eq!(parse_str("GET /healthz HTT").unwrap(), None);
+        assert_eq!(
+            parse_str("POST /s HTTP/1.1\r\ncontent-length: 10\r\n\r\nhalf").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let (req, _) = parse_str("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let (req, _) = parse_str("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+        let (req, _) = parse_str("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_4xx() {
+        for (input, expected) in [
+            ("GARBAGE\r\n\r\n", 400),
+            ("GET / HTTP/2.0\r\n\r\n", 400),
+            ("GET / HTTP/1.1 extra\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nno-colon\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nbad name: x\r\n\r\n", 400),
+            ("POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n", 400),
+            ("POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n", 400),
+            (
+                "POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n",
+                400,
+            ),
+            (
+                "POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n",
+                413,
+            ),
+            ("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", 411),
+            ("GET / HTTP/1.1\r\nx: 1\r\n folded\r\n\r\n", 400),
+        ] {
+            match parse_str(input) {
+                Err(e) => assert_eq!(e.status().0, expected, "{input:?}"),
+                other => panic!("{input:?}: expected {expected}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse_str(&huge), Err(HttpError::HeadersTooLarge));
+        // Even without a terminator in sight.
+        let unterminated = "a".repeat(MAX_HEAD_BYTES + 1);
+        assert_eq!(parse_str(&unterminated), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn invalid_utf8_head_rejected() {
+        let mut bytes = b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec();
+        assert!(matches!(
+            parse_request(&bytes),
+            Err(HttpError::BadRequest(_))
+        ));
+        bytes.clear();
+        bytes.extend_from_slice(b"GET / HTTP/1.1\r\nx: \xc3\x28\r\n\r\n");
+        assert!(matches!(
+            parse_request(&bytes),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let two = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, consumed) = parse_str(two).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        let (second, _) = parse_request(&two.as_bytes()[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+    }
+
+    #[test]
+    fn response_writer_shape() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "Service Unavailable",
+            &[("retry-after", "2")],
+            b"{}",
+            true,
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

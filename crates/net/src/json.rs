@@ -1,0 +1,734 @@
+//! A minimal JSON codec for the wire API — dependency-free, and exact
+//! where it matters.
+//!
+//! The serving protocol moves two shapes: [`SuggestRequest`] in,
+//! [`Suggestion`] out. Both carry `f64` weight vectors, and the
+//! system's headline guarantee is that a networked answer is
+//! **bit-identical** to a direct [`FairRanker::respond_batch`] call —
+//! so the number round-trip must be exact. Rust's `f64` `Display`
+//! prints the shortest decimal that parses back to the same bits
+//! (Grisu/Ryū-style), and `str::parse::<f64>` performs correctly
+//! rounded decimal-to-binary conversion; composing the two is an exact
+//! `f64 → text → f64` round trip, which is what [`Json::write`] and the
+//! number parser use. Property-tested in `tests/net_fuzz.rs`.
+//!
+//! The value model ([`Json`]) keeps object keys in insertion order so
+//! re-writing a parsed document (the bench harness merging `net.*`
+//! series into `BENCH_baseline.json`) preserves the original layout.
+//!
+//! The parser is a depth-limited recursive descent over `&str` (the
+//! HTTP layer rejects invalid UTF-8 before it gets here), built to be
+//! fuzzed: malformed input of any shape returns [`JsonError`], never
+//! panics.
+//!
+//! [`FairRanker::respond_batch`]: fairrank::FairRanker::respond_batch
+
+use std::fmt;
+
+use fairrank::{KnownFairness, SuggestOptions, SuggestRequest, SuggestStats, Suggestion};
+
+/// Nesting depth past which the parser rejects input — a stack-safety
+/// bound far above anything the protocol produces (its documents nest
+/// three levels deep).
+const MAX_DEPTH: usize = 64;
+
+/// A parse failure: byte offset plus a static description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid json at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value. Object members keep their source order
+/// (`Vec`, not a map), so a parse → edit → write cycle is
+/// layout-preserving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always finite: the grammar has no NaN/Infinity).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source/insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    /// [`JsonError`] locating the first offending byte; never panics on
+    /// any input (fuzzed in `tests/net_fuzz.rs`).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Serialize back to JSON text (compact — no added whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                // Shortest round-trip representation; the parser's
+                // `str::parse::<f64>` recovers the exact bits.
+                out.push_str(&x.to_string());
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize to an owned string.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Object member lookup (first match); `None` on non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Set or append an object member in place; no-op on non-objects.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(members) = self {
+            match members.iter_mut().find(|(k, _)| k == key) {
+                Some((_, slot)) => *slot = value,
+                None => members.push((key.to_string(), value)),
+            }
+        }
+    }
+
+    /// The number value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number value as an exact non-negative integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The bool value, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // `self.bytes` came from a &str and the token is pure ASCII, so
+        // the slice is valid UTF-8 by construction.
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        // JSON forbids a leading '+' and bare '.'; everything else the
+        // grammar allows, `str::parse` converts with correct rounding.
+        if token.starts_with('+') || token.starts_with('.') {
+            return Err(self.err("invalid number"));
+        }
+        let x: f64 = token.parse().map_err(|_| self.err("invalid number"))?;
+        if !x.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(x))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            // Consume raw (non-escape) runs as whole UTF-8 chunks.
+            let run_start = self.pos;
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"' | b'\\') => break,
+                    Some(&b) if b < 0x20 => return Err(self.err("control byte in string")),
+                    Some(_) => self.pos += 1,
+                }
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[run_start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => {
+                    // Escape sequence.
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        None => return Err(self.err("unterminated escape")),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code).ok_or_else(|| self.err("invalid codepoint"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        Some(_) => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let mut code = 0u32;
+        for &b in slice {
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// A protocol-level decode failure: the JSON parsed but does not encode
+/// the expected shape. Maps to 400 at the HTTP layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed request body: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn f64_array(items: &[Json], what: &'static str) -> Result<Vec<f64>, CodecError> {
+    items
+        .iter()
+        .map(|v| v.as_f64().ok_or(CodecError(what)))
+        .collect()
+}
+
+/// Serialize a [`SuggestRequest`] to its wire form:
+/// `{"query":[…],"k":…,"options":{"index_fastpath":…}}` (`k` omitted
+/// when unset, `options` omitted when default).
+#[must_use]
+pub fn encode_request(req: &SuggestRequest) -> String {
+    let mut members = vec![(
+        "query".to_string(),
+        Json::Arr(req.query.iter().map(|&x| Json::Num(x)).collect()),
+    )];
+    if let Some(k) = req.k {
+        members.push(("k".to_string(), Json::Num(k as f64)));
+    }
+    if req.options != SuggestOptions::default() {
+        members.push((
+            "options".to_string(),
+            Json::Obj(vec![(
+                "index_fastpath".to_string(),
+                Json::Bool(req.options.index_fastpath),
+            )]),
+        ));
+    }
+    Json::Obj(members).to_text()
+}
+
+/// Decode a [`SuggestRequest`] from a parsed document. Weight-vector
+/// *semantics* (arity, finiteness, non-negativity) stay with the
+/// service's own validation — this only enforces the wire shape.
+///
+/// # Errors
+/// [`CodecError`] naming the malformed field.
+pub fn decode_request(doc: &Json) -> Result<SuggestRequest, CodecError> {
+    let query = doc
+        .get("query")
+        .and_then(Json::as_arr)
+        .ok_or(CodecError("\"query\" must be an array of numbers"))?;
+    let query = f64_array(query, "\"query\" must be an array of numbers")?;
+    let k = match doc.get("k") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            usize::try_from(
+                v.as_u64()
+                    .ok_or(CodecError("\"k\" must be a non-negative integer or null"))?,
+            )
+            .map_err(|_| CodecError("\"k\" out of range"))?,
+        ),
+    };
+    let mut options = SuggestOptions::default();
+    if let Some(opts) = doc.get("options") {
+        if !matches!(opts, Json::Obj(_)) {
+            return Err(CodecError("\"options\" must be an object"));
+        }
+        if let Some(v) = opts.get("index_fastpath") {
+            options = options.index_fastpath(
+                v.as_bool()
+                    .ok_or(CodecError("\"index_fastpath\" must be a boolean"))?,
+            );
+        }
+    }
+    let mut req = SuggestRequest::new(query).with_options(options);
+    req.k = k;
+    Ok(req)
+}
+
+/// Serialize a [`Suggestion`] to its wire form. Weight and distance
+/// round-trips are exact (see the module docs), so decoding the wire
+/// form recovers a bit-identical [`Suggestion`] — the property the
+/// `tests/net_equivalence.rs` gate leans on.
+#[must_use]
+pub fn encode_suggestion(s: &Suggestion) -> String {
+    let fairness = match &s.fairness {
+        KnownFairness::AlreadyFair => Json::Obj(vec![(
+            "kind".to_string(),
+            Json::Str("already_fair".to_string()),
+        )]),
+        KnownFairness::Suggested { distance } => Json::Obj(vec![
+            ("kind".to_string(), Json::Str("suggested".to_string())),
+            ("distance".to_string(), Json::Num(*distance)),
+        ]),
+        KnownFairness::Infeasible => Json::Obj(vec![(
+            "kind".to_string(),
+            Json::Str("infeasible".to_string()),
+        )]),
+    };
+    let top_k = match &s.stats.top_k {
+        Some(ids) => Json::Arr(ids.iter().map(|&id| Json::Num(f64::from(id))).collect()),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        (
+            "weights".to_string(),
+            Json::Arr(s.weights.iter().map(|&x| Json::Num(x)).collect()),
+        ),
+        #[allow(clippy::cast_precision_loss)]
+        ("version".to_string(), Json::Num(s.version as f64)),
+        ("fairness".to_string(), fairness),
+        (
+            "stats".to_string(),
+            Json::Obj(vec![
+                (
+                    "index_decided".to_string(),
+                    Json::Bool(s.stats.index_decided),
+                ),
+                ("top_k".to_string(), top_k),
+            ]),
+        ),
+    ])
+    .to_text()
+}
+
+/// Decode a [`Suggestion`] from a parsed document — the client half of
+/// [`encode_suggestion`].
+///
+/// # Errors
+/// [`CodecError`] naming the malformed field.
+pub fn decode_suggestion(doc: &Json) -> Result<Suggestion, CodecError> {
+    let weights = doc
+        .get("weights")
+        .and_then(Json::as_arr)
+        .ok_or(CodecError("\"weights\" must be an array of numbers"))?;
+    let weights = f64_array(weights, "\"weights\" must be an array of numbers")?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or(CodecError("\"version\" must be a non-negative integer"))?;
+    let fairness_doc = doc
+        .get("fairness")
+        .ok_or(CodecError("\"fairness\" missing"))?;
+    let fairness = match fairness_doc.get("kind").and_then(Json::as_str) {
+        Some("already_fair") => KnownFairness::AlreadyFair,
+        Some("suggested") => KnownFairness::Suggested {
+            distance: fairness_doc
+                .get("distance")
+                .and_then(Json::as_f64)
+                .ok_or(CodecError("\"distance\" must be a number"))?,
+        },
+        Some("infeasible") => KnownFairness::Infeasible,
+        _ => return Err(CodecError("unknown \"fairness\" kind")),
+    };
+    let stats_doc = doc.get("stats").ok_or(CodecError("\"stats\" missing"))?;
+    let index_decided = stats_doc
+        .get("index_decided")
+        .and_then(Json::as_bool)
+        .ok_or(CodecError("\"index_decided\" must be a boolean"))?;
+    let top_k = match stats_doc.get("top_k") {
+        None | Some(Json::Null) => None,
+        Some(Json::Arr(items)) => Some(
+            items
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|id| u32::try_from(id).ok())
+                        .ok_or(CodecError("\"top_k\" must be item ids"))
+                })
+                .collect::<Result<Vec<u32>, CodecError>>()?,
+        ),
+        Some(_) => return Err(CodecError("\"top_k\" must be an array or null")),
+    };
+    Ok(Suggestion {
+        weights,
+        version,
+        fairness,
+        stats: SuggestStats {
+            index_decided,
+            top_k,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_rewrite_preserves_layout() {
+        let src = r#"{"b":1,"a":[true,null,"x\n"],"c":{"d":-2.5e3}}"#;
+        let doc = Json::parse(src).unwrap();
+        assert_eq!(
+            doc.to_text(),
+            r#"{"b":1,"a":[true,null,"x\n"],"c":{"d":-2500}}"#
+        );
+        assert_eq!(doc.get("b").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-2500.0)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "+1",
+            ".5",
+            "1e",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"unterminated",
+            "[1] trailing",
+            "1e999",
+            "-",
+            "{\"a\":1,}",
+            "[,]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let doc = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(doc.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = SuggestRequest::new(vec![1.0, 0.1234567890123456])
+            .with_top_k(5)
+            .with_options(SuggestOptions::default().index_fastpath(false));
+        let text = encode_request(&req);
+        let back = decode_request(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+        for (a, b) in back.query.iter().zip(&req.query) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn suggestion_round_trip() {
+        let s = Suggestion {
+            // Two adjacent representable f64s (1/sqrt(2) and the next
+            // one down): only exact bit round-tripping tells them apart.
+            weights: vec![
+                std::f64::consts::FRAC_1_SQRT_2,
+                f64::from_bits(std::f64::consts::FRAC_1_SQRT_2.to_bits() - 1),
+            ],
+            version: 42,
+            fairness: KnownFairness::Suggested {
+                distance: 0.012345678901234567,
+            },
+            stats: SuggestStats {
+                index_decided: false,
+                top_k: Some(vec![3, 0, 7]),
+            },
+        };
+        let back = decode_suggestion(&Json::parse(&encode_suggestion(&s)).unwrap()).unwrap();
+        assert_eq!(back, s);
+        for (a, b) in back.weights.iter().zip(&s.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn request_shape_errors_are_specific() {
+        for (body, _) in [
+            (r#"{}"#, "query"),
+            (r#"{"query":"no"}"#, "query"),
+            (r#"{"query":[1,"x"]}"#, "query"),
+            (r#"{"query":[1,2],"k":-1}"#, "k"),
+            (r#"{"query":[1,2],"k":1.5}"#, "k"),
+            (r#"{"query":[1,2],"options":3}"#, "options"),
+            (
+                r#"{"query":[1,2],"options":{"index_fastpath":1}}"#,
+                "options",
+            ),
+        ] {
+            let doc = Json::parse(body).unwrap();
+            assert!(decode_request(&doc).is_err(), "accepted {body}");
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Single-writer / N-reader replication over length-prefixed TCP.
+//!
+//! ```text
+//!   ReplicatedWriter                         Replica (×N)
+//!   ┌───────────────────────┐   connect   ┌──────────────────────────┐
+//!   │ FairRankService (rw)  │◀────────────│ TcpStream                │
+//!   │  apply(updates):      │  dataset    │ bootstrap:               │
+//!   │   service.update(…)   │──frame─────▶│  decode_dataset          │
+//!   │   broadcast update    │  ranker     │  FairRanker::from_bytes  │
+//!   │   log frame           │──frame─────▶│  build FairRankService   │
+//!   └───────────┬───────────┘             │ tail thread:             │
+//!               │  TAG_UPDATE_LOG frames  │  decode_update_log       │
+//!               ╰────────────────────────▶│  check base == version   │
+//!                                         │  service.update_batch    │
+//!                                         └──────────────────────────┘
+//! ```
+//!
+//! **Wire format.** Every message is one frame: a `u32` little-endian
+//! payload length, then the payload. A replica's bootstrap is two
+//! frames — the writer's [`Dataset`] (`TAG_DATASET` codec) and a
+//! whole-ranker snapshot (`TAG_RANKER` envelope, carrying the update
+//! counter) — followed by a stream of `TAG_UPDATE_LOG` frames, each a
+//! versioned batch of [`DatasetUpdate`]s. All three payloads are the
+//! sealed, checksummed artifacts from [`fairrank::persist`]; a flipped
+//! bit on the wire is caught by the decoder, not applied to the index.
+//!
+//! **Consistency.** The writer serializes *apply + broadcast* and
+//! *snapshot + subscribe* under one lock, so a replica that bootstraps
+//! at version `V` receives exactly the frames with `base_version ≥ V`,
+//! gap-free. Replicas verify `base_version` against their own
+//! [`FairRankService::version`] before applying and stop (reporting via
+//! [`Replica::error`]) on any mismatch — a diverged replica keeps
+//! serving its last good snapshot rather than serving wrong answers.
+//!
+//! Fairness oracles are code, not data, so they do not travel: a
+//! replica reconstructs its oracle from the shipped dataset via the
+//! caller's factory closure — the same pattern as
+//! [`FairRanker::from_bytes`].
+//!
+//! [`FairRanker::from_bytes`]: fairrank::FairRanker::from_bytes
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fairrank::persist::{decode_dataset, decode_update_log, encode_dataset, encode_update_log};
+use fairrank::{DatasetUpdate, FairRanker, UpdateOutcome};
+use fairrank_datasets::Dataset;
+use fairrank_fairness::FairnessOracle;
+use fairrank_serve::{FairRankService, ServiceError};
+
+/// Reject frames larger than this (a defense against a corrupted or
+/// hostile length prefix, not a protocol limit).
+const MAX_FRAME_BYTES: usize = 256 * 1024 * 1024;
+
+/// Polling granularity for the replica tail loop and the writer
+/// acceptor: how quickly they notice shutdown.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)
+}
+
+/// Blocking frame read (bootstrap path — no shutdown polling).
+fn read_frame_blocking(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn invalid_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+struct WriterShared {
+    service: Arc<FairRankService>,
+    shutdown: AtomicBool,
+    /// Guards apply+broadcast and snapshot+subscribe: holding it across
+    /// both is what makes a bootstrap snapshot and the subsequent frame
+    /// stream gap-free.
+    subscribers: Mutex<Vec<TcpStream>>,
+}
+
+/// The writer end of a replicated deployment: owns the only
+/// [`FairRankService`] that accepts [`DatasetUpdate`]s, and ships every
+/// applied batch to subscribed [`Replica`]s.
+pub struct ReplicatedWriter {
+    shared: Arc<WriterShared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ReplicatedWriter {
+    /// Start accepting replica subscriptions on `addr` (use
+    /// `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    /// [`std::io::Error`] if the listener cannot bind.
+    pub fn bind(service: Arc<FairRankService>, addr: &str) -> std::io::Result<ReplicatedWriter> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(WriterShared {
+            service,
+            shutdown: AtomicBool::new(false),
+            subscribers: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fairrank-repl-accept".to_string())
+                .spawn(move || accept_replicas(&listener, &shared))
+                .expect("spawn replication acceptor")
+        };
+        Ok(ReplicatedWriter {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address replicas connect to.
+    #[must_use]
+    pub fn replication_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The writer's serving service (shareable with an
+    /// [`HttpServer`](crate::HttpServer)).
+    #[must_use]
+    pub fn service(&self) -> Arc<FairRankService> {
+        Arc::clone(&self.shared.service)
+    }
+
+    /// Currently subscribed replicas.
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.shared
+            .subscribers
+            .lock()
+            .expect("subscriber lock poisoned")
+            .len()
+    }
+
+    /// Apply a batch of updates to the writer's service and ship the
+    /// applied prefix to every subscriber as one `TAG_UPDATE_LOG` frame.
+    ///
+    /// # Errors
+    /// As [`FairRankService::update`]: stops at the first failing
+    /// update. Everything before it is already applied locally **and**
+    /// broadcast, so replicas stay converged with the writer even on
+    /// the error path.
+    pub fn apply(&self, updates: &[DatasetUpdate]) -> Result<Vec<UpdateOutcome>, ServiceError> {
+        let mut subscribers = self
+            .shared
+            .subscribers
+            .lock()
+            .expect("subscriber lock poisoned");
+        let base = self.shared.service.version();
+        let mut outcomes = Vec::with_capacity(updates.len());
+        let mut result = Ok(());
+        for update in updates {
+            match self.shared.service.update(update.clone()) {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if !outcomes.is_empty() {
+            let frame = encode_update_log(base, &updates[..outcomes.len()]);
+            // Drop subscribers whose connection broke; replicas re-seed
+            // by reconnecting.
+            subscribers.retain_mut(|stream| write_frame(stream, &frame).is_ok());
+        }
+        result.map(|()| outcomes)
+    }
+
+    /// Stop accepting subscriptions and close every subscriber stream
+    /// (replicas keep serving their last applied version). Dropping the
+    /// writer does the same.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.shared
+            .subscribers
+            .lock()
+            .expect("subscriber lock poisoned")
+            .clear();
+    }
+}
+
+impl Drop for ReplicatedWriter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_replicas(listener: &TcpListener, shared: &WriterShared) {
+    loop {
+        let Ok((mut stream, _peer)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Snapshot-and-subscribe atomically with respect to `apply`:
+        // the handshake frames reflect version V, and the first log
+        // frame this subscriber sees has base_version == V (or later
+        // snapshots of a quiet writer).
+        let mut subscribers = shared.subscribers.lock().expect("subscriber lock poisoned");
+        let ranker = shared.service.snapshot();
+        let handshake_ok = write_frame(&mut stream, &encode_dataset(ranker.dataset()))
+            .and_then(|()| write_frame(&mut stream, &ranker.to_bytes()))
+            .is_ok();
+        if handshake_ok {
+            subscribers.push(stream);
+        }
+    }
+}
+
+/// Configuration for a [`Replica`]'s local serving tier.
+#[derive(Debug, Clone)]
+pub struct ReplicaOptions {
+    /// Worker threads for the replica's [`FairRankService`] (`0` = one
+    /// per core). Default 2 — replicas share a host in test and bench
+    /// topologies.
+    pub workers: usize,
+    /// Enable the replica's region-identity answer cache. Default true.
+    pub cache: bool,
+}
+
+impl Default for ReplicaOptions {
+    fn default() -> Self {
+        ReplicaOptions {
+            workers: 2,
+            cache: true,
+        }
+    }
+}
+
+/// A read-only replica: bootstraps from a writer's snapshot, tails its
+/// update log, and serves queries from its own [`FairRankService`] at
+/// whatever version it has reached.
+pub struct Replica {
+    service: Arc<FairRankService>,
+    shutdown: Arc<AtomicBool>,
+    error: Arc<Mutex<Option<String>>>,
+    tail: Option<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Connect to a [`ReplicatedWriter`], bootstrap (dataset frame +
+    /// ranker snapshot frame), rebuild the fairness oracle via
+    /// `oracle_factory`, and start tailing the update log.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] on connection failure or a malformed
+    /// handshake (decode failures surface as `InvalidData`).
+    pub fn connect(
+        addr: SocketAddr,
+        oracle_factory: impl FnOnce(&Dataset) -> Box<dyn FairnessOracle>,
+        options: ReplicaOptions,
+    ) -> std::io::Result<Replica> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let dataset_bytes = read_frame_blocking(&mut stream)?;
+        let dataset =
+            decode_dataset(&dataset_bytes).map_err(|e| invalid_data(format!("dataset: {e}")))?;
+        let ranker_bytes = read_frame_blocking(&mut stream)?;
+        let oracle = oracle_factory(&dataset);
+        let ranker = FairRanker::from_bytes(&ranker_bytes, dataset, oracle)
+            .map_err(|e| invalid_data(format!("ranker snapshot: {e}")))?;
+        let service = Arc::new(
+            FairRankService::builder(ranker)
+                .workers(options.workers)
+                .cache(options.cache)
+                .build(),
+        );
+        stream.set_read_timeout(Some(POLL_TICK))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let error = Arc::new(Mutex::new(None));
+        let tail = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            let error = Arc::clone(&error);
+            std::thread::Builder::new()
+                .name("fairrank-repl-tail".to_string())
+                .spawn(move || tail_log(&mut stream, &service, &shutdown, &error))
+                .expect("spawn replica tail")
+        };
+        Ok(Replica {
+            service,
+            shutdown,
+            error,
+            tail: Some(tail),
+        })
+    }
+
+    /// The replica's serving service (shareable with an
+    /// [`HttpServer`](crate::HttpServer)).
+    #[must_use]
+    pub fn service(&self) -> Arc<FairRankService> {
+        Arc::clone(&self.service)
+    }
+
+    /// The dataset version this replica has applied up to — what its
+    /// `/healthz` reports, and what converges to the writer's version
+    /// once the log drains.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.service.version()
+    }
+
+    /// Why the tail loop stopped, if it stopped abnormally (decode
+    /// failure, version gap, apply failure). `None` while healthy or
+    /// after a clean writer disconnect.
+    #[must_use]
+    pub fn error(&self) -> Option<String> {
+        self.error.lock().expect("error lock poisoned").clone()
+    }
+
+    /// Stop tailing (the local service keeps serving its last applied
+    /// version until dropped). Dropping the replica does the same.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.tail.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn tail_log(
+    stream: &mut TcpStream,
+    service: &FairRankService,
+    shutdown: &AtomicBool,
+    error: &Mutex<Option<String>>,
+) {
+    let fail = |msg: String| {
+        *error.lock().expect("error lock poisoned") = Some(msg);
+    };
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        // Drain complete frames already buffered.
+        while buf.len() >= 4 {
+            let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME_BYTES {
+                fail(format!("oversized update frame ({len} bytes)"));
+                return;
+            }
+            if buf.len() < 4 + len {
+                break;
+            }
+            let frame: Vec<u8> = buf.drain(..4 + len).skip(4).collect();
+            let (base_version, updates) = match decode_update_log(&frame) {
+                Ok(decoded) => decoded,
+                Err(e) => {
+                    fail(format!("corrupt update frame: {e}"));
+                    return;
+                }
+            };
+            let local = service.version();
+            if base_version != local {
+                fail(format!(
+                    "version gap: writer frame applies at {base_version}, replica is at {local}"
+                ));
+                return;
+            }
+            if let Err(e) = service.update_batch(updates) {
+                fail(format!("update apply failed: {e}"));
+                return;
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // writer closed: clean detach
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => {
+                fail(format!("replication stream error: {e}"));
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! The HTTP front door over [`FairRankService`].
+//!
+//! ```text
+//!  TcpListener ──accept──▶ bounded connection queue ──▶ worker threads
+//!                                                          │ per conn:
+//!                                                          │ read → parse
+//!                                                          │ → route →
+//!                                                          ▼ respond
+//!                              FairRankService::submit_timeout(...)
+//! ```
+//!
+//! One acceptor thread feeds a small fixed pool of connection threads
+//! (keep-alive: each thread owns its connection until the peer closes,
+//! so the pool size bounds concurrent *connections*, and the service's
+//! own queue bounds concurrent *requests*). Endpoints:
+//!
+//! * `POST /suggest` — one [`SuggestRequest`] in, one suggestion out.
+//! * `POST /suggest_batch` — `{"requests":[…]}` in,
+//!   `{"suggestions":[…]}` out, submitted as a burst so the service's
+//!   micro-batcher coalesces them.
+//! * `GET /stats` — live [`ServiceStats`] (including the `in_flight`
+//!   gauge) as JSON.
+//! * `GET /healthz` — liveness plus the serving dataset version; a
+//!   replica's version advances as it tails the writer's update log,
+//!   which is how deployments observe convergence.
+//!
+//! **Backpressure → 503.** A [`ServiceError::Overloaded`] rejection
+//! carries the queue capacity and live depth; the server divides depth
+//! by its EWMA of observed service latency to emit an honest
+//! `Retry-After` — seconds until the backlog plausibly drains — instead
+//! of a constant.
+//!
+//! [`SuggestRequest`]: fairrank::SuggestRequest
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fairrank_serve::{FairRankService, ServiceError, ServiceStats};
+
+use crate::http::{parse_request, write_response, Request, MAX_HEAD_BYTES};
+use crate::json::{decode_request, encode_request, encode_suggestion, Json};
+
+/// Tuning knobs for [`HttpServer::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection worker threads (each owns one keep-alive connection at
+    /// a time). Default 4.
+    pub threads: usize,
+    /// Per-request admission deadline passed to
+    /// [`FairRankService::submit_timeout`]: how long a request may wait
+    /// for queue space before the server answers 503. Default 20 ms.
+    pub submit_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            submit_timeout: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Polling granularity for blocked reads: how quickly an idle
+/// connection notices server shutdown.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+struct ServerShared {
+    service: Arc<FairRankService>,
+    submit_timeout: Duration,
+    shutdown: AtomicBool,
+    /// Pending accepted connections awaiting a worker.
+    conns: Mutex<Vec<TcpStream>>,
+    conn_ready: Condvar,
+    /// EWMA of per-request service latency in microseconds (7/8 decay),
+    /// 0 until the first sample. Feeds the `Retry-After` estimate.
+    ewma_us: AtomicU64,
+}
+
+impl ServerShared {
+    fn note_latency(&self, elapsed: Duration) {
+        let sample = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            (7 * old + sample) / 8
+        };
+        self.ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    /// Seconds until `depth` outstanding requests plausibly drain at the
+    /// observed service rate, clamped to `[1, 30]`.
+    fn retry_after_secs(&self, depth: usize) -> u64 {
+        let ewma = self.ewma_us.load(Ordering::Relaxed).max(1);
+        let micros = (depth as u64).saturating_mul(ewma);
+        micros.div_ceil(1_000_000).clamp(1, 30)
+    }
+}
+
+/// A running HTTP front end. Bind with [`HttpServer::bind`], stop with
+/// [`HttpServer::shutdown`] (dropping also shuts down).
+pub struct HttpServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
+    /// port) and start serving `service`.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] if the listener cannot bind.
+    pub fn bind(
+        service: Arc<FairRankService>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service,
+            submit_timeout: config.submit_timeout,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_ready: Condvar::new(),
+            ewma_us: AtomicU64::new(0),
+        });
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fairrank-net-{i}"))
+                    .spawn(move || connection_worker(&shared))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fairrank-net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(HttpServer {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the port when bound to `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections, unwind the worker pool, and join
+    /// every server thread. In-flight responses are finished; idle
+    /// keep-alive connections are closed at the next read tick.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection to self.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.conn_ready.notify_all();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &ServerShared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut conns = shared.conns.lock().expect("conn queue poisoned");
+                conns.push(stream);
+                drop(conns);
+                shared.conn_ready.notify_one();
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. fd pressure); keep going.
+            }
+        }
+    }
+}
+
+fn connection_worker(shared: &ServerShared) {
+    loop {
+        let stream = {
+            let mut conns = shared.conns.lock().expect("conn queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(stream) = conns.pop() {
+                    break stream;
+                }
+                conns = shared.conn_ready.wait(conns).expect("conn queue poisoned");
+            }
+        };
+        serve_connection(shared, stream);
+    }
+}
+
+/// Keep-alive loop over one connection: read, parse, route, respond,
+/// until the peer closes, an error forces a close, or the server shuts
+/// down.
+fn serve_connection(shared: &ServerShared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Serve every complete request already buffered (pipelining).
+        loop {
+            match parse_request(&buf) {
+                Ok(Some((req, consumed))) => {
+                    buf.drain(..consumed);
+                    let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                    let mut out = Vec::with_capacity(256);
+                    route(shared, &req, keep_alive, &mut out);
+                    if stream.write_all(&out).is_err() {
+                        return;
+                    }
+                    if !keep_alive {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let (status, reason) = e.status();
+                    let body = error_body(e.message());
+                    let mut out = Vec::with_capacity(128);
+                    write_response(&mut out, status, reason, &[], body.as_bytes(), false);
+                    let _ = stream.write_all(&out);
+                    return;
+                }
+            }
+        }
+        if buf.len() > MAX_HEAD_BYTES + crate::http::MAX_BODY_BYTES {
+            // parse_request caps declared sizes, so this is unreachable
+            // in practice; a hard cap keeps a misbehaving peer from
+            // growing the buffer without bound regardless.
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".to_string(), Json::Str(message.to_string()))]).to_text()
+}
+
+fn route(shared: &ServerShared, req: &Request, keep_alive: bool, out: &mut Vec<u8>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/suggest") => suggest_one(shared, &req.body, keep_alive, out),
+        ("POST", "/suggest_batch") => suggest_batch(shared, &req.body, keep_alive, out),
+        ("GET", "/stats") => {
+            let body = stats_json(&shared.service.stats());
+            write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
+        }
+        ("GET", "/healthz") => {
+            #[allow(clippy::cast_precision_loss)]
+            let body = Json::Obj(vec![
+                ("status".to_string(), Json::Str("ok".to_string())),
+                (
+                    "version".to_string(),
+                    Json::Num(shared.service.version() as f64),
+                ),
+            ])
+            .to_text();
+            write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
+        }
+        ("GET" | "POST", _) => {
+            let body = error_body("no such endpoint");
+            write_response(out, 404, "Not Found", &JSON_CT, body.as_bytes(), keep_alive);
+        }
+        _ => {
+            let body = error_body("method not allowed");
+            write_response(
+                out,
+                405,
+                "Method Not Allowed",
+                &JSON_CT,
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+    }
+}
+
+const JSON_CT: [(&str, &str); 1] = [("content-type", "application/json")];
+
+/// Decode a request body; on failure, write the 400 and return `None`.
+fn parse_body(body: &[u8], keep_alive: bool, out: &mut Vec<u8>) -> Option<Json> {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            let body = error_body("request body is not valid utf-8");
+            write_response(
+                out,
+                400,
+                "Bad Request",
+                &JSON_CT,
+                body.as_bytes(),
+                keep_alive,
+            );
+            return None;
+        }
+    };
+    match Json::parse(text) {
+        Ok(doc) => Some(doc),
+        Err(e) => {
+            let body = error_body(&e.to_string());
+            write_response(
+                out,
+                400,
+                "Bad Request",
+                &JSON_CT,
+                body.as_bytes(),
+                keep_alive,
+            );
+            None
+        }
+    }
+}
+
+fn suggest_one(shared: &ServerShared, body: &[u8], keep_alive: bool, out: &mut Vec<u8>) {
+    let Some(doc) = parse_body(body, keep_alive, out) else {
+        return;
+    };
+    let request = match decode_request(&doc) {
+        Ok(request) => request,
+        Err(e) => {
+            let body = error_body(&e.to_string());
+            write_response(
+                out,
+                400,
+                "Bad Request",
+                &JSON_CT,
+                body.as_bytes(),
+                keep_alive,
+            );
+            return;
+        }
+    };
+    let started = Instant::now();
+    match shared
+        .service
+        .submit_timeout(request, shared.submit_timeout)
+        .and_then(fairrank_serve::SuggestionFuture::wait)
+    {
+        Ok(suggestion) => {
+            shared.note_latency(started.elapsed());
+            let body = encode_suggestion(&suggestion);
+            write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
+        }
+        Err(e) => service_error_response(shared, &e, keep_alive, out),
+    }
+}
+
+fn suggest_batch(shared: &ServerShared, body: &[u8], keep_alive: bool, out: &mut Vec<u8>) {
+    let Some(doc) = parse_body(body, keep_alive, out) else {
+        return;
+    };
+    let Some(items) = doc.get("requests").and_then(Json::as_arr) else {
+        let body = error_body("\"requests\" must be an array");
+        write_response(
+            out,
+            400,
+            "Bad Request",
+            &JSON_CT,
+            body.as_bytes(),
+            keep_alive,
+        );
+        return;
+    };
+    let mut requests = Vec::with_capacity(items.len());
+    for item in items {
+        match decode_request(item) {
+            Ok(request) => requests.push(request),
+            Err(e) => {
+                let body = error_body(&e.to_string());
+                write_response(
+                    out,
+                    400,
+                    "Bad Request",
+                    &JSON_CT,
+                    body.as_bytes(),
+                    keep_alive,
+                );
+                return;
+            }
+        }
+    }
+    // Submit the whole burst before awaiting anything, so the service's
+    // micro-batcher sees it as one coalescible wave.
+    let started = Instant::now();
+    let mut futures = Vec::with_capacity(requests.len());
+    for request in requests {
+        match shared
+            .service
+            .submit_timeout(request, shared.submit_timeout)
+        {
+            Ok(future) => futures.push(future),
+            Err(e) => {
+                // Futures already admitted are abandoned; their answers
+                // complete into dropped receivers, which the service
+                // treats as callers that stopped caring.
+                service_error_response(shared, &e, keep_alive, out);
+                return;
+            }
+        }
+    }
+    let mut suggestions = Vec::with_capacity(futures.len());
+    for future in futures {
+        match future.wait() {
+            Ok(suggestion) => suggestions.push(suggestion),
+            Err(e) => {
+                service_error_response(shared, &e, keep_alive, out);
+                return;
+            }
+        }
+    }
+    shared.note_latency(started.elapsed());
+    let mut body = String::from("{\"suggestions\":[");
+    for (i, suggestion) in suggestions.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&encode_suggestion(suggestion));
+    }
+    body.push_str("]}");
+    write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
+}
+
+fn service_error_response(
+    shared: &ServerShared,
+    error: &ServiceError,
+    keep_alive: bool,
+    out: &mut Vec<u8>,
+) {
+    match error {
+        ServiceError::Overloaded { depth, .. } => {
+            let retry = shared.retry_after_secs(*depth).to_string();
+            let body = error_body(&error.to_string());
+            write_response(
+                out,
+                503,
+                "Service Unavailable",
+                &[
+                    ("content-type", "application/json"),
+                    ("retry-after", &retry),
+                ],
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+        ServiceError::Closed => {
+            let body = error_body("service is shutting down");
+            write_response(
+                out,
+                503,
+                "Service Unavailable",
+                &JSON_CT,
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+        ServiceError::Rank(e) => {
+            let body = error_body(&e.to_string());
+            write_response(
+                out,
+                400,
+                "Bad Request",
+                &JSON_CT,
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+        _ => {
+            let body = error_body(&error.to_string());
+            write_response(
+                out,
+                500,
+                "Internal Server Error",
+                &JSON_CT,
+                body.as_bytes(),
+                keep_alive,
+            );
+        }
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn stats_json(stats: &ServiceStats) -> String {
+    let cache = match &stats.cache {
+        Some(c) => Json::Obj(vec![
+            ("hits".to_string(), Json::Num(c.hits as f64)),
+            ("misses".to_string(), Json::Num(c.misses as f64)),
+            ("insertions".to_string(), Json::Num(c.insertions as f64)),
+            ("evictions".to_string(), Json::Num(c.evictions as f64)),
+            (
+                "invalidations".to_string(),
+                Json::Num(c.invalidations as f64),
+            ),
+            ("entries".to_string(), Json::Num(c.entries as f64)),
+        ]),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("queued".to_string(), Json::Num(stats.queued as f64)),
+        ("in_flight".to_string(), Json::Num(stats.in_flight as f64)),
+        ("submitted".to_string(), Json::Num(stats.submitted as f64)),
+        ("completed".to_string(), Json::Num(stats.completed as f64)),
+        ("batches".to_string(), Json::Num(stats.batches as f64)),
+        ("rejected".to_string(), Json::Num(stats.rejected as f64)),
+        ("workers".to_string(), Json::Num(stats.workers as f64)),
+        ("cache".to_string(), cache),
+    ])
+    .to_text()
+}
+
+/// A tiny synchronous client for the wire protocol — what the load
+/// harness, the examples, and the equivalence tests speak through. One
+/// instance owns one keep-alive connection.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// A decoded response: status code plus body bytes and the
+/// `Retry-After` header when present.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Parsed `Retry-After` seconds, when the server sent one.
+    pub retry_after: Option<u64>,
+}
+
+impl Client {
+    /// Open a keep-alive connection to `addr`.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] if the connection fails.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::with_capacity(1024),
+        })
+    }
+
+    /// Issue one request and block for the response.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] on connection failure or a malformed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        use std::io::Write as _;
+        let mut out = Vec::with_capacity(128 + body.len());
+        let _ = write!(
+            out,
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        out.extend_from_slice(body);
+        self.stream.write_all(&out)?;
+        self.read_response()
+    }
+
+    /// `POST /suggest` for `request`; returns the raw response (200
+    /// bodies decode with [`crate::json::decode_suggestion`]).
+    ///
+    /// # Errors
+    /// [`std::io::Error`] on connection failure or a malformed response.
+    pub fn suggest(
+        &mut self,
+        request: &fairrank::SuggestRequest,
+    ) -> std::io::Result<ClientResponse> {
+        let body = encode_request(request);
+        self.request("POST", "/suggest", body.as_bytes())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let malformed = || std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response");
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(head_len) = self
+                .buf
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|i| i + 4)
+            {
+                let head = String::from_utf8(self.buf[..head_len - 4].to_vec())
+                    .map_err(|_| malformed())?;
+                let mut lines = head.split("\r\n");
+                let status: u16 = lines
+                    .next()
+                    .and_then(|l| l.split(' ').nth(1))
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(malformed)?;
+                let mut content_length = 0usize;
+                let mut retry_after = None;
+                for line in lines {
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.eq_ignore_ascii_case("content-length") {
+                            content_length = value.trim().parse().map_err(|_| malformed())?;
+                        } else if name.eq_ignore_ascii_case("retry-after") {
+                            retry_after = value.trim().parse().ok();
+                        }
+                    }
+                }
+                while self.buf.len() < head_len + content_length {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(malformed());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                let body = self.buf[head_len..head_len + content_length].to_vec();
+                self.buf.drain(..head_len + content_length);
+                return Ok(ClientResponse {
+                    status,
+                    body,
+                    retry_after,
+                });
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(malformed());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}

@@ -12,12 +12,19 @@ use fairrank::FairRankError;
 #[non_exhaustive]
 pub enum ServiceError {
     /// The bounded submission queue is full — the backpressure signal of
-    /// [`try_suggest`](crate::FairRankService::try_suggest). Callers
-    /// shed load, retry later, or use the blocking
+    /// [`try_suggest`](crate::FairRankService::try_suggest) and of an
+    /// expired [`submit_timeout`](crate::FairRankService::submit_timeout)
+    /// deadline. Callers shed load, retry after a delay proportional to
+    /// `depth`, or use the blocking
     /// [`submit`](crate::FairRankService::submit) path instead.
     Overloaded {
         /// The configured queue capacity that was hit.
         capacity: usize,
+        /// Requests outstanding at rejection time: everything queued
+        /// plus everything in flight inside the worker pool. An HTTP
+        /// front end divides this by its observed service rate to emit
+        /// an honest `Retry-After` instead of a constant.
+        depth: usize,
     },
     /// The service has been shut down; no new requests are accepted
     /// (requests already queued at shutdown are still drained and
@@ -30,8 +37,11 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::Overloaded { capacity } => {
-                write!(f, "submission queue full ({capacity} requests pending)")
+            ServiceError::Overloaded { capacity, depth } => {
+                write!(
+                    f,
+                    "submission queue full (capacity {capacity}, {depth} requests outstanding)"
+                )
             }
             ServiceError::Closed => write!(f, "service is shut down"),
             ServiceError::Rank(e) => write!(f, "ranker error: {e}"),
@@ -60,8 +70,12 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let over = ServiceError::Overloaded { capacity: 8 };
+        let over = ServiceError::Overloaded {
+            capacity: 8,
+            depth: 11,
+        };
         assert!(over.to_string().contains('8'));
+        assert!(over.to_string().contains("11"));
         assert!(std::error::Error::source(&over).is_none());
         assert_eq!(ServiceError::Closed.to_string(), "service is shut down");
         let rank = ServiceError::from(FairRankError::EmptyDataset);

@@ -147,8 +147,9 @@ mod tests {
         for req in &reqs {
             match service.try_suggest(req.clone()) {
                 Ok(fut) => accepted.push(fut),
-                Err(ServiceError::Overloaded { capacity }) => {
+                Err(ServiceError::Overloaded { capacity, depth }) => {
                     assert_eq!(capacity, 4);
+                    assert!(depth >= capacity, "depth {depth} below capacity {capacity}");
                     overloaded += 1;
                 }
                 Err(other) => panic!("unexpected error: {other:?}"),

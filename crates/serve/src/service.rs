@@ -154,6 +154,17 @@ impl ServiceBuilder {
     }
 }
 
+/// How [`enqueue`](FairRankService::enqueue) reacts to a full queue.
+enum Backpressure {
+    /// Reject immediately ([`FairRankService::try_suggest`]).
+    Fail,
+    /// Wait indefinitely for space ([`FairRankService::submit`]).
+    Block,
+    /// Wait until the admission deadline, then reject
+    /// ([`FairRankService::submit_timeout`]).
+    Deadline(Deadline),
+}
+
 /// One queued request: the submission plus the one-shot completion.
 struct Pending {
     req: SuggestRequest,
@@ -171,6 +182,11 @@ struct Metrics {
     completed: AtomicU64,
     batches: AtomicU64,
     rejected: AtomicU64,
+    /// Live gauge (not a terminal counter): requests a worker has drained
+    /// from the queue but not yet answered. `queued + in_flight` is the
+    /// service's total outstanding depth — what a load shedder divides by
+    /// its service rate to predict drain time.
+    in_flight: AtomicU64,
 }
 
 struct Shared {
@@ -204,6 +220,11 @@ struct Shared {
 pub struct ServiceStats {
     /// Requests currently waiting in the submission queue.
     pub queued: usize,
+    /// Requests currently being served by the worker pool: drained from
+    /// the queue but not yet answered. A live gauge — with `queued` it
+    /// observes saturation directly instead of inferring it from
+    /// [`ServiceError::Overloaded`] rejections.
+    pub in_flight: u64,
     /// Requests accepted into the queue since launch.
     pub submitted: u64,
     /// Requests answered (futures completed) since launch.
@@ -285,7 +306,7 @@ impl FairRankService {
     /// (after shutdown), [`ServiceError::Rank`] (malformed request —
     /// validated here, so queued batches never fail collectively).
     pub fn try_suggest(&self, req: SuggestRequest) -> Result<SuggestionFuture, ServiceError> {
-        self.enqueue(req, false)
+        self.enqueue(req, Backpressure::Fail)
     }
 
     /// Submit with blocking backpressure: waits for queue space instead
@@ -295,7 +316,32 @@ impl FairRankService {
     /// # Errors
     /// [`ServiceError::Closed`], [`ServiceError::Rank`].
     pub fn submit(&self, req: SuggestRequest) -> Result<SuggestionFuture, ServiceError> {
-        self.enqueue(req, true)
+        self.enqueue(req, Backpressure::Block)
+    }
+
+    /// Submit with a per-request admission deadline: waits up to
+    /// `timeout` for queue space, then fails with
+    /// [`ServiceError::Overloaded`] exactly as
+    /// [`try_suggest`](FairRankService::try_suggest) would — the shape a
+    /// network front end wants, where a request is worth a bounded wait
+    /// but not an unbounded one. `Duration::ZERO` is equivalent to
+    /// `try_suggest`.
+    ///
+    /// The deadline governs *admission* only; once queued, the request
+    /// is always answered (or failed) through its future.
+    ///
+    /// # Errors
+    /// [`ServiceError::Overloaded`] (deadline expired with the queue
+    /// still full), [`ServiceError::Closed`], [`ServiceError::Rank`].
+    pub fn submit_timeout(
+        &self,
+        req: SuggestRequest,
+        timeout: Duration,
+    ) -> Result<SuggestionFuture, ServiceError> {
+        if timeout.is_zero() {
+            return self.enqueue(req, Backpressure::Fail);
+        }
+        self.enqueue(req, Backpressure::Deadline(Deadline::after(timeout)))
     }
 
     /// Submit and block until the answer arrives — the synchronous
@@ -307,7 +353,11 @@ impl FairRankService {
         self.submit(req)?.wait()
     }
 
-    fn enqueue(&self, req: SuggestRequest, block: bool) -> Result<SuggestionFuture, ServiceError> {
+    fn enqueue(
+        &self,
+        req: SuggestRequest,
+        mode: Backpressure,
+    ) -> Result<SuggestionFuture, ServiceError> {
         // Validate before queueing: a malformed request fails its caller
         // alone, never the micro-batch it would have joined.
         validate_weights(&req.query, self.shared.dim).map_err(ServiceError::Rank)?;
@@ -319,17 +369,31 @@ impl FairRankService {
             if queue.pending.len() < self.shared.capacity {
                 break;
             }
-            if !block {
-                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::Overloaded {
-                    capacity: self.shared.capacity,
-                });
+            match &mode {
+                Backpressure::Fail => return Err(self.reject(queue.pending.len())),
+                Backpressure::Block => {
+                    queue = self
+                        .shared
+                        .not_full
+                        .wait(queue)
+                        .expect("queue lock poisoned");
+                }
+                Backpressure::Deadline(deadline) => {
+                    let remaining = deadline.remaining();
+                    if remaining.is_zero() {
+                        return Err(self.reject(queue.pending.len()));
+                    }
+                    let (guard, _timeout) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(queue, remaining)
+                        .expect("queue lock poisoned");
+                    // No special-casing of `timed_out`: the loop re-checks
+                    // capacity and the deadline, so a timeout that races a
+                    // capacity release still admits the request.
+                    queue = guard;
+                }
             }
-            queue = self
-                .shared
-                .not_full
-                .wait(queue)
-                .expect("queue lock poisoned");
         }
         let (tx, rx) = oneshot::channel();
         queue.pending.push_back(Pending { req, tx });
@@ -340,6 +404,18 @@ impl FairRankService {
             .fetch_add(1, Ordering::Relaxed);
         self.shared.not_empty.notify_one();
         Ok(SuggestionFuture { rx })
+    }
+
+    /// Record a rejection and build the structured [`ServiceError::Overloaded`]
+    /// payload: depth is everything queued plus everything already inside
+    /// the worker pool, so front ends can derive an honest retry delay.
+    fn reject(&self, queued: usize) -> ServiceError {
+        self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        let in_flight = self.shared.metrics.in_flight.load(Ordering::Relaxed) as usize;
+        ServiceError::Overloaded {
+            capacity: self.shared.capacity,
+            depth: queued + in_flight,
+        }
     }
 
     /// Apply one live dataset update — the service's serialized writer
@@ -382,6 +458,25 @@ impl FairRankService {
             }
         }
         Ok(outcome)
+    }
+
+    /// Apply a sequence of updates through the serialized writer path —
+    /// the service twin of [`FairRanker::update_batch`], and the apply
+    /// half of replication: a replica tailing a writer's update log
+    /// feeds each decoded batch straight through here.
+    ///
+    /// Each update swaps a generation individually (readers observe
+    /// every intermediate version, same as calling
+    /// [`update`](FairRankService::update) in a loop).
+    ///
+    /// # Errors
+    /// As [`FairRankService::update`]; stops at the first failing update
+    /// with everything before it already applied.
+    pub fn update_batch(
+        &self,
+        updates: impl IntoIterator<Item = DatasetUpdate>,
+    ) -> Result<Vec<UpdateOutcome>, ServiceError> {
+        updates.into_iter().map(|u| self.update(u)).collect()
     }
 
     /// Force any deferred (coalesced) backend updates to take effect
@@ -455,6 +550,7 @@ impl FairRankService {
             .len();
         ServiceStats {
             queued,
+            in_flight: self.shared.metrics.in_flight.load(Ordering::Relaxed),
             submitted: self.shared.metrics.submitted.load(Ordering::Relaxed),
             completed: self.shared.metrics.completed.load(Ordering::Relaxed),
             batches: self.shared.metrics.batches.load(Ordering::Relaxed),
@@ -539,6 +635,14 @@ fn worker_loop(shared: &Shared) {
             Some(batch) => batch,
             None => return,
         };
+        // The gauge covers the whole span from drain to answer: capacity
+        // freed at drain time reappears here as in-flight, so
+        // `queued + in_flight` tracks total outstanding work without a
+        // gap a stats reader could fall through.
+        shared
+            .metrics
+            .in_flight
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         // Serve outside every lock, on a snapshot pinned for exactly
         // this batch: a concurrent update advances the slot without
         // touching the generation we're answering from.
@@ -636,11 +740,16 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .completed
             .fetch_add(completed, Ordering::Relaxed);
+        let served = txs.len() as u64;
         for (tx, answer) in txs.into_iter().zip(answers) {
             // A dropped receiver just means the caller stopped caring;
             // serving the rest of the batch is unaffected.
             let _ = tx.send(answer.expect("every routed request has an answer"));
         }
+        shared
+            .metrics
+            .in_flight
+            .fetch_sub(served, Ordering::Relaxed);
     }
 }
 

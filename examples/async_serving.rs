@@ -89,8 +89,8 @@ fn main() {
             let answer = future.wait().expect("served");
             println!("fast-path submission: {}", describe(&answer));
         }
-        Err(ServiceError::Overloaded { capacity }) => {
-            println!("overloaded at {capacity} queued — shedding load");
+        Err(ServiceError::Overloaded { capacity, depth }) => {
+            println!("overloaded at capacity {capacity} ({depth} outstanding) — shedding load");
         }
         Err(other) => panic!("unexpected: {other}"),
     }

@@ -1,0 +1,122 @@
+//! A complete replicated deployment over loopback: a writer
+//! [`FairRankService`] publishing an update log, two replicas tailing
+//! it, and an HTTP front end on every node.
+//!
+//! Run with `cargo run --release -p fairrank-net --example replicated_serving`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fairrank::{DatasetUpdate, FairRanker, Strategy, SuggestRequest};
+use fairrank_datasets::synthetic::generic;
+use fairrank_datasets::Dataset;
+use fairrank_fairness::{FairnessOracle, Proportionality};
+use fairrank_net::{Client, HttpServer, Replica, ReplicaOptions, ReplicatedWriter, ServerConfig};
+use fairrank_serve::FairRankService;
+
+// Oracles are black-box closures and do not serialize; each replica
+// reconstructs its own from the dataset it received in the handshake.
+fn oracle_for(ds: &Dataset) -> Box<dyn FairnessOracle> {
+    let attr = ds.type_attribute("group").expect("synthetic group attr");
+    Box::new(Proportionality::new(attr, 20).with_max_count(0, 12))
+}
+
+fn main() {
+    // --- the writer: dataset -> ranker -> service -> replication port ---
+    let ds = generic::uniform(200, 2, 0.9, 7);
+    let ranker = FairRanker::builder(ds, oracle_for(&generic::uniform(200, 2, 0.9, 7)))
+        .strategy(Strategy::TwoD)
+        .build()
+        .expect("build ranker");
+    let writer_service = Arc::new(FairRankService::builder(ranker).workers(2).build());
+    let writer =
+        ReplicatedWriter::bind(Arc::clone(&writer_service), "127.0.0.1:0").expect("bind writer");
+    println!("writer replication port: {}", writer.replication_addr());
+
+    // --- two replicas bootstrap from the snapshot and tail the log ----
+    let replicas: Vec<Replica> = (0..2)
+        .map(|_| {
+            Replica::connect(
+                writer.replication_addr(),
+                oracle_for,
+                ReplicaOptions::default(),
+            )
+            .expect("replica connect")
+        })
+        .collect();
+
+    // --- HTTP on every node ------------------------------------------
+    let writer_http = HttpServer::bind(
+        Arc::clone(&writer_service),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind writer http");
+    let replica_https: Vec<HttpServer> = replicas
+        .iter()
+        .map(|r| {
+            HttpServer::bind(r.service(), "127.0.0.1:0", ServerConfig::default())
+                .expect("bind replica http")
+        })
+        .collect();
+
+    // Any node answers queries; at the same version the answers are
+    // bit-identical, so a load balancer can pick freely.
+    let query = SuggestRequest::new(vec![1.0, 0.35]);
+    let mut writer_client = Client::connect(writer_http.local_addr()).expect("connect");
+    let from_writer = writer_client.suggest(&query).expect("writer answer");
+    println!(
+        "writer   -> {} ({} bytes)",
+        from_writer.status,
+        from_writer.body.len()
+    );
+    for (i, server) in replica_https.iter().enumerate() {
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let resp = client.suggest(&query).expect("replica answer");
+        println!(
+            "replica{i} -> {} (identical body: {})",
+            resp.status,
+            resp.body == from_writer.body
+        );
+    }
+
+    // --- a live update flows writer -> log -> replicas ----------------
+    let burst = vec![
+        DatasetUpdate::Insert {
+            scores: vec![0.42, 0.58],
+            groups: vec![1],
+        },
+        DatasetUpdate::Rescore {
+            item: 3,
+            scores: vec![0.8, 0.2],
+        },
+    ];
+    writer.apply(&burst).expect("apply updates");
+    let target = writer_service.version();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replicas.iter().any(|r| r.version() < target) {
+        assert!(Instant::now() < deadline, "replicas failed to converge");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!("all replicas converged to version {target}");
+
+    let after = writer_client.suggest(&query).expect("writer answer");
+    for (i, server) in replica_https.iter().enumerate() {
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let resp = client.suggest(&query).expect("replica answer");
+        println!(
+            "replica{i} post-update identical: {}",
+            resp.body == after.body
+        );
+    }
+
+    for server in replica_https {
+        server.shutdown();
+    }
+    writer_http.shutdown();
+    for replica in replicas {
+        replica.shutdown();
+    }
+    writer.shutdown();
+    println!("clean shutdown");
+}

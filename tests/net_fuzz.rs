@@ -1,0 +1,248 @@
+//! Malformed-input robustness for the network tier: the HTTP/1.1
+//! parser and the JSON codec must never panic, no matter what arrives
+//! on the wire, and a live server must answer garbage with a 4xx and
+//! keep serving. Mirrors the byte-mutation fuzz style of
+//! `tests/ranker_persistence.rs`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use fairrank::{FairRanker, Strategy, SuggestRequest};
+use fairrank_datasets::synthetic::generic;
+use fairrank_fairness::Proportionality;
+use fairrank_net::http::{parse_request, HttpError, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+use fairrank_net::json::{decode_request, decode_suggestion, encode_request, Json};
+use fairrank_net::{Client, HttpServer, ServerConfig};
+use fairrank_serve::FairRankService;
+
+/// A canonical well-formed request the mutation strategies start from.
+fn valid_request_bytes() -> Vec<u8> {
+    let body = encode_request(&SuggestRequest::new(vec![1.0, 0.5]).with_top_k(3));
+    format!(
+        "POST /suggest HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases: the parser rejects, with the right status,
+// instead of panicking or over-reading.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parser_edge_cases_map_to_the_right_status() {
+    // Oversized declared body: reject as soon as the head is parsed.
+    let huge = format!(
+        "POST /suggest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    assert_eq!(parse_request(huge.as_bytes()), Err(HttpError::BodyTooLarge));
+
+    // A head that never terminates within the cap.
+    let mut runaway = b"GET /stats HTTP/1.1\r\n".to_vec();
+    while runaway.len() <= MAX_HEAD_BYTES {
+        runaway.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    assert_eq!(parse_request(&runaway), Err(HttpError::HeadersTooLarge));
+
+    // Chunked bodies are not supported: 411, not a hang.
+    let chunked = b"POST /suggest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+    assert_eq!(parse_request(chunked), Err(HttpError::LengthRequired));
+
+    // Invalid UTF-8 in the head is a 400.
+    let mut bad_utf8 = b"GET /he".to_vec();
+    bad_utf8.push(0xFF);
+    bad_utf8.extend_from_slice(b"lthz HTTP/1.1\r\n\r\n");
+    assert!(matches!(
+        parse_request(&bad_utf8),
+        Err(HttpError::BadRequest(_))
+    ));
+
+    // Conflicting duplicate Content-Length is a smuggling vector: 400.
+    let smuggle = b"POST /suggest HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nabcd";
+    assert!(matches!(
+        parse_request(smuggle),
+        Err(HttpError::BadRequest(_))
+    ));
+
+    // An incomplete request is a request for more bytes, not an error.
+    let valid = valid_request_bytes();
+    for cut in [0, 1, 10, valid.len() - 1] {
+        assert_eq!(parse_request(&valid[..cut]), Ok(None), "cut at {cut}");
+    }
+    let (req, consumed) = parse_request(&valid).unwrap().unwrap();
+    assert_eq!(req.method, "POST");
+    assert_eq!(req.path, "/suggest");
+    assert_eq!(consumed, valid.len());
+}
+
+// ---------------------------------------------------------------------------
+// Property fuzz: arbitrary and mutated bytes never panic the parsers.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary byte soup: `parse_request` returns, it never panics.
+    #[test]
+    fn random_bytes_never_panic_http_parser(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let _ = parse_request(&bytes);
+    }
+
+    /// Byte mutations and truncations of a valid request never panic,
+    /// and whatever parses still fits inside the input.
+    #[test]
+    fn mutated_requests_never_panic_http_parser(
+        positions in prop::collection::vec(0usize..200, 0..8),
+        xor in 1u8..=255,
+        cut in 0usize..200,
+    ) {
+        let mut bytes = valid_request_bytes();
+        for &p in &positions {
+            let p = p % bytes.len();
+            bytes[p] ^= xor;
+        }
+        bytes.truncate(bytes.len().saturating_sub(cut % bytes.len()));
+        if let Ok(Some((_, consumed))) = parse_request(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+
+    /// Arbitrary text never panics `Json::parse`; when it does parse,
+    /// the shape decoders reject or accept without panicking either.
+    #[test]
+    fn random_text_never_panics_json_parser(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(doc) = Json::parse(&text) {
+            let _ = decode_request(&doc);
+            let _ = decode_suggestion(&doc);
+        }
+    }
+
+    /// Mutations of a valid JSON request body never panic parse or
+    /// decode.
+    #[test]
+    fn mutated_json_never_panics(
+        positions in prop::collection::vec(0usize..200, 0..6),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode_request(&SuggestRequest::new(vec![0.3, 0.9])).into_bytes();
+        for &p in &positions {
+            let p = p % bytes.len();
+            bytes[p] ^= xor;
+        }
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            if let Ok(doc) = Json::parse(text) {
+                let _ = decode_request(&doc);
+            }
+        }
+    }
+
+    /// The wire's f64 encoding is exact: shortest-round-trip formatting
+    /// plus correctly-rounded parsing reproduces the bits.
+    #[test]
+    fn f64_wire_round_trip_is_exact(x in -1.0e12f64..1.0e12) {
+        let text = Json::Num(x).to_text();
+        let back = Json::parse(&text).unwrap().as_f64().unwrap();
+        prop_assert_eq!(back.to_bits(), x.to_bits());
+    }
+
+    /// Deep nesting is bounded, not a stack overflow.
+    #[test]
+    fn deep_nesting_is_rejected_not_fatal(depth in 1usize..300) {
+        let text = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let _ = Json::parse(&text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a live server answers garbage with a 4xx and survives.
+// ---------------------------------------------------------------------------
+
+fn tiny_server() -> (HttpServer, std::net::SocketAddr) {
+    let ds = generic::uniform(24, 2, 0.9, 75);
+    let attr = ds.type_attribute("group").unwrap();
+    let oracle = Box::new(Proportionality::new(attr, 6).with_max_count(0, 4));
+    let ranker = FairRanker::builder(ds, oracle)
+        .strategy(Strategy::TwoD)
+        .build()
+        .unwrap();
+    let service = Arc::new(FairRankService::builder(ranker).workers(1).build());
+    let server = HttpServer::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn raw_status(addr: std::net::SocketAddr, payload: &[u8]) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                response.extend_from_slice(&chunk[..n]);
+                if response.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = std::str::from_utf8(&response).ok()?;
+    head.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+fn live_server_answers_garbage_with_4xx_and_survives() {
+    let (server, addr) = tiny_server();
+
+    let cases: &[(&[u8], u16)] = &[
+        (b"NOT A REQUEST AT ALL\r\n\r\n", 400),
+        (b"GET \xFF\xFE HTTP/1.1\r\n\r\n", 400),
+        (
+            b"POST /suggest HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nabcd",
+            400,
+        ),
+        (
+            b"POST /suggest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            411,
+        ),
+        (
+            b"POST /suggest HTTP/1.1\r\nContent-Length: 5000000000\r\n\r\n",
+            413,
+        ),
+        // Well-formed HTTP carrying broken JSON is a 400 too.
+        (
+            b"POST /suggest HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"query\":",
+            400,
+        ),
+    ];
+    for (payload, want) in cases {
+        let got = raw_status(addr, payload);
+        assert_eq!(
+            got,
+            Some(*want),
+            "payload {:?}",
+            String::from_utf8_lossy(payload)
+        );
+    }
+
+    // The server is still healthy after all of that.
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client
+        .suggest(&SuggestRequest::new(vec![1.0, 0.4]))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}

