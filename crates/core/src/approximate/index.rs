@@ -13,7 +13,7 @@ use fairrank_geometry::hyperplane::Hyperplane;
 
 use crate::approximate::{cellplane, coloring, markcell};
 use crate::error::FairRankError;
-use crate::md::hyperpolar::{exchange_hyperplane, exchange_hyperplanes};
+use crate::md::hyperpolar::{exchange_hyperplane, exchange_hyperplanes_limited};
 use crate::pruning;
 use crate::update::{DatasetUpdate, UpdateCtx};
 
@@ -172,19 +172,24 @@ impl ApproxIndex {
             return Err(FairRankError::TooFewAttributes);
         }
         let mut stats = BuildStats::default();
+        let workers = opts
+            .threads
+            .unwrap_or_else(crate::parallel::all_cores)
+            .max(1);
 
-        // Phase 1: exchange hyperplanes.
+        // Phase 1: exchange hyperplanes. A cap stops the enumeration at
+        // exactly the first `cap` hyperplanes of the canonical order
+        // (identical to generating all and truncating, without the O(n²)
+        // tail); uncapped generation fans out over the worker pool with a
+        // bit-identical in-order merge.
         let t0 = Instant::now();
-        let mut hyperplanes = match (opts.prune_top_k, oracle.top_k_bound()) {
+        let hyperplanes = match (opts.prune_top_k, oracle.top_k_bound()) {
             (true, Some(k)) => {
                 let keep = pruning::top_k_candidate_items(ds, k);
-                exchange_hyperplanes(&ds.subset(&keep))
+                exchange_hyperplanes_limited(&ds.subset(&keep), opts.max_hyperplanes, workers)
             }
-            _ => exchange_hyperplanes(ds),
+            _ => exchange_hyperplanes_limited(ds, opts.max_hyperplanes, workers),
         };
-        if let Some(cap) = opts.max_hyperplanes {
-            hyperplanes.truncate(cap);
-        }
         stats.hyperplane_count = hyperplanes.len();
         stats.hyperplane_time = t0.elapsed();
 
@@ -209,13 +214,7 @@ impl ApproxIndex {
         // probe *verdicts* are identical either way, so the built index
         // is bit-identical to the per-probe path.
         let t2 = Instant::now();
-        let n_threads = opts
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })
-            .max(1)
-            .min(grid.cell_count().max(1));
+        let n_threads = workers.min(grid.cell_count().max(1));
         let next_cell = std::sync::atomic::AtomicU32::new(0);
         let cell_count = grid.cell_count() as CellId;
         let search_cell = |cell: CellId, ctx: &mut ProbeCtx| -> Option<Vec<f64>> {
@@ -347,7 +346,12 @@ impl ApproxIndex {
         let mut dirty: Vec<bool> = delta_hc.iter().map(|l| !l.is_empty()).collect();
 
         // Fresh geometry for the re-searched cells (oracle-free).
-        let hyperplanes = exchange_hyperplanes(ctx.ds);
+        let workers = self
+            .opts
+            .threads
+            .unwrap_or_else(crate::parallel::all_cores)
+            .max(1);
+        let hyperplanes = exchange_hyperplanes_limited(ctx.ds, None, workers);
         let hc = cellplane::hyperplanes_per_cell(&self.grid, &hyperplanes);
 
         // 2. Replay unaffected cells: certificate or batched re-check.
@@ -379,27 +383,83 @@ impl ApproxIndex {
             rec.threshold = threshold;
         }
 
-        // 3. Re-search changed cells, keep the rest, recolor.
-        let mut probe_ctx = ProbeCtx::new(ctx.ds);
+        // 3. Re-search changed cells (fanned across the worker pool —
+        // cells are independent and the results are merged back in cell
+        // order, so the maintained index is identical for any thread
+        // count), keep the rest, recolor.
+        let dirty_cells: Vec<CellId> = (0..n_cells as CellId)
+            .filter(|&c| dirty[c as usize])
+            .collect();
+        let search_dirty = |cell: CellId, pc: &mut ProbeCtx| -> Option<Vec<f64>> {
+            let cell_hc = &hc[cell as usize];
+            let cell_hc = match self.opts.max_hyperplanes_per_cell {
+                Some(cap) if cell_hc.len() > cap => &cell_hc[..cap],
+                _ => cell_hc.as_slice(),
+            };
+            search_one_cell(
+                ctx.ds,
+                ctx.oracle,
+                &self.grid,
+                cell,
+                cell_hc,
+                &hyperplanes,
+                pc,
+            )
+        };
+        let n_threads = workers.min(dirty_cells.len().max(1));
+        let mut searched: Vec<(CellId, Option<Vec<f64>>, Vec<ProbeRecord>)>;
+        if n_threads <= 1 {
+            let mut probe_ctx = ProbeCtx::new(ctx.ds);
+            searched = Vec::with_capacity(dirty_cells.len());
+            for &c in &dirty_cells {
+                let f = search_dirty(c, &mut probe_ctx);
+                searched.push((c, f, std::mem::take(&mut probe_ctx.log)));
+            }
+            oracle_calls += probe_ctx.calls;
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let dirty_cells = &dirty_cells;
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_threads)
+                    .map(|_| {
+                        let next = &next;
+                        let search_dirty = &search_dirty;
+                        scope.spawn(move || {
+                            let mut local: Vec<(CellId, Option<Vec<f64>>, Vec<ProbeRecord>)> =
+                                Vec::new();
+                            let mut pc = ProbeCtx::new(ctx.ds);
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(&c) = dirty_cells.get(i) else {
+                                    break;
+                                };
+                                let f = search_dirty(c, &mut pc);
+                                local.push((c, f, std::mem::take(&mut pc.log)));
+                            }
+                            (local, pc.calls)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("maintenance worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            searched = Vec::with_capacity(dirty_cells.len());
+            for (local, calls) in results {
+                oracle_calls += calls;
+                searched.extend(local);
+            }
+            searched.sort_unstable_by_key(|&(cell, _, _)| cell);
+        }
+        let mut searched = searched.into_iter();
         let mut found: Vec<(CellId, Option<Vec<f64>>, Vec<ProbeRecord>)> =
             Vec::with_capacity(n_cells);
-        for c in 0..n_cells {
-            if dirty[c] {
-                let cell_hc = &hc[c];
-                let cell_hc = match self.opts.max_hyperplanes_per_cell {
-                    Some(cap) if cell_hc.len() > cap => &cell_hc[..cap],
-                    _ => cell_hc.as_slice(),
-                };
-                let f = search_one_cell(
-                    ctx.ds,
-                    ctx.oracle,
-                    &self.grid,
-                    c as CellId,
-                    cell_hc,
-                    &hyperplanes,
-                    &mut probe_ctx,
-                );
-                found.push((c as CellId, f, std::mem::take(&mut probe_ctx.log)));
+        for (c, &cell_dirty) in dirty.iter().enumerate() {
+            if cell_dirty {
+                let entry = searched.next().expect("one search result per dirty cell");
+                debug_assert_eq!(entry.0 as usize, c);
+                found.push(entry);
             } else {
                 let f = self.satisfied[c].then(|| {
                     let fi = self.assigned[c].expect("satisfied cells are assigned");
@@ -409,7 +469,6 @@ impl ApproxIndex {
                 found.push((c as CellId, f, log));
             }
         }
-        oracle_calls += probe_ctx.calls;
 
         let stats = self.stats.clone();
         *self = assemble(self.grid.clone(), found, self.opts.clone());

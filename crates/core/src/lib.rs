@@ -67,6 +67,7 @@ pub mod approximate;
 pub mod backend;
 pub mod error;
 pub mod md;
+pub mod parallel;
 pub mod persist;
 pub mod probes;
 pub mod pruning;

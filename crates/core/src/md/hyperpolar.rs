@@ -113,13 +113,83 @@ pub fn exchange_hyperplane(ti: &[f64], tj: &[f64]) -> Option<Hyperplane> {
 /// major.
 #[must_use]
 pub fn exchange_hyperplanes(ds: &Dataset) -> Vec<Hyperplane> {
+    exchange_hyperplanes_threads(ds, 1)
+}
+
+/// [`exchange_hyperplanes`] fanned across `threads` workers. Each worker
+/// claims whole `i`-rows of the pair triangle off an atomic counter and
+/// the per-row results are stitched back in row order, so the output is
+/// bit-identical to the serial enumeration for every thread count.
+#[must_use]
+pub fn exchange_hyperplanes_threads(ds: &Dataset, threads: usize) -> Vec<Hyperplane> {
     // One row-major gather up front: the O(n²) pair loop then reads
     // contiguous row slices instead of gathering across columns per pair.
     let flat = ds.to_row_major();
     let d = ds.dim();
-    let mut out = Vec::new();
-    for i in 0..ds.len() {
+    let n = ds.len();
+    let row = |i: usize| -> Vec<Hyperplane> {
+        let mut out = Vec::new();
+        for j in i + 1..n {
+            if let Some(h) =
+                exchange_hyperplane(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
+            {
+                out.push(h);
+            }
+        }
+        out
+    };
+    if threads <= 1 || n < 2 {
+        return (0..n).flat_map(row).collect();
+    }
+    let workers = threads.min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut rows: Vec<(usize, Vec<Hyperplane>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, row(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("hyperplane worker panicked"))
+            .collect()
+    });
+    rows.sort_unstable_by_key(|&(i, _)| i);
+    rows.into_iter().flat_map(|(_, hs)| hs).collect()
+}
+
+/// [`exchange_hyperplanes`] with an optional output cap: generation stops
+/// as soon as `cap` hyperplanes exist, producing exactly the first `cap`
+/// of the canonical row-major enumeration — identical to generating all
+/// and truncating, without materializing the `O(n²)` tail. With no cap it
+/// delegates to the threaded enumeration.
+#[must_use]
+pub fn exchange_hyperplanes_limited(
+    ds: &Dataset,
+    cap: Option<usize>,
+    threads: usize,
+) -> Vec<Hyperplane> {
+    let Some(cap) = cap else {
+        return exchange_hyperplanes_threads(ds, threads);
+    };
+    let flat = ds.to_row_major();
+    let d = ds.dim();
+    let mut out = Vec::with_capacity(cap);
+    'rows: for i in 0..ds.len() {
         for j in i + 1..ds.len() {
+            if out.len() >= cap {
+                break 'rows;
+            }
             if let Some(h) =
                 exchange_hyperplane(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
             {
@@ -296,6 +366,28 @@ mod tests {
         let pairs = ds.non_dominating_pairs().len();
         assert_eq!(hs.len(), pairs, "one hyperplane per non-dominating pair");
         assert!(hs.iter().all(|h| h.dim() == 2));
+    }
+
+    #[test]
+    fn threaded_enumeration_matches_serial() {
+        use fairrank_datasets::synthetic::generic;
+        let ds = generic::anticorrelated(30, 3, 0.0, 7);
+        let serial = exchange_hyperplanes(&ds);
+        for threads in [2usize, 3, 4, 33] {
+            assert_eq!(serial, exchange_hyperplanes_threads(&ds, threads));
+        }
+    }
+
+    #[test]
+    fn capped_enumeration_is_a_prefix() {
+        use fairrank_datasets::synthetic::generic;
+        let ds = generic::anticorrelated(30, 3, 0.0, 9);
+        let all = exchange_hyperplanes(&ds);
+        for cap in [0usize, 1, 7, all.len(), all.len() + 50] {
+            let capped = exchange_hyperplanes_limited(&ds, Some(cap), 1);
+            assert_eq!(capped.as_slice(), &all[..cap.min(all.len())]);
+        }
+        assert_eq!(exchange_hyperplanes_limited(&ds, None, 2), all);
     }
 
     #[test]

@@ -11,6 +11,10 @@ pub use baseline::{closest_satisfactory, closest_satisfactory_validated, Closest
 pub use hyperpolar::{exchange_hyperplane, exchange_hyperplanes};
 pub use satregions::{sat_regions, SatRegion, SatRegions, SatRegionsOptions};
 
+use std::sync::{Arc, OnceLock};
+
+use fairrank_datasets::Dataset;
+use fairrank_fairness::FairnessOracle;
 use fairrank_geometry::polar::to_polar;
 use fairrank_geometry::vector::norm;
 
@@ -35,6 +39,13 @@ const REGION_MD_FAIR: u8 = 0;
 #[derive(Debug, Clone)]
 pub struct ExactRegions {
     regions: Vec<SatRegion>,
+    /// Deferred-materialization cell (`None` = eager). A lazy backend
+    /// starts with an empty `regions` list and runs [`sat_regions`] at
+    /// most once, on the first query that needs the arrangement; the
+    /// memoized result is shared across copy-on-write forks through the
+    /// `Arc`, and the backend goes permanently eager on the first
+    /// update rebuild.
+    lazy: Option<Arc<OnceLock<Vec<SatRegion>>>>,
     /// Number of angle coordinates (`d − 1`).
     dim: usize,
     /// Options used when reconstructing the arrangement on updates.
@@ -55,11 +66,58 @@ impl ExactRegions {
     pub fn new(regions: Vec<SatRegion>, angle_dim: usize) -> Self {
         ExactRegions {
             regions,
+            lazy: None,
             dim: angle_dim,
             opts: SatRegionsOptions::default(),
             rebuild_every: 1,
             pending: 0,
             counters: SharedCounters::new(),
+        }
+    }
+
+    /// A lazily materialized backend for a `d`-attribute dataset
+    /// (`d = angle_dim + 1`): construction is free, and the full
+    /// [`sat_regions`] pass runs at most once — on the first query that
+    /// needs the arrangement — memoized for every later query and shared
+    /// across copy-on-write forks. Answers are bit-identical to the
+    /// eagerly built backend with the same options; the only observable
+    /// differences are *when* the build cost is paid and that
+    /// [`IndexBackend::region_of`] refuses to certify region identity
+    /// until materialization has happened.
+    #[must_use]
+    pub fn new_lazy(angle_dim: usize, opts: SatRegionsOptions, rebuild_every: usize) -> Self {
+        ExactRegions {
+            regions: Vec::new(),
+            lazy: Some(Arc::new(OnceLock::new())),
+            dim: angle_dim,
+            opts,
+            rebuild_every: rebuild_every.max(1),
+            pending: 0,
+            counters: SharedCounters::new(),
+        }
+    }
+
+    /// The region list if it exists yet: always for an eager backend,
+    /// only after the first materializing query for a lazy one.
+    #[must_use]
+    pub fn materialized(&self) -> Option<&[SatRegion]> {
+        match &self.lazy {
+            None => Some(&self.regions),
+            Some(cell) => cell.get().map(Vec::as_slice),
+        }
+    }
+
+    /// The region list, materializing it now if this backend is lazy and
+    /// has not been queried yet. Idempotent; the memoized list is what
+    /// every subsequent query reads.
+    pub fn materialize(&self, ds: &Dataset, oracle: &dyn FairnessOracle) -> &[SatRegion] {
+        match &self.lazy {
+            None => &self.regions,
+            Some(cell) => cell.get_or_init(|| {
+                sat_regions(ds, oracle, &self.opts)
+                    .expect("dimensionality was validated when the lazy backend was built")
+                    .satisfactory
+            }),
         }
     }
 
@@ -84,15 +142,19 @@ impl ExactRegions {
         self.pending
     }
 
-    /// The satisfactory regions.
+    /// The satisfactory regions (empty for a lazy backend that has not
+    /// materialized yet — see [`ExactRegions::materialized`]).
     #[must_use]
     pub fn regions(&self) -> &[SatRegion] {
-        &self.regions
+        self.materialized().unwrap_or(&[])
     }
 
     fn rebuild(&mut self, ctx: &UpdateCtx<'_>) -> Result<UpdateOutcome, FairRankError> {
         let rebuilt = sat_regions(ctx.ds, ctx.oracle, &self.opts)?;
         self.regions = rebuilt.satisfactory;
+        // The dataset changed, so any memoized lazy materialization is for
+        // a stale dataset: this backend is eager from here on.
+        self.lazy = None;
         self.dim = rebuilt.dim;
         self.pending = 0;
         Ok(UpdateOutcome::Rebuilt)
@@ -105,9 +167,10 @@ impl IndexBackend for ExactRegions {
     }
 
     fn suggest_unfair(&self, weights: &[f64], ctx: &QueryCtx<'_>) -> Result<Answer, FairRankError> {
+        let regions = self.materialize(ctx.ds, ctx.oracle);
         let r = norm(weights);
         let (_, query_angles) = to_polar(weights);
-        match closest_satisfactory_validated(&self.regions, &query_angles, ctx.ds, ctx.oracle) {
+        match closest_satisfactory_validated(regions, &query_angles, ctx.ds, ctx.oracle) {
             None => Ok(Answer::Infeasible),
             Some(res) => Ok(Answer::Suggested {
                 weights: crate::backend::suggestion_weights(&res.angles, r),
@@ -126,7 +189,10 @@ impl IndexBackend for ExactRegions {
     // different verdicts). Unfair queries get no key: their NLP answers
     // vary continuously across a region, so there is nothing
     // region-constant to certify beyond what a fair-region hit gives.
+    // A lazy backend additionally refuses until its first materializing
+    // query has run — there is no arrangement to certify against yet.
     fn region_of(&self, weights: &[f64]) -> Option<RegionKey> {
+        let regions = self.materialized()?;
         if self.dim() > 3
             || self.pending > 0
             || self.opts.max_hyperplanes.is_some()
@@ -138,7 +204,7 @@ impl IndexBackend for ExactRegions {
         // First containing region, with the same containment predicate
         // (and tolerance) as `closest_satisfactory`'s distance-zero quick
         // exit — the two must agree on what "inside" means.
-        self.regions
+        regions
             .iter()
             .position(|region| {
                 region
@@ -197,16 +263,18 @@ impl IndexBackend for ExactRegions {
         crate::persist::TAG_REGIONS
     }
 
+    // An unmaterialized lazy backend would encode an empty region list,
+    // so `FairRanker::to_bytes` materializes before encoding.
     fn encode(&self) -> Vec<u8> {
-        crate::persist::encode_regions(&self.regions, self.dim)
+        crate::persist::encode_regions(self.regions(), self.dim)
     }
 
     fn stats(&self) -> BackendStats {
         let (updates, rebuilds) = self.counters.snapshot();
         BackendStats {
             kind: "exact-regions",
-            artifacts: self.regions.len(),
-            functions: Some(self.regions.len()),
+            artifacts: self.regions().len(),
+            functions: Some(self.regions().len()),
             error_bound: Some(0.0),
             updates,
             rebuilds,

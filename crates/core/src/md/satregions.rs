@@ -14,7 +14,7 @@ use fairrank_geometry::arrangement_tree::ArrangementTree;
 use fairrank_lp::Constraint;
 
 use crate::error::FairRankError;
-use crate::md::hyperpolar::exchange_hyperplanes;
+use crate::md::hyperpolar::exchange_hyperplanes_limited;
 use crate::probes;
 use crate::pruning;
 
@@ -41,6 +41,12 @@ pub struct SatRegionsOptions {
     /// When the oracle exposes a top-k bound, drop items outside the first
     /// k dominance layers before computing exchanges (paper §8).
     pub prune_top_k: bool,
+    /// Worker count for hyperplane enumeration and per-region witness
+    /// verification (resolved per
+    /// [`crate::parallel::resolve_build_threads`]; `Some(0)` = all cores,
+    /// `None` = the `FAIRRANK_BUILD_THREADS` environment variable, else
+    /// serial). Output is bit-identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for SatRegionsOptions {
@@ -49,6 +55,7 @@ impl Default for SatRegionsOptions {
             use_tree: true,
             max_hyperplanes: None,
             prune_top_k: false,
+            threads: None,
         }
     }
 }
@@ -86,21 +93,27 @@ pub fn sat_regions(
         return Err(FairRankError::TooFewAttributes);
     }
     let dim = ds.dim() - 1;
+    let threads = crate::parallel::resolve_build_threads(opts.threads);
 
     // §8 pruning: exchanges among items that can never reach the top-k are
-    // irrelevant to a top-k-bounded oracle.
+    // irrelevant to a top-k-bounded oracle. A hyperplane cap stops the
+    // enumeration early — the capped output is exactly the first `cap`
+    // hyperplanes of the canonical order, so it equals the old
+    // generate-all-then-truncate behavior without the O(n²) tail.
     let (hyperplanes, items_used) = match (opts.prune_top_k, oracle.top_k_bound()) {
         (true, Some(k)) => {
             let keep = pruning::top_k_candidate_items(ds, k);
             let sub = ds.subset(&keep);
-            (exchange_hyperplanes(&sub), keep.len())
+            (
+                exchange_hyperplanes_limited(&sub, opts.max_hyperplanes, threads),
+                keep.len(),
+            )
         }
-        _ => (exchange_hyperplanes(ds), ds.len()),
+        _ => (
+            exchange_hyperplanes_limited(ds, opts.max_hyperplanes, threads),
+            ds.len(),
+        ),
     };
-    let mut hyperplanes = hyperplanes;
-    if let Some(cap) = opts.max_hyperplanes {
-        hyperplanes.truncate(cap);
-    }
     let hyperplane_count = hyperplanes.len();
 
     // Region enumeration: (constraints, witness) pairs.
@@ -126,10 +139,11 @@ pub fn sat_regions(
 
     // Oracle pass: keep satisfactory regions (Algorithm 4 lines 20–26).
     // Witness probes run through the batched pipeline — workspace-backed
-    // partial ranking plus is_satisfactory_batch — with verdicts (and the
-    // per-witness call count) identical to serial probing.
+    // partial ranking plus is_satisfactory_batch — fanned across the
+    // worker pool, with verdicts (and the per-witness call count)
+    // identical to serial probing.
     let witness_angles: Vec<&[f64]> = witnesses.iter().map(|(_, w)| w.as_slice()).collect();
-    let verdicts = probes::batch_verdicts(ds, oracle, &witness_angles);
+    let verdicts = probes::batch_verdicts_threaded(ds, oracle, &witness_angles, threads);
     let oracle_calls = verdicts.len() as u64;
     let satisfactory = witnesses
         .into_iter()
@@ -271,6 +285,33 @@ mod tests {
             "pruning kept all {} items",
             pruned.items_used
         );
+    }
+
+    #[test]
+    fn threaded_sat_regions_bit_identical_to_serial() {
+        let ds = generic::uniform(30, 3, 0.9, 7);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 6).with_max_count(0, 3);
+        let serial = sat_regions(&ds, &oracle, &SatRegionsOptions::default()).unwrap();
+        for threads in [2usize, 3, 4] {
+            let par = sat_regions(
+                &ds,
+                &oracle,
+                &SatRegionsOptions {
+                    threads: Some(threads),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.region_count, serial.region_count);
+            assert_eq!(par.hyperplane_count, serial.hyperplane_count);
+            assert_eq!(par.oracle_calls, serial.oracle_calls);
+            assert_eq!(
+                crate::persist::encode_regions(&par.satisfactory, par.dim),
+                crate::persist::encode_regions(&serial.satisfactory, serial.dim),
+                "t = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Worker-count resolution and work partitioning shared by the offline
+//! builders.
+//!
+//! Every parallel build path in this crate is **bit-identical** to its
+//! serial reference — shards are merged in a canonical deterministic
+//! order — so the worker count is a pure throughput knob, never a
+//! semantics knob (gated by `tests/build_equivalence.rs`).
+//!
+//! Resolution order for a builder's thread request:
+//!
+//! 1. an explicit `Some(n)` (`n = 0` means "all available cores"),
+//! 2. the `FAIRRANK_BUILD_THREADS` environment variable (same encoding),
+//! 3. serial (`1`).
+//!
+//! The environment hook exists so an entire test or benchmark run can be
+//! flipped to parallel builds without touching call sites — CI runs the
+//! equivalence suites once serially and once with the variable set.
+
+/// Environment variable consulted when a builder does not pin a worker
+/// count explicitly. `0` (or unset) semantics as documented on
+/// [`resolve_build_threads`].
+pub const BUILD_THREADS_ENV: &str = "FAIRRANK_BUILD_THREADS";
+
+/// Resolve a builder's requested worker count (see the module docs for
+/// the resolution order).
+#[must_use]
+pub fn resolve_build_threads(requested: Option<usize>) -> usize {
+    let requested = requested.or_else(|| {
+        std::env::var(BUILD_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    });
+    match requested {
+        Some(0) => all_cores(),
+        Some(n) => n,
+        None => 1,
+    }
+}
+
+/// `std::thread::available_parallelism`, defaulting to 1 when unknown.
+#[must_use]
+pub fn all_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Split `len` work items into at most `threads` contiguous, in-order
+/// chunks of near-equal size. Always returns at least one (possibly
+/// empty) chunk, so callers can treat "no work" and "one shard"
+/// uniformly.
+pub(crate) fn contiguous_chunks(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let t = threads.max(1).min(len.max(1));
+    let per = len / t;
+    let rem = len % t;
+    let mut out = Vec::with_capacity(t);
+    let mut start = 0;
+    for s in 0..t {
+        let take = per + usize::from(s < rem);
+        out.push(start..start + take);
+        start += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        for len in [0usize, 1, 2, 5, 16, 97] {
+            for threads in [1usize, 2, 3, 4, 7, 100] {
+                let chunks = contiguous_chunks(len, threads);
+                assert!(!chunks.is_empty());
+                assert!(chunks.len() <= threads.max(1));
+                let mut expect = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, expect, "len={len} threads={threads}");
+                    assert!(c.end >= c.start);
+                    expect = c.end;
+                }
+                assert_eq!(expect, len);
+                // Near-equal: sizes differ by at most one.
+                let sizes: Vec<usize> = chunks.iter().map(std::ops::Range::len).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_request_wins() {
+        assert_eq!(resolve_build_threads(Some(3)), 3);
+        assert_eq!(resolve_build_threads(Some(0)), all_cores());
+    }
+}

@@ -129,6 +129,34 @@ where
     verdicts
 }
 
+/// [`batch_verdicts`] fanned across `threads` workers: the candidate list
+/// is split into contiguous chunks, each probed through its own
+/// [`RankWorkspace`], and the per-chunk verdict vectors are concatenated
+/// in chunk order — bit-identical to the serial pass (each candidate's
+/// verdict depends only on that candidate) for every thread count.
+#[must_use]
+pub fn batch_verdicts_threaded<A: AsRef<[f64]> + Sync>(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    candidates: &[A],
+    threads: usize,
+) -> Vec<bool> {
+    let chunks = crate::parallel::contiguous_chunks(candidates.len(), threads);
+    if chunks.len() <= 1 {
+        return batch_verdicts(ds, oracle, candidates);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|r| scope.spawn(move || batch_verdicts(ds, oracle, &candidates[r])))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("probe worker panicked"))
+            .collect()
+    })
+}
+
 /// Like [`batch_verdicts`], but also reports each candidate's *top-k
 /// threshold score* — the score of the ranked `k`-th item under the
 /// candidate's weights (`NaN` when the oracle exposes no usable top-k
@@ -197,6 +225,29 @@ mod tests {
         let verdicts = batch_verdicts(&ds, &oracle, &candidates);
         assert_eq!(verdicts.len(), candidates.len());
         assert_eq!(oracle.calls() as usize, candidates.len());
+    }
+
+    #[test]
+    fn threaded_verdicts_match_serial() {
+        let ds = generic::uniform(40, 3, 0.8, 19);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 8).with_max_count(0, 4);
+        let candidates: Vec<Vec<f64>> = (0..90)
+            .map(|i| {
+                vec![
+                    (i as f64 + 0.5) / 90.0 * fairrank_geometry::HALF_PI,
+                    ((i * 11) % 90) as f64 / 90.0 * fairrank_geometry::HALF_PI,
+                ]
+            })
+            .collect();
+        let serial = batch_verdicts(&ds, &oracle, &candidates);
+        for threads in [1usize, 2, 3, 4, 100] {
+            assert_eq!(
+                serial,
+                batch_verdicts_threaded(&ds, &oracle, &candidates, threads),
+                "t = {threads}"
+            );
+        }
     }
 
     #[test]

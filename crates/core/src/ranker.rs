@@ -83,6 +83,8 @@ pub struct FairRankerBuilder {
     sat_opts: SatRegionsOptions,
     approx_opts: BuildOptions,
     exact_rebuild_every: usize,
+    build_threads: Option<usize>,
+    lazy_regions: bool,
 }
 
 impl FairRankerBuilder {
@@ -120,6 +122,33 @@ impl FairRankerBuilder {
         self
     }
 
+    /// Worker count for the offline build, whichever backend the
+    /// strategy resolves to (`0` = all available cores). Every parallel
+    /// build is bit-identical to the serial one — the knob changes
+    /// wall-clock only, never the index (gated by
+    /// `tests/build_equivalence.rs`). When not set, the
+    /// [`crate::parallel::BUILD_THREADS_ENV`] environment variable
+    /// applies, else builds run serially (except the approximate grid,
+    /// whose cell probing has always defaulted to all cores).
+    #[must_use]
+    pub fn build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = Some(threads);
+        self
+    }
+
+    /// Defer the exact arrangement: [`Strategy::MdExact`] construction
+    /// returns immediately and the full [`sat_regions`] pass runs — at
+    /// most once, memoized — on the first query that needs it. Answers
+    /// are bit-identical to an eager build;
+    /// [`IndexBackend::region_of`] refuses to certify region identity
+    /// until materialization has happened (see
+    /// [`ExactRegions::new_lazy`]). Ignored by the other strategies.
+    #[must_use]
+    pub fn lazy_regions(mut self, lazy: bool) -> Self {
+        self.lazy_regions = lazy;
+        self
+    }
+
     /// Run the offline phase and assemble the ranker.
     ///
     /// # Errors
@@ -132,28 +161,58 @@ impl FairRankerBuilder {
             ds,
             oracle,
             strategy,
-            sat_opts,
-            approx_opts,
+            mut sat_opts,
+            mut approx_opts,
             exact_rebuild_every,
+            build_threads,
+            lazy_regions,
         } = self;
         let backend: Box<dyn IndexBackend> = match strategy.pick(&ds) {
             Strategy::TwoD => {
-                // `build_maintained` keeps the sweep structure so live
-                // updates maintain the index incrementally.
-                Box::new(TwoDIntervals::build_maintained(&ds, oracle.as_ref())?)
+                // `build_maintained_threads` keeps the sweep structure so
+                // live updates maintain the index incrementally.
+                Box::new(TwoDIntervals::build_maintained_threads(
+                    &ds,
+                    oracle.as_ref(),
+                    build_threads,
+                )?)
             }
             Strategy::MdExact => {
-                let regions = sat_regions(&ds, oracle.as_ref(), &sat_opts)?;
-                Box::new(
-                    ExactRegions::new(regions.satisfactory, regions.dim)
-                        .with_update_policy(sat_opts, exact_rebuild_every),
-                )
+                sat_opts.threads = sat_opts.threads.or(build_threads);
+                if lazy_regions {
+                    if ds.dim() < 2 {
+                        // The same validation an eager `sat_regions` run
+                        // performs — fail at build time, not at first query.
+                        return Err(FairRankError::TooFewAttributes);
+                    }
+                    Box::new(ExactRegions::new_lazy(
+                        ds.dim() - 1,
+                        sat_opts,
+                        exact_rebuild_every,
+                    ))
+                } else {
+                    let regions = sat_regions(&ds, oracle.as_ref(), &sat_opts)?;
+                    Box::new(
+                        ExactRegions::new(regions.satisfactory, regions.dim)
+                            .with_update_policy(sat_opts, exact_rebuild_every),
+                    )
+                }
             }
-            Strategy::MdApprox => Box::new(ApproxGrid::new(ApproxIndex::build(
-                &ds,
-                oracle.as_ref(),
-                &approx_opts,
-            )?)),
+            Strategy::MdApprox => {
+                // The approximate grid's cell probing has always defaulted
+                // to all cores (`None`); only an explicit builder request
+                // overrides it.
+                if approx_opts.threads.is_none() {
+                    if let Some(t) = build_threads {
+                        approx_opts.threads = Some(crate::parallel::resolve_build_threads(Some(t)));
+                    }
+                }
+                Box::new(ApproxGrid::new(ApproxIndex::build(
+                    &ds,
+                    oracle.as_ref(),
+                    &approx_opts,
+                )?))
+            }
             // `pick` resolves Auto (and any future variant added behind
             // the non_exhaustive attribute must teach `pick` its rule).
             other => unreachable!("Strategy::pick returned unresolved {other:?}"),
@@ -190,6 +249,8 @@ impl FairRanker {
             sat_opts: SatRegionsOptions::default(),
             approx_opts: BuildOptions::default(),
             exact_rebuild_every: 1,
+            build_threads: None,
+            lazy_regions: false,
         }
     }
 
@@ -727,6 +788,13 @@ impl FairRanker {
     /// may sit inside a deferral window.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
+        // A lazily built exact backend that has never been queried holds
+        // no arrangement yet; persisting one would silently encode an
+        // empty region list. Materialize first — idempotent, and exactly
+        // the pass the first query would have paid.
+        if let Some(exact) = self.core.backend.as_any().downcast_ref::<ExactRegions>() {
+            exact.materialize(&self.core.ds, self.core.oracle.as_ref());
+        }
         encode_ranker_versioned(
             self.core.ds.dim(),
             self.core.version,

@@ -6,7 +6,7 @@ pub mod online;
 pub mod raysweep;
 
 pub use online::{online_2d, TwoDAnswer};
-pub use raysweep::{ray_sweep, ray_sweep_incremental, RaySweepResult};
+pub use raysweep::{ray_sweep, ray_sweep_incremental, ray_sweep_threads, RaySweepResult};
 
 use fairrank_datasets::kernels;
 use fairrank_datasets::Dataset;
@@ -17,7 +17,7 @@ use fairrank_geometry::HALF_PI;
 use crate::backend::{Answer, BackendStats, IndexBackend, QueryCtx, RegionKey, SharedCounters};
 use crate::error::FairRankError;
 use crate::update::{DatasetUpdate, UpdateCtx, UpdateOutcome};
-use raysweep::{event_cmp, exchange_events, item_events, sweep_events};
+use raysweep::{event_cmp, exchange_events, item_events, sweep_events, sweep_events_threaded};
 
 /// [`RegionKey`] kind discriminants for the 2-D backend: a satisfactory
 /// interval, the two sides of an unsatisfactory gap (split by which
@@ -117,14 +117,31 @@ impl TwoDIntervals {
         ds: &Dataset,
         oracle: &dyn FairnessOracle,
     ) -> Result<TwoDIntervals, FairRankError> {
+        Self::build_maintained_threads(ds, oracle, None)
+    }
+
+    /// [`build_maintained`](Self::build_maintained) with an explicit
+    /// worker count: the sweep is sharded by angular sector and merged in
+    /// canonical angle order, bit-identical to the serial walk for every
+    /// thread count (`threads` resolves per
+    /// [`crate::parallel::resolve_build_threads`]).
+    ///
+    /// # Errors
+    /// [`FairRankError::DimensionMismatch`] unless `ds.dim() == 2`.
+    pub fn build_maintained_threads(
+        ds: &Dataset,
+        oracle: &dyn FairnessOracle,
+        threads: Option<usize>,
+    ) -> Result<TwoDIntervals, FairRankError> {
         if ds.dim() != 2 {
             return Err(FairRankError::DimensionMismatch {
                 expected: 2,
                 found: ds.dim(),
             });
         }
+        let workers = crate::parallel::resolve_build_threads(threads);
         let events = exchange_events(ds);
-        let out = sweep_events(ds, &events, None, |ranking, _, _, _, _| {
+        let out = sweep_events_threaded(ds, &events, workers, None, &|ranking, _, _, _, _| {
             oracle.is_satisfactory(ranking)
         });
         Ok(TwoDIntervals {

@@ -125,6 +125,144 @@ pub(crate) struct SweepOutput {
     pub rerank_events: u64,
 }
 
+/// One shard's share of the sector walk: the satisfactory sectors,
+/// boundaries and verdicts of a contiguous batch range, plus its
+/// degenerate re-rank tally. Shards concatenate in shard order to
+/// reproduce the serial walk's output exactly.
+struct ShardOutput {
+    sectors: Vec<(f64, f64)>,
+    boundaries: Vec<f64>,
+    verdicts: Vec<bool>,
+    rerank_events: u64,
+}
+
+/// Walk the batches in `brange`, emitting one verdict per sector that
+/// *ends* at one of those batches (plus the final sector up to π/2 when
+/// `emit_final`). `sector_lo` is the lower angle of the first sector in
+/// the range — `0` for the first shard, the previous shard's last batch
+/// angle otherwise.
+///
+/// The shard seeds its ranking by a fresh sort strictly inside its first
+/// sector (the midpoint of `sector_lo` and the first batch angle). Inside
+/// a sector the ordering is strict except for angle-independent exact
+/// ties (identical items), which the sort's index tie-break resolves the
+/// same way at every interior angle — so the seeded ranking equals the
+/// ranking the serial walk carries into that sector, and a sharded walk
+/// is bit-identical to the serial one. This is the same invariant the
+/// degenerate re-rank (DESIGN.md F5) has always relied on.
+#[allow(clippy::too_many_arguments)]
+fn sweep_range<F>(
+    ds: &Dataset,
+    events: &[(f64, u32, u32)],
+    batches: &[std::ops::Range<usize>],
+    brange: std::ops::Range<usize>,
+    mut sector_lo: f64,
+    emit_final: bool,
+    inc_src: Option<&dyn FairnessOracle>,
+    verdict: &mut F,
+) -> ShardOutput
+where
+    F: FnMut(&[u32], &[u32], f64, f64, Option<bool>) -> bool,
+{
+    let mut workspace = RankWorkspace::with_capacity(ds.len());
+    let first_angle = batches
+        .get(brange.start)
+        .filter(|_| brange.start < brange.end || emit_final)
+        .map_or(HALF_PI, |b| events[b.start].0);
+    let mut ranking: Vec<u32> = Vec::with_capacity(ds.len());
+    workspace.rank_into(
+        ds,
+        &weights_at(0.5 * (sector_lo + first_angle)),
+        None,
+        &mut ranking,
+    );
+    let mut position = vec![0u32; ds.len()];
+    for (pos, &item) in ranking.iter().enumerate() {
+        position[item as usize] = pos as u32;
+    }
+    let mut inc = inc_src.and_then(|o| o.incremental(&ranking));
+
+    let mut rerank_events = 0u64;
+    let mut sectors: Vec<(f64, f64)> = Vec::new();
+    let mut boundaries = Vec::with_capacity(brange.len());
+    let mut verdicts = Vec::with_capacity(brange.len() + usize::from(emit_final));
+
+    for gb in brange.clone() {
+        let batch = &batches[gb];
+        let theta = events[batch.start].0;
+        // Verdict for the sector ending at this batch.
+        let sat = verdict(
+            &ranking,
+            &position,
+            sector_lo,
+            theta,
+            inc.as_deref()
+                .map(fairrank_fairness::IncrementalOracle::is_satisfactory),
+        );
+        if sat {
+            sectors.push((sector_lo, theta));
+        }
+        verdicts.push(sat);
+        boundaries.push(theta);
+        sector_lo = theta;
+
+        // Apply the batch of swaps.
+        let mut degenerate = false;
+        for &(_, a, b) in &events[batch.clone()] {
+            let pa = position[a as usize] as usize;
+            let pb = position[b as usize] as usize;
+            if pa.abs_diff(pb) == 1 {
+                let (pos, top, bottom) = if pa < pb { (pa, a, b) } else { (pb, b, a) };
+                if let Some(state) = inc.as_deref_mut() {
+                    state.swap_adjacent_items(pos, top, bottom);
+                }
+                ranking.swap(pa, pb);
+                position.swap(a as usize, b as usize);
+            } else {
+                degenerate = true;
+            }
+        }
+        if degenerate {
+            // Ties made swap order ambiguous — re-rank strictly inside the
+            // next sector (DESIGN.md F5).
+            rerank_events += 1;
+            let next_theta = batches.get(gb + 1).map_or(HALF_PI, |nb| events[nb.start].0);
+            workspace.rank_into(
+                ds,
+                &weights_at(0.5 * (theta + next_theta)),
+                None,
+                &mut ranking,
+            );
+            for (pos, &item) in ranking.iter().enumerate() {
+                position[item as usize] = pos as u32;
+            }
+            inc = inc_src.and_then(|o| o.incremental(&ranking));
+        }
+    }
+    if emit_final {
+        // Final sector up to π/2.
+        let sat = verdict(
+            &ranking,
+            &position,
+            sector_lo,
+            HALF_PI,
+            inc.as_deref()
+                .map(fairrank_fairness::IncrementalOracle::is_satisfactory),
+        );
+        if sat {
+            sectors.push((sector_lo, HALF_PI));
+        }
+        verdicts.push(sat);
+    }
+
+    ShardOutput {
+        sectors,
+        boundaries,
+        verdicts,
+        rerank_events,
+    }
+}
+
 /// The sector walk shared by [`ray_sweep`] and the incremental index
 /// maintenance: seed the ranking strictly inside the first sector, ask
 /// `verdict(ranking, position, lo, hi, incremental_verdict)` once per
@@ -154,90 +292,103 @@ where
 {
     let batches = batches(events);
     let sector_count = batches.len() + 1;
-
-    let mut workspace = RankWorkspace::with_capacity(ds.len());
-    let first_angle = batches.first().map_or(HALF_PI, |b| events[b.start].0);
-    let mut ranking: Vec<u32> = Vec::with_capacity(ds.len());
-    workspace.rank_into(ds, &weights_at(first_angle / 2.0), None, &mut ranking);
-    let mut position = vec![0u32; ds.len()];
-    for (pos, &item) in ranking.iter().enumerate() {
-        position[item as usize] = pos as u32;
+    let shard = sweep_range(
+        ds,
+        events,
+        &batches,
+        0..batches.len(),
+        0.0,
+        true,
+        inc_src,
+        &mut verdict,
+    );
+    SweepOutput {
+        intervals: AngularIntervals::from_pairs(shard.sectors),
+        boundaries: shard.boundaries,
+        verdicts: shard.verdicts,
+        sector_count,
+        rerank_events: shard.rerank_events,
     }
-    let mut inc = inc_src.and_then(|o| o.incremental(&ranking));
+}
 
-    let mut rerank_events = 0u64;
-    let mut satisfactory_sectors: Vec<(f64, f64)> = Vec::new();
+/// The thread-safe per-sector verdict callback of
+/// [`sweep_events_threaded`]: `(ranking, position, lo, hi,
+/// incremental_verdict) -> satisfactory`.
+pub(crate) type SharedVerdictFn<'a> =
+    &'a (dyn Fn(&[u32], &[u32], f64, f64, Option<bool>) -> bool + Sync);
+
+/// The sharded sector walk: partition the batch list into `threads`
+/// contiguous angular shards, walk each on its own worker (per-shard
+/// [`RankWorkspace`], per-shard seed strictly inside the shard's first
+/// sector), and concatenate the shard outputs in canonical angular
+/// order. Bit-identical to [`sweep_events`] for every thread count — see
+/// [`sweep_range`] for the seeding invariant, and
+/// `tests/build_equivalence.rs` for the gate.
+pub(crate) fn sweep_events_threaded(
+    ds: &Dataset,
+    events: &[(f64, u32, u32)],
+    threads: usize,
+    inc_src: Option<&dyn FairnessOracle>,
+    verdict: SharedVerdictFn<'_>,
+) -> SweepOutput {
+    let batches = batches(events);
+    let sector_count = batches.len() + 1;
+    let chunks = crate::parallel::contiguous_chunks(batches.len(), threads);
+    let shards: Vec<ShardOutput> = if chunks.len() <= 1 {
+        vec![sweep_range(
+            ds,
+            events,
+            &batches,
+            0..batches.len(),
+            0.0,
+            true,
+            inc_src,
+            &mut |r, p, lo, hi, iv| verdict(r, p, lo, hi, iv),
+        )]
+    } else {
+        let batches = &batches;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|br| {
+                    scope.spawn(move || {
+                        let sector_lo = if br.start == 0 {
+                            0.0
+                        } else {
+                            events[batches[br.start - 1].start].0
+                        };
+                        let emit_final = br.end == batches.len();
+                        sweep_range(
+                            ds,
+                            events,
+                            batches,
+                            br,
+                            sector_lo,
+                            emit_final,
+                            inc_src,
+                            &mut |r, p, lo, hi, iv| verdict(r, p, lo, hi, iv),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+    };
+    let mut sectors: Vec<(f64, f64)> = Vec::new();
     let mut boundaries = Vec::with_capacity(batches.len());
     let mut verdicts = Vec::with_capacity(sector_count);
-    let mut sector_lo = 0.0f64;
-
-    for (bi, batch) in batches.iter().enumerate() {
-        let theta = events[batch.start].0;
-        // Verdict for the sector ending at this batch.
-        let sat = verdict(
-            &ranking,
-            &position,
-            sector_lo,
-            theta,
-            inc.as_deref()
-                .map(fairrank_fairness::IncrementalOracle::is_satisfactory),
-        );
-        if sat {
-            satisfactory_sectors.push((sector_lo, theta));
-        }
-        verdicts.push(sat);
-        boundaries.push(theta);
-        sector_lo = theta;
-
-        // Apply the batch of swaps.
-        let mut degenerate = false;
-        for &(_, a, b) in &events[batch.clone()] {
-            let pa = position[a as usize] as usize;
-            let pb = position[b as usize] as usize;
-            if pa.abs_diff(pb) == 1 {
-                let (pos, top, bottom) = if pa < pb { (pa, a, b) } else { (pb, b, a) };
-                if let Some(state) = inc.as_deref_mut() {
-                    state.swap_adjacent_items(pos, top, bottom);
-                }
-                ranking.swap(pa, pb);
-                position.swap(a as usize, b as usize);
-            } else {
-                degenerate = true;
-            }
-        }
-        if degenerate {
-            // Ties made swap order ambiguous — re-rank strictly inside the
-            // next sector (DESIGN.md F5).
-            rerank_events += 1;
-            let next_theta = batches.get(bi + 1).map_or(HALF_PI, |nb| events[nb.start].0);
-            workspace.rank_into(
-                ds,
-                &weights_at(0.5 * (theta + next_theta)),
-                None,
-                &mut ranking,
-            );
-            for (pos, &item) in ranking.iter().enumerate() {
-                position[item as usize] = pos as u32;
-            }
-            inc = inc_src.and_then(|o| o.incremental(&ranking));
-        }
+    let mut rerank_events = 0u64;
+    for s in shards {
+        sectors.extend(s.sectors);
+        boundaries.extend(s.boundaries);
+        verdicts.extend(s.verdicts);
+        rerank_events += s.rerank_events;
     }
-    // Final sector up to π/2.
-    let sat = verdict(
-        &ranking,
-        &position,
-        sector_lo,
-        HALF_PI,
-        inc.as_deref()
-            .map(fairrank_fairness::IncrementalOracle::is_satisfactory),
-    );
-    if sat {
-        satisfactory_sectors.push((sector_lo, HALF_PI));
-    }
-    verdicts.push(sat);
-
     SweepOutput {
-        intervals: AngularIntervals::from_pairs(satisfactory_sectors),
+        intervals: AngularIntervals::from_pairs(sectors),
         boundaries,
         verdicts,
         sector_count,
@@ -247,6 +398,10 @@ where
 
 /// The black-box sweep: one oracle call per sector (paper Theorem 1).
 ///
+/// Delegates to [`ray_sweep_threads`] with no explicit worker count, so
+/// the `FAIRRANK_BUILD_THREADS` environment variable can flip whole runs
+/// to the sharded sweep (bit-identical output either way).
+///
 /// # Errors
 /// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
 /// scoring attributes.
@@ -254,23 +409,42 @@ pub fn ray_sweep(
     ds: &Dataset,
     oracle: &dyn FairnessOracle,
 ) -> Result<RaySweepResult, FairRankError> {
+    ray_sweep_threads(ds, oracle, None)
+}
+
+/// [`ray_sweep`] with an explicit worker count (resolved per
+/// [`crate::parallel::resolve_build_threads`]): the event list is split
+/// into contiguous angular shards, each walked with its own
+/// [`RankWorkspace`], and the shard outputs are merged in canonical
+/// angle order — bit-identical to the serial sweep for every thread
+/// count (gated by `tests/build_equivalence.rs`).
+///
+/// # Errors
+/// [`FairRankError::DimensionMismatch`] unless the dataset has exactly two
+/// scoring attributes.
+pub fn ray_sweep_threads(
+    ds: &Dataset,
+    oracle: &dyn FairnessOracle,
+    threads: Option<usize>,
+) -> Result<RaySweepResult, FairRankError> {
     if ds.dim() != 2 {
         return Err(FairRankError::DimensionMismatch {
             expected: 2,
             found: ds.dim(),
         });
     }
+    let workers = crate::parallel::resolve_build_threads(threads);
     let events = exchange_events(ds);
-    let mut oracle_calls = 0u64;
-    let out = sweep_events(ds, &events, None, |ranking, _, _, _, _| {
-        oracle_calls += 1;
+    let oracle_calls = std::sync::atomic::AtomicU64::new(0);
+    let out = sweep_events_threaded(ds, &events, workers, None, &|ranking, _, _, _, _| {
+        oracle_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         oracle.is_satisfactory(ranking)
     });
     Ok(RaySweepResult {
         intervals: out.intervals,
         exchange_count: events.len(),
         sector_count: out.sector_count,
-        oracle_calls,
+        oracle_calls: oracle_calls.into_inner(),
         rerank_events: out.rerank_events,
     })
 }
@@ -480,5 +654,60 @@ mod tests {
         assert_eq!(r.exchange_count, 0);
         assert_eq!(r.sector_count, 1);
         assert_eq!(r.intervals.len(), 1);
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_serial() {
+        use fairrank_datasets::synthetic::generic;
+        let ds = generic::uniform(70, 2, 0.7, 31);
+        let attr = ds.type_attribute("group").unwrap();
+        let oracle = Proportionality::new(attr, 12).with_max_count(0, 6);
+        let events = exchange_events(&ds);
+        let serial = sweep_events(&ds, &events, None, |r, _, _, _, _| {
+            oracle.is_satisfactory(r)
+        });
+        for threads in [1usize, 2, 3, 4, 7, 64] {
+            let sharded = sweep_events_threaded(&ds, &events, threads, None, &|r, _, _, _, _| {
+                oracle.is_satisfactory(r)
+            });
+            // Bit-identical: same boundaries, verdicts and intervals,
+            // bit for bit.
+            assert_eq!(serial.boundaries, sharded.boundaries, "t = {threads}");
+            assert_eq!(serial.verdicts, sharded.verdicts, "t = {threads}");
+            assert_eq!(
+                serial.intervals.as_slice(),
+                sharded.intervals.as_slice(),
+                "t = {threads}"
+            );
+            assert_eq!(serial.sector_count, sharded.sector_count);
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_handles_degenerate_batches() {
+        // Collinear points force degenerate re-ranks; the sharded walk
+        // must still agree bit for bit with the serial one.
+        let ds = Dataset::from_rows(
+            vec!["x".into(), "y".into()],
+            &[
+                vec![1.0, 3.0],
+                vec![2.0, 2.0],
+                vec![3.0, 1.0],
+                vec![0.5, 1.2],
+                vec![1.5, 2.5],
+            ],
+        )
+        .unwrap();
+        let o = FnOracle::new("item 2 first", |r: &[u32]| r[0] == 2);
+        let events = exchange_events(&ds);
+        let serial = sweep_events(&ds, &events, None, |r, _, _, _, _| o.is_satisfactory(r));
+        for threads in [2usize, 3, 5] {
+            let sharded = sweep_events_threaded(&ds, &events, threads, None, &|r, _, _, _, _| {
+                o.is_satisfactory(r)
+            });
+            assert_eq!(serial.boundaries, sharded.boundaries);
+            assert_eq!(serial.verdicts, sharded.verdicts);
+            assert_eq!(serial.intervals.as_slice(), sharded.intervals.as_slice());
+        }
     }
 }

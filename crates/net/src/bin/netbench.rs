@@ -26,10 +26,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fairrank::{FairRanker, Strategy, SuggestRequest};
+use fairrank_bench::stats::percentile;
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::{FairnessOracle, Proportionality};
-use fairrank_net::json::{encode_request, Json};
+use fairrank_net::json::{encode_request, merge_into_baseline};
 use fairrank_net::{Client, HttpServer, Replica, ReplicaOptions, ReplicatedWriter, ServerConfig};
 use fairrank_serve::FairRankService;
 
@@ -156,14 +157,6 @@ fn paced_latencies_us(addr: SocketAddr, conns: usize, target_rps: f64) -> Vec<f6
     all
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
 /// Writer + `n` replicas over loopback: apply an update burst, wait for
 /// convergence, then measure aggregate closed-loop throughput across
 /// all endpoints (writer excluded — the series isolates replica
@@ -224,55 +217,6 @@ fn replicated_rps(n: usize) -> f64 {
     }
     writer.shutdown();
     rps
-}
-
-fn pretty(json: &Json, indent: usize, out: &mut String) {
-    match json {
-        Json::Obj(members) if !members.is_empty() => {
-            out.push_str("{\n");
-            for (i, (key, value)) in members.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(",\n");
-                }
-                out.push_str(&" ".repeat(indent + 2));
-                Json::Str(key.clone()).write(out);
-                out.push_str(": ");
-                pretty(value, indent + 2, out);
-            }
-            out.push('\n');
-            out.push_str(&" ".repeat(indent));
-            out.push('}');
-        }
-        other => other.write(out),
-    }
-}
-
-fn merge_into_baseline(path: &str, series: &[(&str, f64)]) {
-    let mut doc = match std::fs::read_to_string(path) {
-        Ok(text) => Json::parse(&text).expect("parse existing baseline"),
-        Err(_) => Json::Obj(vec![
-            ("schema".to_string(), Json::Num(1.0)),
-            (
-                "note".to_string(),
-                Json::Str("reduced-scale perf baseline".to_string()),
-            ),
-            ("series".to_string(), Json::Obj(Vec::new())),
-        ]),
-    };
-    if doc.get("series").is_none() {
-        doc.set("series", Json::Obj(Vec::new()));
-    }
-    if let Json::Obj(members) = &mut doc {
-        if let Some((_, series_obj)) = members.iter_mut().find(|(k, _)| k == "series") {
-            for &(key, value) in series {
-                series_obj.set(key, Json::Num(value));
-            }
-        }
-    }
-    let mut text = String::new();
-    pretty(&doc, 0, &mut text);
-    text.push('\n');
-    std::fs::write(path, text).expect("write baseline");
 }
 
 fn round3(x: f64) -> f64 {

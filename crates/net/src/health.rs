@@ -1,0 +1,75 @@
+//! Shared serving-health state: how a replica's tail loop tells its
+//! HTTP front end that the answers it is serving are stale.
+//!
+//! A replica keeps serving its last good snapshot when its replication
+//! stream dies — that is the design, not a bug — but a load balancer
+//! must be able to see the difference between "serving and current" and
+//! "serving but frozen at version V". [`HealthHandle`] is the one-word
+//! channel between the two: the replication supervisor marks it stale
+//! (with a reason and the last applied version) when the tail dies, and
+//! fresh again after a successful re-bootstrap; the server's `/healthz`
+//! turns a stale mark into a non-200 response carrying both fields.
+
+use std::sync::{Arc, Mutex};
+
+/// Why a serving tier is stale, and how far it got.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleInfo {
+    /// Human-readable cause (stream error, version gap, writer close).
+    pub reason: String,
+    /// The dataset version the service had applied when it went stale —
+    /// what its answers are frozen at.
+    pub last_applied: u64,
+}
+
+/// A cloneable handle to one serving tier's staleness flag. All clones
+/// observe the same state; the default state is fresh.
+#[derive(Debug, Clone, Default)]
+pub struct HealthHandle {
+    stale: Arc<Mutex<Option<StaleInfo>>>,
+}
+
+impl HealthHandle {
+    /// A fresh (healthy) handle.
+    #[must_use]
+    pub fn new() -> HealthHandle {
+        HealthHandle::default()
+    }
+
+    /// Mark the tier stale: answers are frozen at `last_applied`.
+    pub fn mark_stale(&self, reason: impl Into<String>, last_applied: u64) {
+        *self.stale.lock().expect("health lock poisoned") = Some(StaleInfo {
+            reason: reason.into(),
+            last_applied,
+        });
+    }
+
+    /// Clear the staleness mark (the tier has caught back up).
+    pub fn mark_fresh(&self) {
+        *self.stale.lock().expect("health lock poisoned") = None;
+    }
+
+    /// The current staleness mark, `None` while healthy.
+    #[must_use]
+    pub fn staleness(&self) -> Option<StaleInfo> {
+        self.stale.lock().expect("health lock poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let h = HealthHandle::new();
+        let peer = h.clone();
+        assert!(h.staleness().is_none());
+        peer.mark_stale("tail died", 7);
+        let info = h.staleness().expect("stale mark visible through clone");
+        assert_eq!(info.last_applied, 7);
+        assert_eq!(info.reason, "tail died");
+        h.mark_fresh();
+        assert!(peer.staleness().is_none());
+    }
+}

@@ -623,6 +623,68 @@ pub fn decode_suggestion(doc: &Json) -> Result<Suggestion, CodecError> {
     })
 }
 
+/// Pretty-print `json` into `out`: objects expand one member per line
+/// at two-space indents, everything else renders compact. This is the
+/// layout `BENCH_baseline.json` is kept in, shared by every harness bin
+/// that rewrites it.
+pub fn pretty(json: &Json, indent: usize, out: &mut String) {
+    match json {
+        Json::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, value)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + 2));
+                Json::Str(key.clone()).write(out);
+                out.push_str(": ");
+                pretty(value, indent + 2, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => other.write(out),
+    }
+}
+
+/// Merge `series` key/value pairs into the `series` object of the
+/// baseline JSON at `path`, creating the file (with the standard
+/// envelope) if absent and preserving every series other harnesses
+/// recorded — the non-clobbering update every bench bin must use so
+/// they can share one baseline file.
+///
+/// # Panics
+/// If the existing file does not parse, or the rewrite fails — a bench
+/// harness wants those loud, not swallowed.
+pub fn merge_into_baseline(path: &str, series: &[(&str, f64)]) {
+    let mut doc = match std::fs::read_to_string(path) {
+        Ok(text) => Json::parse(&text).expect("parse existing baseline"),
+        Err(_) => Json::Obj(vec![
+            ("schema".to_string(), Json::Num(1.0)),
+            (
+                "note".to_string(),
+                Json::Str("reduced-scale perf baseline".to_string()),
+            ),
+            ("series".to_string(), Json::Obj(Vec::new())),
+        ]),
+    };
+    if doc.get("series").is_none() {
+        doc.set("series", Json::Obj(Vec::new()));
+    }
+    if let Json::Obj(members) = &mut doc {
+        if let Some((_, series_obj)) = members.iter_mut().find(|(k, _)| k == "series") {
+            for &(key, value) in series {
+                series_obj.set(key, Json::Num(value));
+            }
+        }
+    }
+    let mut text = String::new();
+    pretty(&doc, 0, &mut text);
+    text.push('\n');
+    std::fs::write(path, text).expect("write baseline");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,10 +33,12 @@
 //! that makes JSON exact is documented in [`json`]). The parsers never
 //! panic on malformed input (fuzzed in `tests/net_fuzz.rs`).
 
+pub mod health;
 pub mod http;
 pub mod json;
 pub mod replication;
 pub mod server;
 
+pub use health::{HealthHandle, StaleInfo};
 pub use replication::{Replica, ReplicaOptions, ReplicatedWriter};
 pub use server::{Client, ClientResponse, HttpServer, ServerConfig};

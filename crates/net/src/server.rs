@@ -54,6 +54,13 @@ pub struct ServerConfig {
     /// [`FairRankService::submit_timeout`]: how long a request may wait
     /// for queue space before the server answers 503. Default 20 ms.
     pub submit_timeout: Duration,
+    /// Staleness flag feeding `/healthz` — wire a
+    /// [`Replica::health`](crate::Replica::health) handle here so a dead
+    /// replication tail turns health checks non-200 instead of the
+    /// replica silently serving frozen answers. `None` (the default,
+    /// right for a writer or a standalone server) reports healthy
+    /// whenever the process is up.
+    pub health: Option<crate::health::HealthHandle>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +68,7 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: 4,
             submit_timeout: Duration::from_millis(20),
+            health: None,
         }
     }
 }
@@ -72,6 +80,7 @@ const READ_TICK: Duration = Duration::from_millis(50);
 struct ServerShared {
     service: Arc<FairRankService>,
     submit_timeout: Duration,
+    health: Option<crate::health::HealthHandle>,
     shutdown: AtomicBool,
     /// Pending accepted connections awaiting a worker.
     conns: Mutex<Vec<TcpStream>>,
@@ -127,6 +136,7 @@ impl HttpServer {
         let shared = Arc::new(ServerShared {
             service,
             submit_timeout: config.submit_timeout,
+            health: config.health,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             conn_ready: Condvar::new(),
@@ -299,16 +309,42 @@ fn route(shared: &ServerShared, req: &Request, keep_alive: bool, out: &mut Vec<u
             write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
         }
         ("GET", "/healthz") => {
+            // A stale replica is alive but frozen: answer 503 so load
+            // balancers rotate it out, with the last applied version and
+            // the cause so operators can see how far behind it is.
+            let stale = shared.health.as_ref().and_then(|h| h.staleness());
             #[allow(clippy::cast_precision_loss)]
-            let body = Json::Obj(vec![
-                ("status".to_string(), Json::Str("ok".to_string())),
+            let mut fields = vec![
+                (
+                    "status".to_string(),
+                    Json::Str(if stale.is_some() { "stale" } else { "ok" }.to_string()),
+                ),
+                ("stale".to_string(), Json::Bool(stale.is_some())),
                 (
                     "version".to_string(),
                     Json::Num(shared.service.version() as f64),
                 ),
-            ])
-            .to_text();
-            write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
+            ];
+            if let Some(info) = stale {
+                #[allow(clippy::cast_precision_loss)]
+                fields.push((
+                    "last_applied".to_string(),
+                    Json::Num(info.last_applied as f64),
+                ));
+                fields.push(("reason".to_string(), Json::Str(info.reason)));
+                let body = Json::Obj(fields).to_text();
+                write_response(
+                    out,
+                    503,
+                    "Service Unavailable",
+                    &JSON_CT,
+                    body.as_bytes(),
+                    keep_alive,
+                );
+            } else {
+                let body = Json::Obj(fields).to_text();
+                write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
+            }
         }
         ("GET" | "POST", _) => {
             let body = error_body("no such endpoint");

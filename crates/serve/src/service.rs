@@ -479,6 +479,42 @@ impl FairRankService {
         updates.into_iter().map(|u| self.update(u)).collect()
     }
 
+    /// Replace the serving ranker wholesale with an independently built
+    /// (or freshly bootstrapped) generation — the re-seed path a replica
+    /// takes after a replication gap, where no incremental update
+    /// sequence can reconcile the local index with the writer's state.
+    ///
+    /// Runs through the same serialized writer path as
+    /// [`update`](FairRankService::update): the swap happens under a
+    /// momentary write lock with the answer cache purged in the same
+    /// critical section, so in-flight micro-batches finish on the
+    /// snapshot they captured and no cached verdict survives from the
+    /// replaced generation.
+    ///
+    /// # Errors
+    /// [`ServiceError::Rank`] with a
+    /// [`DimensionMismatch`](fairrank::FairRankError::DimensionMismatch)
+    /// if the new ranker's dataset dimensionality differs from the one
+    /// this service validates queries against; nothing is swapped.
+    pub fn replace_ranker(&self, ranker: FairRanker) -> Result<(), ServiceError> {
+        let _writer = self.shared.writer.lock().expect("writer lock poisoned");
+        let found = ranker.dataset().dim();
+        if found != self.shared.dim {
+            return Err(ServiceError::Rank(
+                fairrank::FairRankError::DimensionMismatch {
+                    expected: self.shared.dim,
+                    found,
+                },
+            ));
+        }
+        let mut slot = self.shared.slot.write().expect("slot lock poisoned");
+        *slot = ranker;
+        if let Some(cache) = &self.shared.cache {
+            cache.purge();
+        }
+        Ok(())
+    }
+
     /// Force any deferred (coalesced) backend updates to take effect
     /// now — the service twin of [`FairRanker::flush_updates`].
     ///

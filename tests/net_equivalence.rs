@@ -189,6 +189,7 @@ fn overload_maps_to_503_with_retry_after() {
         ServerConfig {
             threads: 8,
             submit_timeout: Duration::ZERO,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -351,4 +352,185 @@ fn replica_matches_writer_and_catches_up() {
     late.shutdown();
     replica.shutdown();
     writer.shutdown();
+}
+
+/// A byte-pumping TCP proxy with a *stable* front address and a
+/// swappable backend. The replica under test connects to the front; the
+/// test can then kill the writer behind it and bring up a new one on a
+/// fresh port without the replica's reconnect target ever changing
+/// (re-binding the old port races TIME_WAIT and other tests).
+struct SwitchProxy {
+    addr: SocketAddr,
+    backend: Arc<std::sync::Mutex<SocketAddr>>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl SwitchProxy {
+    fn start(backend: SocketAddr) -> SwitchProxy {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let backend = Arc::new(std::sync::Mutex::new(backend));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let backend = Arc::clone(&backend);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    let Ok(client) = conn else { return };
+                    let target = *backend.lock().unwrap();
+                    // Writer down: drop the connection so the replica's
+                    // bootstrap fails and its backoff keeps retrying.
+                    let Ok(upstream) = std::net::TcpStream::connect(target) else {
+                        continue;
+                    };
+                    let pump = |mut from: std::net::TcpStream, mut to: std::net::TcpStream| {
+                        std::thread::spawn(move || {
+                            let _ = std::io::copy(&mut from, &mut to);
+                            let _ = to.shutdown(std::net::Shutdown::Both);
+                            let _ = from.shutdown(std::net::Shutdown::Both);
+                        })
+                    };
+                    pump(client.try_clone().unwrap(), upstream.try_clone().unwrap());
+                    pump(upstream, client);
+                }
+            });
+        }
+        SwitchProxy {
+            addr,
+            backend,
+            stop,
+        }
+    }
+
+    fn set_backend(&self, addr: SocketAddr) {
+        *self.backend.lock().unwrap() = addr;
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Unblock the accept loop.
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+}
+
+fn healthz_doc(client: &mut Client) -> (u16, Json) {
+    let resp = client.request("GET", "/healthz", b"").unwrap();
+    let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    (resp.status, doc)
+}
+
+/// Regression: the writer dies mid-stream, the replica surfaces the
+/// staleness through `/healthz` (503 + `stale: true` + the last applied
+/// version), and once a writer is back — with *more* history than the
+/// replica ever saw, so the update log alone cannot catch it up — the
+/// replica re-bootstraps on its own and converges bit-identically.
+#[test]
+fn replica_survives_writer_restart_with_gap() {
+    let writer_service = Arc::new(
+        FairRankService::builder(build_ranker(36, 75))
+            .workers(2)
+            .build(),
+    );
+    let writer = ReplicatedWriter::bind(Arc::clone(&writer_service), "127.0.0.1:0").unwrap();
+    let proxy = SwitchProxy::start(writer.replication_addr());
+    let replica = Replica::connect(proxy.addr, oracle_for, ReplicaOptions::default()).unwrap();
+    let replica_http = HttpServer::bind(
+        replica.service(),
+        "127.0.0.1:0",
+        ServerConfig {
+            health: Some(replica.health()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut health_client = Client::connect(replica_http.local_addr()).unwrap();
+
+    // Healthy tail: a first burst replicates, /healthz reports fresh.
+    let burst = |from: u32, count: u32| -> Vec<DatasetUpdate> {
+        (from..from + count)
+            .map(|i| DatasetUpdate::Insert {
+                scores: vec![0.2 + 0.05 * f64::from(i), 0.7],
+                groups: vec![i % 2],
+            })
+            .collect()
+    };
+    writer.apply(&burst(0, 4)).unwrap();
+    await_version(&replica, writer_service.version());
+    let (status, doc) = healthz_doc(&mut health_client);
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("stale").and_then(Json::as_bool), Some(false));
+
+    // Kill the writer mid-life. The replica must notice the dead tail
+    // and surface it: 503, stale: true, and the version it got stuck at.
+    let stuck_at = replica.version();
+    writer.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stale_doc = loop {
+        assert!(Instant::now() < deadline, "/healthz never reported stale");
+        let (status, doc) = healthz_doc(&mut health_client);
+        if status == 503 {
+            break doc;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(
+        stale_doc.get("status").and_then(Json::as_str),
+        Some("stale")
+    );
+    assert_eq!(stale_doc.get("stale").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        stale_doc.get("last_applied").and_then(Json::as_u64),
+        Some(stuck_at)
+    );
+    assert!(stale_doc.get("reason").and_then(Json::as_str).is_some());
+
+    // Restart: a new writer on a fresh port, seeded with the same
+    // history *plus* updates the replica never saw — a log gap only a
+    // full re-bootstrap can cross.
+    let restarted_service = Arc::new(
+        FairRankService::builder(build_ranker(36, 75))
+            .workers(2)
+            .build(),
+    );
+    restarted_service.update_batch(burst(0, 4)).unwrap();
+    restarted_service.update_batch(burst(4, 3)).unwrap();
+    let restarted = ReplicatedWriter::bind(Arc::clone(&restarted_service), "127.0.0.1:0").unwrap();
+    proxy.set_backend(restarted.replication_addr());
+
+    // The replica reconnects, re-bootstraps, and converges on its own.
+    await_version(&replica, restarted_service.version());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, doc) = healthz_doc(&mut health_client);
+        if status == 200 {
+            assert_eq!(doc.get("stale").and_then(Json::as_bool), Some(false));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "/healthz stuck stale after resync"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(replica.error(), None);
+
+    // Live replication works again after the resync, and answers are
+    // bit-identical to the restarted writer's.
+    restarted.apply(&burst(7, 2)).unwrap();
+    await_version(&replica, restarted_service.version());
+    let reqs = fan(16);
+    let direct = restarted_service.snapshot().respond_batch(&reqs).unwrap();
+    let mut replica_client = Client::connect(replica_http.local_addr()).unwrap();
+    for (req, want) in reqs.iter().zip(&direct) {
+        let got = http_suggest(&mut replica_client, req);
+        assert_bit_identical(&got, want, "replica vs restarted writer");
+    }
+
+    replica_http.shutdown();
+    replica.shutdown();
+    restarted.shutdown();
+    proxy.shutdown();
 }
