@@ -279,6 +279,17 @@ impl ApproxIndex {
             coloring::color_cells(&index.grid, &mut index.assigned, &index.functions);
         index.stats.coloring_time = t3.elapsed();
 
+        // Re-export the BuildStats clocks through the global telemetry
+        // registry (mirrored, not re-timed).
+        for (phase, d) in [
+            ("hyperplanes", index.stats.hyperplane_time),
+            ("cellplanes", index.stats.cellplane_time),
+            ("markcells", index.stats.markcell_time),
+            ("coloring", index.stats.coloring_time),
+        ] {
+            crate::buildtel::mirror_phase("md_approx", phase, d);
+        }
+
         Ok(index)
     }
 

@@ -1,0 +1,92 @@
+//! Offline-build timers, exported through the process-global telemetry
+//! registry ([`fairrank_telemetry::global`]).
+//!
+//! Builds happen per process (or per replace), not per request, so
+//! these take the registry lock on every record instead of caching
+//! handles. Under the `telemetry-off` feature the [`Stopwatch`] is
+//! inert and no family is ever registered — `/metrics` simply has no
+//! `fairrank_build_*` series in that leg.
+//!
+//! Families:
+//! * `fairrank_build_duration_us{backend}` — whole-build wall time per
+//!   strategy dispatch;
+//! * `fairrank_build_phase_duration_us{backend,phase}` — per-phase wall
+//!   time inside each builder (2-D: `events`/`sweep`; exact: `hyperplanes`/
+//!   `regions`/`verify`; approximate: `hyperplanes`/`cellplanes`/
+//!   `markcells`/`coloring`).
+
+use fairrank_telemetry::Stopwatch;
+
+const PHASE_FAMILY: &str = "fairrank_build_phase_duration_us";
+const PHASE_HELP: &str =
+    "Microseconds spent in one offline index-build phase, by backend and phase.";
+const TOTAL_FAMILY: &str = "fairrank_build_duration_us";
+const TOTAL_HELP: &str = "Microseconds for one whole offline index build, by backend.";
+
+/// Record one finished phase into the global registry.
+fn record_phase(backend: &str, phase: &str, micros: u64) {
+    fairrank_telemetry::global()
+        .histogram(
+            PHASE_FAMILY,
+            PHASE_HELP,
+            &[("backend", backend), ("phase", phase)],
+        )
+        .record(micros);
+}
+
+/// A running phase timer; [`finish`](PhaseTimer::finish) records it.
+/// Inert (never registers anything) under `telemetry-off`.
+pub(crate) struct PhaseTimer {
+    sw: Stopwatch,
+    backend: &'static str,
+    phase: &'static str,
+}
+
+impl PhaseTimer {
+    pub(crate) fn start(backend: &'static str, phase: &'static str) -> PhaseTimer {
+        PhaseTimer {
+            sw: Stopwatch::start(),
+            backend,
+            phase,
+        }
+    }
+
+    pub(crate) fn finish(self) {
+        if let Some(us) = self.sw.elapsed_us() {
+            record_phase(self.backend, self.phase, us);
+        }
+    }
+}
+
+/// A running whole-build timer for one strategy dispatch.
+pub(crate) struct BuildTimer {
+    sw: Stopwatch,
+    backend: &'static str,
+}
+
+impl BuildTimer {
+    pub(crate) fn start(backend: &'static str) -> BuildTimer {
+        BuildTimer {
+            sw: Stopwatch::start(),
+            backend,
+        }
+    }
+
+    pub(crate) fn finish(self) {
+        if let Some(us) = self.sw.elapsed_us() {
+            fairrank_telemetry::global()
+                .histogram(TOTAL_FAMILY, TOTAL_HELP, &[("backend", self.backend)])
+                .record(us);
+        }
+    }
+}
+
+/// Mirror an already-measured phase duration (the approximate builder
+/// keeps its own [`BuildStats`](crate::approximate::BuildStats) clocks;
+/// this re-exports them without double-timing). Gated on the compiled
+/// timing layer so the `telemetry-off` leg registers nothing.
+pub(crate) fn mirror_phase(backend: &'static str, phase: &'static str, d: std::time::Duration) {
+    if fairrank_telemetry::ENABLED {
+        record_phase(backend, phase, d.as_micros() as u64);
+    }
+}

@@ -65,6 +65,7 @@
 
 pub mod approximate;
 pub mod backend;
+pub(crate) mod buildtel;
 pub mod error;
 pub mod md;
 pub mod parallel;

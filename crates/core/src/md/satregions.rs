@@ -100,6 +100,7 @@ pub fn sat_regions(
     // enumeration early — the capped output is exactly the first `cap`
     // hyperplanes of the canonical order, so it equals the old
     // generate-all-then-truncate behavior without the O(n²) tail.
+    let phase = crate::buildtel::PhaseTimer::start("md_exact", "hyperplanes");
     let (hyperplanes, items_used) = match (opts.prune_top_k, oracle.top_k_bound()) {
         (true, Some(k)) => {
             let keep = pruning::top_k_candidate_items(ds, k);
@@ -115,8 +116,10 @@ pub fn sat_regions(
         ),
     };
     let hyperplane_count = hyperplanes.len();
+    phase.finish();
 
     // Region enumeration: (constraints, witness) pairs.
+    let phase = crate::buildtel::PhaseTimer::start("md_exact", "regions");
     let (witnesses, region_count) = if opts.use_tree {
         let mut tree = ArrangementTree::new(dim);
         for h in &hyperplanes {
@@ -136,14 +139,17 @@ pub fn sat_regions(
         }
         (out, arr.region_count())
     };
+    phase.finish();
 
     // Oracle pass: keep satisfactory regions (Algorithm 4 lines 20–26).
     // Witness probes run through the batched pipeline — workspace-backed
     // partial ranking plus is_satisfactory_batch — fanned across the
     // worker pool, with verdicts (and the per-witness call count)
     // identical to serial probing.
+    let phase = crate::buildtel::PhaseTimer::start("md_exact", "verify");
     let witness_angles: Vec<&[f64]> = witnesses.iter().map(|(_, w)| w.as_slice()).collect();
     let verdicts = probes::batch_verdicts_threaded(ds, oracle, &witness_angles, threads);
+    phase.finish();
     let oracle_calls = verdicts.len() as u64;
     let satisfactory = witnesses
         .into_iter()

@@ -167,7 +167,14 @@ impl FairRankerBuilder {
             build_threads,
             lazy_regions,
         } = self;
-        let backend: Box<dyn IndexBackend> = match strategy.pick(&ds) {
+        let picked = strategy.pick(&ds);
+        let build_timer = crate::buildtel::BuildTimer::start(match picked {
+            Strategy::TwoD => "twod",
+            Strategy::MdExact => "md_exact",
+            Strategy::MdApprox => "md_approx",
+            _ => "other",
+        });
+        let backend: Box<dyn IndexBackend> = match picked {
             Strategy::TwoD => {
                 // `build_maintained_threads` keeps the sweep structure so
                 // live updates maintain the index incrementally.
@@ -217,6 +224,7 @@ impl FairRankerBuilder {
             // the non_exhaustive attribute must teach `pick` its rule).
             other => unreachable!("Strategy::pick returned unresolved {other:?}"),
         };
+        build_timer.finish();
         FairRanker::from_backend_arc(ds, oracle, backend, 0)
     }
 }

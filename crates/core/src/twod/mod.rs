@@ -140,10 +140,14 @@ impl TwoDIntervals {
             });
         }
         let workers = crate::parallel::resolve_build_threads(threads);
+        let phase = crate::buildtel::PhaseTimer::start("twod", "events");
         let events = exchange_events(ds);
+        phase.finish();
+        let phase = crate::buildtel::PhaseTimer::start("twod", "sweep");
         let out = sweep_events_threaded(ds, &events, workers, None, &|ranking, _, _, _, _| {
             oracle.is_satisfactory(ranking)
         });
+        phase.finish();
         Ok(TwoDIntervals {
             intervals: out.intervals,
             maint: Some(SweepMaint {

@@ -14,6 +14,14 @@
 //!   replicated deployment after convergence, clients spread across the
 //!   replica endpoints. The scaling series is the acceptance criterion:
 //!   aggregate throughput must grow with replica count.
+//! * `telemetry.overhead_pct` — cached-hit throughput cost of the stage
+//!   timing layer: the same workload against `.telemetry(true)` vs
+//!   `.telemetry(false)` services. The guard fails (exit 1) above 3%.
+//!
+//! Latency samples buffer into the telemetry crate's mergeable
+//! log-linear [`HistogramSnapshot`] (bounded memory at any request
+//! count, ≤6.25% relative bucket error) instead of an unbounded
+//! `Vec<f64>`; per-connection snapshots merge before the quantile read.
 //!
 //! Results merge into `BENCH_baseline.json` (pass a different path as
 //! the first argument), preserving every series other benches recorded.
@@ -26,13 +34,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fairrank::{FairRanker, Strategy, SuggestRequest};
-use fairrank_bench::stats::percentile;
 use fairrank_datasets::synthetic::generic;
 use fairrank_datasets::Dataset;
 use fairrank_fairness::{FairnessOracle, Proportionality};
 use fairrank_net::json::{encode_request, merge_into_baseline};
 use fairrank_net::{Client, HttpServer, Replica, ReplicaOptions, ReplicatedWriter, ServerConfig};
 use fairrank_serve::FairRankService;
+use fairrank_telemetry::HistogramSnapshot;
 
 const DATASET_N: usize = 400;
 const SATURATION_CONNS: usize = 8;
@@ -45,6 +53,10 @@ fn oracle_for(ds: &Dataset) -> Box<dyn FairnessOracle> {
 }
 
 fn build_service(workers: usize) -> Arc<FairRankService> {
+    build_service_telemetry(workers, true)
+}
+
+fn build_service_telemetry(workers: usize, telemetry: bool) -> Arc<FairRankService> {
     let ds = generic::uniform(DATASET_N, 2, 0.9, 42);
     let oracle = oracle_for(&ds);
     let ranker = FairRanker::builder(ds, oracle)
@@ -55,6 +67,7 @@ fn build_service(workers: usize) -> Arc<FairRankService> {
         FairRankService::builder(ranker)
             .workers(workers)
             .max_batch(16)
+            .telemetry(telemetry)
             .build(),
     )
 }
@@ -117,8 +130,11 @@ fn closed_loop_rps(addrs: &[SocketAddr], conns: usize) -> f64 {
 
 /// Paced load at `target_rps` split across `conns` connections;
 /// latency is measured from each request's scheduled send slot, so time
-/// spent queued behind a slow server counts against it.
-fn paced_latencies_us(addr: SocketAddr, conns: usize, target_rps: f64) -> Vec<f64> {
+/// spent queued behind a slow server counts against it. Each connection
+/// records into its own [`HistogramSnapshot`] (bounded memory however
+/// long the run); the merged histogram is returned — merge order cannot
+/// matter, which the telemetry CI gate proves by property.
+fn paced_latency_histogram(addr: SocketAddr, conns: usize, target_rps: f64) -> HistogramSnapshot {
     let per_conn_interval = Duration::from_secs_f64(conns as f64 / target_rps.max(1.0));
     let bodies = Arc::new(request_bodies(64));
     let handles: Vec<_> = (0..conns)
@@ -126,7 +142,7 @@ fn paced_latencies_us(addr: SocketAddr, conns: usize, target_rps: f64) -> Vec<f6
             let bodies = Arc::clone(&bodies);
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
-                let mut latencies = Vec::new();
+                let mut latencies = HistogramSnapshot::empty();
                 let started = Instant::now();
                 let mut slot = per_conn_interval.mul_f64(i as f64 / conns as f64);
                 let mut j = i;
@@ -142,7 +158,7 @@ fn paced_latencies_us(addr: SocketAddr, conns: usize, target_rps: f64) -> Vec<f6
                     );
                     if ok {
                         let done = started.elapsed();
-                        latencies.push((done - slot).as_secs_f64() * 1e6);
+                        latencies.record((done - slot).as_micros() as u64);
                     }
                     slot += per_conn_interval;
                 }
@@ -150,9 +166,9 @@ fn paced_latencies_us(addr: SocketAddr, conns: usize, target_rps: f64) -> Vec<f6
             })
         })
         .collect();
-    let mut all = Vec::new();
+    let mut all = HistogramSnapshot::empty();
     for handle in handles {
-        all.extend(handle.join().expect("client thread"));
+        all.merge(&handle.join().expect("client thread"));
     }
     all
 }
@@ -219,6 +235,34 @@ fn replicated_rps(n: usize) -> f64 {
     rps
 }
 
+/// Cached-hit throughput with the stage timing layer on vs off, as a
+/// percentage lost to telemetry. Best-of-two windows per leg damp
+/// scheduler noise; the same 64-request fan repeats, so after warmup
+/// the answer cache serves nearly every request — the worst case for
+/// timing overhead, since there is no oracle work to hide it behind.
+fn telemetry_overhead_pct() -> (f64, f64, f64) {
+    let mut best = [0f64; 2];
+    for (slot, timing) in [(0usize, true), (1usize, false)] {
+        let service = build_service_telemetry(2, timing);
+        let server = HttpServer::bind(
+            service,
+            "127.0.0.1:0",
+            ServerConfig {
+                threads: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind http");
+        let addr = server.local_addr();
+        let _ = closed_loop_rps(&[addr], 2); // warm the answer cache
+        best[slot] = closed_loop_rps(&[addr], 4).max(closed_loop_rps(&[addr], 4));
+        server.shutdown();
+    }
+    let (on, off) = (best[0], best[1]);
+    let pct = ((off - on) / off.max(1.0) * 100.0).max(0.0);
+    (on, off, pct)
+}
+
 fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
 }
@@ -246,10 +290,9 @@ fn main() {
     let saturation = closed_loop_rps(&[addr], SATURATION_CONNS);
     println!("net.saturation_rps       {saturation:>12.0}");
 
-    let mut latencies = paced_latencies_us(addr, 4, saturation * 0.5);
-    latencies.sort_by(f64::total_cmp);
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
+    let latencies = paced_latency_histogram(addr, 4, saturation * 0.5);
+    let p50 = latencies.quantile(0.50);
+    let p99 = latencies.quantile(0.99);
     println!("net.p50_us               {p50:>12.1}   (paced at 50% of saturation)");
     println!("net.p99_us               {p99:>12.1}");
     server.shutdown();
@@ -263,6 +306,10 @@ fn main() {
         replica_series.push((n, rps));
     }
 
+    // --- telemetry overhead guard ---------------------------------------
+    let (on_rps, off_rps, overhead_pct) = telemetry_overhead_pct();
+    println!("telemetry.overhead_pct   {overhead_pct:>12.2}   (on {on_rps:.0} rps, off {off_rps:.0} rps)");
+
     let series: Vec<(&str, f64)> = vec![
         ("net.saturation_rps", round3(saturation)),
         ("net.p50_us", round3(p50)),
@@ -270,7 +317,13 @@ fn main() {
         ("net.replicas_1_rps", round3(replica_series[0].1)),
         ("net.replicas_2_rps", round3(replica_series[1].1)),
         ("net.replicas_4_rps", round3(replica_series[2].1)),
+        ("telemetry.overhead_pct", round3(overhead_pct)),
     ];
     merge_into_baseline(&path, &series);
-    println!("recorded {} net.* series into {path}", series.len());
+    println!("recorded {} series into {path}", series.len());
+
+    if overhead_pct > 3.0 {
+        eprintln!("FAIL: telemetry overhead {overhead_pct:.2}% exceeds the 3% budget");
+        std::process::exit(1);
+    }
 }

@@ -63,6 +63,7 @@ use fairrank::{DatasetUpdate, FairRanker, UpdateOutcome};
 use fairrank_datasets::Dataset;
 use fairrank_fairness::FairnessOracle;
 use fairrank_serve::{FairRankService, ServiceError};
+use fairrank_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 
 /// Reject frames larger than this (a defense against a corrupted or
 /// hostile length prefix, not a protocol limit).
@@ -104,6 +105,48 @@ fn invalid_data(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
+/// Replica-side replication instrumentation, registered in the
+/// replica's service registry so its `/metrics` covers the tail.
+struct ReplMetrics {
+    /// Re-dial attempts after a dead tail (whether or not they land).
+    reconnect_attempts: Counter,
+    /// Completed bootstrap handshakes — the initial connect plus every
+    /// successful re-bootstrap after a gap.
+    bootstraps: Counter,
+    /// The writer version this replica has applied up to.
+    last_applied: Gauge,
+    /// Time to apply one update-log frame locally — the replica's
+    /// contribution to apply lag (network skew rides on top).
+    apply_us: Histogram,
+}
+
+impl ReplMetrics {
+    fn register(registry: &Registry) -> ReplMetrics {
+        ReplMetrics {
+            reconnect_attempts: registry.counter(
+                "fairrank_replication_reconnect_attempts_total",
+                "Re-dial attempts after a dead replication tail.",
+                &[],
+            ),
+            bootstraps: registry.counter(
+                "fairrank_replication_bootstraps_total",
+                "Completed bootstrap handshakes (initial connect included).",
+                &[],
+            ),
+            last_applied: registry.gauge(
+                "fairrank_replication_last_applied_version",
+                "Writer version this replica has applied up to.",
+                &[],
+            ),
+            apply_us: registry.histogram(
+                "fairrank_replication_apply_duration_us",
+                "Microseconds to apply one replicated update-log frame.",
+                &[],
+            ),
+        }
+    }
+}
+
 struct WriterShared {
     service: Arc<FairRankService>,
     shutdown: AtomicBool,
@@ -111,6 +154,8 @@ struct WriterShared {
     /// both is what makes a bootstrap snapshot and the subsequent frame
     /// stream gap-free.
     subscribers: Mutex<Vec<TcpStream>>,
+    /// Live subscriber count, exported through the writer's registry.
+    subscribers_gauge: Gauge,
 }
 
 /// The writer end of a replicated deployment: owns the only
@@ -131,10 +176,16 @@ impl ReplicatedWriter {
     pub fn bind(service: Arc<FairRankService>, addr: &str) -> std::io::Result<ReplicatedWriter> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let subscribers_gauge = service.telemetry().gauge(
+            "fairrank_replication_subscribers",
+            "Replicas currently subscribed to this writer's update log.",
+            &[],
+        );
         let shared = Arc::new(WriterShared {
             service,
             shutdown: AtomicBool::new(false),
             subscribers: Mutex::new(Vec::new()),
+            subscribers_gauge,
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -204,6 +255,7 @@ impl ReplicatedWriter {
             // Drop subscribers whose connection broke; replicas re-seed
             // by reconnecting.
             subscribers.retain_mut(|stream| write_frame(stream, &frame).is_ok());
+            self.shared.subscribers_gauge.set(subscribers.len() as i64);
         }
         result.map(|()| outcomes)
     }
@@ -226,6 +278,7 @@ impl ReplicatedWriter {
             .lock()
             .expect("subscriber lock poisoned")
             .clear();
+        self.shared.subscribers_gauge.set(0);
     }
 }
 
@@ -257,6 +310,7 @@ fn accept_replicas(listener: &TcpListener, shared: &WriterShared) {
             .is_ok();
         if handshake_ok {
             subscribers.push(stream);
+            shared.subscribers_gauge.set(subscribers.len() as i64);
         }
     }
 }
@@ -348,6 +402,10 @@ impl Replica {
                 .build(),
         );
 
+        let metrics = ReplMetrics::register(&service.telemetry());
+        metrics.bootstraps.inc();
+        metrics.last_applied.set(service.version() as i64);
+
         let shutdown = Arc::new(AtomicBool::new(false));
         let error = Arc::new(Mutex::new(None));
         let health = crate::health::HealthHandle::new();
@@ -369,6 +427,7 @@ impl Replica {
                         &error,
                         &health,
                         reconnect,
+                        &metrics,
                     );
                 })
                 .expect("spawn replica tail")
@@ -464,6 +523,7 @@ fn tail_session(
     stream: &mut TcpStream,
     service: &FairRankService,
     shutdown: &AtomicBool,
+    metrics: &ReplMetrics,
 ) -> TailEnd {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 64 * 1024];
@@ -490,9 +550,12 @@ fn tail_session(
                     "version gap: writer frame applies at {base_version}, replica is at {local}"
                 ));
             }
+            let apply = Stopwatch::start();
             if let Err(e) = service.update_batch(updates) {
                 return TailEnd::Failed(format!("update apply failed: {e}"));
             }
+            apply.record(&metrics.apply_us);
+            metrics.last_applied.set(service.version() as i64);
         }
         if shutdown.load(Ordering::SeqCst) {
             return TailEnd::Shutdown;
@@ -539,9 +602,10 @@ fn supervise_tail(
     error: &Mutex<Option<String>>,
     health: &crate::health::HealthHandle,
     reconnect: bool,
+    metrics: &ReplMetrics,
 ) {
     loop {
-        let reason = match tail_session(&mut stream, service, shutdown) {
+        let reason = match tail_session(&mut stream, service, shutdown, metrics) {
             TailEnd::Shutdown => return,
             TailEnd::WriterClosed => "writer closed the replication stream".to_string(),
             TailEnd::Failed(msg) => {
@@ -562,11 +626,14 @@ fn supervise_tail(
             }
             // Full re-bootstrap: fresh dataset + snapshot, oracle
             // rebuilt against the new dataset, whole ranker swapped.
+            metrics.reconnect_attempts.inc();
             if let Ok((new_stream, ranker)) = bootstrap(addr, oracle_factory) {
                 if service.replace_ranker(ranker).is_ok() {
                     stream = new_stream;
                     *error.lock().expect("error lock poisoned") = None;
                     health.mark_fresh();
+                    metrics.bootstraps.inc();
+                    metrics.last_applied.set(service.version() as i64);
                     break;
                 }
             }

@@ -23,12 +23,17 @@
 //! * `GET /healthz` — liveness plus the serving dataset version; a
 //!   replica's version advances as it tails the writer's update log,
 //!   which is how deployments observe convergence.
+//! * `GET /metrics` — Prometheus text exposition over the service's
+//!   metric registry (request counters, per-stage latency histograms,
+//!   cache and replication counters, build timers). `/stats` is a JSON
+//!   view over the *same* registry cells, so the two cannot drift.
 //!
 //! **Backpressure → 503.** A [`ServiceError::Overloaded`] rejection
-//! carries the queue capacity and live depth; the server divides depth
-//! by its EWMA of observed service latency to emit an honest
-//! `Retry-After` — seconds until the backlog plausibly drains — instead
-//! of a constant.
+//! carries the queue capacity and live depth; the server multiplies
+//! depth by the **p95** of observed request latency (EWMA mean as the
+//! cold-start fallback) to emit an honest `Retry-After` — seconds until
+//! the backlog plausibly drains at tail service rate — instead of a
+//! constant.
 //!
 //! [`SuggestRequest`]: fairrank::SuggestRequest
 
@@ -40,6 +45,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fairrank_serve::{FairRankService, ServiceError, ServiceStats};
+use fairrank_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 
 use crate::http::{parse_request, write_response, Request, MAX_HEAD_BYTES};
 use crate::json::{decode_request, encode_request, encode_suggestion, Json};
@@ -77,6 +83,63 @@ impl Default for ServerConfig {
 /// connection notices server shutdown.
 const READ_TICK: Duration = Duration::from_millis(50);
 
+/// Endpoint names for the `fairrank_http_requests_total` label; every
+/// request maps to exactly one (unknown paths count as `other`).
+const ENDPOINTS: [&str; 6] = [
+    "suggest",
+    "suggest_batch",
+    "stats",
+    "healthz",
+    "metrics",
+    "other",
+];
+/// Status classes for the `code` label. The server only emits 2xx, 4xx,
+/// and 5xx statuses.
+const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+/// Pre-registered HTTP-tier metric handles — registration happens once
+/// at bind, so the per-request path is pure atomics with no registry
+/// lookups.
+struct HttpMetrics {
+    /// `requests[endpoint * CLASSES.len() + class]`.
+    requests: Vec<Counter>,
+    /// Request latency (admission → answer encoded) per serving
+    /// endpoint. Always recorded — the overload `Retry-After` estimate
+    /// reads its p95 — from the same `Instant` the EWMA already takes,
+    /// so it adds no clock reads.
+    suggest_us: Histogram,
+    suggest_batch_us: Histogram,
+}
+
+impl HttpMetrics {
+    fn register(registry: &Registry) -> HttpMetrics {
+        let mut requests = Vec::with_capacity(ENDPOINTS.len() * CLASSES.len());
+        for endpoint in ENDPOINTS {
+            for class in CLASSES {
+                requests.push(registry.counter(
+                    "fairrank_http_requests_total",
+                    "HTTP requests served, by endpoint and status class.",
+                    &[("endpoint", endpoint), ("code", class)],
+                ));
+            }
+        }
+        let duration = |endpoint: &str| {
+            registry.histogram(
+                "fairrank_http_request_duration_us",
+                "Request latency in microseconds from admission to encoded \
+                 answer, by endpoint; the overload Retry-After derives from \
+                 this histogram's p95.",
+                &[("endpoint", endpoint)],
+            )
+        };
+        HttpMetrics {
+            requests,
+            suggest_us: duration("suggest"),
+            suggest_batch_us: duration("suggest_batch"),
+        }
+    }
+}
+
 struct ServerShared {
     service: Arc<FairRankService>,
     submit_timeout: Duration,
@@ -86,8 +149,20 @@ struct ServerShared {
     conns: Mutex<Vec<TcpStream>>,
     conn_ready: Condvar,
     /// EWMA of per-request service latency in microseconds (7/8 decay),
-    /// 0 until the first sample. Feeds the `Retry-After` estimate.
+    /// 0 until the first sample. Kept as the cold-start fallback for the
+    /// `Retry-After` estimate (and exported as a gauge for comparison
+    /// against the histogram p95 that now drives it).
     ewma_us: AtomicU64,
+    /// The service's metric registry; the HTTP tier registers its own
+    /// families here so one `GET /metrics` scrape covers the stack.
+    telemetry: Arc<Registry>,
+    http: HttpMetrics,
+    ewma_gauge: Gauge,
+    /// Wire-side stage spans (`net_parse`/`net_write` series of the
+    /// shared `fairrank_stage_duration_us` family); `None` under
+    /// `telemetry-off` so no clocks are read.
+    stage_parse: Option<Histogram>,
+    stage_write: Option<Histogram>,
 }
 
 impl ServerShared {
@@ -100,14 +175,52 @@ impl ServerShared {
             (7 * old + sample) / 8
         };
         self.ewma_us.store(new, Ordering::Relaxed);
+        self.ewma_gauge.set(i64::try_from(new).unwrap_or(i64::MAX));
     }
 
     /// Seconds until `depth` outstanding requests plausibly drain at the
     /// observed service rate, clamped to `[1, 30]`.
+    ///
+    /// The per-request estimate is the **p95** of observed request
+    /// latency (suggest and suggest_batch merged): a mean under bimodal
+    /// load — cache-hit floods punctuated by oracle-pass stragglers —
+    /// under-advises clients, while a tail quantile drains the backlog
+    /// with high probability. Before any request has completed (nothing
+    /// in the histograms), the EWMA mean is the fallback; with neither,
+    /// the clamp floor of 1 s applies — deterministically.
     fn retry_after_secs(&self, depth: usize) -> u64 {
-        let ewma = self.ewma_us.load(Ordering::Relaxed).max(1);
-        let micros = (depth as u64).saturating_mul(ewma);
+        let mut snap = self.http.suggest_us.snapshot();
+        snap.merge(&self.http.suggest_batch_us.snapshot());
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let per_request_us = if snap.is_empty() {
+            self.ewma_us.load(Ordering::Relaxed)
+        } else {
+            snap.quantile(0.95) as u64
+        }
+        .max(1);
+        let micros = (depth as u64).saturating_mul(per_request_us);
         micros.div_ceil(1_000_000).clamp(1, 30)
+    }
+
+    /// Count one served request by endpoint and status class, sniffing
+    /// the status digit from the serialized response head
+    /// (`HTTP/1.1 NNN …`) so every branch of `route` is covered without
+    /// threading a status back out.
+    fn note_request(&self, method: &str, path: &str, response: &[u8]) {
+        let endpoint = match (method, path) {
+            ("POST", "/suggest") => 0,
+            ("POST", "/suggest_batch") => 1,
+            ("GET", "/stats") => 2,
+            ("GET", "/healthz") => 3,
+            ("GET", "/metrics") => 4,
+            _ => 5,
+        };
+        let class = match response.get(9) {
+            Some(b'2') => 0,
+            Some(b'4') => 1,
+            _ => 2,
+        };
+        self.http.requests[endpoint * CLASSES.len() + class].inc();
     }
 }
 
@@ -133,6 +246,24 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let telemetry = service.telemetry();
+        let http = HttpMetrics::register(&telemetry);
+        let ewma_gauge = telemetry.gauge(
+            "fairrank_http_latency_ewma_us",
+            "EWMA (7/8 decay) of request latency in microseconds — the \
+             legacy Retry-After estimator, kept for comparison against \
+             the p95 that now drives it.",
+            &[],
+        );
+        let stage = |name: &str| {
+            fairrank_telemetry::ENABLED.then(|| {
+                telemetry.histogram(
+                    "fairrank_stage_duration_us",
+                    "Serving pipeline stage durations in microseconds, labeled by stage.",
+                    &[("stage", name)],
+                )
+            })
+        };
         let shared = Arc::new(ServerShared {
             service,
             submit_timeout: config.submit_timeout,
@@ -141,6 +272,11 @@ impl HttpServer {
             conns: Mutex::new(Vec::new()),
             conn_ready: Condvar::new(),
             ewma_us: AtomicU64::new(0),
+            stage_parse: stage("net_parse"),
+            stage_write: stage("net_write"),
+            telemetry,
+            http,
+            ewma_gauge,
         });
         let workers = (0..config.threads.max(1))
             .map(|i| {
@@ -250,14 +386,26 @@ fn serve_connection(shared: &ServerShared, mut stream: TcpStream) {
     loop {
         // Serve every complete request already buffered (pipelining).
         loop {
+            // Only a completed parse records: attempts over a partial
+            // buffer are re-parsed (from scratch) once more bytes land,
+            // so counting them would double-bill the stage.
+            let parse_sw = Stopwatch::start_if(shared.stage_parse.is_some());
             match parse_request(&buf) {
                 Ok(Some((req, consumed))) => {
+                    if let Some(h) = &shared.stage_parse {
+                        parse_sw.record(h);
+                    }
                     buf.drain(..consumed);
                     let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
                     let mut out = Vec::with_capacity(256);
                     route(shared, &req, keep_alive, &mut out);
+                    shared.note_request(&req.method, &req.path, &out);
+                    let write_sw = Stopwatch::start_if(shared.stage_write.is_some());
                     if stream.write_all(&out).is_err() {
                         return;
+                    }
+                    if let Some(h) = &shared.stage_write {
+                        write_sw.record(h);
                     }
                     if !keep_alive {
                         return;
@@ -307,6 +455,20 @@ fn route(shared: &ServerShared, req: &Request, keep_alive: bool, out: &mut Vec<u
         ("GET", "/stats") => {
             let body = stats_json(&shared.service.stats());
             write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
+        }
+        ("GET", "/metrics") => {
+            // `stats()` refreshes the derived gauges (queue depth,
+            // cache residency, version) in the registry; the counters
+            // are the very cells `/stats` reports, so the two views
+            // cannot drift. Build timers live in the process-global
+            // registry — append every global family this service's
+            // registry doesn't already expose.
+            let _ = shared.service.stats();
+            let mut body = shared.telemetry.render();
+            let local: std::collections::HashSet<String> =
+                shared.telemetry.family_names().into_iter().collect();
+            body.push_str(&fairrank_telemetry::global().render_excluding(&local));
+            write_response(out, 200, "OK", &PROM_CT, body.as_bytes(), keep_alive);
         }
         ("GET", "/healthz") => {
             // A stale replica is alive but frozen: answer 503 so load
@@ -365,6 +527,7 @@ fn route(shared: &ServerShared, req: &Request, keep_alive: bool, out: &mut Vec<u
 }
 
 const JSON_CT: [(&str, &str); 1] = [("content-type", "application/json")];
+const PROM_CT: [(&str, &str); 1] = [("content-type", "text/plain; version=0.0.4; charset=utf-8")];
 
 /// Decode a request body; on failure, write the 400 and return `None`.
 fn parse_body(body: &[u8], keep_alive: bool, out: &mut Vec<u8>) -> Option<Json> {
@@ -426,7 +589,12 @@ fn suggest_one(shared: &ServerShared, body: &[u8], keep_alive: bool, out: &mut V
         .and_then(fairrank_serve::SuggestionFuture::wait)
     {
         Ok(suggestion) => {
-            shared.note_latency(started.elapsed());
+            let elapsed = started.elapsed();
+            shared.note_latency(elapsed);
+            shared
+                .http
+                .suggest_us
+                .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
             let body = encode_suggestion(&suggestion);
             write_response(out, 200, "OK", &JSON_CT, body.as_bytes(), keep_alive);
         }
@@ -497,7 +665,12 @@ fn suggest_batch(shared: &ServerShared, body: &[u8], keep_alive: bool, out: &mut
             }
         }
     }
-    shared.note_latency(started.elapsed());
+    let elapsed = started.elapsed();
+    shared.note_latency(elapsed);
+    shared
+        .http
+        .suggest_batch_us
+        .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
     let mut body = String::from("{\"suggestions\":[");
     for (i, suggestion) in suggestions.iter().enumerate() {
         if i > 0 {

@@ -25,10 +25,10 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use fairrank::{RegionKey, SuggestOptions};
+use fairrank_telemetry::{Counter, Registry};
 
 /// The full identity of a cacheable verdict: the backend's region key
 /// plus every request parameter (and the dataset version) that could
@@ -114,11 +114,15 @@ pub struct SuggestionCache {
     shards: Vec<Mutex<Shard>>,
     /// Per-shard capacity (total capacity split evenly, at least 1).
     shard_capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
+    // Counters are telemetry handles (shared atomics), constructed
+    // detached and optionally bound into a metrics registry via
+    // [`bind_telemetry`](SuggestionCache::bind_telemetry) — the cache
+    // works identically either way.
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    invalidations: Counter,
 }
 
 impl SuggestionCache {
@@ -133,12 +137,50 @@ impl SuggestionCache {
         SuggestionCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            evictions: Counter::new(),
+            invalidations: Counter::new(),
         }
+    }
+
+    /// Expose the cache's live counters as `fairrank_cache_*` families
+    /// in `registry` — the same cells [`stats`](SuggestionCache::stats)
+    /// reads, so a Prometheus scrape and a `CacheStats` snapshot can
+    /// never disagree on these counts.
+    pub fn bind_telemetry(&self, registry: &Registry) {
+        registry.bind_counter(
+            "fairrank_cache_hits_total",
+            "Region-verdict cache lookups answered from the cache.",
+            &[],
+            &self.hits,
+        );
+        registry.bind_counter(
+            "fairrank_cache_misses_total",
+            "Cache lookups that fell through to the full serving path \
+             (including requests whose backend certified no region).",
+            &[],
+            &self.misses,
+        );
+        registry.bind_counter(
+            "fairrank_cache_insertions_total",
+            "Region verdicts inserted into the cache.",
+            &[],
+            &self.insertions,
+        );
+        registry.bind_counter(
+            "fairrank_cache_evictions_total",
+            "Cache entries evicted by the CLOCK sweep at capacity.",
+            &[],
+            &self.evictions,
+        );
+        registry.bind_counter(
+            "fairrank_cache_invalidations_total",
+            "Whole-cache purges (one per live update or generation swap).",
+            &[],
+            &self.invalidations,
+        );
     }
 
     fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -155,11 +197,11 @@ impl SuggestionCache {
         match shard.map.get_mut(key) {
             Some(slot) => {
                 slot.referenced = true;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(slot.fair)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -169,7 +211,7 @@ impl SuggestionCache {
     /// certified no region — kept separate from [`Self::get`] so the hit-rate
     /// denominator still covers every request.
     pub fn note_uncacheable(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
 
     /// Insert (or refresh) the verdict for `key`, evicting via one CLOCK
@@ -194,7 +236,7 @@ impl SuggestionCache {
                 }
                 Some(_) => {
                     shard.map.remove(&candidate);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.inc();
                 }
                 None => {} // stale ring entry from a purge race; drop it
             }
@@ -207,7 +249,7 @@ impl SuggestionCache {
             },
         );
         shard.clock.push_back(key);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
     }
 
     /// Drop every entry — the update path's invalidation. Counted once
@@ -218,7 +260,7 @@ impl SuggestionCache {
             shard.map.clear();
             shard.clock.clear();
         }
-        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.invalidations.inc();
     }
 
     /// Point-in-time counters. The entry count walks the shards, so a
@@ -232,11 +274,11 @@ impl SuggestionCache {
             .map(|s| s.lock().expect("cache shard poisoned").map.len())
             .sum();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
             entries,
         }
     }

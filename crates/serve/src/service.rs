@@ -38,7 +38,6 @@
 //! gated by `tests/service_equivalence.rs`.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -47,6 +46,7 @@ use fairrank::error::validate_weights;
 use fairrank::{
     BackendStats, DatasetUpdate, FairRanker, SuggestRequest, Suggestion, UpdateOutcome,
 };
+use fairrank_telemetry::{Counter, Gauge, Histogram, Registry, Stopwatch};
 
 use crate::cache::{CacheKey, CacheStats, SuggestionCache};
 use crate::error::ServiceError;
@@ -63,6 +63,8 @@ pub struct ServiceBuilder {
     queue_capacity: usize,
     cache_enabled: bool,
     cache_capacity: usize,
+    telemetry_enabled: bool,
+    registry: Option<Arc<Registry>>,
 }
 
 impl ServiceBuilder {
@@ -113,15 +115,44 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enable or disable *stage timing* at runtime (default enabled).
+    /// Disabled, workers take no clock reads — the reference arm of the
+    /// telemetry-overhead benchmark. Counters and gauges are unaffected:
+    /// they define [`ServiceStats`] and always stay live. (Compile-time
+    /// removal is the `fairrank-telemetry/telemetry-off` feature.)
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry_enabled = enabled;
+        self
+    }
+
+    /// Record this service's metrics into an injected [`Registry`]
+    /// instead of a fresh per-service one — for co-hosting several
+    /// components under one scrape. Note that two services sharing a
+    /// registry share the *same* metric cells per family.
+    pub fn telemetry_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Launch the worker pool and start serving.
     pub fn build(self) -> FairRankService {
         let workers = match self.workers {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             w => w,
         };
+        let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
         let cache = self
             .cache_enabled
             .then(|| SuggestionCache::new(self.cache_capacity, workers.clamp(1, 16)));
+        if let Some(cache) = &cache {
+            cache.bind_telemetry(&registry);
+        }
+        // Stage timers exist only when the timing layer is compiled in
+        // *and* runtime-enabled: `timers.is_none()` means workers take
+        // no clock reads at all, and the stage families never appear in
+        // the exposition.
+        let timers = (self.telemetry_enabled && fairrank_telemetry::ENABLED)
+            .then(|| StageTimers::register(&registry));
         let shared = Arc::new(Shared {
             dim: self.ranker.dataset().dim(),
             max_batch: self.max_batch,
@@ -135,7 +166,10 @@ impl ServiceBuilder {
             not_full: Condvar::new(),
             slot: RwLock::new(self.ranker),
             writer: Mutex::new(()),
-            metrics: Metrics::default(),
+            metrics: Metrics::register(&registry),
+            derived: DerivedGauges::register(&registry),
+            timers,
+            telemetry: registry,
             cache,
         });
         let handles = (0..workers)
@@ -165,10 +199,12 @@ enum Backpressure {
     Deadline(Deadline),
 }
 
-/// One queued request: the submission plus the one-shot completion.
+/// One queued request: the submission, the one-shot completion, and the
+/// queue-wait stopwatch (inert unless stage timing is on).
 struct Pending {
     req: SuggestRequest,
     tx: oneshot::Sender<Result<Suggestion, ServiceError>>,
+    queued_at: Stopwatch,
 }
 
 struct QueueState {
@@ -176,17 +212,115 @@ struct QueueState {
     closed: bool,
 }
 
-#[derive(Default)]
+/// The service's primary counters, as registry handles: `ServiceStats`
+/// and the Prometheus exposition read the *same cells*, so `/stats` and
+/// `/metrics` can never drift. Always live — see
+/// [`ServiceBuilder::telemetry`].
 struct Metrics {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    batches: AtomicU64,
-    rejected: AtomicU64,
+    submitted: Counter,
+    completed: Counter,
+    batches: Counter,
+    rejected: Counter,
     /// Live gauge (not a terminal counter): requests a worker has drained
     /// from the queue but not yet answered. `queued + in_flight` is the
     /// service's total outstanding depth — what a load shedder divides by
     /// its service rate to predict drain time.
-    in_flight: AtomicU64,
+    in_flight: Gauge,
+}
+
+impl Metrics {
+    fn register(registry: &Registry) -> Metrics {
+        Metrics {
+            submitted: registry.counter(
+                "fairrank_service_submitted_total",
+                "Requests accepted into the submission queue since launch.",
+                &[],
+            ),
+            completed: registry.counter(
+                "fairrank_service_completed_total",
+                "Requests answered (futures completed) since launch.",
+                &[],
+            ),
+            batches: registry.counter(
+                "fairrank_service_batches_total",
+                "Micro-batches executed since launch.",
+                &[],
+            ),
+            rejected: registry.counter(
+                "fairrank_service_rejected_total",
+                "Submissions rejected with Overloaded backpressure.",
+                &[],
+            ),
+            in_flight: registry.gauge(
+                "fairrank_service_in_flight",
+                "Requests drained from the queue but not yet answered.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Gauges whose truth lives elsewhere (queue length under its mutex,
+/// cache residency behind shard locks, the dataset version behind the
+/// slot lock). [`FairRankService::stats`] refreshes them, and the HTTP
+/// tier calls `stats()` before rendering `/metrics`, so a scrape always
+/// sees values from the same snapshot `/stats` reports.
+struct DerivedGauges {
+    queue_depth: Gauge,
+    cache_entries: Gauge,
+    version: Gauge,
+}
+
+impl DerivedGauges {
+    fn register(registry: &Registry) -> DerivedGauges {
+        DerivedGauges {
+            queue_depth: registry.gauge(
+                "fairrank_service_queue_depth",
+                "Requests currently waiting in the submission queue.",
+                &[],
+            ),
+            cache_entries: registry.gauge(
+                "fairrank_cache_entries",
+                "Region verdicts currently resident in the cache.",
+                &[],
+            ),
+            version: registry.gauge(
+                "fairrank_dataset_version",
+                "Dataset epoch of the current serving generation.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Per-stage latency histograms over the serving pipeline, all series
+/// of one `fairrank_stage_duration_us{stage=…}` family (the HTTP tier
+/// adds `net_parse`/`net_write` series to the same family). `None` on
+/// the service means stage timing is off and no clocks are read.
+struct StageTimers {
+    queue_wait: Histogram,
+    coalesce: Histogram,
+    cache_lookup: Histogram,
+    fastpath: Histogram,
+    oracle_pass: Histogram,
+}
+
+impl StageTimers {
+    const HELP: &'static str =
+        "Serving pipeline stage durations in microseconds, labeled by stage.";
+
+    fn register(registry: &Registry) -> StageTimers {
+        let stage = |name: &str| {
+            registry.histogram("fairrank_stage_duration_us", Self::HELP, &[("stage", name)])
+        };
+        StageTimers {
+            queue_wait: stage("queue_wait"),
+            coalesce: stage("coalesce"),
+            cache_lookup: stage("cache_lookup"),
+            fastpath: stage("fastpath"),
+            oracle_pass: stage("oracle_pass"),
+        }
+    }
 }
 
 struct Shared {
@@ -206,6 +340,13 @@ struct Shared {
     /// the slot lock, so index maintenance never blocks readers.
     writer: Mutex<()>,
     metrics: Metrics,
+    derived: DerivedGauges,
+    /// Stage latency histograms; `None` when stage timing is disabled
+    /// (runtime knob or the `telemetry-off` feature).
+    timers: Option<StageTimers>,
+    /// The metric registry every handle above lives in — what
+    /// `GET /metrics` renders.
+    telemetry: Arc<Registry>,
     /// The region-identity verdict cache ([`SuggestionCache`]), `None`
     /// when disabled via [`ServiceBuilder::cache`]. Purged under the
     /// slot's write lock on every generation swap, and keys carry the
@@ -294,6 +435,8 @@ impl FairRankService {
             queue_capacity: 1024,
             cache_enabled: true,
             cache_capacity: 4096,
+            telemetry_enabled: true,
+            registry: None,
         }
     }
 
@@ -396,12 +539,13 @@ impl FairRankService {
             }
         }
         let (tx, rx) = oneshot::channel();
-        queue.pending.push_back(Pending { req, tx });
+        queue.pending.push_back(Pending {
+            req,
+            tx,
+            queued_at: Stopwatch::start_if(self.shared.timers.is_some()),
+        });
         drop(queue);
-        self.shared
-            .metrics
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.submitted.inc();
         self.shared.not_empty.notify_one();
         Ok(SuggestionFuture { rx })
     }
@@ -410,8 +554,8 @@ impl FairRankService {
     /// payload: depth is everything queued plus everything already inside
     /// the worker pool, so front ends can derive an honest retry delay.
     fn reject(&self, queued: usize) -> ServiceError {
-        self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-        let in_flight = self.shared.metrics.in_flight.load(Ordering::Relaxed) as usize;
+        self.shared.metrics.rejected.inc();
+        let in_flight = self.shared.metrics.in_flight.get().max(0) as usize;
         ServiceError::Overloaded {
             capacity: self.shared.capacity,
             depth: queued + in_flight,
@@ -574,7 +718,10 @@ impl FairRankService {
             .backend_stats()
     }
 
-    /// Operational counters.
+    /// Operational counters. Also refreshes the derived registry gauges
+    /// (queue depth, cache residency, dataset version) so a `/metrics`
+    /// scrape rendered right after reports the same snapshot — the
+    /// counters themselves are shared cells and agree by construction.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         let queued = self
@@ -584,16 +731,33 @@ impl FairRankService {
             .expect("queue lock poisoned")
             .pending
             .len();
+        let cache = self.shared.cache.as_ref().map(SuggestionCache::stats);
+        self.shared.derived.queue_depth.set(queued as i64);
+        self.shared
+            .derived
+            .cache_entries
+            .set(cache.map_or(0, |c| c.entries) as i64);
+        self.shared.derived.version.set(self.version() as i64);
         ServiceStats {
             queued,
-            in_flight: self.shared.metrics.in_flight.load(Ordering::Relaxed),
-            submitted: self.shared.metrics.submitted.load(Ordering::Relaxed),
-            completed: self.shared.metrics.completed.load(Ordering::Relaxed),
-            batches: self.shared.metrics.batches.load(Ordering::Relaxed),
-            rejected: self.shared.metrics.rejected.load(Ordering::Relaxed),
+            in_flight: self.shared.metrics.in_flight.get().max(0) as u64,
+            submitted: self.shared.metrics.submitted.get(),
+            completed: self.shared.metrics.completed.get(),
+            batches: self.shared.metrics.batches.get(),
+            rejected: self.shared.metrics.rejected.get(),
             workers: self.workers.len(),
-            cache: self.shared.cache.as_ref().map(SuggestionCache::stats),
+            cache,
         }
+    }
+
+    /// The metric registry this service records into — render it with
+    /// [`Registry::render`] for a Prometheus scrape, or register extra
+    /// families (the HTTP tier adds its own) so one exposition covers
+    /// the whole deployment. Call [`stats`](FairRankService::stats)
+    /// first to refresh the derived gauges.
+    #[must_use]
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.telemetry)
     }
 
     /// Region-identity cache counters alone (a cheaper subset of
@@ -675,28 +839,39 @@ fn worker_loop(shared: &Shared) {
         // freed at drain time reappears here as in-flight, so
         // `queued + in_flight` tracks total outstanding work without a
         // gap a stats reader could fall through.
-        shared
-            .metrics
-            .in_flight
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.metrics.in_flight.add(batch.len() as i64);
         // Serve outside every lock, on a snapshot pinned for exactly
         // this batch: a concurrent update advances the slot without
         // touching the generation we're answering from.
         let ranker = shared.slot.read().expect("slot lock poisoned").snapshot();
         let version = ranker.version();
         let cache = shared.cache.as_ref();
+        let timers = shared.timers.as_ref();
 
-        // Route each request. A cached region verdict skips the oracle
-        // ranking pass entirely ([`FairRanker::respond_with_verdict`]
-        // runs the same suggestion/finish code as the batch path, so
-        // answers stay bit-identical); the rest flow through one
-        // `respond_batch` call and seed the cache on the way out.
+        // Route each request: classify against the region cache first,
+        // then serve hits through the verdict fast path and misses
+        // through one `respond_batch` call — the same answers in the
+        // same completion order as the unstaged loop, but with each
+        // phase (`cache_lookup` → `fastpath` → `oracle_pass`)
+        // observable as a per-batch span. A cached region verdict skips
+        // the oracle ranking pass entirely
+        // ([`FairRanker::respond_with_verdict`] runs the same
+        // suggestion/finish code as the batch path, so answers stay
+        // bit-identical); misses seed the cache on the way out.
         let mut txs = Vec::with_capacity(batch.len());
         let mut answers: Vec<Option<Result<Suggestion, ServiceError>>> =
             Vec::with_capacity(batch.len());
+        let mut hit_reqs: Vec<(usize, SuggestRequest, bool)> = Vec::new();
         let mut miss_reqs: Vec<SuggestRequest> = Vec::new();
         let mut miss_slots: Vec<(usize, Option<CacheKey>)> = Vec::new();
+        let lookup = Stopwatch::start_if(timers.is_some());
         for pending in batch {
+            if let Some(timers) = timers {
+                // Queue wait spans submit → this worker picking the
+                // request up for classification (coalescing included —
+                // it is time the caller spent waiting either way).
+                pending.queued_at.record(&timers.queue_wait);
+            }
             let key = cache.and_then(|cache| match ranker.region_of(&pending.req.query) {
                 Some(region) => Some(CacheKey {
                     region,
@@ -722,16 +897,8 @@ fn worker_loop(shared: &Shared) {
                     // version, so a hit replays a verdict from exactly
                     // the generation answering this batch.
                     debug_assert_eq!(key.map(|k| k.version), Some(version));
-                    let answer = ranker
-                        .respond_with_verdict(&pending.req, fair)
-                        .map_err(ServiceError::Rank);
-                    if let Ok(suggestion) = &answer {
-                        debug_assert_eq!(
-                            suggestion.version, version,
-                            "cache hit answered from a different generation"
-                        );
-                    }
-                    answers.push(Some(answer));
+                    hit_reqs.push((answers.len(), pending.req, fair));
+                    answers.push(None);
                 }
                 None => {
                     miss_slots.push((answers.len(), key));
@@ -741,8 +908,31 @@ fn worker_loop(shared: &Shared) {
             }
             txs.push(pending.tx);
         }
+        if let Some(timers) = timers {
+            lookup.record(&timers.cache_lookup);
+        }
+
+        if !hit_reqs.is_empty() {
+            let fastpath = Stopwatch::start_if(timers.is_some());
+            for (slot, req, fair) in hit_reqs {
+                let answer = ranker
+                    .respond_with_verdict(&req, fair)
+                    .map_err(ServiceError::Rank);
+                if let Ok(suggestion) = &answer {
+                    debug_assert_eq!(
+                        suggestion.version, version,
+                        "cache hit answered from a different generation"
+                    );
+                }
+                answers[slot] = Some(answer);
+            }
+            if let Some(timers) = timers {
+                fastpath.record(&timers.fastpath);
+            }
+        }
 
         if !miss_reqs.is_empty() {
+            let oracle_pass = Stopwatch::start_if(timers.is_some());
             match ranker.respond_batch(&miss_reqs) {
                 Ok(batch_answers) => {
                     for ((slot, key), answer) in miss_slots.into_iter().zip(batch_answers) {
@@ -766,26 +956,23 @@ fn worker_loop(shared: &Shared) {
                     }
                 }
             }
+            if let Some(timers) = timers {
+                oracle_pass.record(&timers.oracle_pass);
+            }
         }
-        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.batches.inc();
         // Count before completing the one-shots: a caller must never
         // observe its answer while the counters miss it — and only
         // genuinely answered requests count.
         let completed = answers.iter().filter(|a| matches!(a, Some(Ok(_)))).count() as u64;
-        shared
-            .metrics
-            .completed
-            .fetch_add(completed, Ordering::Relaxed);
-        let served = txs.len() as u64;
+        shared.metrics.completed.add(completed);
+        let served = txs.len() as i64;
         for (tx, answer) in txs.into_iter().zip(answers) {
             // A dropped receiver just means the caller stopped caring;
             // serving the rest of the batch is unaffected.
             let _ = tx.send(answer.expect("every routed request has an answer"));
         }
-        shared
-            .metrics
-            .in_flight
-            .fetch_sub(served, Ordering::Relaxed);
+        shared.metrics.in_flight.add(-served);
     }
 }
 
@@ -805,6 +992,9 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Pending>> {
             }
             queue = shared.not_empty.wait(queue).expect("queue lock poisoned");
         }
+        // The coalesce stage: first pickup → batch drained. Distinct
+        // from queue wait (which is per-request and includes this).
+        let coalesce = Stopwatch::start_if(shared.timers.is_some());
         if shared.max_batch > 1 && !shared.max_delay.is_zero() {
             let deadline = Deadline::after(shared.max_delay);
             while queue.pending.len() < shared.max_batch && !queue.closed {
@@ -834,6 +1024,9 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Pending>> {
         // Capacity frees at *drain* time, not when the batch finishes
         // serving: release blocked submitters immediately.
         shared.not_full.notify_all();
+        if let Some(timers) = &shared.timers {
+            coalesce.record(&timers.coalesce);
+        }
         return Some(batch);
     }
 }

@@ -1,0 +1,43 @@
+//! # fairrank-telemetry
+//!
+//! Dependency-free observability for the fairrank stack: a sharded
+//! atomic metrics [`Registry`], mergeable log-linear latency
+//! [`Histogram`]s with nearest-rank quantiles, cheap [`Stopwatch`] /
+//! [`SpanTimer`] pipeline tracing, and a hand-rolled Prometheus text
+//! encoder ([`Registry::render`]) behind `GET /metrics` in
+//! `fairrank-net`.
+//!
+//! ## Design rules
+//!
+//! * **Bit-identity is never at risk.** Telemetry observes the serving
+//!   pipeline; it never participates in it. The `telemetry_equivalence`
+//!   CI gate proves served answers are byte-identical with the timing
+//!   layer compiled in or out.
+//! * **Handles, not lookups.** Registration takes a shard lock once;
+//!   the returned [`Counter`]/[`Gauge`]/[`Histogram`] handles are
+//!   shared atomics, so hot paths never re-enter the registry.
+//! * **`telemetry-off` compiles out the clock, not the counts.** Under
+//!   the feature, [`ENABLED`] is `false` and [`Stopwatch`] is a
+//!   zero-sized no-op — but counters, gauges, histograms-as-data, and
+//!   the registry stay fully functional. `ServiceStats` (and the tests
+//!   that assert exact counts) are defined in terms of those counters;
+//!   a no-op mode that changed them would change observable behavior.
+//! * **Per-service registries by default.** [`Registry::new`] per
+//!   service keeps tests and co-hosted services from bleeding counts
+//!   into each other; the process-wide [`global()`] registry is for
+//!   process-wide facts (index build timers).
+//!
+//! ## Metric naming
+//!
+//! Families follow Prometheus conventions: `fairrank_` prefix, unit
+//! suffix (`_us`, `_total`), labels for bounded dimensions only
+//! (`stage`, `endpoint`, `backend`, `phase`). The full name table
+//! lives in the repository README under "Observability".
+
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, N_BUCKETS};
+pub use registry::{global, Counter, Gauge, Registry};
+pub use span::{SpanTimer, Stopwatch, ENABLED};

@@ -1,0 +1,123 @@
+//! Span timers — the only part of the subsystem the `telemetry-off`
+//! feature compiles out.
+//!
+//! A [`Stopwatch`] wraps `Instant::now()`; under `telemetry-off` it is
+//! a zero-sized type whose `elapsed_us` is always `None`, so every
+//! `record` call folds to nothing and the serving hot path carries no
+//! clock reads at all. Counters and gauges are *not* gated — a relaxed
+//! atomic add is cheaper than the branch that would skip it, and
+//! `ServiceStats` is defined in terms of those counts.
+//!
+//! Timers are also gated at *runtime*: [`Stopwatch::start_if`] lets a
+//! service toggle stage timing off per-instance (the overhead
+//! benchmark uses this to measure on-vs-off in one binary).
+
+use crate::histogram::Histogram;
+
+/// Whether the timing layer is compiled in. `false` under the
+/// `telemetry-off` feature.
+pub const ENABLED: bool = cfg!(not(feature = "telemetry-off"));
+
+/// A started-or-inert monotonic timer.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    #[cfg(not(feature = "telemetry-off"))]
+    started: Option<std::time::Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch iff the timing layer is compiled in *and*
+    /// `on` is true; otherwise returns an inert stopwatch.
+    #[inline]
+    pub fn start_if(on: bool) -> Stopwatch {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            Stopwatch {
+                started: on.then(std::time::Instant::now),
+            }
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = on;
+            Stopwatch {}
+        }
+    }
+
+    /// Starts a stopwatch (inert under `telemetry-off`).
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch::start_if(true)
+    }
+
+    /// An inert stopwatch: `elapsed_us` is `None`, `record` is a no-op.
+    #[inline]
+    pub fn inert() -> Stopwatch {
+        Stopwatch::start_if(false)
+    }
+
+    /// Microseconds since `start`, or `None` if inert.
+    #[inline]
+    pub fn elapsed_us(&self) -> Option<u64> {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.started.map(|s| s.elapsed().as_micros() as u64)
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            None
+        }
+    }
+
+    /// Records the elapsed microseconds into `hist` (no-op if inert).
+    #[inline]
+    pub fn record(&self, hist: &Histogram) {
+        if let Some(us) = self.elapsed_us() {
+            hist.record(us);
+        }
+    }
+}
+
+/// A lexically scoped span: records its lifetime into a histogram on
+/// drop. For stages that are not a clean scope (e.g. queue wait that
+/// starts in one thread and ends in another), carry a [`Stopwatch`]
+/// instead.
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    sw: Stopwatch,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Enters the span now; leaves (and records) on drop.
+    #[inline]
+    pub fn enter(hist: &'a Histogram) -> SpanTimer<'a> {
+        SpanTimer {
+            hist,
+            sw: Stopwatch::start(),
+        }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.sw.record(self.hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_records_iff_enabled_and_on() {
+        let hist = Histogram::new();
+        Stopwatch::start().record(&hist);
+        assert_eq!(hist.count(), u64::from(ENABLED));
+        Stopwatch::inert().record(&hist);
+        assert_eq!(hist.count(), u64::from(ENABLED), "inert must not record");
+        {
+            let _span = SpanTimer::enter(&hist);
+        }
+        assert_eq!(hist.count(), 2 * u64::from(ENABLED));
+    }
+}
